@@ -1,0 +1,91 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are smaller-scale studies (subset of regions) quantifying:
+- the value of edge typing (RGCN vs a relation-blind GCN),
+- the value of flag-sequence augmentation,
+- the effect of the pooling function.
+"""
+
+import numpy as np
+
+from repro.core import Augmenter, MachineDataset, select_label_space
+from repro.core.static_model import StaticConfigurationPredictor, StaticModelConfig
+from repro.graphs import GraphEncoder
+from repro.numasim import skylake
+from repro.workloads import build_suite
+
+
+def _prepare(num_sequences: int):
+    regions = build_suite(families=["clomp", "lulesh", "rodinia"], limit=24)
+    dataset = MachineDataset(skylake(), regions)
+    label_space = select_label_space(dataset, num_labels=6)
+    labels = label_space.labels_for(dataset)
+    encoder = GraphEncoder()
+    augmented = Augmenter(num_sequences=num_sequences, seed=0, encoder=encoder).augment(regions)
+    augmented.assign_labels(labels)
+    names = [r.name for r in regions]
+    train = names[: int(0.7 * len(names))]
+    test = names[int(0.7 * len(names)) :]
+    return encoder, augmented, label_space, dataset, train, test
+
+
+def _accuracy(predictor, augmented, dataset, label_space, test):
+    predictions = predictor.predict_region_labels(augmented, "default-O2", test)
+    correct = [
+        label_space.best_label_for(dataset.timing(name)) == label
+        for name, label in predictions.items()
+    ]
+    return float(np.mean(correct)) if correct else 0.0
+
+
+def test_ablation_pooling_modes(benchmark):
+    """Mean vs sum vs max pooling (paper architecture uses pooling + norm)."""
+    encoder, augmented, label_space, dataset, train, test = _prepare(num_sequences=3)
+
+    def run():
+        scores = {}
+        for pooling in ("mean", "sum", "max"):
+            predictor = StaticConfigurationPredictor(
+                num_labels=label_space.num_labels,
+                encoder=encoder,
+                config=StaticModelConfig(
+                    hidden_dim=24, graph_vector_dim=24, num_rgcn_layers=1, epochs=6, pooling=pooling
+                ),
+            )
+            predictor.fit([s for s in augmented.samples if s.region_name in set(train)])
+            scores[pooling] = _accuracy(predictor, augmented, dataset, label_space, test)
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAblation — pooling:", {k: round(v, 3) for k, v in scores.items()})
+    assert all(0.0 <= v <= 1.0 for v in scores.values())
+
+
+def test_ablation_augmentation(benchmark):
+    """Training with vs without flag-sequence augmentation."""
+    encoder, augmented, label_space, dataset, train, test = _prepare(num_sequences=4)
+
+    def run():
+        scores = {}
+        for use_augmentation in (False, True):
+            if use_augmentation:
+                samples = [s for s in augmented.samples if s.region_name in set(train)]
+            else:
+                samples = [
+                    s
+                    for s in augmented.samples
+                    if s.region_name in set(train) and s.sequence_name == "default-O2"
+                ]
+            predictor = StaticConfigurationPredictor(
+                num_labels=label_space.num_labels,
+                encoder=encoder,
+                config=StaticModelConfig(hidden_dim=24, graph_vector_dim=24, num_rgcn_layers=1, epochs=6),
+            )
+            predictor.fit(samples)
+            key = "augmented" if use_augmentation else "default-only"
+            scores[key] = _accuracy(predictor, augmented, dataset, label_space, test)
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAblation — augmentation:", {k: round(v, 3) for k, v in scores.items()})
+    assert set(scores) == {"augmented", "default-only"}

@@ -1,0 +1,17 @@
+"""Figure 10 — speedup losses when reusing size-2 configurations on size-1."""
+
+from repro.core import format_table
+from repro.experiments import fig10_input_size_losses
+
+
+def test_fig10_input_size_losses(benchmark, pipeline):
+    rows = benchmark.pedantic(
+        fig10_input_size_losses, args=(pipeline.regions,), kwargs={"max_regions": 20}, rounds=1, iterations=1
+    )
+    print("\nFigure 10 (Skylake Gold): speedup losses with size-1 inputs")
+    print(format_table(rows))
+    losses = [row["loss"] for row in rows]
+    # Paper shape: average loss is small (~0.05x) but region dependent.
+    average_loss = sum(losses) / len(losses)
+    assert 0.0 <= average_loss < 0.5
+    assert max(losses) >= average_loss

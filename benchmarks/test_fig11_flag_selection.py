@@ -1,0 +1,19 @@
+"""Figure 11 — flag-sequence selection strategies."""
+
+from repro.experiments import fig11_flag_selection_strategies
+
+
+def test_fig11_flag_selection(benchmark, pipeline, skylake_evaluation, sandy_bridge_evaluation):
+    def run():
+        return {
+            "skylake": fig11_flag_selection_strategies(pipeline, skylake_evaluation),
+            "sandy-bridge": fig11_flag_selection_strategies(pipeline, sandy_bridge_evaluation),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nFigure 11: average speedup per flag-selection strategy")
+    for machine, strategies in results.items():
+        print(f"  {machine}: " + ", ".join(f"{k}={v:.3f}x" for k, v in strategies.items()))
+        # Paper shape: oracle >= predicted/overall >= explored (within tolerance).
+        assert strategies["oracle_flag_seq"] + 1e-9 >= strategies["explored_flag_seq"]
+        assert strategies["oracle_flag_seq"] + 1e-9 >= strategies["predicted_flag_seq"] - 0.05

@@ -1,0 +1,20 @@
+"""Figure 3 — per-region prediction errors of the static vs dynamic models."""
+
+from repro.core import format_table
+from repro.experiments import fig3_region_errors
+
+
+def test_fig3_region_errors_skylake(benchmark, skylake_evaluation):
+    rows = benchmark.pedantic(fig3_region_errors, args=(skylake_evaluation,), rounds=1, iterations=1)
+    assert len(rows) == len(skylake_evaluation.summary.outcomes)
+    print("\nFigure 3 (Skylake): per-region error, static vs dynamic (worst 15)")
+    print(format_table(rows[:15]))
+
+
+def test_fig3_region_errors_sandy_bridge(benchmark, sandy_bridge_evaluation):
+    rows = benchmark.pedantic(fig3_region_errors, args=(sandy_bridge_evaluation,), rounds=1, iterations=1)
+    half_perfect = sum(1 for r in rows if r["static_error"] < 0.05) / len(rows)
+    print("\nFigure 3 (Sandy Bridge): fraction of regions statically optimized (<5% error):", round(half_perfect, 2))
+    print(format_table(rows[:15]))
+    # Paper shape: a substantial fraction of regions is perfectly optimized statically.
+    assert half_perfect > 0.3

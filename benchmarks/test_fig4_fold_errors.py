@@ -1,0 +1,20 @@
+"""Figure 4 — average prediction error per cross-validation fold."""
+
+from repro.experiments import fig4_fold_errors
+
+
+def test_fig4_fold_errors(benchmark, skylake_evaluation, sandy_bridge_evaluation):
+    def run():
+        return {
+            "skylake": fig4_fold_errors(skylake_evaluation),
+            "sandy-bridge": fig4_fold_errors(sandy_bridge_evaluation),
+        }
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    for machine, data in series.items():
+        print(f"\nFigure 4 ({machine}): per-fold mean error")
+        for model, folds in data.items():
+            print(f"  {model:8s}", {k: round(v, 3) for k, v in folds.items()})
+        # errors spread across folds rather than concentrating in one
+        static = list(data["static"].values())
+        assert max(static) <= 1.0 and min(static) >= 0.0

@@ -1,0 +1,19 @@
+"""Figure 5 — average speedup achieved per flag sequence."""
+
+from repro.experiments import fig5_flag_sequence_speedups
+
+
+def test_fig5_flag_sequence_speedups(benchmark, pipeline, skylake_evaluation):
+    speedups = benchmark.pedantic(
+        fig5_flag_sequence_speedups, args=(pipeline, skylake_evaluation), rounds=1, iterations=1
+    )
+    explored = speedups.pop("__explored__")
+    print("\nFigure 5 (Skylake): speedup per flag sequence")
+    for name, value in sorted(speedups.items(), key=lambda kv: kv[1], reverse=True):
+        print(f"  {name:12s} {value:.3f}x")
+    print(f"  explored flag seq -> {explored:.3f}x")
+    best = max(speedups.values())
+    worst = min(speedups.values())
+    # Paper shape: the choice of flag sequence matters (spread between best and worst).
+    assert best >= worst
+    assert explored >= worst

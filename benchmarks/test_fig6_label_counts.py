@@ -1,0 +1,18 @@
+"""Figure 6 — performance gains and error rate versus the number of labels."""
+
+from repro.core import format_table
+from repro.experiments import fig6_label_count_study
+
+
+def test_fig6_label_count_study(benchmark, pipeline):
+    rows = benchmark.pedantic(
+        fig6_label_count_study, args=(pipeline, "skylake"), kwargs={"label_counts": (2, 6, 13)},
+        rounds=1, iterations=1,
+    )
+    print("\nFigure 6 (Skylake): gains and error vs number of labels")
+    print(format_table([{k: round(v, 3) for k, v in row.items()} for row in rows]))
+    by_labels = {int(r["labels"]): r for r in rows}
+    # Paper shape: fewer labels -> lower potential gains (full exploration column).
+    assert by_labels[2]["full_exploration"] <= by_labels[13]["full_exploration"] + 1e-9
+    # Paper shape: fewer labels -> easier prediction problem (higher accuracy).
+    assert by_labels[2]["accuracy"] >= by_labels[13]["accuracy"] - 0.05

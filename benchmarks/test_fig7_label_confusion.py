@@ -1,0 +1,21 @@
+"""Figure 7 — per-label oracle/predicted/correct counts (6 labels, Skylake)."""
+
+from repro.experiments import fig7_label_counts
+
+
+def test_fig7_label_counts(benchmark, pipeline):
+    evaluation = pipeline.evaluate("skylake", num_labels=6)
+    counts = benchmark.pedantic(fig7_label_counts, args=(evaluation,), rounds=1, iterations=1)
+    print("\nFigure 7 (Skylake, 6 labels): predictions per label")
+    print("  label    oracle predicted correct")
+    for label in range(len(counts["oracle"])):
+        print(
+            f"  {label:5d}    {counts['oracle'][label]:6d} {counts['predicted'][label]:9d} "
+            f"{counts['correct'][label]:7d}"
+        )
+    assert sum(counts["correct"]) <= sum(counts["oracle"])
+    # Paper shape: predictions concentrate on the labels that actually occur often.
+    import numpy as np
+    oracle = np.asarray(counts["oracle"])
+    predicted = np.asarray(counts["predicted"])
+    assert predicted[oracle.argmax()] > 0

@@ -1,0 +1,18 @@
+"""Figure 9 — hybrid model vs dynamic model vs full exploration, per region."""
+
+from repro.core import format_table
+from repro.experiments import fig9_hybrid_per_region, headline_claims
+
+
+def test_fig9_hybrid(benchmark, skylake_evaluation):
+    rows = benchmark.pedantic(fig9_hybrid_per_region, args=(skylake_evaluation,), rounds=1, iterations=1)
+    claims = headline_claims(skylake_evaluation)
+    print("\nFigure 9 (Skylake): hybrid vs dynamic vs full exploration (top 15 regions)")
+    print(format_table(rows[:15]))
+    print("  profiled fraction:", round(claims["profiled_fraction"], 2))
+    print("  hybrid speedup:", round(claims["hybrid_speedup"], 3),
+          " dynamic speedup:", round(claims["dynamic_speedup"], 3))
+    # Paper shape: the hybrid model profiles only a minority of regions...
+    assert claims["profiled_fraction"] < 0.6
+    # ...while keeping most of the dynamic model's gains.
+    assert claims["hybrid_speedup"] >= claims["static_speedup"] - 0.05

@@ -1,0 +1,17 @@
+"""Headline claims: static ~80% of dynamic gains; hybrid ~ dynamic at ~30% profiling cost."""
+
+from repro.experiments import headline_claims
+
+
+def test_headline_claims(benchmark, skylake_evaluation):
+    claims = benchmark.pedantic(headline_claims, args=(skylake_evaluation,), rounds=1, iterations=1)
+    print("\nHeadline claims (Skylake):")
+    for key, value in claims.items():
+        print(f"  {key:36s} {value:.3f}")
+    # Shape checks (not absolute numbers): the static model captures a clear
+    # majority of the gains the dynamic model achieves, and the hybrid model
+    # is at least as good as the static one while profiling a minority of regions.
+    assert claims["dynamic_speedup"] > 1.0
+    assert claims["static_fraction_of_dynamic_gains"] > 0.4
+    assert claims["hybrid_speedup"] >= claims["static_speedup"] - 0.05
+    assert claims["profiled_fraction"] <= 0.6

@@ -1,0 +1,44 @@
+"""Run the full pipeline on a reduced configuration, then show the paper's two
+advanced use cases: the hybrid static/dynamic model (Figure 9) and the
+cross-architecture transfer of a trained model (Figure 8).
+
+Run with:  python examples/hybrid_and_cross_architecture.py
+"""
+
+from repro.core import HybridModelConfig, PipelineConfig, ReproPipeline, StaticModelConfig
+from repro.experiments import fig8_cross_architecture, fig9_hybrid_per_region, headline_claims
+
+
+def main() -> None:
+    config = PipelineConfig(
+        machines=("skylake", "sandy-bridge"),
+        region_limit=30,
+        num_flag_sequences=4,
+        num_labels=8,
+        folds=4,
+        static_model=StaticModelConfig(hidden_dim=32, graph_vector_dim=32, epochs=10),
+        hybrid=HybridModelConfig(use_ga_selection=False),
+    )
+    pipeline = ReproPipeline(config).build()
+
+    skylake_eval = pipeline.evaluate("skylake")
+    sandy_eval = pipeline.evaluate("sandy-bridge")
+
+    print("=== Hybrid model (Skylake) ===")
+    claims = headline_claims(skylake_eval)
+    for key, value in claims.items():
+        print(f"  {key:36s} {value:.3f}")
+    print("\n  regions profiled by the hybrid model:")
+    for row in fig9_hybrid_per_region(skylake_eval):
+        if row["profiled"]:
+            print(f"    {row['region']:28s} hybrid {row['hybrid_speedup']}x dynamic {row['dynamic_speedup']}x")
+
+    print("\n=== Cross-architecture transfer ===")
+    cross = fig8_cross_architecture(pipeline, sandy_eval, skylake_eval)
+    print("  train on Sandy Bridge, apply to Skylake:")
+    for key, value in cross.items():
+        print(f"    {key:16s} {value:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — reproduction of "Learning Intermediate Representations using
+Graph Neural Networks for NUMA and Prefetchers Optimization" (IPDPS 2022).
+
+The package is organised as a set of substrates plus the paper's pipeline:
+
+- :mod:`repro.ir` — mini LLVM-like SSA intermediate representation.
+- :mod:`repro.passes` — compiler transformations and flag-sequence sampling.
+- :mod:`repro.graphs` — ProGraML-style program graphs.
+- :mod:`repro.gnn` — NumPy graph neural network (RGCN) stack.
+- :mod:`repro.ml` — decision trees, genetic feature selection, cross validation.
+- :mod:`repro.numasim` — NUMA + hardware-prefetcher machine simulator.
+- :mod:`repro.workloads` — synthetic OpenMP-region benchmark suite.
+- :mod:`repro.core` — dataset construction, static/dynamic/hybrid models,
+  flag selection, cross-architecture evaluation.
+- :mod:`repro.experiments` — drivers regenerating every figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ir",
+    "passes",
+    "graphs",
+    "gnn",
+    "ml",
+    "numasim",
+    "workloads",
+    "core",
+    "experiments",
+]

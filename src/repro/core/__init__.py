@@ -1,0 +1,78 @@
+"""The paper's pipeline: dataset construction, models, evaluation."""
+
+from .augmentation import AugmentedDataset, AugmentedSample, Augmenter
+from .cross_arch import (
+    CrossArchitectureOutcome,
+    native_speedups,
+    summarize_cross_architecture,
+    translated_speedups,
+)
+from .dynamic_model import DynamicConfigurationPredictor, DynamicModelConfig
+from .evaluation import EvaluationSummary, RegionOutcome, evaluate_label_choice, format_table
+from .flag_selection import (
+    FlagSequencePredictor,
+    FlagSelectionResult,
+    oracle_sequence_speedup,
+    per_region_sequence_speedups,
+    select_explored_sequence,
+    select_overall_sequence,
+    select_sequence_shortlist,
+    sequence_speedup,
+)
+from .hybrid_model import (
+    HybridModelConfig,
+    HybridStaticDynamicClassifier,
+    combine_predictions,
+)
+from .labeling import (
+    LabelSpace,
+    MachineDataset,
+    RegionTiming,
+    label_space_quality,
+    select_label_space,
+)
+from .pipeline import (
+    FoldArtifacts,
+    MachineEvaluation,
+    PipelineConfig,
+    ReproPipeline,
+)
+from .static_model import StaticConfigurationPredictor, StaticModelConfig
+
+__all__ = [
+    "AugmentedDataset",
+    "AugmentedSample",
+    "Augmenter",
+    "CrossArchitectureOutcome",
+    "native_speedups",
+    "summarize_cross_architecture",
+    "translated_speedups",
+    "DynamicConfigurationPredictor",
+    "DynamicModelConfig",
+    "EvaluationSummary",
+    "RegionOutcome",
+    "evaluate_label_choice",
+    "format_table",
+    "FlagSequencePredictor",
+    "FlagSelectionResult",
+    "oracle_sequence_speedup",
+    "per_region_sequence_speedups",
+    "select_explored_sequence",
+    "select_overall_sequence",
+    "select_sequence_shortlist",
+    "sequence_speedup",
+    "HybridModelConfig",
+    "HybridStaticDynamicClassifier",
+    "combine_predictions",
+    "LabelSpace",
+    "MachineDataset",
+    "RegionTiming",
+    "label_space_quality",
+    "select_label_space",
+    "FoldArtifacts",
+    "MachineEvaluation",
+    "PipelineConfig",
+    "ReproPipeline",
+    "StaticConfigurationPredictor",
+    "StaticModelConfig",
+]

@@ -1,0 +1,131 @@
+"""Dataset augmentation by compiler flag sequences (step A + B of the paper).
+
+Each region's module is compiled under many sampled flag sequences; every
+resulting IR variant is extracted (the OpenMP outlined function plus its
+callees), turned into a ProGraML-style graph, encoded and tagged with the
+region's configuration label.  All variants of a region share the region's
+label and stay in the region's cross-validation fold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..graphs.builder import GraphBuilder
+from ..graphs.features import EncodedGraph, GraphEncoder
+from ..ir.module import Module, extract_region
+from ..passes.flag_sampler import FlagSequence, sample_flag_sequences
+from ..passes.pass_manager import apply_flag_sequence
+from ..passes.pipelines import default_compilation_sequence
+from ..workloads.suite import Region
+
+
+@dataclass
+class AugmentedSample:
+    """One (region, flag sequence) IR variant with its encoded graph."""
+
+    region_name: str
+    family: str
+    sequence_name: str
+    sequence: List[str]
+    graph: EncodedGraph
+    label: Optional[int] = None
+
+
+@dataclass
+class AugmentedDataset:
+    """All augmented samples plus the deployment (default-O2) variants."""
+
+    samples: List[AugmentedSample] = field(default_factory=list)
+    sequences: List[FlagSequence] = field(default_factory=list)
+
+    def samples_for_region(self, region_name: str) -> List[AugmentedSample]:
+        return [s for s in self.samples if s.region_name == region_name]
+
+    def samples_for_sequence(self, sequence_name: str) -> List[AugmentedSample]:
+        return [s for s in self.samples if s.sequence_name == sequence_name]
+
+    def region_names(self) -> List[str]:
+        seen: List[str] = []
+        for sample in self.samples:
+            if sample.region_name not in seen:
+                seen.append(sample.region_name)
+        return seen
+
+    def assign_labels(self, labels: Dict[str, int]) -> None:
+        for sample in self.samples:
+            label = labels.get(sample.region_name)
+            sample.label = label
+            sample.graph.label = label
+
+    def encoded_graphs(self) -> List[EncodedGraph]:
+        return [s.graph for s in self.samples]
+
+    def groups(self) -> List[str]:
+        """Group key (region name) per sample — used for grouped k-fold CV."""
+        return [s.region_name for s in self.samples]
+
+
+class Augmenter:
+    """Builds :class:`AugmentedDataset` objects from a region suite."""
+
+    def __init__(
+        self,
+        num_sequences: int = 32,
+        seed: int = 0,
+        encoder: Optional[GraphEncoder] = None,
+        include_default_sequence: bool = True,
+        verify_each: bool = False,
+    ):
+        self.num_sequences = num_sequences
+        self.seed = seed
+        self.encoder = encoder or GraphEncoder()
+        self.builder = GraphBuilder()
+        self.include_default_sequence = include_default_sequence
+        self.verify_each = verify_each
+
+    # ------------------------------------------------------------------ API
+    def augment(self, regions: Sequence[Region]) -> AugmentedDataset:
+        """Compile every region under every sampled flag sequence."""
+        sequences = sample_flag_sequences(self.num_sequences, seed=self.seed)
+        dataset = AugmentedDataset(sequences=list(sequences))
+        for region in regions:
+            base = region.module
+            variants: List[tuple] = []
+            if self.include_default_sequence:
+                variants.append(("default-O2", default_compilation_sequence()))
+            for sequence in sequences:
+                variants.append((sequence.name, list(sequence)))
+            for sequence_name, passes in variants:
+                sample = self._build_sample(region, base, sequence_name, passes)
+                dataset.samples.append(sample)
+        return dataset
+
+    def encode_region_with_sequence(
+        self, region: Region, passes: Sequence[str], sequence_name: str = "custom"
+    ) -> AugmentedSample:
+        """Compile one region under one sequence (deployment-time path)."""
+        return self._build_sample(region, region.module, sequence_name, list(passes))
+
+    # ------------------------------------------------------------- internals
+    def _build_sample(
+        self, region: Region, base: Module, sequence_name: str, passes: List[str]
+    ) -> AugmentedSample:
+        transformed = apply_flag_sequence(base, passes, verify_each=self.verify_each, clone=True)
+        extracted = extract_region(transformed, region.function_name)
+        graph = self.builder.build_module(
+            extracted, name=f"{region.name}@{sequence_name}"
+        )
+        graph.metadata["region"] = region.name
+        graph.metadata["family"] = region.family
+        graph.metadata["sequence"] = sequence_name
+        encoded = self.encoder.encode(graph)
+        encoded.metadata = dict(graph.metadata)
+        return AugmentedSample(
+            region_name=region.name,
+            family=region.family,
+            sequence_name=sequence_name,
+            sequence=list(passes),
+            graph=encoded,
+        )

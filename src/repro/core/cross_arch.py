@@ -1,0 +1,111 @@
+"""Cross-architecture prediction (Section IV-D, Figure 8).
+
+A model trained on one micro-architecture is applied to another by
+translating each predicted configuration: prefetcher settings and mapping
+policies transfer unchanged, thread/node counts are rescaled to the target
+machine.  The translated configuration is then timed on the target machine's
+dataset to compute the achieved speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..numasim.configuration import Configuration, translate_configuration
+from ..numasim.topology import MachineTopology
+from .labeling import LabelSpace, MachineDataset
+
+
+@dataclass
+class CrossArchitectureOutcome:
+    """Average speedups of native vs cross prediction on one target machine."""
+
+    target_machine: str
+    source_machine: str
+    native_static: float
+    cross_static: float
+    native_dynamic: float
+    cross_dynamic: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "native_static": self.native_static,
+            "cross_static": self.cross_static,
+            "native_dynamic": self.native_dynamic,
+            "cross_dynamic": self.cross_dynamic,
+        }
+
+
+def _time_of_configuration(
+    machine_data: MachineDataset, region: str, configuration: Configuration
+) -> float:
+    """Time of ``configuration`` on the target machine, simulating on demand
+    when the translated point is not part of the pre-computed space."""
+    timing = machine_data.timing(region)
+    if configuration in timing.times:
+        return timing.times[configuration]
+    region_obj = next(r for r in machine_data.regions if r.name == region)
+    profile = (
+        region_obj.profile
+        if machine_data.input_size is None
+        else region_obj.profile_at(machine_data.input_size)
+    )
+    result = machine_data.simulator.simulate(profile, configuration)
+    timing.times[configuration] = result.time_seconds
+    return result.time_seconds
+
+
+def translated_speedups(
+    predictions: Dict[str, int],
+    source_label_space: LabelSpace,
+    source_machine: MachineTopology,
+    target_machine: MachineTopology,
+    target_data: MachineDataset,
+) -> Dict[str, float]:
+    """Per-region speedup on the target machine when applying the source
+    machine's predicted configurations after translation."""
+    speedups: Dict[str, float] = {}
+    for region, label in predictions.items():
+        source_config = source_label_space.configuration_of(label)
+        translated = translate_configuration(source_config, source_machine, target_machine)
+        time = _time_of_configuration(target_data, region, translated)
+        default_time = target_data.timing(region).default_time
+        speedups[region] = default_time / time if time > 0 else 0.0
+    return speedups
+
+
+def native_speedups(
+    predictions: Dict[str, int],
+    label_space: LabelSpace,
+    machine_data: MachineDataset,
+) -> Dict[str, float]:
+    """Per-region speedup of natively predicted configurations."""
+    speedups: Dict[str, float] = {}
+    for region, label in predictions.items():
+        configuration = label_space.configuration_of(label)
+        speedups[region] = machine_data.timing(region).speedup_of(configuration)
+    return speedups
+
+
+def summarize_cross_architecture(
+    target_machine: str,
+    source_machine: str,
+    native_static: Dict[str, float],
+    cross_static: Dict[str, float],
+    native_dynamic: Dict[str, float],
+    cross_dynamic: Dict[str, float],
+) -> CrossArchitectureOutcome:
+    def mean(values: Dict[str, float]) -> float:
+        return float(np.mean(list(values.values()))) if values else 0.0
+
+    return CrossArchitectureOutcome(
+        target_machine=target_machine,
+        source_machine=source_machine,
+        native_static=mean(native_static),
+        cross_static=mean(cross_static),
+        native_dynamic=mean(native_dynamic),
+        cross_dynamic=mean(cross_dynamic),
+    )

@@ -1,0 +1,161 @@
+"""Evaluation metrics and result containers shared by the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .labeling import LabelSpace, MachineDataset
+
+
+@dataclass
+class RegionOutcome:
+    """Everything measured for one region in one evaluation."""
+
+    region: str
+    family: str
+    fold: int
+    true_label: int
+    static_label: Optional[int] = None
+    dynamic_label: Optional[int] = None
+    hybrid_label: Optional[int] = None
+    profiled_by_hybrid: bool = False
+    static_error: float = 0.0
+    dynamic_error: float = 0.0
+    hybrid_error: float = 0.0
+    static_speedup: float = 1.0
+    dynamic_speedup: float = 1.0
+    hybrid_speedup: float = 1.0
+    full_exploration_speedup: float = 1.0
+    label_space_speedup: float = 1.0
+
+
+@dataclass
+class EvaluationSummary:
+    """Aggregated outcomes across all folds of one machine."""
+
+    machine: str
+    num_labels: int
+    outcomes: List[RegionOutcome] = field(default_factory=list)
+
+    # ------------------------------------------------------------ aggregates
+    def _mean(self, attribute: str) -> float:
+        values = [getattr(o, attribute) for o in self.outcomes]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def static_speedup(self) -> float:
+        return self._mean("static_speedup")
+
+    @property
+    def dynamic_speedup(self) -> float:
+        return self._mean("dynamic_speedup")
+
+    @property
+    def hybrid_speedup(self) -> float:
+        return self._mean("hybrid_speedup")
+
+    @property
+    def full_exploration_speedup(self) -> float:
+        return self._mean("full_exploration_speedup")
+
+    @property
+    def label_space_speedup(self) -> float:
+        return self._mean("label_space_speedup")
+
+    @property
+    def static_error(self) -> float:
+        return self._mean("static_error")
+
+    @property
+    def dynamic_error(self) -> float:
+        return self._mean("dynamic_error")
+
+    @property
+    def hybrid_error(self) -> float:
+        return self._mean("hybrid_error")
+
+    @property
+    def static_accuracy(self) -> float:
+        values = [o.static_label == o.true_label for o in self.outcomes if o.static_label is not None]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def profiled_fraction(self) -> float:
+        values = [o.profiled_by_hybrid for o in self.outcomes]
+        return float(np.mean(values)) if values else 0.0
+
+    def gains_ratio_static_vs_dynamic(self) -> float:
+        """Fraction of the dynamic model's gains achieved statically.
+
+        Gains are measured as speedup over 1.0 (the default), so the paper's
+        "80% of the performance gains provided by dynamic strategies"
+        corresponds to a value around 0.8.
+        """
+        dynamic_gain = self.dynamic_speedup - 1.0
+        static_gain = self.static_speedup - 1.0
+        if dynamic_gain <= 0:
+            return 1.0
+        return float(static_gain / dynamic_gain)
+
+    def per_fold_errors(self, which: str = "static") -> Dict[int, float]:
+        folds: Dict[int, List[float]] = {}
+        for outcome in self.outcomes:
+            folds.setdefault(outcome.fold, []).append(getattr(outcome, f"{which}_error"))
+        return {fold: float(np.mean(vals)) for fold, vals in sorted(folds.items())}
+
+    def per_region(self, which: str = "static") -> Dict[str, float]:
+        return {o.region: getattr(o, f"{which}_error") for o in self.outcomes}
+
+    def sorted_by_static_error(self) -> List[RegionOutcome]:
+        return sorted(self.outcomes, key=lambda o: o.static_error, reverse=True)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Flat row dicts for table printing."""
+        rows = []
+        for o in self.outcomes:
+            rows.append(
+                {
+                    "region": o.region,
+                    "family": o.family,
+                    "fold": o.fold,
+                    "static_error": round(o.static_error, 4),
+                    "dynamic_error": round(o.dynamic_error, 4),
+                    "static_speedup": round(o.static_speedup, 3),
+                    "dynamic_speedup": round(o.dynamic_speedup, 3),
+                    "hybrid_speedup": round(o.hybrid_speedup, 3),
+                    "profiled": o.profiled_by_hybrid,
+                }
+            )
+        return rows
+
+
+def evaluate_label_choice(
+    machine_data: MachineDataset,
+    label_space: LabelSpace,
+    region: str,
+    label: int,
+) -> Dict[str, float]:
+    """Error and speedup of choosing ``label`` for ``region``."""
+    timing = machine_data.timing(region)
+    configuration = label_space.configuration_of(label)
+    return {
+        "error": timing.error_of(configuration, label_space.configurations),
+        "speedup": timing.speedup_of(configuration),
+    }
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Small fixed-width table formatter used by the benchmark harness."""
+    if not rows:
+        return "(empty)"
+    columns = list(columns or rows[0].keys())
+    widths = {c: max(len(str(c)), max(len(str(r.get(c, ""))) for r in rows)) for c in columns}
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    separator = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""Flag-sequence selection strategies (step E of the paper, Figures 5 & 11).
+
+Four strategies are compared:
+
+* **explored flag seq** — after training, re-evaluate every sampled sequence
+  on the *training* regions and keep the one with the best average predicted
+  speedup; all unseen programs are characterised with that single sequence.
+* **overall flag seq** — the single sequence that is best on average across
+  *all* regions (training and validation); an upper bound for single-sequence
+  strategies, used as a diagnostic in the paper.
+* **oracle flag seq** — the best sequence per region (theoretical limit).
+* **predicted flag seq** — a decision tree over the GNN vectors (computed
+  from one fixed sequence) predicts which sequence from a small shortlist to
+  use for each new program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ml.decision_tree import DecisionTreeClassifier
+from ..ml.feature_selection import ReducedTreeClassifier, select_features_ga
+from ..ml.genetic import GAConfig
+from .augmentation import AugmentedDataset
+from .labeling import LabelSpace, MachineDataset
+from .static_model import StaticConfigurationPredictor
+
+
+def sequence_speedup(
+    predictor: StaticConfigurationPredictor,
+    dataset: AugmentedDataset,
+    machine_data: MachineDataset,
+    label_space: LabelSpace,
+    sequence_name: str,
+    region_names: Sequence[str],
+) -> float:
+    """Average speedup over the default when characterising ``region_names``
+    with ``sequence_name`` and applying the predicted configurations."""
+    predictions = predictor.predict_region_labels(dataset, sequence_name, region_names)
+    if not predictions:
+        return 0.0
+    speedups: List[float] = []
+    for name, label in predictions.items():
+        configuration = label_space.configuration_of(label)
+        speedups.append(machine_data.timing(name).speedup_of(configuration))
+    return float(np.mean(speedups))
+
+
+def per_region_sequence_speedups(
+    predictor: StaticConfigurationPredictor,
+    dataset: AugmentedDataset,
+    machine_data: MachineDataset,
+    label_space: LabelSpace,
+    sequence_names: Sequence[str],
+    region_names: Sequence[str],
+) -> Dict[str, Dict[str, float]]:
+    """sequence -> region -> speedup matrix."""
+    table: Dict[str, Dict[str, float]] = {}
+    for sequence_name in sequence_names:
+        predictions = predictor.predict_region_labels(dataset, sequence_name, region_names)
+        row: Dict[str, float] = {}
+        for name, label in predictions.items():
+            configuration = label_space.configuration_of(label)
+            row[name] = machine_data.timing(name).speedup_of(configuration)
+        table[sequence_name] = row
+    return table
+
+
+@dataclass
+class FlagSelectionResult:
+    """Outcome of the four selection strategies over one fold."""
+
+    explored_sequence: str
+    overall_sequence: str
+    explored_speedup: float
+    overall_speedup: float
+    oracle_speedup: float
+    predicted_speedup: Optional[float] = None
+    per_sequence_training_speedup: Dict[str, float] = None  # type: ignore[assignment]
+
+
+def select_explored_sequence(
+    predictor: StaticConfigurationPredictor,
+    dataset: AugmentedDataset,
+    machine_data: MachineDataset,
+    label_space: LabelSpace,
+    sequence_names: Sequence[str],
+    training_regions: Sequence[str],
+) -> Tuple[str, Dict[str, float]]:
+    """The "explored flag seq": best average speedup on the training regions."""
+    scores: Dict[str, float] = {}
+    for sequence_name in sequence_names:
+        scores[sequence_name] = sequence_speedup(
+            predictor, dataset, machine_data, label_space, sequence_name, training_regions
+        )
+    best = max(scores, key=scores.get)
+    return best, scores
+
+
+def select_overall_sequence(
+    predictor: StaticConfigurationPredictor,
+    dataset: AugmentedDataset,
+    machine_data: MachineDataset,
+    label_space: LabelSpace,
+    sequence_names: Sequence[str],
+    all_regions: Sequence[str],
+) -> str:
+    """The "overall flag seq": best average across every region."""
+    best_name, best_score = None, -1.0
+    for sequence_name in sequence_names:
+        score = sequence_speedup(
+            predictor, dataset, machine_data, label_space, sequence_name, all_regions
+        )
+        if score > best_score:
+            best_name, best_score = sequence_name, score
+    return best_name or (sequence_names[0] if sequence_names else "default-O2")
+
+
+def oracle_sequence_speedup(
+    table: Dict[str, Dict[str, float]], region_names: Sequence[str]
+) -> float:
+    """Average speedup when each region uses its individually best sequence."""
+    speedups: List[float] = []
+    for name in region_names:
+        best = max(
+            (row.get(name, 0.0) for row in table.values()),
+            default=0.0,
+        )
+        speedups.append(best)
+    return float(np.mean(speedups)) if speedups else 0.0
+
+
+def select_sequence_shortlist(
+    table: Dict[str, Dict[str, float]],
+    region_names: Sequence[str],
+    target_fraction: float = 0.99,
+    max_sequences: int = 4,
+) -> List[str]:
+    """Greedy shortlist of sequences reaching ``target_fraction`` of the
+    oracle gains (the paper needs 2 on Skylake and 4 on Sandy Bridge)."""
+    oracle = oracle_sequence_speedup(table, region_names)
+    chosen: List[str] = []
+    current = {name: 0.0 for name in region_names}
+    while len(chosen) < max_sequences:
+        best_candidate, best_value = None, -1.0
+        for sequence_name, row in table.items():
+            if sequence_name in chosen:
+                continue
+            value = float(
+                np.mean([max(current[n], row.get(n, 0.0)) for n in region_names])
+            )
+            if value > best_value:
+                best_candidate, best_value = sequence_name, value
+        if best_candidate is None:
+            break
+        chosen.append(best_candidate)
+        current = {
+            n: max(current[n], table[best_candidate].get(n, 0.0)) for n in region_names
+        }
+        if oracle > 0 and best_value >= target_fraction * oracle:
+            break
+    return chosen
+
+
+class FlagSequencePredictor:
+    """Decision tree predicting which shortlisted sequence to use per region."""
+
+    def __init__(
+        self,
+        shortlist: Sequence[str],
+        use_ga_selection: bool = True,
+        subset_size: int = 10,
+        seed: int = 0,
+    ):
+        self.shortlist = list(shortlist)
+        self.use_ga_selection = use_ga_selection
+        self.subset_size = subset_size
+        self.seed = seed
+        self._classifier = None
+
+    def fit(self, graph_vectors: np.ndarray, best_sequence_indices: np.ndarray):
+        vectors = np.asarray(graph_vectors, dtype=np.float64)
+        labels = np.asarray(best_sequence_indices, dtype=np.int64)
+        if self.use_ga_selection and vectors.shape[1] > self.subset_size and len(np.unique(labels)) > 1:
+            result = select_features_ga(
+                vectors,
+                labels,
+                subset_size=self.subset_size,
+                ga_config=GAConfig(population_size=40, generations=6, seed=self.seed),
+                seed=self.seed,
+            )
+            classifier = ReducedTreeClassifier(result.selected, random_state=self.seed)
+        else:
+            classifier = DecisionTreeClassifier(random_state=self.seed)
+        classifier.fit(vectors, labels)
+        self._classifier = classifier
+        return self
+
+    def predict(self, graph_vectors: np.ndarray) -> List[str]:
+        if self._classifier is None:
+            raise RuntimeError("predict called before fit")
+        indices = self._classifier.predict(np.asarray(graph_vectors, dtype=np.float64))
+        return [self.shortlist[int(i) % len(self.shortlist)] for i in indices]

@@ -1,0 +1,123 @@
+"""The hybrid static/dynamic model (Figure 2b of the paper).
+
+After the static model is trained, its per-region prediction error on the
+training regions labels a second classifier: "is static information enough
+for this region?".  That classifier is a decision tree over the GNN's
+normalised graph vectors, optionally restricted to a GA-selected subset of
+dimensions (the paper uses 10 out of 256).  At deployment, regions the tree
+flags as static-insufficient are profiled and handed to the dynamic model;
+all others keep the static prediction — the paper reports the same gains as
+the dynamic model while profiling only ~30% of regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ml.decision_tree import DecisionTreeClassifier
+from ..ml.feature_selection import ReducedTreeClassifier, select_features_ga
+from ..ml.genetic import GAConfig
+
+
+@dataclass
+class HybridModelConfig:
+    """Knobs of the hybrid classifier."""
+
+    error_threshold: float = 0.2     # paper: 20% relative error
+    #: if fewer than this fraction of training regions exceed the threshold,
+    #: fall back to labelling the worst ``fallback_fraction`` of regions as
+    #: "needs dynamic" so the classifier still has both classes to learn.
+    #: (The paper's static model is evaluated on its training programs, where
+    #: errors are optimistically low; without this guard the tree degenerates
+    #: to "never profile".)
+    min_positive_fraction: float = 0.1
+    fallback_fraction: float = 0.3
+    use_ga_selection: bool = True
+    ga_subset_size: int = 10
+    ga_population: int = 40
+    ga_generations: int = 6
+    seed: int = 0
+
+
+class HybridStaticDynamicClassifier:
+    """Predicts, per region, whether the static prediction is good enough."""
+
+    def __init__(self, config: Optional[HybridModelConfig] = None):
+        self.config = config or HybridModelConfig()
+        self._classifier = None
+        self._selected: Optional[Tuple[int, ...]] = None
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, graph_vectors: np.ndarray, static_errors: np.ndarray) -> "HybridStaticDynamicClassifier":
+        """``static_errors`` holds the static model's relative error per
+        training region; regions above the threshold become the "needs
+        dynamic" class."""
+        errors = np.asarray(static_errors, dtype=np.float64)
+        labels = (errors > self.config.error_threshold).astype(np.int64)
+        if labels.size and labels.mean() < self.config.min_positive_fraction:
+            # Too few regions exceed the threshold on the training side: use
+            # the worst ``fallback_fraction`` of regions as the positive class
+            # so the classifier learns which structures are risky.
+            cutoff = np.quantile(errors, 1.0 - self.config.fallback_fraction)
+            cutoff = max(cutoff, 1e-6)
+            labels = (errors >= cutoff).astype(np.int64)
+        vectors = np.asarray(graph_vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[0] != labels.shape[0]:
+            raise ValueError("graph_vectors and static_errors must align")
+        if self.config.use_ga_selection and vectors.shape[1] > self.config.ga_subset_size:
+            result = select_features_ga(
+                vectors,
+                labels,
+                subset_size=self.config.ga_subset_size,
+                ga_config=GAConfig(
+                    population_size=self.config.ga_population,
+                    generations=self.config.ga_generations,
+                    seed=self.config.seed,
+                ),
+                seed=self.config.seed,
+            )
+            self._selected = result.selected
+            classifier = ReducedTreeClassifier(result.selected, random_state=self.config.seed)
+        else:
+            self._selected = None
+            classifier = DecisionTreeClassifier(random_state=self.config.seed)
+        classifier.fit(vectors, labels)
+        self._classifier = classifier
+        return self
+
+    # ------------------------------------------------------------- inference
+    def needs_dynamic(self, graph_vectors: np.ndarray) -> np.ndarray:
+        """Boolean array: True where the region should be profiled."""
+        if self._classifier is None:
+            raise RuntimeError("needs_dynamic called before fit")
+        predictions = self._classifier.predict(np.asarray(graph_vectors, dtype=np.float64))
+        return predictions.astype(bool)
+
+    @property
+    def selected_dimensions(self) -> Optional[Tuple[int, ...]]:
+        return self._selected
+
+    def accuracy(self, graph_vectors: np.ndarray, static_errors: np.ndarray) -> float:
+        labels = (np.asarray(static_errors) > self.config.error_threshold).astype(np.int64)
+        predictions = self.needs_dynamic(graph_vectors).astype(np.int64)
+        if labels.size == 0:
+            return 0.0
+        return float((labels == predictions).mean())
+
+
+def combine_predictions(
+    static_labels: Dict[str, int],
+    dynamic_labels: Dict[str, int],
+    profile_decisions: Dict[str, bool],
+) -> Dict[str, int]:
+    """Final hybrid label per region: dynamic where profiled, static elsewhere."""
+    combined: Dict[str, int] = {}
+    for name, static_label in static_labels.items():
+        if profile_decisions.get(name, False) and name in dynamic_labels:
+            combined[name] = dynamic_labels[name]
+        else:
+            combined[name] = static_label
+    return combined

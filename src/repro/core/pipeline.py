@@ -1,0 +1,441 @@
+"""End-to-end reproduction pipeline.
+
+``ReproPipeline`` wires every component together the way Figure 1 of the
+paper describes:
+
+1. build the region suite (IR + profiles),
+2. simulate every region across the NUMA × prefetcher space of each machine
+   and derive the reduced label space (steps C),
+3. augment the dataset with sampled flag sequences and build graphs (A + B),
+4. per cross-validation fold: train the RGCN static model (D), pick the
+   deployment flag sequence (E), train the dynamic baseline and the hybrid
+   classifier, and evaluate everything on the held-out regions.
+
+The experiment drivers in :mod:`repro.experiments` and the benchmark harness
+consume the artifacts this class produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.features import GraphEncoder
+from ..ml.crossval import fold_of_groups
+from ..numasim.engine import EngineConfig
+from ..numasim.machines import machine_by_name
+from ..workloads.suite import Region, build_suite
+from .augmentation import AugmentedDataset, Augmenter
+from .cross_arch import (
+    CrossArchitectureOutcome,
+    native_speedups,
+    summarize_cross_architecture,
+    translated_speedups,
+)
+from .dynamic_model import DynamicConfigurationPredictor, DynamicModelConfig
+from .evaluation import EvaluationSummary, RegionOutcome
+from .flag_selection import (
+    select_explored_sequence,
+    select_overall_sequence,
+    sequence_speedup,
+)
+from .hybrid_model import HybridModelConfig, HybridStaticDynamicClassifier, combine_predictions
+from .labeling import LabelSpace, MachineDataset, select_label_space
+from .static_model import StaticConfigurationPredictor, StaticModelConfig
+
+
+@dataclass
+class PipelineConfig:
+    """Configuration of the end-to-end pipeline.
+
+    The defaults are sized so the full two-machine evaluation finishes in a
+    few minutes on a laptop; the unit tests shrink them further and the
+    benchmark harness can scale them up.
+    """
+
+    machines: Tuple[str, ...] = ("skylake", "sandy-bridge")
+    families: Optional[List[str]] = None
+    region_limit: Optional[int] = None
+    num_flag_sequences: int = 12
+    num_labels: int = 13
+    folds: int = 10
+    seed: int = 0
+    static_model: StaticModelConfig = field(default_factory=StaticModelConfig)
+    hybrid: HybridModelConfig = field(default_factory=HybridModelConfig)
+    dynamic: DynamicModelConfig = field(default_factory=DynamicModelConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+
+
+@dataclass
+class FoldArtifacts:
+    """Everything trained and predicted within one cross-validation fold."""
+
+    fold: int
+    train_regions: List[str]
+    validation_regions: List[str]
+    predictor: StaticConfigurationPredictor
+    explored_sequence: str
+    sequence_scores: Dict[str, float]
+    static_predictions: Dict[str, int]
+    dynamic_predictions: Dict[str, int]
+    hybrid_decisions: Dict[str, bool]
+    hybrid_predictions: Dict[str, int]
+    train_static_errors: Dict[str, float]
+    hybrid_decision_accuracy: float
+
+
+@dataclass
+class MachineEvaluation:
+    """Full evaluation of one machine across all folds."""
+
+    machine_name: str
+    dataset: MachineDataset
+    label_space: LabelSpace
+    labels: Dict[str, int]
+    summary: EvaluationSummary
+    folds: List[FoldArtifacts]
+
+    def fold_for_region(self, region: str) -> Optional[FoldArtifacts]:
+        for fold in self.folds:
+            if region in fold.validation_regions:
+                return fold
+        return None
+
+
+class ReproPipeline:
+    """Builds the dataset once and evaluates models per machine."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None):
+        self.config = config or PipelineConfig()
+        self.encoder = GraphEncoder()
+        self.regions: List[Region] = []
+        self.machine_data: Dict[str, MachineDataset] = {}
+        self.augmented: Optional[AugmentedDataset] = None
+        self._label_spaces: Dict[Tuple[str, int], LabelSpace] = {}
+        self._evaluations: Dict[Tuple[str, int], MachineEvaluation] = {}
+        self._built = False
+
+    # ------------------------------------------------------------------ build
+    def build(self) -> "ReproPipeline":
+        """Build the suite, the per-machine timings and the augmented graphs."""
+        if self._built:
+            return self
+        cfg = self.config
+        self.regions = build_suite(families=cfg.families, limit=cfg.region_limit)
+        for machine_name in cfg.machines:
+            machine = machine_by_name(machine_name)
+            self.machine_data[machine_name] = MachineDataset(
+                machine, self.regions, engine_config=cfg.engine
+            )
+        augmenter = Augmenter(
+            num_sequences=cfg.num_flag_sequences,
+            seed=cfg.seed,
+            encoder=self.encoder,
+        )
+        self.augmented = augmenter.augment(self.regions)
+        self._built = True
+        return self
+
+    # ----------------------------------------------------------------- labels
+    def label_space(self, machine_name: str, num_labels: Optional[int] = None) -> LabelSpace:
+        self.build()
+        count = num_labels or self.config.num_labels
+        key = (machine_name, count)
+        if key not in self._label_spaces:
+            self._label_spaces[key] = select_label_space(
+                self.machine_data[machine_name], num_labels=count
+            )
+        return self._label_spaces[key]
+
+    def sequence_names(self) -> List[str]:
+        self.build()
+        assert self.augmented is not None
+        return ["default-O2"] + [s.name for s in self.augmented.sequences]
+
+    def region_names(self) -> List[str]:
+        self.build()
+        return [region.name for region in self.regions]
+
+    # -------------------------------------------------------------- evaluate
+    def evaluate(
+        self, machine_name: str, num_labels: Optional[int] = None
+    ) -> MachineEvaluation:
+        """Run the full cross-validated evaluation on one machine.
+
+        Results are memoised per (machine, label count) since several
+        experiment drivers request the same evaluation.
+        """
+        self.build()
+        assert self.augmented is not None
+        cfg = self.config
+        cache_key = (machine_name, num_labels or cfg.num_labels)
+        cached = self._evaluations.get(cache_key)
+        if cached is not None:
+            return cached
+        machine_data = self.machine_data[machine_name]
+        label_space = self.label_space(machine_name, num_labels)
+        labels = label_space.labels_for(machine_data)
+        self.augmented.assign_labels(labels)
+
+        region_names = self.region_names()
+        folds = min(cfg.folds, len(region_names))
+        fold_assignment = fold_of_groups(region_names, folds=folds, seed=cfg.seed)
+        sequence_names = self.sequence_names()
+
+        summary = EvaluationSummary(machine=machine_name, num_labels=label_space.num_labels)
+        fold_artifacts: List[FoldArtifacts] = []
+
+        for fold_index in range(folds):
+            validation_regions = [r for r in region_names if fold_assignment[r] == fold_index]
+            train_regions = [r for r in region_names if fold_assignment[r] != fold_index]
+            if not validation_regions or not train_regions:
+                continue
+            artifacts = self._run_fold(
+                fold_index,
+                train_regions,
+                validation_regions,
+                machine_data,
+                label_space,
+                labels,
+                sequence_names,
+            )
+            fold_artifacts.append(artifacts)
+            self._record_outcomes(
+                summary, artifacts, machine_data, label_space, labels, fold_index
+            )
+
+        evaluation = MachineEvaluation(
+            machine_name=machine_name,
+            dataset=machine_data,
+            label_space=label_space,
+            labels=labels,
+            summary=summary,
+            folds=fold_artifacts,
+        )
+        self._evaluations[cache_key] = evaluation
+        return evaluation
+
+    # ------------------------------------------------------------------ folds
+    def _run_fold(
+        self,
+        fold_index: int,
+        train_regions: List[str],
+        validation_regions: List[str],
+        machine_data: MachineDataset,
+        label_space: LabelSpace,
+        labels: Dict[str, int],
+        sequence_names: List[str],
+    ) -> FoldArtifacts:
+        assert self.augmented is not None
+        cfg = self.config
+        train_set = set(train_regions)
+        train_samples = [s for s in self.augmented.samples if s.region_name in train_set]
+
+        static_config = StaticModelConfig(**{**self.config.static_model.__dict__})
+        static_config.seed = cfg.seed + fold_index
+        predictor = StaticConfigurationPredictor(
+            num_labels=label_space.num_labels, encoder=self.encoder, config=static_config
+        )
+        predictor.fit(train_samples)
+
+        explored_sequence, sequence_scores = select_explored_sequence(
+            predictor,
+            self.augmented,
+            machine_data,
+            label_space,
+            sequence_names,
+            train_regions,
+        )
+
+        static_predictions = predictor.predict_region_labels(
+            self.augmented, explored_sequence, validation_regions
+        )
+        static_train_predictions = predictor.predict_region_labels(
+            self.augmented, explored_sequence, train_regions
+        )
+        train_static_errors = {
+            region: machine_data.timing(region).error_of(
+                label_space.configuration_of(label), label_space.configurations
+            )
+            for region, label in static_train_predictions.items()
+        }
+
+        dynamic = DynamicConfigurationPredictor(cfg.dynamic)
+        dynamic.fit(machine_data, labels, train_regions)
+        dynamic_predictions = dynamic.predict(machine_data, validation_regions)
+
+        # Hybrid: decide per validation region whether to profile.
+        train_vector_samples = self._region_samples(train_regions, explored_sequence)
+        validation_vector_samples = self._region_samples(validation_regions, explored_sequence)
+        hybrid_decisions: Dict[str, bool] = {}
+        hybrid_accuracy = 0.0
+        if train_vector_samples and validation_vector_samples:
+            train_vectors = predictor.graph_vectors(train_vector_samples)
+            errors = np.array(
+                [train_static_errors[s.region_name] for s in train_vector_samples]
+            )
+            hybrid = HybridStaticDynamicClassifier(cfg.hybrid)
+            try:
+                hybrid.fit(train_vectors, errors)
+                validation_vectors = predictor.graph_vectors(validation_vector_samples)
+                decisions = hybrid.needs_dynamic(validation_vectors)
+                hybrid_decisions = {
+                    sample.region_name: bool(decision)
+                    for sample, decision in zip(validation_vector_samples, decisions)
+                }
+                true_needs = np.array(
+                    [
+                        machine_data.timing(s.region_name).error_of(
+                            label_space.configuration_of(static_predictions[s.region_name]),
+                            label_space.configurations,
+                        )
+                        > cfg.hybrid.error_threshold
+                        for s in validation_vector_samples
+                    ]
+                )
+                hybrid_accuracy = float(
+                    (decisions.astype(bool) == true_needs).mean()
+                ) if true_needs.size else 0.0
+            except ValueError:
+                hybrid_decisions = {region: False for region in validation_regions}
+
+        hybrid_predictions = combine_predictions(
+            static_predictions, dynamic_predictions, hybrid_decisions
+        )
+
+        return FoldArtifacts(
+            fold=fold_index,
+            train_regions=train_regions,
+            validation_regions=validation_regions,
+            predictor=predictor,
+            explored_sequence=explored_sequence,
+            sequence_scores=sequence_scores,
+            static_predictions=static_predictions,
+            dynamic_predictions=dynamic_predictions,
+            hybrid_decisions=hybrid_decisions,
+            hybrid_predictions=hybrid_predictions,
+            train_static_errors=train_static_errors,
+            hybrid_decision_accuracy=hybrid_accuracy,
+        )
+
+    def _region_samples(self, region_names: Sequence[str], sequence_name: str):
+        assert self.augmented is not None
+        samples = []
+        for name in region_names:
+            candidates = [
+                s
+                for s in self.augmented.samples_for_region(name)
+                if s.sequence_name == sequence_name
+            ]
+            if candidates:
+                samples.append(candidates[0])
+        return samples
+
+    # --------------------------------------------------------------- records
+    def _record_outcomes(
+        self,
+        summary: EvaluationSummary,
+        artifacts: FoldArtifacts,
+        machine_data: MachineDataset,
+        label_space: LabelSpace,
+        labels: Dict[str, int],
+        fold_index: int,
+    ) -> None:
+        for region in artifacts.validation_regions:
+            timing = machine_data.timing(region)
+            family = next(r.family for r in self.regions if r.name == region)
+            outcome = RegionOutcome(
+                region=region,
+                family=family,
+                fold=fold_index,
+                true_label=labels[region],
+                full_exploration_speedup=timing.default_time / timing.best_time(),
+                label_space_speedup=timing.default_time
+                / timing.best_time(label_space.configurations),
+            )
+            if region in artifacts.static_predictions:
+                label = artifacts.static_predictions[region]
+                config = label_space.configuration_of(label)
+                outcome.static_label = label
+                outcome.static_error = timing.error_of(config, label_space.configurations)
+                outcome.static_speedup = timing.speedup_of(config)
+            if region in artifacts.dynamic_predictions:
+                label = artifacts.dynamic_predictions[region]
+                config = label_space.configuration_of(label)
+                outcome.dynamic_label = label
+                outcome.dynamic_error = timing.error_of(config, label_space.configurations)
+                outcome.dynamic_speedup = timing.speedup_of(config)
+            if region in artifacts.hybrid_predictions:
+                label = artifacts.hybrid_predictions[region]
+                config = label_space.configuration_of(label)
+                outcome.hybrid_label = label
+                outcome.hybrid_error = timing.error_of(config, label_space.configurations)
+                outcome.hybrid_speedup = timing.speedup_of(config)
+                outcome.profiled_by_hybrid = artifacts.hybrid_decisions.get(region, False)
+            summary.outcomes.append(outcome)
+
+    # ---------------------------------------------------------------- studies
+    def flag_sequence_speedups(self, evaluation: MachineEvaluation) -> Dict[str, float]:
+        """Average validation speedup per flag sequence (Figure 5 series)."""
+        assert self.augmented is not None
+        machine_data = evaluation.dataset
+        label_space = evaluation.label_space
+        totals: Dict[str, List[float]] = {name: [] for name in self.sequence_names()}
+        for fold in evaluation.folds:
+            for sequence_name in self.sequence_names():
+                value = sequence_speedup(
+                    fold.predictor,
+                    self.augmented,
+                    machine_data,
+                    label_space,
+                    sequence_name,
+                    fold.validation_regions,
+                )
+                totals[sequence_name].append(value)
+        return {name: float(np.mean(vals)) for name, vals in totals.items() if vals}
+
+    def overall_sequence(self, evaluation: MachineEvaluation) -> str:
+        """The single best sequence across all regions (diagnostic)."""
+        assert self.augmented is not None
+        scores = self.flag_sequence_speedups(evaluation)
+        return max(scores, key=scores.get)
+
+    def cross_architecture(
+        self,
+        source_eval: MachineEvaluation,
+        target_eval: MachineEvaluation,
+    ) -> CrossArchitectureOutcome:
+        """Evaluate source-trained predictions on the target machine (Fig. 8)."""
+        source_machine = machine_by_name(source_eval.machine_name)
+        target_machine = machine_by_name(target_eval.machine_name)
+
+        # Collect source-model predictions for every region (over its fold).
+        source_static: Dict[str, int] = {}
+        source_dynamic: Dict[str, int] = {}
+        for fold in source_eval.folds:
+            source_static.update(fold.static_predictions)
+            source_dynamic.update(fold.dynamic_predictions)
+        target_static: Dict[str, int] = {}
+        target_dynamic: Dict[str, int] = {}
+        for fold in target_eval.folds:
+            target_static.update(fold.static_predictions)
+            target_dynamic.update(fold.dynamic_predictions)
+
+        native_static = native_speedups(target_static, target_eval.label_space, target_eval.dataset)
+        native_dynamic = native_speedups(target_dynamic, target_eval.label_space, target_eval.dataset)
+        cross_static = translated_speedups(
+            source_static, source_eval.label_space, source_machine, target_machine, target_eval.dataset
+        )
+        cross_dynamic = translated_speedups(
+            source_dynamic, source_eval.label_space, source_machine, target_machine, target_eval.dataset
+        )
+        return summarize_cross_architecture(
+            target_machine=target_eval.machine_name,
+            source_machine=source_eval.machine_name,
+            native_static=native_static,
+            cross_static=cross_static,
+            native_dynamic=native_dynamic,
+            cross_dynamic=cross_dynamic,
+        )

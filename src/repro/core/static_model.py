@@ -1,0 +1,109 @@
+"""The static (IR-only) configuration predictor (Figure 2a of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..gnn.model import ModelConfig, StaticRGCNModel
+from ..gnn.trainer import Trainer, TrainerConfig
+from ..graphs.features import EncodedGraph, GraphEncoder
+from .augmentation import AugmentedDataset, AugmentedSample
+
+
+@dataclass
+class StaticModelConfig:
+    """Hyper-parameters of the static predictor."""
+
+    hidden_dim: int = 48
+    graph_vector_dim: int = 48
+    num_rgcn_layers: int = 2
+    dropout: float = 0.0
+    pooling: str = "mean"
+    epochs: int = 25
+    batch_size: int = 32
+    learning_rate: float = 2e-3
+    seed: int = 0
+
+
+class StaticConfigurationPredictor:
+    """Trains the RGCN model on augmented graphs and predicts labels.
+
+    One instance corresponds to one cross-validation fold (the paper trains
+    ten independent instances).
+    """
+
+    def __init__(
+        self,
+        num_labels: int,
+        encoder: GraphEncoder,
+        config: Optional[StaticModelConfig] = None,
+    ):
+        self.num_labels = num_labels
+        self.encoder = encoder
+        self.config = config or StaticModelConfig()
+        model_config = ModelConfig(
+            vocabulary_size=encoder.vocabulary_size,
+            num_classes=num_labels,
+            hidden_dim=self.config.hidden_dim,
+            graph_vector_dim=self.config.graph_vector_dim,
+            num_rgcn_layers=self.config.num_rgcn_layers,
+            num_extra_features=GraphEncoder.NUM_EXTRA_FEATURES,
+            pooling=self.config.pooling,
+            dropout=self.config.dropout,
+            seed=self.config.seed,
+        )
+        trainer_config = TrainerConfig(
+            epochs=self.config.epochs,
+            batch_size=self.config.batch_size,
+            learning_rate=self.config.learning_rate,
+            seed=self.config.seed,
+        )
+        self.model = StaticRGCNModel(model_config)
+        self.trainer = Trainer(self.model, trainer_config)
+
+    # ------------------------------------------------------------------ fit
+    def fit(
+        self,
+        training_samples: Sequence[AugmentedSample],
+        validation_samples: Optional[Sequence[AugmentedSample]] = None,
+    ):
+        train_graphs = [s.graph for s in training_samples]
+        val_graphs = [s.graph for s in validation_samples] if validation_samples else None
+        return self.trainer.fit(train_graphs, val_graphs)
+
+    # ------------------------------------------------------------- inference
+    def predict_labels(self, samples: Sequence[AugmentedSample]) -> np.ndarray:
+        return self.trainer.predict([s.graph for s in samples])
+
+    def predict_label_for_graphs(self, graphs: Sequence[EncodedGraph]) -> np.ndarray:
+        return self.trainer.predict(list(graphs))
+
+    def graph_vectors(self, samples: Sequence[AugmentedSample]) -> np.ndarray:
+        return self.trainer.graph_vectors([s.graph for s in samples])
+
+    def predict_region_labels(
+        self, dataset: AugmentedDataset, sequence_name: str, region_names: Sequence[str]
+    ) -> Dict[str, int]:
+        """Predict one label per region using its variant under ``sequence_name``."""
+        predictions: Dict[str, int] = {}
+        samples: List[AugmentedSample] = []
+        order: List[str] = []
+        for name in region_names:
+            candidates = [
+                s
+                for s in dataset.samples_for_region(name)
+                if s.sequence_name == sequence_name
+            ]
+            if not candidates:
+                continue
+            samples.append(candidates[0])
+            order.append(name)
+        if not samples:
+            return predictions
+        labels = self.predict_labels(samples)
+        for name, label in zip(order, labels):
+            predictions[name] = int(label)
+        return predictions

@@ -1,0 +1,36 @@
+"""Experiment drivers regenerating every figure of the paper.
+
+Each ``figN_*`` function takes pre-built pipeline artifacts (so the expensive
+dataset construction and model training are shared across figures) and
+returns the rows/series the corresponding figure plots.  The benchmark
+harness under ``benchmarks/`` calls these functions and prints their output;
+``EXPERIMENTS.md`` records the paper-vs-measured comparison.
+"""
+
+from .figures import (
+    fig3_region_errors,
+    fig4_fold_errors,
+    fig5_flag_sequence_speedups,
+    fig6_label_count_study,
+    fig7_label_counts,
+    fig8_cross_architecture,
+    fig9_hybrid_per_region,
+    fig10_input_size_losses,
+    fig11_flag_selection_strategies,
+    fig12_per_call_behaviour,
+    headline_claims,
+)
+
+__all__ = [
+    "fig3_region_errors",
+    "fig4_fold_errors",
+    "fig5_flag_sequence_speedups",
+    "fig6_label_count_study",
+    "fig7_label_counts",
+    "fig8_cross_architecture",
+    "fig9_hybrid_per_region",
+    "fig10_input_size_losses",
+    "fig11_flag_selection_strategies",
+    "fig12_per_call_behaviour",
+    "headline_claims",
+]

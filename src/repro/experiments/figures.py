@@ -1,0 +1,309 @@
+"""Per-figure analysis functions.
+
+Every function consumes artifacts produced by
+:class:`repro.core.pipeline.ReproPipeline` (and, where needed, extra
+simulation) and returns plain dictionaries / lists that mirror the series
+plotted in the corresponding figure of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.evaluation import EvaluationSummary
+from ..core.flag_selection import (
+    FlagSequencePredictor,
+    oracle_sequence_speedup,
+    per_region_sequence_speedups,
+    select_sequence_shortlist,
+)
+from ..core.labeling import MachineDataset, label_space_quality, select_label_space
+from ..core.pipeline import MachineEvaluation, ReproPipeline
+from ..gnn.metrics import per_label_counts
+from ..numasim.engine import NumaPrefetchSimulator
+from ..numasim.machines import machine_by_name, skylake_gold
+from ..workloads.inputs import SIZE_1, SIZE_2
+from ..workloads.suite import Region
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — per-region prediction errors, static vs dynamic
+# ---------------------------------------------------------------------------
+def fig3_region_errors(evaluation: MachineEvaluation) -> List[Dict[str, object]]:
+    """Rows: region, static error, dynamic error — sorted like the paper
+    (static error descending), one row per region."""
+    rows: List[Dict[str, object]] = []
+    for outcome in evaluation.summary.sorted_by_static_error():
+        rows.append(
+            {
+                "region": outcome.region,
+                "static_error": round(outcome.static_error, 4),
+                "dynamic_error": round(outcome.dynamic_error, 4),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — per-fold average errors
+# ---------------------------------------------------------------------------
+def fig4_fold_errors(evaluation: MachineEvaluation) -> Dict[str, Dict[int, float]]:
+    return {
+        "static": evaluation.summary.per_fold_errors("static"),
+        "dynamic": evaluation.summary.per_fold_errors("dynamic"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — speedup achieved per flag sequence
+# ---------------------------------------------------------------------------
+def fig5_flag_sequence_speedups(
+    pipeline: ReproPipeline, evaluation: MachineEvaluation
+) -> Dict[str, float]:
+    """Sequence name -> average speedup, plus the explored-sequence marker."""
+    speedups = pipeline.flag_sequence_speedups(evaluation)
+    explored = {fold.explored_sequence for fold in evaluation.folds}
+    result = dict(speedups)
+    result["__explored__"] = float(
+        np.mean([speedups[name] for name in explored if name in speedups])
+    ) if explored else 0.0
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — gains and error versus the number of labels
+# ---------------------------------------------------------------------------
+def fig6_label_count_study(
+    pipeline: ReproPipeline,
+    machine_name: str,
+    label_counts: Sequence[int] = (2, 6, 13),
+) -> List[Dict[str, float]]:
+    rows: List[Dict[str, float]] = []
+    for count in label_counts:
+        evaluation = pipeline.evaluate(machine_name, num_labels=count)
+        summary = evaluation.summary
+        rows.append(
+            {
+                "labels": float(count),
+                "full_exploration": summary.label_space_speedup,
+                "explored_flag_seq": summary.static_speedup,
+                "error_rate": summary.static_error,
+                "accuracy": summary.static_accuracy,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — predictions per label
+# ---------------------------------------------------------------------------
+def fig7_label_counts(evaluation: MachineEvaluation) -> Dict[str, List[int]]:
+    true_labels = [o.true_label for o in evaluation.summary.outcomes]
+    predicted = [
+        o.static_label if o.static_label is not None else 0
+        for o in evaluation.summary.outcomes
+    ]
+    counts = per_label_counts(true_labels, predicted, evaluation.label_space.num_labels)
+    return {key: value.tolist() for key, value in counts.items()}
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — cross-architecture speedups
+# ---------------------------------------------------------------------------
+def fig8_cross_architecture(
+    pipeline: ReproPipeline,
+    source_eval: MachineEvaluation,
+    target_eval: MachineEvaluation,
+) -> Dict[str, float]:
+    outcome = pipeline.cross_architecture(source_eval, target_eval)
+    return outcome.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — hybrid vs dynamic vs full exploration, per region
+# ---------------------------------------------------------------------------
+def fig9_hybrid_per_region(evaluation: MachineEvaluation) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for outcome in sorted(
+        evaluation.summary.outcomes, key=lambda o: o.hybrid_speedup, reverse=True
+    ):
+        rows.append(
+            {
+                "region": outcome.region,
+                "dynamic_speedup": round(outcome.dynamic_speedup, 3),
+                "hybrid_speedup": round(outcome.hybrid_speedup, 3),
+                "full_exploration": round(outcome.full_exploration_speedup, 3),
+                "profiled": outcome.profiled_by_hybrid,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — speedup losses when reusing size-2 configurations on size-1
+# ---------------------------------------------------------------------------
+def fig10_input_size_losses(
+    regions: Sequence[Region],
+    machine_name: str = "skylake-gold",
+    num_labels: int = 13,
+    max_regions: Optional[int] = 20,
+) -> List[Dict[str, float]]:
+    """Per-region loss L = S(best conf of size-1) - S(best conf of size-2),
+    both evaluated on size-1 (Section IV-E)."""
+    machine = (
+        skylake_gold() if machine_name == "skylake-gold" else machine_by_name(machine_name)
+    )
+    chosen = list(regions)[:max_regions] if max_regions else list(regions)
+    data_size1 = MachineDataset(machine, chosen, input_size=SIZE_1)
+    data_size2 = MachineDataset(machine, chosen, input_size=SIZE_2)
+    labels = select_label_space(data_size1, num_labels=num_labels)
+
+    rows: List[Dict[str, float]] = []
+    for region in chosen:
+        timing1 = data_size1.timing(region.name)
+        timing2 = data_size2.timing(region.name)
+        best1 = timing1.best_configuration(labels.configurations)
+        best2 = timing2.best_configuration(labels.configurations)
+        speedup_native = timing1.speedup_of(best1)
+        speedup_transferred = timing1.speedup_of(best2)
+        rows.append(
+            {
+                "region": region.name,
+                "speedup_size1_native": round(speedup_native, 3),
+                "speedup_size2_config": round(speedup_transferred, 3),
+                "loss": round(speedup_native - speedup_transferred, 3),
+            }
+        )
+    rows.sort(key=lambda r: r["loss"], reverse=True)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — flag-sequence selection strategies
+# ---------------------------------------------------------------------------
+def fig11_flag_selection_strategies(
+    pipeline: ReproPipeline, evaluation: MachineEvaluation
+) -> Dict[str, float]:
+    """Average speedups of explored / overall / predicted / oracle strategies."""
+    assert pipeline.augmented is not None
+    machine_data = evaluation.dataset
+    label_space = evaluation.label_space
+    sequence_names = pipeline.sequence_names()
+
+    explored: List[float] = []
+    overall_scores: Dict[str, List[float]] = {name: [] for name in sequence_names}
+    predicted: List[float] = []
+    oracle: List[float] = []
+
+    for fold in evaluation.folds:
+        table = per_region_sequence_speedups(
+            fold.predictor,
+            pipeline.augmented,
+            machine_data,
+            label_space,
+            sequence_names,
+            fold.validation_regions,
+        )
+        explored_row = table.get(fold.explored_sequence, {})
+        if explored_row:
+            explored.append(float(np.mean(list(explored_row.values()))))
+        for name in sequence_names:
+            row = table.get(name, {})
+            if row:
+                overall_scores[name].append(float(np.mean(list(row.values()))))
+        oracle.append(oracle_sequence_speedup(table, fold.validation_regions))
+
+        # Predicted flag sequence: shortlist from the training regions, then a
+        # decision tree over graph vectors chooses per validation region.
+        train_table = per_region_sequence_speedups(
+            fold.predictor,
+            pipeline.augmented,
+            machine_data,
+            label_space,
+            sequence_names,
+            fold.train_regions,
+        )
+        shortlist = select_sequence_shortlist(train_table, fold.train_regions)
+        if len(shortlist) >= 1:
+            train_samples = pipeline._region_samples(fold.train_regions, "default-O2")
+            val_samples = pipeline._region_samples(fold.validation_regions, "default-O2")
+            if train_samples and val_samples:
+                train_vectors = fold.predictor.graph_vectors(train_samples)
+                best_index = []
+                for sample in train_samples:
+                    scores = [
+                        train_table.get(seq, {}).get(sample.region_name, 0.0)
+                        for seq in shortlist
+                    ]
+                    best_index.append(int(np.argmax(scores)))
+                flag_model = FlagSequencePredictor(shortlist, use_ga_selection=False)
+                flag_model.fit(train_vectors, np.asarray(best_index))
+                val_vectors = fold.predictor.graph_vectors(val_samples)
+                chosen = flag_model.predict(val_vectors)
+                speedups = [
+                    table.get(seq, {}).get(sample.region_name, 0.0)
+                    for sample, seq in zip(val_samples, chosen)
+                ]
+                if speedups:
+                    predicted.append(float(np.mean(speedups)))
+
+    overall_means = {
+        name: float(np.mean(vals)) for name, vals in overall_scores.items() if vals
+    }
+    overall_best = max(overall_means.values()) if overall_means else 0.0
+    return {
+        "explored_flag_seq": float(np.mean(explored)) if explored else 0.0,
+        "overall_flag_seq": overall_best,
+        "predicted_flag_seq": float(np.mean(predicted)) if predicted else 0.0,
+        "oracle_flag_seq": float(np.mean(oracle)) if oracle else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — execution time per call of mispredicted regions
+# ---------------------------------------------------------------------------
+def fig12_per_call_behaviour(
+    evaluation: MachineEvaluation, num_regions: int = 4
+) -> Dict[str, List[float]]:
+    """Per-call execution times for the most mispredicted regions plus a
+    stable reference region (the paper shows SP)."""
+    series: Dict[str, List[float]] = {}
+    worst = evaluation.summary.sorted_by_static_error()[:num_regions]
+    for outcome in worst:
+        timing = evaluation.dataset.timing(outcome.region)
+        series[outcome.region] = [t * 1e3 for t in timing.per_call_at_default]
+    # Stable reference: the region with the lowest static error and >1 call.
+    stable = sorted(evaluation.summary.outcomes, key=lambda o: o.static_error)
+    for outcome in stable:
+        timing = evaluation.dataset.timing(outcome.region)
+        if len(timing.per_call_at_default) > 1:
+            series[f"{outcome.region} (reference)"] = [
+                t * 1e3 for t in timing.per_call_at_default
+            ]
+            break
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Headline claims
+# ---------------------------------------------------------------------------
+def headline_claims(evaluation: MachineEvaluation) -> Dict[str, float]:
+    """The paper's two headline numbers: the static model reaches ~80% of the
+    dynamic model's gains; the hybrid matches the dynamic model while
+    profiling ~30% of regions."""
+    summary: EvaluationSummary = evaluation.summary
+    dynamic_gain = summary.dynamic_speedup - 1.0
+    hybrid_gain = summary.hybrid_speedup - 1.0
+    return {
+        "static_speedup": summary.static_speedup,
+        "dynamic_speedup": summary.dynamic_speedup,
+        "hybrid_speedup": summary.hybrid_speedup,
+        "full_exploration_speedup": summary.full_exploration_speedup,
+        "static_fraction_of_dynamic_gains": summary.gains_ratio_static_vs_dynamic(),
+        "hybrid_fraction_of_dynamic_gains": (
+            hybrid_gain / dynamic_gain if dynamic_gain > 0 else 1.0
+        ),
+        "profiled_fraction": summary.profiled_fraction,
+    }

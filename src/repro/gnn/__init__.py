@@ -1,0 +1,56 @@
+"""NumPy graph-neural-network stack: RGCN layers, static model, training."""
+
+from .layers import Dropout, Embedding, LayerNorm, Linear, ReLU
+from .losses import (
+    accuracy,
+    class_weight_vector,
+    cross_entropy,
+    log_softmax,
+    softmax,
+)
+from .metrics import (
+    TrainingHistory,
+    accuracy_score,
+    confusion_matrix,
+    macro_f1,
+    per_label_counts,
+)
+from .model import ModelConfig, StaticRGCNModel
+from .optim import SGD, Adam, Optimizer, clip_gradients
+from .parameters import Parameter, ParameterStore, glorot_uniform, normal_init
+from .pooling import GlobalPool
+from .rgcn import RGCNLayer
+from .trainer import Trainer, TrainerConfig, build_model_and_trainer
+
+__all__ = [
+    "Dropout",
+    "Embedding",
+    "LayerNorm",
+    "Linear",
+    "ReLU",
+    "accuracy",
+    "class_weight_vector",
+    "cross_entropy",
+    "log_softmax",
+    "softmax",
+    "TrainingHistory",
+    "accuracy_score",
+    "confusion_matrix",
+    "macro_f1",
+    "per_label_counts",
+    "ModelConfig",
+    "StaticRGCNModel",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "clip_gradients",
+    "Parameter",
+    "ParameterStore",
+    "glorot_uniform",
+    "normal_init",
+    "GlobalPool",
+    "RGCNLayer",
+    "Trainer",
+    "TrainerConfig",
+    "build_model_and_trainer",
+]

@@ -1,0 +1,67 @@
+"""Loss functions and numerically-stable softmax utilities."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def cross_entropy(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    class_weights: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray]:
+    """Softmax cross-entropy loss.
+
+    Returns ``(loss, grad_logits)`` where the gradient is already divided by
+    the batch size (so optimizer steps are batch-size independent).
+    ``class_weights`` optionally re-weights classes, which matters because
+    the 13-label configuration distribution is very skewed (Figure 7 of the
+    paper shows some labels occur only twice).
+    """
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D (batch, classes)")
+    batch = logits.shape[0]
+    if labels.shape[0] != batch:
+        raise ValueError("labels batch size mismatch")
+    log_probs = log_softmax(logits, axis=1)
+    probs = np.exp(log_probs)
+    picked = log_probs[np.arange(batch), labels]
+    if class_weights is not None:
+        weights = class_weights[labels]
+    else:
+        weights = np.ones(batch)
+    total_weight = max(weights.sum(), 1e-12)
+    loss = float(-(picked * weights).sum() / total_weight)
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    grad *= (weights / total_weight)[:, None]
+    return loss, grad
+
+
+def class_weight_vector(labels: np.ndarray, num_classes: int, smoothing: float = 1.0) -> np.ndarray:
+    """Inverse-frequency class weights with additive smoothing."""
+    counts = np.bincount(labels, minlength=num_classes).astype(np.float64) + smoothing
+    weights = counts.sum() / (num_classes * counts)
+    return weights
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    if logits.size == 0:
+        return 0.0
+    predictions = logits.argmax(axis=1)
+    return float((predictions == labels).mean())

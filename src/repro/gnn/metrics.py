@@ -1,0 +1,75 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def confusion_matrix(
+    true_labels: Sequence[int], predicted_labels: Sequence[int], num_classes: int
+) -> np.ndarray:
+    """Confusion matrix ``C[t, p]`` = count of true class t predicted as p."""
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for t, p in zip(true_labels, predicted_labels):
+        matrix[int(t), int(p)] += 1
+    return matrix
+
+
+def per_label_counts(
+    true_labels: Sequence[int], predicted_labels: Sequence[int], num_classes: int
+) -> Dict[str, np.ndarray]:
+    """Per-label oracle/predicted/correct counts (Figure 7 of the paper)."""
+    true_arr = np.asarray(true_labels, dtype=np.int64)
+    pred_arr = np.asarray(predicted_labels, dtype=np.int64)
+    oracle = np.bincount(true_arr, minlength=num_classes)
+    predicted = np.bincount(pred_arr, minlength=num_classes)
+    correct = np.zeros(num_classes, dtype=np.int64)
+    for cls in range(num_classes):
+        correct[cls] = int(((true_arr == cls) & (pred_arr == cls)).sum())
+    return {"oracle": oracle, "predicted": predicted, "correct": correct}
+
+
+def accuracy_score(true_labels: Sequence[int], predicted_labels: Sequence[int]) -> float:
+    true_arr = np.asarray(true_labels)
+    pred_arr = np.asarray(predicted_labels)
+    if true_arr.size == 0:
+        return 0.0
+    return float((true_arr == pred_arr).mean())
+
+
+def macro_f1(true_labels: Sequence[int], predicted_labels: Sequence[int], num_classes: int) -> float:
+    """Macro-averaged F1 over classes that actually occur."""
+    matrix = confusion_matrix(true_labels, predicted_labels, num_classes)
+    f1_values: List[float] = []
+    for cls in range(num_classes):
+        tp = matrix[cls, cls]
+        fp = matrix[:, cls].sum() - tp
+        fn = matrix[cls, :].sum() - tp
+        if tp + fn == 0:
+            continue
+        precision = tp / (tp + fp) if (tp + fp) > 0 else 0.0
+        recall = tp / (tp + fn)
+        if precision + recall == 0:
+            f1_values.append(0.0)
+        else:
+            f1_values.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(f1_values)) if f1_values else 0.0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training curves."""
+
+    train_loss: List[float]
+    train_accuracy: List[float]
+    validation_accuracy: List[float]
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+    def best_validation_accuracy(self) -> float:
+        return max(self.validation_accuracy) if self.validation_accuracy else 0.0

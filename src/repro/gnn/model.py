@@ -1,0 +1,172 @@
+"""The static prediction model of the paper (Figure 2a).
+
+Architecture: token embedding -> stacked RGCN layers (ReLU) -> graph pooling
+-> feed-forward block with a residual link -> layer norm -> fully-connected
+classifier over configuration labels.  The normalised graph vector (the
+output of the Add & Norm stage) is exposed separately because the hybrid
+model and the flag-prediction model consume it as their feature vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.batching import GraphBatch
+from ..graphs.graph import RELATIONS
+from .layers import Dropout, Embedding, LayerNorm, Linear, ReLU
+from .losses import cross_entropy
+from .parameters import ParameterStore
+from .pooling import GlobalPool
+from .rgcn import RGCNLayer
+
+
+@dataclass
+class ModelConfig:
+    """Hyper-parameters of :class:`StaticRGCNModel`.
+
+    The defaults are sized for the reproduction's dataset (hundreds to a few
+    thousand graphs of 30-300 nodes); ``graph_vector_dim`` corresponds to the
+    256-wide vector of the paper but is kept configurable so the unit tests
+    can run tiny models.
+    """
+
+    vocabulary_size: int = 128
+    num_classes: int = 13
+    hidden_dim: int = 64
+    graph_vector_dim: int = 64
+    num_rgcn_layers: int = 2
+    num_extra_features: int = 4
+    relations: Tuple[str, ...] = tuple(RELATIONS)
+    pooling: str = "mean"
+    dropout: float = 0.0
+    seed: int = 0
+
+
+class StaticRGCNModel:
+    """RGCN-based configuration classifier over program graphs."""
+
+    def __init__(self, config: ModelConfig):
+        self.config = config
+        self.store = ParameterStore()
+        rng = np.random.default_rng(config.seed)
+        self._rng = rng
+
+        c = config
+        self.embedding = Embedding(self.store, "embed", c.vocabulary_size, c.hidden_dim, rng)
+        self.extra_proj = Linear(self.store, "extra", c.num_extra_features, c.hidden_dim, rng)
+        self.rgcn_layers: List[RGCNLayer] = []
+        self.activations: List[ReLU] = []
+        self.dropouts: List[Dropout] = []
+        for i in range(c.num_rgcn_layers):
+            self.rgcn_layers.append(
+                RGCNLayer(self.store, f"rgcn{i}", c.hidden_dim, c.hidden_dim, c.relations, rng)
+            )
+            self.activations.append(ReLU())
+            self.dropouts.append(Dropout(c.dropout, rng))
+        self.pool = GlobalPool(c.pooling)
+        self.pool_proj = Linear(self.store, "pool_proj", c.hidden_dim, c.graph_vector_dim, rng)
+        self.ff1 = Linear(self.store, "ff1", c.graph_vector_dim, c.graph_vector_dim, rng)
+        self.ff_act = ReLU()
+        self.ff2 = Linear(self.store, "ff2", c.graph_vector_dim, c.graph_vector_dim, rng)
+        self.norm = LayerNorm(self.store, "norm", c.graph_vector_dim)
+        self.classifier = Linear(self.store, "classifier", c.graph_vector_dim, c.num_classes, rng)
+
+        self.training = True
+        self._cache: Optional[dict] = None
+
+    # -------------------------------------------------------------- plumbing
+    def train(self) -> None:
+        self.training = True
+        for dropout in self.dropouts:
+            dropout.training = True
+
+    def eval(self) -> None:
+        self.training = False
+        for dropout in self.dropouts:
+            dropout.training = False
+
+    def num_parameters(self) -> int:
+        return self.store.num_weights()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return self.store.state_dict()
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self.store.load_state_dict(state)
+
+    # --------------------------------------------------------------- forward
+    def forward(self, batch: GraphBatch) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(logits, graph_vectors)`` for a batch."""
+        x = self.embedding.forward(batch.token_ids)
+        x = x + self.extra_proj.forward(batch.extra_features)
+        adjacency = batch.normalized_adjacency()
+        for rgcn, act, dropout in zip(self.rgcn_layers, self.activations, self.dropouts):
+            x = rgcn.forward(x, adjacency)
+            x = act.forward(x)
+            x = dropout.forward(x)
+        pooled = self.pool.forward(x, batch.graph_index, batch.num_graphs)
+        projected = self.pool_proj.forward(pooled)
+        ff = self.ff2.forward(self.ff_act.forward(self.ff1.forward(projected)))
+        graph_vectors = self.norm.forward(projected + ff)
+        logits = self.classifier.forward(graph_vectors)
+        self._cache = {"num_nodes": batch.num_nodes}
+        return logits, graph_vectors
+
+    # -------------------------------------------------------------- backward
+    def backward(self, grad_logits: np.ndarray, grad_graph_vectors: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from the classifier logits (and optionally from an
+        additional gradient on the graph vectors)."""
+        grad_z = self.classifier.backward(grad_logits)
+        if grad_graph_vectors is not None:
+            grad_z = grad_z + grad_graph_vectors
+        grad_res = self.norm.backward(grad_z)
+        # residual: z_in = projected + ff(projected)
+        grad_ff = self.ff2.backward(grad_res)
+        grad_ff = self.ff_act.backward(grad_ff)
+        grad_ff = self.ff1.backward(grad_ff)
+        grad_projected = grad_res + grad_ff
+        grad_pooled = self.pool_proj.backward(grad_projected)
+        grad_nodes = self.pool.backward(grad_pooled)
+        for rgcn, act, dropout in zip(
+            reversed(self.rgcn_layers), reversed(self.activations), reversed(self.dropouts)
+        ):
+            grad_nodes = dropout.backward(grad_nodes)
+            grad_nodes = act.backward(grad_nodes)
+            grad_nodes = rgcn.backward(grad_nodes)
+        self.extra_proj.backward(grad_nodes)
+        self.embedding.backward(grad_nodes)
+
+    # ------------------------------------------------------------ high level
+    def loss_and_gradients(
+        self,
+        batch: GraphBatch,
+        class_weights: Optional[np.ndarray] = None,
+    ) -> Tuple[float, float]:
+        """Compute loss, accumulate gradients; returns (loss, accuracy)."""
+        logits, _ = self.forward(batch)
+        labels = batch.labels
+        if (labels < 0).any():
+            raise ValueError("all graphs in a training batch must carry labels")
+        loss, grad_logits = cross_entropy(logits, labels, class_weights)
+        self.backward(grad_logits)
+        acc = float((logits.argmax(axis=1) == labels).mean())
+        return loss, acc
+
+    def predict(self, batch: GraphBatch) -> np.ndarray:
+        """Predicted label per graph."""
+        logits, _ = self.forward(batch)
+        return logits.argmax(axis=1)
+
+    def predict_proba(self, batch: GraphBatch) -> np.ndarray:
+        from .losses import softmax
+
+        logits, _ = self.forward(batch)
+        return softmax(logits, axis=1)
+
+    def graph_vectors(self, batch: GraphBatch) -> np.ndarray:
+        """The normalised per-graph vectors (hybrid-model features)."""
+        _, vectors = self.forward(batch)
+        return vectors

@@ -1,0 +1,112 @@
+"""Gradient-descent optimizers."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .parameters import ParameterStore
+
+
+class Optimizer:
+    """Base optimizer over a :class:`ParameterStore`."""
+
+    def __init__(self, store: ParameterStore):
+        self.store = store
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        self.store.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        store: ParameterStore,
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(store)
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.store:
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            if self.momentum:
+                velocity = self._velocity.get(param.name)
+                if velocity is None:
+                    velocity = np.zeros_like(param.value)
+                velocity = self.momentum * velocity + grad
+                self._velocity[param.name] = velocity
+                update = velocity
+            else:
+                update = grad
+            param.value -= self.learning_rate * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        store: ParameterStore,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(store)
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param in self.store:
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            m = self._m.get(param.name)
+            v = self._v.get(param.name)
+            if m is None:
+                m = np.zeros_like(param.value)
+                v = np.zeros_like(param.value)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * (grad * grad)
+            self._m[param.name] = m
+            self._v[param.name] = v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_gradients(store: ParameterStore, max_norm: float) -> float:
+    """Clip the global gradient norm in place; returns the pre-clip norm."""
+    total = 0.0
+    for param in store:
+        total += float((param.grad ** 2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for param in store:
+            param.grad *= scale
+    return norm

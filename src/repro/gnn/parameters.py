@@ -1,0 +1,90 @@
+"""Parameter containers and weight initialisation for the NumPy GNN."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array with its accumulated gradient."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name: str, value: np.ndarray):
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:
+        return f"<Parameter {self.name} {self.value.shape}>"
+
+
+class ParameterStore:
+    """Flat registry of parameters owned by a model."""
+
+    def __init__(self):
+        self._parameters: Dict[str, Parameter] = {}
+
+    def create(self, name: str, value: np.ndarray) -> Parameter:
+        if name in self._parameters:
+            raise ValueError(f"duplicate parameter name {name!r}")
+        param = Parameter(name, value)
+        self._parameters[name] = param
+        return param
+
+    def __getitem__(self, name: str) -> Parameter:
+        return self._parameters[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._parameters
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._parameters.values())
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def names(self) -> List[str]:
+        return list(self._parameters)
+
+    def zero_grad(self) -> None:
+        for param in self._parameters.values():
+            param.zero_grad()
+
+    def num_weights(self) -> int:
+        return int(sum(p.value.size for p in self._parameters.values()))
+
+    # ------------------------------------------------------------ state dict
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.value.copy() for name, param in self._parameters.items()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for name, value in state.items():
+            if name not in self._parameters:
+                raise KeyError(f"unknown parameter {name!r}")
+            if self._parameters[name].value.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{self._parameters[name].value.shape} vs {value.shape}"
+                )
+            self._parameters[name].value = np.asarray(value, dtype=np.float64).copy()
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def normal_init(rng: np.random.Generator, shape: Tuple[int, ...], scale: float = 0.02) -> np.ndarray:
+    """Small-scale normal initialisation (used for embeddings)."""
+    return rng.normal(0.0, scale, size=shape)

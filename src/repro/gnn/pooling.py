@@ -1,0 +1,53 @@
+"""Graph-level pooling (readout) layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .layers import Layer
+
+
+class GlobalPool(Layer):
+    """Pool node embeddings into one vector per graph.
+
+    Supported modes: ``"mean"`` (default, as in the paper's architecture),
+    ``"sum"`` and ``"max"``.  The ablation benchmark compares all three.
+    """
+
+    def __init__(self, mode: str = "mean"):
+        if mode not in ("mean", "sum", "max"):
+            raise ValueError(f"unknown pooling mode {mode!r}")
+        self.mode = mode
+        self._cache = None
+
+    def forward(self, x: np.ndarray, graph_index: np.ndarray, num_graphs: int) -> np.ndarray:
+        dim = x.shape[1]
+        pooled = np.zeros((num_graphs, dim))
+        counts = np.bincount(graph_index, minlength=num_graphs).astype(np.float64)
+        counts[counts == 0] = 1.0
+        if self.mode in ("mean", "sum"):
+            np.add.at(pooled, graph_index, x)
+            if self.mode == "mean":
+                pooled = pooled / counts[:, None]
+            self._cache = (graph_index, counts, x.shape, None)
+        else:  # max
+            pooled.fill(-np.inf)
+            np.maximum.at(pooled, graph_index, x)
+            pooled[np.isneginf(pooled)] = 0.0
+            argmax_mask = x == pooled[graph_index]
+            self._cache = (graph_index, counts, x.shape, argmax_mask)
+        return pooled
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward called before forward"
+        graph_index, counts, x_shape, argmax_mask = self._cache
+        if self.mode == "sum":
+            grad_input = grad_output[graph_index]
+        elif self.mode == "mean":
+            grad_input = grad_output[graph_index] / counts[graph_index][:, None]
+        else:
+            grad_input = grad_output[graph_index] * argmax_mask
+        self._cache = None
+        return grad_input

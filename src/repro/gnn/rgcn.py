@@ -1,0 +1,90 @@
+"""Relational Graph Convolution layer (Schlichtkrull et al.), NumPy.
+
+Implements Equation (1) of the paper::
+
+    h_i^(l+1) = sigma( W_0 h_i^(l) + sum_r sum_{j in N_i^r} 1/c_{i,r} W_r h_j^(l) )
+
+with one weight matrix per relation, mean normalisation per target node and
+relation, and an optional bias.  The layer operates on edge lists (one
+``(2, e_r)`` array per relation) instead of dense adjacency matrices so
+batched graphs of a few thousand nodes stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .layers import Layer
+from .parameters import ParameterStore, glorot_uniform
+
+
+class RGCNLayer(Layer):
+    """One relational graph convolution."""
+
+    def __init__(
+        self,
+        store: ParameterStore,
+        name: str,
+        in_features: int,
+        out_features: int,
+        relations: Sequence[str],
+        rng: np.random.Generator,
+        bias: bool = True,
+    ):
+        self.relations = list(relations)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.self_weight = store.create(
+            f"{name}.self", glorot_uniform(rng, in_features, out_features)
+        )
+        self.relation_weights = {
+            rel: store.create(f"{name}.rel.{rel}", glorot_uniform(rng, in_features, out_features))
+            for rel in self.relations
+        }
+        self.bias = store.create(f"{name}.bias", np.zeros(out_features)) if bias else None
+        self._cache = None
+
+    # ------------------------------------------------------------------ fwd
+    def forward(self, x: np.ndarray, adjacency: Dict[str, object]) -> np.ndarray:
+        """``x`` is (num_nodes, in_features); ``adjacency`` maps relation name
+        to the normalised sparse matrix ``Â_r`` (``Â_r[dst, src] = 1/c_dst``),
+        as produced by :meth:`repro.graphs.batching.GraphBatch.normalized_adjacency`.
+        """
+        out = x @ self.self_weight.value
+        propagated: Dict[str, Optional[np.ndarray]] = {}
+        for rel in self.relations:
+            matrix = adjacency.get(rel)
+            if matrix is None:
+                propagated[rel] = None
+                continue
+            # Â_r @ X, cached for the weight gradient in backward.
+            ax = matrix @ x
+            propagated[rel] = ax
+            out += ax @ self.relation_weights[rel].value
+        if self.bias is not None:
+            out = out + self.bias.value
+        self._cache = (x, adjacency, propagated)
+        return out
+
+    # ------------------------------------------------------------------ bwd
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward called before forward"
+        x, adjacency, propagated = self._cache
+        grad_input = grad_output @ self.self_weight.value.T
+        self.self_weight.grad += x.T @ grad_output
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        for rel in self.relations:
+            matrix = adjacency.get(rel)
+            ax = propagated.get(rel)
+            if matrix is None or ax is None:
+                continue
+            weight = self.relation_weights[rel]
+            # out_r = (Â_r X) W_r  =>  dW_r = (Â_r X)^T dOut,
+            #                          dX  += Â_r^T (dOut W_r^T)
+            weight.grad += ax.T @ grad_output
+            grad_input += matrix.T @ (grad_output @ weight.value.T)
+        self._cache = None
+        return grad_input

@@ -1,0 +1,155 @@
+"""Training loop for the static RGCN model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..graphs.batching import collate, iterate_minibatches
+from ..graphs.features import EncodedGraph
+from .losses import class_weight_vector
+from .metrics import TrainingHistory, accuracy_score
+from .model import ModelConfig, StaticRGCNModel
+from .optim import Adam, clip_gradients
+
+
+@dataclass
+class TrainerConfig:
+    """Knobs of :class:`Trainer`."""
+
+    epochs: int = 30
+    batch_size: int = 32
+    learning_rate: float = 2e-3
+    weight_decay: float = 1e-5
+    gradient_clip: float = 5.0
+    use_class_weights: bool = True
+    early_stopping_patience: int = 10
+    seed: int = 0
+    verbose: bool = False
+
+
+class Trainer:
+    """Fits a :class:`StaticRGCNModel` on encoded graphs."""
+
+    def __init__(self, model: StaticRGCNModel, config: Optional[TrainerConfig] = None):
+        self.model = model
+        self.config = config or TrainerConfig()
+        self.optimizer = Adam(
+            model.store,
+            learning_rate=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+
+    # ------------------------------------------------------------------ fit
+    def fit(
+        self,
+        train_graphs: Sequence[EncodedGraph],
+        validation_graphs: Optional[Sequence[EncodedGraph]] = None,
+    ) -> TrainingHistory:
+        cfg = self.config
+        if not train_graphs:
+            raise ValueError("cannot train on an empty dataset")
+        labels = np.array(
+            [-1 if g.label is None else int(g.label) for g in train_graphs], dtype=np.int64
+        )
+        if (labels < 0).any():
+            raise ValueError("every training graph must have a label")
+        class_weights = None
+        if cfg.use_class_weights:
+            class_weights = class_weight_vector(labels, self.model.config.num_classes)
+
+        history = TrainingHistory(train_loss=[], train_accuracy=[], validation_accuracy=[])
+        best_val = -1.0
+        best_state: Optional[Dict[str, np.ndarray]] = None
+        patience = 0
+
+        for epoch in range(cfg.epochs):
+            self.model.train()
+            epoch_losses: List[float] = []
+            epoch_accs: List[float] = []
+            for batch in iterate_minibatches(
+                train_graphs, cfg.batch_size, shuffle=True, seed=cfg.seed + epoch
+            ):
+                self.optimizer.zero_grad()
+                loss, acc = self.model.loss_and_gradients(batch, class_weights)
+                clip_gradients(self.model.store, cfg.gradient_clip)
+                self.optimizer.step()
+                epoch_losses.append(loss)
+                epoch_accs.append(acc)
+            history.train_loss.append(float(np.mean(epoch_losses)))
+            history.train_accuracy.append(float(np.mean(epoch_accs)))
+
+            if validation_graphs:
+                val_acc = self.evaluate(validation_graphs)
+                history.validation_accuracy.append(val_acc)
+                if val_acc > best_val:
+                    best_val = val_acc
+                    best_state = self.model.state_dict()
+                    patience = 0
+                else:
+                    patience += 1
+                    if patience >= cfg.early_stopping_patience:
+                        break
+            else:
+                history.validation_accuracy.append(history.train_accuracy[-1])
+
+            if cfg.verbose:  # pragma: no cover - cosmetic
+                print(
+                    f"epoch {epoch:3d} loss {history.train_loss[-1]:.4f} "
+                    f"train_acc {history.train_accuracy[-1]:.3f} "
+                    f"val_acc {history.validation_accuracy[-1]:.3f}"
+                )
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return history
+
+    # ------------------------------------------------------------- inference
+    def predict(self, graphs: Sequence[EncodedGraph], batch_size: int = 64) -> np.ndarray:
+        self.model.eval()
+        predictions: List[np.ndarray] = []
+        for batch in iterate_minibatches(graphs, batch_size, shuffle=False):
+            predictions.append(self.model.predict(batch))
+        return np.concatenate(predictions) if predictions else np.zeros(0, dtype=np.int64)
+
+    def predict_proba(self, graphs: Sequence[EncodedGraph], batch_size: int = 64) -> np.ndarray:
+        self.model.eval()
+        probabilities: List[np.ndarray] = []
+        for batch in iterate_minibatches(graphs, batch_size, shuffle=False):
+            probabilities.append(self.model.predict_proba(batch))
+        if not probabilities:
+            return np.zeros((0, self.model.config.num_classes))
+        return np.concatenate(probabilities, axis=0)
+
+    def graph_vectors(self, graphs: Sequence[EncodedGraph], batch_size: int = 64) -> np.ndarray:
+        """Graph embedding vectors (features for the hybrid / flag models)."""
+        self.model.eval()
+        vectors: List[np.ndarray] = []
+        for batch in iterate_minibatches(graphs, batch_size, shuffle=False):
+            vectors.append(self.model.graph_vectors(batch))
+        if not vectors:
+            return np.zeros((0, self.model.config.graph_vector_dim))
+        return np.concatenate(vectors, axis=0)
+
+    def evaluate(self, graphs: Sequence[EncodedGraph], batch_size: int = 64) -> float:
+        labels = np.array([g.label for g in graphs], dtype=np.int64)
+        predictions = self.predict(graphs, batch_size)
+        return accuracy_score(labels, predictions)
+
+
+def build_model_and_trainer(
+    vocabulary_size: int,
+    num_classes: int,
+    model_config: Optional[ModelConfig] = None,
+    trainer_config: Optional[TrainerConfig] = None,
+) -> Trainer:
+    """Convenience constructor wiring a model and its trainer together."""
+    if model_config is None:
+        model_config = ModelConfig(vocabulary_size=vocabulary_size, num_classes=num_classes)
+    else:
+        model_config.vocabulary_size = vocabulary_size
+        model_config.num_classes = num_classes
+    model = StaticRGCNModel(model_config)
+    return Trainer(model, trainer_config)

@@ -1,0 +1,51 @@
+"""ProGraML-style program graphs: construction, encoding and batching."""
+
+from .batching import GraphBatch, collate, iterate_minibatches
+from .builder import GraphBuilder, build_graph, instruction_token, value_token
+from .features import EncodedGraph, GraphEncoder, graph_statistics
+from .graph import (
+    FLOW_CALL,
+    FLOW_CONTROL,
+    FLOW_DATA,
+    FLOWS,
+    NODE_KIND_CONSTANT,
+    NODE_KIND_INSTRUCTION,
+    NODE_KIND_VARIABLE,
+    NODE_KINDS,
+    RELATIONS,
+    Edge,
+    Node,
+    ProgramGraph,
+    merge_graphs,
+)
+from .vocabulary import KNOWN_EXTERNALS, UNKNOWN_TOKEN, Vocabulary, default_vocabulary
+
+__all__ = [
+    "GraphBatch",
+    "collate",
+    "iterate_minibatches",
+    "GraphBuilder",
+    "build_graph",
+    "instruction_token",
+    "value_token",
+    "EncodedGraph",
+    "GraphEncoder",
+    "graph_statistics",
+    "FLOW_CALL",
+    "FLOW_CONTROL",
+    "FLOW_DATA",
+    "FLOWS",
+    "NODE_KIND_CONSTANT",
+    "NODE_KIND_INSTRUCTION",
+    "NODE_KIND_VARIABLE",
+    "NODE_KINDS",
+    "RELATIONS",
+    "Edge",
+    "Node",
+    "ProgramGraph",
+    "merge_graphs",
+    "KNOWN_EXTERNALS",
+    "UNKNOWN_TOKEN",
+    "Vocabulary",
+    "default_vocabulary",
+]

@@ -1,0 +1,133 @@
+"""Mini-batching of encoded graphs (disjoint-union batching).
+
+The RGCN operates on one big block-diagonal graph per batch: node arrays are
+concatenated, edge indices are offset, and a ``graph_index`` vector maps
+each node back to its graph for the pooling layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .features import EncodedGraph
+from .graph import RELATIONS
+
+
+@dataclass
+class GraphBatch:
+    """A batch of encoded graphs merged into one disjoint union."""
+
+    token_ids: np.ndarray        # (total_nodes,)
+    kind_ids: np.ndarray         # (total_nodes,)
+    extra_features: np.ndarray   # (total_nodes, k)
+    relations: Dict[str, np.ndarray]  # relation -> (2, e_r)
+    graph_index: np.ndarray      # (total_nodes,) graph id per node
+    labels: np.ndarray           # (num_graphs,) int labels (-1 when absent)
+    names: List[str]
+    _adjacency_cache: Optional[Dict[str, object]] = None
+
+    @property
+    def num_graphs(self) -> int:
+        return len(self.names)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.token_ids.shape[0])
+
+    def normalized_adjacency(self) -> Dict[str, object]:
+        """Per-relation sparse matrices ``Â_r`` with ``Â_r[dst, src] = 1/c_dst``.
+
+        Message passing then becomes ``Â_r @ X @ W_r``; the matrices are built
+        once per batch and cached because every RGCN layer (and the backward
+        pass) reuses them.
+        """
+        if self._adjacency_cache is not None:
+            return self._adjacency_cache
+        from scipy import sparse
+
+        n = self.num_nodes
+        cache: Dict[str, object] = {}
+        for rel, edges in self.relations.items():
+            if edges.size == 0:
+                cache[rel] = None
+                continue
+            src, dst = edges[0], edges[1]
+            degree = np.bincount(dst, minlength=n).astype(np.float64)
+            inv_degree = np.zeros(n)
+            nonzero = degree > 0
+            inv_degree[nonzero] = 1.0 / degree[nonzero]
+            values = inv_degree[dst]
+            matrix = sparse.csr_matrix((values, (dst, src)), shape=(n, n))
+            cache[rel] = matrix
+        self._adjacency_cache = cache
+        return cache
+
+
+def collate(graphs: Sequence[EncodedGraph]) -> GraphBatch:
+    """Merge ``graphs`` into one :class:`GraphBatch`."""
+    if not graphs:
+        raise ValueError("cannot collate an empty list of graphs")
+    token_parts: List[np.ndarray] = []
+    kind_parts: List[np.ndarray] = []
+    extra_parts: List[np.ndarray] = []
+    graph_index_parts: List[np.ndarray] = []
+    labels: List[int] = []
+    names: List[str] = []
+    relation_parts: Dict[str, List[np.ndarray]] = {rel: [] for rel in RELATIONS}
+
+    offset = 0
+    for gi, graph in enumerate(graphs):
+        n = graph.num_nodes
+        token_parts.append(graph.token_ids)
+        kind_parts.append(graph.kind_ids)
+        extra_parts.append(graph.extra_features)
+        graph_index_parts.append(np.full(n, gi, dtype=np.int64))
+        labels.append(-1 if graph.label is None else int(graph.label))
+        names.append(graph.name)
+        for rel in RELATIONS:
+            arr = graph.relations.get(rel)
+            if arr is None or arr.size == 0:
+                continue
+            relation_parts[rel].append(arr + offset)
+        offset += n
+
+    relations: Dict[str, np.ndarray] = {}
+    for rel, parts in relation_parts.items():
+        if parts:
+            relations[rel] = np.concatenate(parts, axis=1)
+        else:
+            relations[rel] = np.zeros((2, 0), dtype=np.int64)
+
+    return GraphBatch(
+        token_ids=np.concatenate(token_parts),
+        kind_ids=np.concatenate(kind_parts),
+        extra_features=np.concatenate(extra_parts, axis=0),
+        relations=relations,
+        graph_index=np.concatenate(graph_index_parts),
+        labels=np.asarray(labels, dtype=np.int64),
+        names=names,
+    )
+
+
+def iterate_minibatches(
+    graphs: Sequence[EncodedGraph],
+    batch_size: int,
+    shuffle: bool = True,
+    seed: Optional[int] = None,
+    drop_last: bool = False,
+) -> Iterator[GraphBatch]:
+    """Yield :class:`GraphBatch` objects of ``batch_size`` graphs."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    indices = np.arange(len(graphs))
+    if shuffle:
+        rng = np.random.default_rng(seed)
+        rng.shuffle(indices)
+    for start in range(0, len(graphs), batch_size):
+        chunk = indices[start : start + batch_size]
+        if drop_last and len(chunk) < batch_size:
+            break
+        yield collate([graphs[i] for i in chunk])

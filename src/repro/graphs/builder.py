@@ -1,0 +1,242 @@
+"""Construction of ProGraML-style graphs from mini-IR modules.
+
+The construction follows Cummins et al. (ProGraML):
+
+* one **instruction node** per IR instruction (token = opcode, specialised
+  for compare predicates, atomics and known call targets);
+* one **variable node** per SSA value (instruction results and function
+  arguments) and one **constant node** per distinct constant operand;
+* **control edges** connect each instruction to the instruction(s) that can
+  execute next (sequential within a block, terminator to the first
+  instruction of each successor block);
+* **data edges** connect a defining instruction to its value node and a
+  value/constant node to each instruction that uses it (positional);
+* **call edges** connect a call instruction to the entry instruction of the
+  callee (when defined in the module) and the callee's returns back to the
+  call site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    AtomicRMW,
+    Call,
+    FCmp,
+    ICmp,
+    Instruction,
+    Phi,
+    Return,
+)
+from ..ir.module import Module
+from ..ir.values import Argument, Constant, GlobalVariable, Value
+from .graph import (
+    FLOW_CALL,
+    FLOW_CONTROL,
+    FLOW_DATA,
+    NODE_KIND_CONSTANT,
+    NODE_KIND_INSTRUCTION,
+    NODE_KIND_VARIABLE,
+    Node,
+    ProgramGraph,
+)
+from .vocabulary import KNOWN_EXTERNALS
+
+
+def instruction_token(inst: Instruction) -> str:
+    """The vocabulary token describing ``inst``."""
+    if isinstance(inst, ICmp):
+        return f"icmp_{inst.predicate}"
+    if isinstance(inst, FCmp):
+        return f"fcmp_{inst.predicate}"
+    if isinstance(inst, AtomicRMW):
+        return f"atomicrmw_{inst.operation}"
+    if isinstance(inst, Call):
+        name = inst.callee_name
+        if name in KNOWN_EXTERNALS:
+            return f"call_{name}"
+        return "call"
+    return inst.opcode
+
+
+def value_token(value: Value) -> str:
+    """The vocabulary token describing a variable/constant node."""
+    if isinstance(value, Argument):
+        return "arg"
+    if isinstance(value, GlobalVariable):
+        return "global"
+    kind = value.type.kind
+    if isinstance(value, Constant):
+        return f"const_{kind}"
+    return f"var_{kind}"
+
+
+class GraphBuilder:
+    """Builds :class:`ProgramGraph` objects from functions or modules."""
+
+    def __init__(self, include_call_edges: bool = True):
+        self.include_call_edges = include_call_edges
+
+    # ------------------------------------------------------------------ API
+    def build_function(self, function: Function, name: Optional[str] = None) -> ProgramGraph:
+        """Build the graph of a single function (no inter-procedural edges)."""
+        graph = ProgramGraph(name or function.name)
+        self._add_function(graph, function, {})
+        graph.metadata["function"] = function.name
+        return graph
+
+    def build_module(self, module: Module, name: Optional[str] = None) -> ProgramGraph:
+        """Build one graph covering every defined function in the module."""
+        graph = ProgramGraph(name or module.name)
+        entry_nodes: Dict[Function, Node] = {}
+        return_nodes: Dict[Function, List[Node]] = {}
+        call_sites: List[Tuple[Node, str]] = []
+        for function in module.functions:
+            if function.is_declaration:
+                continue
+            entry, returns, calls = self._add_function(graph, function, {})
+            entry_nodes[function] = entry
+            return_nodes[function] = returns
+            call_sites.extend(calls)
+        if self.include_call_edges:
+            for call_node, callee_name in call_sites:
+                callee = module.get_function(callee_name)
+                if callee is None or callee.is_declaration:
+                    continue
+                callee_entry = entry_nodes.get(callee)
+                if callee_entry is not None:
+                    graph.add_edge(call_node, callee_entry, FLOW_CALL)
+                for ret_node in return_nodes.get(callee, []):
+                    graph.add_edge(ret_node, call_node, FLOW_CALL)
+        graph.metadata["module"] = module.name
+        graph.metadata.update(module.metadata)
+        return graph
+
+    def build_region(self, module: Module, region_function: str) -> ProgramGraph:
+        """Graph of one OpenMP outlined region plus its callees."""
+        from ..ir.module import extract_region
+
+        extracted = extract_region(module, region_function)
+        return self.build_module(extracted, name=f"{module.name}.{region_function}")
+
+    # ------------------------------------------------------------- internals
+    def _add_function(
+        self,
+        graph: ProgramGraph,
+        function: Function,
+        value_nodes: Dict[Value, Node],
+    ) -> Tuple[Node, List[Node], List[Tuple[Node, str]]]:
+        inst_nodes: Dict[Instruction, Node] = {}
+        return_nodes: List[Node] = []
+        call_sites: List[Tuple[Node, str]] = []
+
+        # Loop nesting depth is a cheap static feature with a lot of signal
+        # (it distinguishes flat streaming loops from nested CLOMP kernels).
+        from ..ir.loops import loop_depth_map
+
+        depths = loop_depth_map(function) if function.blocks else {}
+
+        # Argument variable nodes.
+        for arg in function.arguments:
+            value_nodes[arg] = graph.add_node(
+                NODE_KIND_VARIABLE, value_token(arg), function.name
+            )
+
+        # Instruction nodes plus the variable node for each defined value.
+        for block in function.blocks:
+            block_depth = float(depths.get(block, 0))
+            for inst in block.instructions:
+                node = graph.add_node(
+                    NODE_KIND_INSTRUCTION,
+                    instruction_token(inst),
+                    function.name,
+                    block.name,
+                    loop_depth=float(inst.metadata.get("loop_depth", block_depth)),
+                )
+                inst_nodes[inst] = node
+                if not inst.type.is_void:
+                    result_node = graph.add_node(
+                        NODE_KIND_VARIABLE, value_token(inst), function.name, block.name
+                    )
+                    value_nodes[inst] = result_node
+                    graph.add_edge(node, result_node, FLOW_DATA, position=0)
+                if isinstance(inst, Return):
+                    return_nodes.append(node)
+                if isinstance(inst, Call):
+                    call_sites.append((node, inst.callee_name))
+
+        # Data edges from operands to the instructions using them.
+        constant_nodes: Dict[Tuple[str, object], Node] = {}
+        for block in function.blocks:
+            for inst in block.instructions:
+                position = 0
+                for op in inst.operands:
+                    if isinstance(op, BasicBlock) or isinstance(op, Function):
+                        continue
+                    position += 1
+                    source = self._operand_node(graph, function, op, value_nodes, constant_nodes)
+                    if source is not None:
+                        graph.add_edge(source, inst_nodes[inst], FLOW_DATA, position=position)
+
+        # Control edges.
+        for block in function.blocks:
+            instructions = block.instructions
+            for a, b in zip(instructions, instructions[1:]):
+                graph.add_edge(inst_nodes[a], inst_nodes[b], FLOW_CONTROL)
+            term = block.terminator
+            if term is None:
+                continue
+            for succ in block.successors():
+                if succ.instructions:
+                    graph.add_edge(
+                        inst_nodes[term], inst_nodes[succ.instructions[0]], FLOW_CONTROL
+                    )
+
+        entry_node = None
+        entry = function.entry_block
+        if entry is not None and entry.instructions:
+            entry_node = inst_nodes[entry.instructions[0]]
+        if entry_node is None:
+            # Degenerate function: synthesise a placeholder instruction node.
+            entry_node = graph.add_node(NODE_KIND_INSTRUCTION, "unreachable", function.name)
+        return entry_node, return_nodes, call_sites
+
+    def _operand_node(
+        self,
+        graph: ProgramGraph,
+        function: Function,
+        op: Value,
+        value_nodes: Dict[Value, Node],
+        constant_nodes: Dict[Tuple[str, object], Node],
+    ) -> Optional[Node]:
+        if isinstance(op, Constant):
+            key = (repr(op.type), getattr(op, "value", None))
+            node = constant_nodes.get(key)
+            if node is None:
+                literal = getattr(op, "value", 0.0) or 0.0
+                node = graph.add_node(
+                    NODE_KIND_CONSTANT,
+                    value_token(op),
+                    function.name,
+                    literal_magnitude=float(abs(float(literal))),
+                )
+                constant_nodes[key] = node
+            return node
+        if isinstance(op, GlobalVariable):
+            node = value_nodes.get(op)
+            if node is None:
+                node = graph.add_node(NODE_KIND_VARIABLE, value_token(op), "")
+                value_nodes[op] = node
+            return node
+        return value_nodes.get(op)
+
+
+def build_graph(module_or_function, name: Optional[str] = None) -> ProgramGraph:
+    """Convenience helper building a graph from a module or a function."""
+    builder = GraphBuilder()
+    if isinstance(module_or_function, Module):
+        return builder.build_module(module_or_function, name)
+    return builder.build_function(module_or_function, name)

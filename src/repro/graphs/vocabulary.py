@@ -1,0 +1,119 @@
+"""Node-text vocabulary for program graphs.
+
+ProGraML embeds each node from a text token derived from the instruction or
+the value type.  The vocabulary here is *closed*: it is derived from the
+mini-IR's opcode and type sets, so every graph built from valid IR maps onto
+it without out-of-vocabulary handling (an explicit ``<unk>`` token exists as
+a safety net and for forward compatibility).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..ir.instructions import (
+    ATOMIC_OPS,
+    BINARY_OPS,
+    CAST_OPS,
+    FCMP_PREDICATES,
+    ICMP_PREDICATES,
+)
+
+UNKNOWN_TOKEN = "<unk>"
+
+#: external functions the workload kernels may call; they get their own
+#: tokens because the call target is a strong static signal (e.g. a kernel
+#: calling ``omp_get_thread_num`` is doing manual work distribution).
+KNOWN_EXTERNALS = (
+    "sqrt",
+    "fabs",
+    "exp",
+    "log",
+    "sin",
+    "cos",
+    "pow",
+    "fmax",
+    "fmin",
+    "floor",
+    "ceil",
+    "omp_get_thread_num",
+    "omp_get_num_threads",
+    "kmpc_barrier",
+    "kmpc_critical",
+    "kmpc_reduce",
+)
+
+#: type kind tokens used for variable/constant nodes.
+TYPE_TOKENS = ("void", "label", "int", "float", "ptr", "array", "func")
+
+
+def _instruction_tokens() -> List[str]:
+    tokens: List[str] = []
+    tokens.extend(BINARY_OPS)
+    tokens.extend(f"icmp_{p}" for p in ICMP_PREDICATES)
+    tokens.extend(f"fcmp_{p}" for p in FCMP_PREDICATES)
+    tokens.extend(CAST_OPS)
+    tokens.extend(
+        [
+            "alloca",
+            "load",
+            "store",
+            "gep",
+            "select",
+            "phi",
+            "br",
+            "condbr",
+            "switch",
+            "ret",
+            "unreachable",
+            "call",
+        ]
+    )
+    tokens.extend(f"atomicrmw_{op}" for op in ATOMIC_OPS)
+    tokens.extend(f"call_{name}" for name in KNOWN_EXTERNALS)
+    return tokens
+
+
+def _value_tokens() -> List[str]:
+    tokens = [f"var_{t}" for t in TYPE_TOKENS]
+    tokens += [f"const_{t}" for t in TYPE_TOKENS]
+    tokens += ["arg", "global"]
+    return tokens
+
+
+class Vocabulary:
+    """Bidirectional token <-> index mapping."""
+
+    def __init__(self, tokens: Iterable[str]):
+        unique: List[str] = []
+        seen = set()
+        for token in tokens:
+            if token not in seen:
+                unique.append(token)
+                seen.add(token)
+        if UNKNOWN_TOKEN not in seen:
+            unique.insert(0, UNKNOWN_TOKEN)
+        self._tokens: List[str] = unique
+        self._index: Dict[str, int] = {t: i for i, t in enumerate(unique)}
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._index
+
+    def index_of(self, token: str) -> int:
+        """Index of ``token`` (the ``<unk>`` index if unseen)."""
+        return self._index.get(token, self._index[UNKNOWN_TOKEN])
+
+    def token_at(self, index: int) -> str:
+        return self._tokens[index]
+
+    @property
+    def tokens(self) -> List[str]:
+        return list(self._tokens)
+
+
+def default_vocabulary() -> Vocabulary:
+    """The canonical vocabulary covering every token the builder emits."""
+    return Vocabulary(_instruction_tokens() + _value_tokens())

@@ -1,0 +1,113 @@
+"""Basic blocks of the mini-IR."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from .instructions import Instruction, Phi
+from .types import LABEL
+from .values import Value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .function import Function
+
+
+class BasicBlock(Value):
+    """A straight-line sequence of instructions ending in a terminator.
+
+    Basic blocks are themselves :class:`Value` instances (of label type) so
+    that branch instructions can reference them directly as operands, the
+    same way LLVM does.
+    """
+
+    __slots__ = ("instructions", "parent")
+
+    def __init__(self, name: str = "", parent: Optional["Function"] = None):
+        super().__init__(LABEL, name)
+        self.instructions: List[Instruction] = []
+        self.parent = parent
+        if parent is not None:
+            parent.add_block(self)
+
+    # ------------------------------------------------------------ structure
+    def append(self, inst: Instruction) -> Instruction:
+        """Append ``inst`` at the end of the block."""
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        """Insert ``inst`` at ``index``."""
+        inst.parent = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def insert_before_terminator(self, inst: Instruction) -> Instruction:
+        """Insert ``inst`` just before the terminator (or append)."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.insert(len(self.instructions) - 1, inst)
+        return self.append(inst)
+
+    def remove(self, inst: Instruction) -> None:
+        """Remove ``inst`` from this block."""
+        self.instructions.remove(inst)
+        inst.parent = None
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # ------------------------------------------------------------- contents
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def phis(self) -> List[Phi]:
+        """Return the leading phi nodes of the block."""
+        result: List[Phi] = []
+        for inst in self.instructions:
+            if isinstance(inst, Phi):
+                result.append(inst)
+            else:
+                break
+        return result
+
+    def non_phi_instructions(self) -> List[Instruction]:
+        return [inst for inst in self.instructions if not isinstance(inst, Phi)]
+
+    def first_non_phi_index(self) -> int:
+        for i, inst in enumerate(self.instructions):
+            if not isinstance(inst, Phi):
+                return i
+        return len(self.instructions)
+
+    # ----------------------------------------------------------------- CFG
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        return term.successors()  # type: ignore[attr-defined]
+
+    def predecessors(self) -> List["BasicBlock"]:
+        """Predecessors computed by scanning the parent function."""
+        if self.parent is None:
+            return []
+        preds: List[BasicBlock] = []
+        for block in self.parent.blocks:
+            if self in block.successors():
+                preds.append(block)
+        return preds
+
+    def short(self) -> str:
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"

@@ -1,0 +1,163 @@
+"""Convenience IR construction API (mirrors LLVM's IRBuilder)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import (
+    Alloca,
+    AtomicRMW,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from .types import Type
+from .values import Value
+
+
+class IRBuilder:
+    """Appends instructions to a current insertion block.
+
+    Every ``build_*`` method creates the instruction, gives it a fresh name
+    (when it produces a value), appends it to the insertion block and returns
+    it, so straight-line construction code reads like the IR it produces.
+    """
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+
+    # --------------------------------------------------------------- control
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        if self.block is None or self.block.parent is None:
+            raise RuntimeError("builder has no insertion point")
+        return self.block.parent
+
+    def _insert(self, inst: Instruction, name: str = "") -> Instruction:
+        if self.block is None:
+            raise RuntimeError("builder has no insertion point")
+        if not inst.type.is_void and not inst.name:
+            inst.name = name or self.function.next_name()
+        return self.block.append(inst)
+
+    # ------------------------------------------------------------ arithmetic
+    def binary(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self._insert(BinaryOp(opcode, lhs, rhs), name)  # type: ignore[return-value]
+
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("add", lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("sdiv", lhs, rhs, name)
+
+    def srem(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("srem", lhs, rhs, name)
+
+    def and_(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("and", lhs, rhs, name)
+
+    def or_(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("or", lhs, rhs, name)
+
+    def xor(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("xor", lhs, rhs, name)
+
+    def shl(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("shl", lhs, rhs, name)
+
+    def ashr(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("ashr", lhs, rhs, name)
+
+    def fadd(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("fadd", lhs, rhs, name)
+
+    def fsub(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("fsub", lhs, rhs, name)
+
+    def fmul(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("fmul", lhs, rhs, name)
+
+    def fdiv(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self.binary("fdiv", lhs, rhs, name)
+
+    # ----------------------------------------------------------- comparisons
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+        return self._insert(ICmp(predicate, lhs, rhs), name)  # type: ignore[return-value]
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> FCmp:
+        return self._insert(FCmp(predicate, lhs, rhs), name)  # type: ignore[return-value]
+
+    def select(self, cond: Value, true_value: Value, false_value: Value, name: str = "") -> Select:
+        return self._insert(Select(cond, true_value, false_value), name)  # type: ignore[return-value]
+
+    def cast(self, opcode: str, value: Value, to_type: Type, name: str = "") -> Cast:
+        return self._insert(Cast(opcode, value, to_type), name)  # type: ignore[return-value]
+
+    # ---------------------------------------------------------------- memory
+    def alloca(self, allocated_type: Type, array_size: int = 1, name: str = "") -> Alloca:
+        return self._insert(Alloca(allocated_type, array_size=array_size), name)  # type: ignore[return-value]
+
+    def load(self, pointer: Value, name: str = "", volatile: bool = False) -> Load:
+        return self._insert(Load(pointer, volatile=volatile), name)  # type: ignore[return-value]
+
+    def store(self, value: Value, pointer: Value, volatile: bool = False) -> Store:
+        return self._insert(Store(value, pointer, volatile))  # type: ignore[return-value]
+
+    def gep(self, pointer: Value, indices: Sequence[Value], name: str = "") -> GetElementPtr:
+        return self._insert(GetElementPtr(pointer, indices), name)  # type: ignore[return-value]
+
+    def atomicrmw(self, operation: str, pointer: Value, value: Value, name: str = "") -> AtomicRMW:
+        return self._insert(AtomicRMW(operation, pointer, value), name)  # type: ignore[return-value]
+
+    # ----------------------------------------------------------------- calls
+    def call(self, callee, args: Sequence[Value] = (), return_type: Optional[Type] = None, name: str = "") -> Call:
+        return self._insert(Call(callee, args, return_type), name)  # type: ignore[return-value]
+
+    # ---------------------------------------------------------- control flow
+    def br(self, target: BasicBlock) -> Branch:
+        return self._insert(Branch(target))  # type: ignore[return-value]
+
+    def condbr(self, condition: Value, if_true: BasicBlock, if_false: BasicBlock) -> CondBranch:
+        return self._insert(CondBranch(condition, if_true, if_false))  # type: ignore[return-value]
+
+    def switch(self, value: Value, default: BasicBlock, cases) -> Switch:
+        return self._insert(Switch(value, default, cases))  # type: ignore[return-value]
+
+    def ret(self, value: Optional[Value] = None) -> Return:
+        return self._insert(Return(value))  # type: ignore[return-value]
+
+    def unreachable(self) -> Unreachable:
+        return self._insert(Unreachable())  # type: ignore[return-value]
+
+    def phi(self, type: Type, name: str = "") -> Phi:
+        """Create a phi at the *top* of the current block."""
+        if self.block is None:
+            raise RuntimeError("builder has no insertion point")
+        phi = Phi(type)
+        phi.name = name or self.function.next_name("phi")
+        self.block.insert(self.block.first_non_phi_index(), phi)
+        return phi

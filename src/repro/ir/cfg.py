@@ -1,0 +1,96 @@
+"""Control-flow-graph analyses over functions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .block import BasicBlock
+from .function import Function
+
+
+def successors_map(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Block -> list of successor blocks."""
+    return {block: block.successors() for block in function.blocks}
+
+
+def predecessors_map(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Block -> list of predecessor blocks (computed in one sweep)."""
+    preds: Dict[BasicBlock, List[BasicBlock]] = {block: [] for block in function.blocks}
+    for block in function.blocks:
+        for succ in block.successors():
+            if succ in preds:
+                preds[succ].append(block)
+    return preds
+
+
+def reachable_blocks(function: Function) -> Set[BasicBlock]:
+    """Blocks reachable from the entry block."""
+    entry = function.entry_block
+    if entry is None:
+        return set()
+    seen: Set[BasicBlock] = {entry}
+    stack = [entry]
+    while stack:
+        block = stack.pop()
+        for succ in block.successors():
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+def reverse_postorder(function: Function) -> List[BasicBlock]:
+    """Blocks in reverse postorder of a DFS from the entry block."""
+    entry = function.entry_block
+    if entry is None:
+        return []
+    visited: Set[BasicBlock] = set()
+    postorder: List[BasicBlock] = []
+
+    def dfs(block: BasicBlock) -> None:
+        visited.add(block)
+        for succ in block.successors():
+            if succ not in visited:
+                dfs(succ)
+        postorder.append(block)
+
+    # Iterative DFS to avoid recursion limits on long CFG chains.
+    stack: List[tuple[BasicBlock, int]] = [(entry, 0)]
+    visited = {entry}
+    postorder = []
+    while stack:
+        block, idx = stack[-1]
+        succs = block.successors()
+        if idx < len(succs):
+            stack[-1] = (block, idx + 1)
+            succ = succs[idx]
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, 0))
+        else:
+            postorder.append(block)
+            stack.pop()
+    return list(reversed(postorder))
+
+
+def postorder(function: Function) -> List[BasicBlock]:
+    """Blocks in postorder of a DFS from the entry block."""
+    return list(reversed(reverse_postorder(function)))
+
+
+def back_edges(function: Function) -> List[tuple[BasicBlock, BasicBlock]]:
+    """CFG back edges (tail, head) determined via dominance."""
+    from .dominators import DominatorTree
+
+    domtree = DominatorTree(function)
+    edges: List[tuple[BasicBlock, BasicBlock]] = []
+    for block in reachable_blocks(function):
+        for succ in block.successors():
+            if domtree.dominates(succ, block):
+                edges.append((block, succ))
+    return edges
+
+
+def is_acyclic(function: Function) -> bool:
+    """True if the function's CFG has no cycles."""
+    return not back_edges(function)

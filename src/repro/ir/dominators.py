@@ -1,0 +1,107 @@
+"""Dominator tree computation (Cooper-Harvey-Kennedy algorithm)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .block import BasicBlock
+from .cfg import predecessors_map, reverse_postorder
+from .function import Function
+
+
+class DominatorTree:
+    """Immediate-dominator tree for a function's CFG.
+
+    Implements the simple iterative algorithm of Cooper, Harvey & Kennedy
+    ("A Simple, Fast Dominance Algorithm"), which is plenty fast for the
+    region-sized functions this project manipulates.
+    """
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.rpo: List[BasicBlock] = reverse_postorder(function)
+        self._rpo_index: Dict[BasicBlock, int] = {b: i for i, b in enumerate(self.rpo)}
+        self.idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        self._compute()
+
+    # ------------------------------------------------------------------ core
+    def _compute(self) -> None:
+        if not self.rpo:
+            return
+        entry = self.rpo[0]
+        preds = predecessors_map(self.function)
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {b: None for b in self.rpo}
+        idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo[1:]:
+                candidates = [p for p in preds.get(block, []) if idom.get(p) is not None]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for other in candidates[1:]:
+                    new_idom = self._intersect(new_idom, other, idom)
+                if idom[block] is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        # Conventionally the entry block has no immediate dominator.
+        idom[entry] = None
+        self.idom = idom
+
+    def _intersect(
+        self,
+        a: BasicBlock,
+        b: BasicBlock,
+        idom: Dict[BasicBlock, Optional[BasicBlock]],
+    ) -> BasicBlock:
+        finger_a, finger_b = a, b
+        while finger_a is not finger_b:
+            while self._rpo_index[finger_a] > self._rpo_index[finger_b]:
+                parent = idom[finger_a]
+                assert parent is not None
+                finger_a = parent
+            while self._rpo_index[finger_b] > self._rpo_index[finger_a]:
+                parent = idom[finger_b]
+                assert parent is not None
+                finger_b = parent
+        return finger_a
+
+    # --------------------------------------------------------------- queries
+    def immediate_dominator(self, block: BasicBlock) -> Optional[BasicBlock]:
+        return self.idom.get(block)
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (every block dominates itself)."""
+        if a is b:
+            return True
+        runner: Optional[BasicBlock] = self.idom.get(b)
+        while runner is not None:
+            if runner is a:
+                return True
+            runner = self.idom.get(runner)
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def children(self, block: BasicBlock) -> List[BasicBlock]:
+        """Blocks whose immediate dominator is ``block``."""
+        return [b for b, parent in self.idom.items() if parent is block]
+
+    def dominance_frontier(self) -> Dict[BasicBlock, set]:
+        """Dominance frontiers for every reachable block."""
+        preds = predecessors_map(self.function)
+        frontier: Dict[BasicBlock, set] = {b: set() for b in self.rpo}
+        for block in self.rpo:
+            block_preds = preds.get(block, [])
+            if len(block_preds) < 2:
+                continue
+            for pred in block_preds:
+                if pred not in self._rpo_index:
+                    continue
+                runner: Optional[BasicBlock] = pred
+                while runner is not None and runner is not self.idom[block]:
+                    frontier[runner].add(block)
+                    runner = self.idom[runner]
+        return frontier

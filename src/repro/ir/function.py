@@ -1,0 +1,189 @@
+"""Functions of the mini-IR."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
+
+from .block import BasicBlock
+from .instructions import Instruction, Phi
+from .types import FunctionType, Type
+from .values import Argument, Value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .module import Module
+
+
+class Function(Value):
+    """A function: a named list of basic blocks with typed arguments.
+
+    OpenMP parallel regions are modelled the way Clang lowers them: the
+    region body becomes an *outlined* function whose ``is_omp_outlined``
+    attribute is set; the paper's region extractor then pulls exactly these
+    functions out of the module.
+    """
+
+    __slots__ = (
+        "function_type",
+        "arguments",
+        "blocks",
+        "parent",
+        "attributes",
+        "is_declaration",
+        "_name_counter",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        function_type: FunctionType,
+        arg_names: Optional[Sequence[str]] = None,
+        parent: Optional["Module"] = None,
+    ):
+        super().__init__(function_type, name)
+        self.function_type = function_type
+        self.arguments: List[Argument] = []
+        for i, param_type in enumerate(function_type.param_types):
+            arg_name = arg_names[i] if arg_names and i < len(arg_names) else f"arg{i}"
+            self.arguments.append(Argument(param_type, arg_name, i, self))
+        self.blocks: List[BasicBlock] = []
+        self.parent = parent
+        #: free-form attributes: {"omp_outlined", "inline", "noinline", ...}
+        self.attributes: set[str] = set()
+        self.is_declaration = False
+        self._name_counter = 0
+        if parent is not None:
+            parent.add_function(self)
+
+    # --------------------------------------------------------------- naming
+    def next_name(self, prefix: str = "t") -> str:
+        """Generate a fresh value name unique within the function."""
+        self._name_counter += 1
+        return f"{prefix}{self._name_counter}"
+
+    # ------------------------------------------------------------ structure
+    @property
+    def return_type(self) -> Type:
+        return self.function_type.return_type
+
+    @property
+    def entry_block(self) -> Optional[BasicBlock]:
+        return self.blocks[0] if self.blocks else None
+
+    @property
+    def is_omp_outlined(self) -> bool:
+        return "omp_outlined" in self.attributes
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        block.parent = self
+        if block not in self.blocks:
+            self.blocks.append(block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def block_named(self, name: str) -> Optional[BasicBlock]:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        return None
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    # ---------------------------------------------------------- instruction
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate over every instruction in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def instruction_count(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def uses_of(self, value: Value) -> List[Instruction]:
+        """Return all instructions in this function using ``value``."""
+        users: List[Instruction] = []
+        for inst in self.instructions():
+            if inst.uses_value(value):
+                users.append(inst)
+        return users
+
+    def replace_all_uses_with(self, old: Value, new: Value) -> int:
+        """Replace every use of ``old`` with ``new``; return number replaced."""
+        count = 0
+        for inst in self.instructions():
+            count += inst.replace_operand(old, new)
+        return count
+
+    def defined_values(self) -> Dict[str, Instruction]:
+        """Map of value-name -> defining instruction (non-void results)."""
+        defs: Dict[str, Instruction] = {}
+        for inst in self.instructions():
+            if not inst.type.is_void and inst.name:
+                defs[inst.name] = inst
+        return defs
+
+    # ------------------------------------------------------------- metrics
+    def static_features(self) -> Dict[str, float]:
+        """Cheap static descriptors used for diagnostics and sanity tests."""
+        from .loops import find_loops  # local import to avoid a cycle
+
+        opcount: Dict[str, int] = {}
+        for inst in self.instructions():
+            opcount[inst.opcode] = opcount.get(inst.opcode, 0) + 1
+        num_insts = self.instruction_count()
+        mem_ops = opcount.get("load", 0) + opcount.get("store", 0)
+        flops = sum(opcount.get(op, 0) for op in ("fadd", "fsub", "fmul", "fdiv"))
+        loops = find_loops(self)
+        return {
+            "num_blocks": float(len(self.blocks)),
+            "num_instructions": float(num_insts),
+            "num_loads": float(opcount.get("load", 0)),
+            "num_stores": float(opcount.get("store", 0)),
+            "num_flops": float(flops),
+            "num_calls": float(opcount.get("call", 0)),
+            "num_branches": float(opcount.get("condbr", 0) + opcount.get("br", 0)),
+            "num_phis": float(opcount.get("phi", 0)),
+            "num_atomics": float(opcount.get("atomicrmw", 0)),
+            "num_loops": float(len(loops)),
+            "mem_ratio": float(mem_ops) / max(1.0, float(num_insts)),
+            "flop_ratio": float(flops) / max(1.0, float(num_insts)),
+        }
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<Function @{self.name} ({len(self.blocks)} blocks)>"
+
+
+def remove_block_and_fix_phis(function: Function, block: BasicBlock) -> None:
+    """Remove ``block`` from ``function`` and drop phi edges referencing it."""
+    for other in function.blocks:
+        for phi in other.phis():
+            phi.remove_incoming(block)
+    if block in function.blocks:
+        function.remove_block(block)
+
+
+def renumber_values(function: Function) -> None:
+    """Give every unnamed instruction result a sequential name.
+
+    The printer requires every non-void instruction to have a name; passes
+    that synthesize instructions may leave them unnamed.
+    """
+    taken = {inst.name for inst in function.instructions() if inst.name}
+    taken.update(arg.name for arg in function.arguments)
+    counter = 0
+    for inst in function.instructions():
+        if inst.type.is_void or isinstance(inst, Phi) and inst.name:
+            continue
+        if not inst.name:
+            counter += 1
+            candidate = f"v{counter}"
+            while candidate in taken:
+                counter += 1
+                candidate = f"v{counter}"
+            inst.name = candidate
+            taken.add(candidate)

@@ -1,0 +1,535 @@
+"""Instruction set of the mini-IR.
+
+The instruction set intentionally mirrors the subset of LLVM IR that the
+paper's OpenMP parallel regions exercise: integer/float arithmetic, memory
+access through pointers and GEPs, control flow, calls (including the OpenMP
+runtime calls such as ``omp_get_thread_num``), phis and atomics for
+reductions.
+
+Instructions are SSA values: the instruction object itself *is* the value it
+defines.  Operands are stored in a plain list; helper methods keep use/def
+queries simple without maintaining intrusive use lists.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+from .types import (
+    BOOL,
+    LABEL,
+    VOID,
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    Type,
+)
+from .values import Constant, Value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .block import BasicBlock
+    from .function import Function
+
+
+# Opcode groups --------------------------------------------------------------
+INT_BINARY_OPS = (
+    "add",
+    "sub",
+    "mul",
+    "sdiv",
+    "udiv",
+    "srem",
+    "urem",
+    "and",
+    "or",
+    "xor",
+    "shl",
+    "lshr",
+    "ashr",
+)
+FLOAT_BINARY_OPS = ("fadd", "fsub", "fmul", "fdiv", "frem")
+BINARY_OPS = INT_BINARY_OPS + FLOAT_BINARY_OPS
+
+ICMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge")
+FCMP_PREDICATES = ("oeq", "one", "olt", "ole", "ogt", "oge")
+
+CAST_OPS = ("trunc", "zext", "sext", "fptosi", "sitofp", "fpext", "fptrunc", "bitcast")
+
+COMMUTATIVE_OPS = frozenset({"add", "mul", "and", "or", "xor", "fadd", "fmul"})
+
+#: opcodes that may trap or have side effects and must never be removed by DCE
+SIDE_EFFECT_OPS = frozenset({"store", "call", "ret", "br", "atomicrmw", "fence"})
+
+ATOMIC_OPS = ("add", "fadd", "max", "min", "and", "or", "xor", "xchg")
+
+
+class Instruction(Value):
+    """Base class of all instructions."""
+
+    __slots__ = ("opcode", "operands", "parent", "metadata")
+
+    def __init__(
+        self,
+        opcode: str,
+        type: Type,
+        operands: Sequence[Value] = (),
+        name: str = "",
+    ):
+        super().__init__(type, name)
+        self.opcode = opcode
+        self.operands: List[Value] = list(operands)
+        self.parent: Optional["BasicBlock"] = None
+        #: free-form metadata (loop depth, source hints, OpenMP markers, ...)
+        self.metadata: dict[str, object] = {}
+
+    # ------------------------------------------------------------------ uses
+    def uses_value(self, value: Value) -> bool:
+        """True if ``value`` appears among this instruction's operands."""
+        return any(op is value for op in self.operands)
+
+    def replace_operand(self, old: Value, new: Value) -> int:
+        """Replace every occurrence of ``old`` with ``new``; return count."""
+        count = 0
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+                count += 1
+        return count
+
+    # ----------------------------------------------------------------- flags
+    @property
+    def is_terminator(self) -> bool:
+        return isinstance(self, (Branch, CondBranch, Return, Switch, Unreachable))
+
+    @property
+    def has_side_effects(self) -> bool:
+        if self.opcode in SIDE_EFFECT_OPS:
+            return True
+        if isinstance(self, Load) and self.is_volatile:
+            return True
+        return False
+
+    @property
+    def is_pure(self) -> bool:
+        """True if the instruction can be removed when its result is unused."""
+        if self.has_side_effects or self.is_terminator:
+            return False
+        if isinstance(self, (Load, Alloca, Phi)):
+            # loads are value-dependent on memory, allocas define storage and
+            # phis carry control-dependence; all handled by dedicated passes.
+            return not isinstance(self, Load) or not self.is_volatile
+        return True
+
+    @property
+    def function(self) -> Optional["Function"]:
+        return self.parent.parent if self.parent is not None else None
+
+    def clone(self) -> "Instruction":
+        """Shallow-clone the instruction (same operands, no parent)."""
+        inst = type(self).__new__(type(self))
+        Instruction.__init__(inst, self.opcode, self.type, list(self.operands), self.name)
+        for slot in getattr(type(self), "__slots__", ()):
+            if slot in ("opcode", "operands", "parent", "metadata", "type", "name"):
+                continue
+            setattr(inst, slot, getattr(self, slot))
+        inst.metadata = dict(self.metadata)
+        return inst
+
+    def __repr__(self) -> str:
+        ops = ", ".join(op.short() for op in self.operands)
+        return f"<{self.opcode} {self.short()} [{ops}]>"
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic / logic
+# ---------------------------------------------------------------------------
+class BinaryOp(Instruction):
+    """Two-operand arithmetic or bitwise instruction."""
+
+    __slots__ = ()
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = ""):
+        if opcode not in BINARY_OPS:
+            raise ValueError(f"unknown binary opcode {opcode!r}")
+        super().__init__(opcode, lhs.type, [lhs, rhs], name)
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def is_commutative(self) -> bool:
+        return self.opcode in COMMUTATIVE_OPS
+
+
+class ICmp(Instruction):
+    """Integer comparison producing an ``i1``."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in ICMP_PREDICATES:
+            raise ValueError(f"unknown icmp predicate {predicate!r}")
+        super().__init__("icmp", BOOL, [lhs, rhs], name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class FCmp(Instruction):
+    """Floating-point comparison producing an ``i1``."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in FCMP_PREDICATES:
+            raise ValueError(f"unknown fcmp predicate {predicate!r}")
+        super().__init__("fcmp", BOOL, [lhs, rhs], name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class Select(Instruction):
+    """``select cond, a, b`` — ternary value selection."""
+
+    __slots__ = ()
+
+    def __init__(self, cond: Value, true_value: Value, false_value: Value, name: str = ""):
+        super().__init__("select", true_value.type, [cond, true_value, false_value], name)
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def true_value(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def false_value(self) -> Value:
+        return self.operands[2]
+
+
+class Cast(Instruction):
+    """Type conversion instruction."""
+
+    __slots__ = ()
+
+    def __init__(self, opcode: str, value: Value, to_type: Type, name: str = ""):
+        if opcode not in CAST_OPS:
+            raise ValueError(f"unknown cast opcode {opcode!r}")
+        super().__init__(opcode, to_type, [value], name)
+
+    @property
+    def source(self) -> Value:
+        return self.operands[0]
+
+
+# ---------------------------------------------------------------------------
+# Memory
+# ---------------------------------------------------------------------------
+class Alloca(Instruction):
+    """Stack allocation; result is a pointer to ``allocated_type``."""
+
+    __slots__ = ("allocated_type", "array_size")
+
+    def __init__(self, allocated_type: Type, name: str = "", array_size: int = 1):
+        super().__init__("alloca", PointerType(allocated_type), [], name)
+        self.allocated_type = allocated_type
+        self.array_size = array_size
+
+
+class Load(Instruction):
+    """Load a value through a pointer."""
+
+    __slots__ = ("is_volatile",)
+
+    def __init__(self, pointer: Value, name: str = "", volatile: bool = False):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"load requires a pointer operand, got {pointer.type!r}")
+        super().__init__("load", pointer.type.pointee, [pointer], name)
+        self.is_volatile = volatile
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    """Store a value through a pointer."""
+
+    __slots__ = ("is_volatile",)
+
+    def __init__(self, value: Value, pointer: Value, volatile: bool = False):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"store requires a pointer operand, got {pointer.type!r}")
+        super().__init__("store", VOID, [value, pointer], "")
+        self.is_volatile = volatile
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+class GetElementPtr(Instruction):
+    """Pointer arithmetic (array indexing).
+
+    The result type is a pointer to the element type obtained by stepping
+    through arrays with the provided indices, mirroring LLVM's ``getelementptr``
+    for the array/pointer subset we support.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, pointer: Value, indices: Sequence[Value], name: str = ""):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError("gep requires a pointer operand")
+        result_type = self._compute_type(pointer.type, len(indices))
+        super().__init__("gep", result_type, [pointer, *indices], name)
+
+    @staticmethod
+    def _compute_type(ptr_type: PointerType, num_indices: int) -> PointerType:
+        current: Type = ptr_type.pointee
+        # The first index steps over the pointer itself, remaining indices
+        # descend into array types.
+        for _ in range(max(0, num_indices - 1)):
+            if isinstance(current, ArrayType):
+                current = current.element
+            else:
+                break
+        return PointerType(current)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def indices(self) -> List[Value]:
+        return self.operands[1:]
+
+
+class AtomicRMW(Instruction):
+    """Atomic read-modify-write (used for OpenMP reductions/critical)."""
+
+    __slots__ = ("operation",)
+
+    def __init__(self, operation: str, pointer: Value, value: Value, name: str = ""):
+        if operation not in ATOMIC_OPS:
+            raise ValueError(f"unknown atomic operation {operation!r}")
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError("atomicrmw requires a pointer operand")
+        super().__init__("atomicrmw", pointer.type.pointee, [pointer, value], name)
+        self.operation = operation
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def value(self) -> Value:
+        return self.operands[1]
+
+
+# ---------------------------------------------------------------------------
+# Control flow
+# ---------------------------------------------------------------------------
+class Branch(Instruction):
+    """Unconditional branch."""
+
+    __slots__ = ()
+
+    def __init__(self, target: "BasicBlock"):
+        super().__init__("br", VOID, [target], "")
+
+    @property
+    def target(self) -> "BasicBlock":
+        return self.operands[0]  # type: ignore[return-value]
+
+    def successors(self) -> List["BasicBlock"]:
+        return [self.target]
+
+
+class CondBranch(Instruction):
+    """Conditional branch."""
+
+    __slots__ = ()
+
+    def __init__(self, condition: Value, if_true: "BasicBlock", if_false: "BasicBlock"):
+        super().__init__("condbr", VOID, [condition, if_true, if_false], "")
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def if_true(self) -> "BasicBlock":
+        return self.operands[1]  # type: ignore[return-value]
+
+    @property
+    def if_false(self) -> "BasicBlock":
+        return self.operands[2]  # type: ignore[return-value]
+
+    def successors(self) -> List["BasicBlock"]:
+        return [self.if_true, self.if_false]
+
+
+class Switch(Instruction):
+    """Multi-way branch on an integer value."""
+
+    __slots__ = ("cases",)
+
+    def __init__(
+        self,
+        value: Value,
+        default: "BasicBlock",
+        cases: Sequence[Tuple[int, "BasicBlock"]] = (),
+    ):
+        operands: List[Value] = [value, default]
+        for _case_value, block in cases:
+            operands.append(block)
+        super().__init__("switch", VOID, operands, "")
+        self.cases: List[Tuple[int, "BasicBlock"]] = [(cv, blk) for cv, blk in cases]
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def default(self) -> "BasicBlock":
+        return self.operands[1]  # type: ignore[return-value]
+
+    def successors(self) -> List["BasicBlock"]:
+        return [self.default] + [blk for _, blk in self.cases]
+
+
+class Return(Instruction):
+    """Function return (optionally with a value)."""
+
+    __slots__ = ()
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__("ret", VOID, [value] if value is not None else [], "")
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    def successors(self) -> List["BasicBlock"]:
+        return []
+
+
+class Unreachable(Instruction):
+    """Marks unreachable control flow."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__("unreachable", VOID, [], "")
+
+    def successors(self) -> List["BasicBlock"]:
+        return []
+
+
+class Phi(Instruction):
+    """SSA phi node; incoming values are (value, block) pairs."""
+
+    __slots__ = ("incoming_blocks",)
+
+    def __init__(self, type: Type, name: str = ""):
+        super().__init__("phi", type, [], name)
+        self.incoming_blocks: List["BasicBlock"] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        self.operands.append(value)
+        self.incoming_blocks.append(block)
+
+    def incoming(self) -> List[Tuple[Value, "BasicBlock"]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def incoming_value_for(self, block: "BasicBlock") -> Optional[Value]:
+        for value, blk in zip(self.operands, self.incoming_blocks):
+            if blk is block:
+                return value
+        return None
+
+    def remove_incoming(self, block: "BasicBlock") -> None:
+        """Drop the incoming edge from ``block`` if present."""
+        for i, blk in enumerate(self.incoming_blocks):
+            if blk is block:
+                del self.incoming_blocks[i]
+                del self.operands[i]
+                return
+
+    def clone(self) -> "Phi":
+        phi = Phi(self.type, self.name)
+        phi.operands = list(self.operands)
+        phi.incoming_blocks = list(self.incoming_blocks)
+        phi.metadata = dict(self.metadata)
+        return phi
+
+
+class Call(Instruction):
+    """Function call.
+
+    ``callee`` may be a :class:`repro.ir.function.Function` or a plain string
+    symbol for external functions (``sqrt``, ``omp_get_thread_num``...).
+    """
+
+    __slots__ = ("callee",)
+
+    def __init__(
+        self,
+        callee,
+        args: Sequence[Value] = (),
+        return_type: Optional[Type] = None,
+        name: str = "",
+    ):
+        if return_type is None:
+            fn_type = getattr(callee, "type", None)
+            if isinstance(fn_type, FunctionType):
+                return_type = fn_type.return_type
+            else:
+                return_type = VOID
+        super().__init__("call", return_type, list(args), name)
+        self.callee = callee
+
+    @property
+    def callee_name(self) -> str:
+        name = getattr(self.callee, "name", None)
+        return name if name is not None else str(self.callee)
+
+    @property
+    def args(self) -> List[Value]:
+        return list(self.operands)
+
+
+def iter_used_values(inst: Instruction) -> Iterable[Value]:
+    """Yield the SSA values used by ``inst`` (excluding block operands)."""
+    from .block import BasicBlock  # local import to avoid a cycle
+
+    for op in inst.operands:
+        if not isinstance(op, BasicBlock):
+            yield op

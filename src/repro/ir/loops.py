@@ -1,0 +1,155 @@
+"""Natural-loop detection and loop metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .block import BasicBlock
+from .cfg import predecessors_map
+from .dominators import DominatorTree
+from .function import Function
+from .instructions import CondBranch, ICmp, Phi
+from .values import ConstantInt, Value
+
+
+@dataclass
+class Loop:
+    """A natural loop: header plus the set of blocks in its body."""
+
+    header: BasicBlock
+    blocks: Set[BasicBlock] = field(default_factory=set)
+    latches: List[BasicBlock] = field(default_factory=list)
+    parent: Optional["Loop"] = None
+    children: List["Loop"] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        current = self.parent
+        while current is not None:
+            depth += 1
+            current = current.parent
+        return depth
+
+    def contains(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+    def exit_blocks(self) -> List[BasicBlock]:
+        """Blocks outside the loop that are targeted from inside it."""
+        exits: List[BasicBlock] = []
+        for block in self.blocks:
+            for succ in block.successors():
+                if succ not in self.blocks and succ not in exits:
+                    exits.append(succ)
+        return exits
+
+    def preheader(self) -> Optional[BasicBlock]:
+        """The unique out-of-loop predecessor of the header, if any."""
+        if self.header.parent is None:
+            return None
+        outside = [
+            pred
+            for pred in self.header.predecessors()
+            if pred not in self.blocks
+        ]
+        return outside[0] if len(outside) == 1 else None
+
+    def induction_phi(self) -> Optional[Phi]:
+        """Heuristically find the canonical induction-variable phi."""
+        for phi in self.header.phis():
+            if phi.type.is_int and len(phi.operands) == 2:
+                return phi
+        return None
+
+    def trip_count(self) -> Optional[int]:
+        """Constant trip count if the loop bound is a compile-time constant.
+
+        Recognizes the canonical counted-loop shape emitted by the workload
+        generator: ``i = phi [init, preheader], [i+step, latch]`` guarded by
+        ``icmp slt i_next, N`` (or on ``i``).
+        """
+        phi = self.induction_phi()
+        if phi is None:
+            return None
+        term = self.header.terminator
+        cond = None
+        if isinstance(term, CondBranch) and isinstance(term.condition, ICmp):
+            cond = term.condition
+        else:
+            for latch in self.latches:
+                lt = latch.terminator
+                if isinstance(lt, CondBranch) and isinstance(lt.condition, ICmp):
+                    cond = lt.condition
+                    break
+        if cond is None or cond.predicate not in ("slt", "sle", "ult", "ule"):
+            return None
+        bound = cond.rhs
+        if not isinstance(bound, ConstantInt):
+            return None
+        init: Optional[Value] = None
+        for value, block in phi.incoming():
+            if block not in self.blocks:
+                init = value
+        if not isinstance(init, ConstantInt):
+            return None
+        count = bound.value - init.value
+        if cond.predicate in ("sle", "ule"):
+            count += 1
+        return max(0, count)
+
+
+def find_loops(function: Function) -> List[Loop]:
+    """Detect all natural loops of ``function`` and nest them."""
+    if not function.blocks:
+        return []
+    domtree = DominatorTree(function)
+    preds = predecessors_map(function)
+    loops_by_header: Dict[BasicBlock, Loop] = {}
+
+    for block in function.blocks:
+        for succ in block.successors():
+            if domtree.dominates(succ, block):
+                # back edge block -> succ; succ is the loop header.
+                loop = loops_by_header.setdefault(succ, Loop(header=succ, blocks={succ}))
+                loop.latches.append(block)
+                # Collect the loop body by walking predecessors from the latch.
+                stack = [block]
+                while stack:
+                    current = stack.pop()
+                    if current in loop.blocks:
+                        continue
+                    loop.blocks.add(current)
+                    for pred in preds.get(current, []):
+                        if pred not in loop.blocks:
+                            stack.append(pred)
+
+    loops = list(loops_by_header.values())
+    # Establish nesting: a loop is a child of the smallest loop strictly
+    # containing its header.
+    for loop in loops:
+        best: Optional[Loop] = None
+        for other in loops:
+            if other is loop:
+                continue
+            if loop.header in other.blocks and loop.blocks <= other.blocks:
+                if best is None or len(other.blocks) < len(best.blocks):
+                    best = other
+        loop.parent = best
+        if best is not None:
+            best.children.append(loop)
+    return loops
+
+
+def loop_depth_map(function: Function) -> Dict[BasicBlock, int]:
+    """Block -> nesting depth (0 outside any loop)."""
+    depths: Dict[BasicBlock, int] = {block: 0 for block in function.blocks}
+    for loop in find_loops(function):
+        for block in loop.blocks:
+            depths[block] = max(depths[block], loop.depth)
+    return depths
+
+
+def max_loop_depth(function: Function) -> int:
+    depths = loop_depth_map(function)
+    return max(depths.values(), default=0)

@@ -1,0 +1,132 @@
+"""Modules (translation units) of the mini-IR."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .function import Function
+from .values import GlobalVariable
+
+
+class Module:
+    """A compilation unit: global variables plus functions.
+
+    A module corresponds to one benchmark source file after "compilation";
+    OpenMP parallel regions appear as outlined functions within it.
+    """
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: List[Function] = []
+        self.globals: List[GlobalVariable] = []
+        #: free-form metadata (benchmark family, region id, flag sequence, ...)
+        self.metadata: Dict[str, object] = {}
+
+    # ------------------------------------------------------------ functions
+    def add_function(self, function: Function) -> Function:
+        function.parent = self
+        if function not in self.functions:
+            self.functions.append(function)
+        return function
+
+    def remove_function(self, function: Function) -> None:
+        self.functions.remove(function)
+        function.parent = None
+
+    def get_function(self, name: str) -> Optional[Function]:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        return None
+
+    def omp_outlined_functions(self) -> List[Function]:
+        """The OpenMP parallel-region functions (the paper's code regions)."""
+        return [fn for fn in self.functions if fn.is_omp_outlined]
+
+    # -------------------------------------------------------------- globals
+    def add_global(self, gv: GlobalVariable) -> GlobalVariable:
+        if gv not in self.globals:
+            self.globals.append(gv)
+        return gv
+
+    def get_global(self, name: str) -> Optional[GlobalVariable]:
+        for gv in self.globals:
+            if gv.name == name:
+                return gv
+        return None
+
+    # -------------------------------------------------------------- queries
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions)
+
+    def instruction_count(self) -> int:
+        return sum(fn.instruction_count() for fn in self.functions)
+
+    def clone(self) -> "Module":
+        """Deep-copy the module via a print/parse round trip.
+
+        Modules are mutated destructively by compiler passes; the dataset
+        augmentation step needs to run many independent flag sequences over
+        the *same* source module, so cloning must produce fully disjoint IR
+        object graphs.  A textual round trip is the simplest way to guarantee
+        that and doubles as a continuous test of the printer/parser pair.
+        """
+        from .parser import parse_module
+        from .printer import print_module
+
+        cloned = parse_module(print_module(self))
+        cloned.metadata = dict(self.metadata)
+        return cloned
+
+    def __repr__(self) -> str:
+        return f"<Module {self.name} ({len(self.functions)} functions)>"
+
+
+def extract_region(module: Module, function_name: str) -> Module:
+    """Extract one function into a standalone module (``llvm-extract``).
+
+    Mirrors the paper's region-extraction step: the OpenMP outlined function
+    is pulled into its own small module together with any globals and callees
+    it references, so the graph builder sees only the parallel region.
+    """
+    target = module.get_function(function_name)
+    if target is None:
+        raise KeyError(f"no function named {function_name!r} in module {module.name}")
+
+    extracted = Module(f"{module.name}.{function_name}")
+    extracted.metadata = dict(module.metadata)
+    extracted.metadata["extracted_from"] = module.name
+
+    # Collect referenced globals and directly-called module functions.
+    needed_functions = {target}
+    worklist = [target]
+    while worklist:
+        fn = worklist.pop()
+        for inst in fn.instructions():
+            callee = getattr(inst, "callee", None)
+            if isinstance(callee, Function) and callee.parent is module:
+                if callee not in needed_functions:
+                    needed_functions.add(callee)
+                    worklist.append(callee)
+
+    referenced_global_names = set()
+    for fn in needed_functions:
+        for inst in fn.instructions():
+            for op in inst.operands:
+                if isinstance(op, GlobalVariable):
+                    referenced_global_names.add(op.name)
+
+    for gv in module.globals:
+        if gv.name in referenced_global_names:
+            extracted.add_global(gv)
+
+    # Re-parse through text to obtain an independent copy of the subgraph.
+    from .parser import parse_module
+    from .printer import print_function, print_global
+
+    text_parts = [print_global(gv) for gv in extracted.globals]
+    order = [fn for fn in module.functions if fn in needed_functions]
+    text_parts.extend(print_function(fn) for fn in order)
+    fresh = parse_module("\n\n".join(text_parts), name=extracted.name)
+    fresh.metadata = dict(extracted.metadata)
+    return fresh

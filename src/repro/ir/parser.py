@@ -1,0 +1,492 @@
+"""Parser for the textual mini-IR format produced by :mod:`repro.ir.printer`.
+
+The parser is deliberately forgiving about whitespace but strict about
+structure; it is exercised continuously because :meth:`Module.clone` uses a
+print/parse round trip.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import (
+    ATOMIC_OPS,
+    BINARY_OPS,
+    CAST_OPS,
+    FCMP_PREDICATES,
+    ICMP_PREDICATES,
+    Alloca,
+    AtomicRMW,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from .module import Module
+from .types import BOOL, VOID, FunctionType, PointerType, Type, parse_type
+from .values import (
+    ConstantFloat,
+    ConstantInt,
+    GlobalVariable,
+    Undef,
+    Value,
+)
+
+
+class ParseError(ValueError):
+    """Raised when the textual IR cannot be parsed."""
+
+
+# ---------------------------------------------------------------------------
+# Small lexing helpers
+# ---------------------------------------------------------------------------
+def strip_comment(line: str) -> str:
+    idx = line.find(";")
+    return line[:idx] if idx >= 0 else line
+
+
+def split_type_prefix(text: str) -> Tuple[Type, str]:
+    """Parse a type from the front of ``text``; return (type, remainder)."""
+    text = text.lstrip()
+    if text.startswith("["):
+        depth = 0
+        for i, ch in enumerate(text):
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+                if depth == 0:
+                    end = i + 1
+                    while end < len(text) and text[end] == "*":
+                        end += 1
+                    return parse_type(text[:end]), text[end:].lstrip()
+        raise ParseError(f"unbalanced array type in {text!r}")
+    match = re.match(r"(void|label|i\d+|f\d+)(\**)", text)
+    if not match:
+        raise ParseError(f"expected a type at {text!r}")
+    return parse_type(match.group(0)), text[match.end():].lstrip()
+
+
+def split_top_level(text: str, sep: str = ",") -> List[str]:
+    """Split ``text`` on ``sep`` ignoring separators inside brackets/parens."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        if ch == sep and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class _Forward(Value):
+    """Placeholder for a not-yet-defined local value (forward reference)."""
+
+    __slots__ = ("ref_name",)
+
+    def __init__(self, type: Type, ref_name: str):
+        super().__init__(type, ref_name)
+        self.ref_name = ref_name
+
+
+class _FunctionParser:
+    """Parses the body of one ``define``."""
+
+    def __init__(self, module: Module, function: Function, lines: List[str]):
+        self.module = module
+        self.function = function
+        self.lines = lines
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.locals: Dict[str, Value] = {arg.name: arg for arg in function.arguments}
+        self.result_types: Dict[str, Type] = {}
+        self.fixups: List[Tuple[Instruction, int, str]] = []
+
+    # ---------------------------------------------------------------- passes
+    def parse(self) -> None:
+        self._collect_blocks_and_types()
+        self._build_instructions()
+        self._apply_fixups()
+
+    def _collect_blocks_and_types(self) -> None:
+        for raw in self.lines:
+            line = strip_comment(raw).strip()
+            if not line:
+                continue
+            if line.endswith(":") and not line.startswith("%"):
+                name = line[:-1].strip()
+                self.blocks[name] = BasicBlock(name, self.function)
+                continue
+            if "=" in line and line.startswith("%"):
+                name, rhs = line.split("=", 1)
+                name = name.strip().lstrip("%")
+                self.result_types[name] = self._result_type(rhs.strip())
+        if not self.blocks:
+            raise ParseError(f"function @{self.function.name} has no blocks")
+
+    def _result_type(self, rhs: str) -> Type:
+        tokens = rhs.split(None, 1)
+        opcode = tokens[0]
+        rest = tokens[1] if len(tokens) > 1 else ""
+        if opcode in ("icmp", "fcmp"):
+            return BOOL
+        if opcode == "alloca":
+            ty, _ = split_type_prefix(rest)
+            return PointerType(ty)
+        if opcode == "atomicrmw":
+            _op, rest2 = rest.split(None, 1)
+            ty, _ = split_type_prefix(rest2)
+            return ty
+        if opcode == "load":
+            if rest.startswith("volatile"):
+                rest = rest[len("volatile"):].lstrip()
+            ty, _ = split_type_prefix(rest)
+            return ty
+        if opcode in BINARY_OPS or opcode in CAST_OPS or opcode in (
+            "select",
+            "gep",
+            "call",
+            "phi",
+        ):
+            ty, _ = split_type_prefix(rest)
+            return ty
+        raise ParseError(f"cannot infer result type of {rhs!r}")
+
+    # -------------------------------------------------------------- operands
+    def parse_operand(self, text: str) -> Value:
+        text = text.strip()
+        if text.startswith("%"):
+            name = text[1:]
+            value = self.locals.get(name)
+            if value is not None:
+                return value
+            ty = self.result_types.get(name)
+            if ty is None:
+                raise ParseError(
+                    f"use of undefined value %{name} in @{self.function.name}"
+                )
+            return _Forward(ty, name)
+        if text.startswith("^"):
+            name = text[1:]
+            block = self.blocks.get(name)
+            if block is None:
+                raise ParseError(f"unknown block ^{name}")
+            return block
+        if text.startswith("@"):
+            name = text[1:]
+            gv = self.module.get_global(name)
+            if gv is not None:
+                return gv
+            fn = self.module.get_function(name)
+            if fn is not None:
+                return fn
+            raise ParseError(f"unknown global @{name}")
+        if text.startswith("undef:"):
+            return Undef(parse_type(text[len("undef:"):]))
+        if ":" in text:
+            literal, _, type_text = text.rpartition(":")
+            ty = parse_type(type_text)
+            if ty.is_float:
+                return ConstantFloat(float(literal), ty)  # type: ignore[arg-type]
+            return ConstantInt(int(literal), ty)  # type: ignore[arg-type]
+        raise ParseError(f"cannot parse operand {text!r}")
+
+    def _operand_with_fixup(self, text: str) -> Value:
+        return self.parse_operand(text)
+
+    def _register(self, name: str, inst: Instruction) -> None:
+        inst.name = name
+        self.locals[name] = inst
+
+    # ---------------------------------------------------------- instructions
+    def _build_instructions(self) -> None:
+        current: Optional[BasicBlock] = None
+        for raw in self.lines:
+            line = strip_comment(raw).strip()
+            if not line:
+                continue
+            if line.endswith(":") and not line.startswith("%"):
+                current = self.blocks[line[:-1].strip()]
+                continue
+            if current is None:
+                raise ParseError(f"instruction before first block label: {line!r}")
+            inst = self._parse_instruction(line)
+            current.append(inst)
+            self._record_forward_uses(inst)
+
+    def _record_forward_uses(self, inst: Instruction) -> None:
+        for i, op in enumerate(inst.operands):
+            if isinstance(op, _Forward):
+                self.fixups.append((inst, i, op.ref_name))
+
+    def _apply_fixups(self) -> None:
+        for inst, index, name in self.fixups:
+            value = self.locals.get(name)
+            if value is None:
+                raise ParseError(
+                    f"forward reference %{name} never defined in @{self.function.name}"
+                )
+            inst.operands[index] = value
+
+    def _parse_instruction(self, line: str) -> Instruction:
+        if "=" in line and line.startswith("%"):
+            name_part, rhs = line.split("=", 1)
+            name = name_part.strip().lstrip("%")
+            inst = self._parse_rhs(rhs.strip())
+            self._register(name, inst)
+            return inst
+        return self._parse_statement(line)
+
+    def _parse_rhs(self, rhs: str) -> Instruction:
+        opcode, _, rest = rhs.partition(" ")
+        rest = rest.strip()
+        if opcode in BINARY_OPS:
+            _ty, operand_text = split_type_prefix(rest)
+            lhs_text, rhs_text = split_top_level(operand_text)
+            return BinaryOp(opcode, self.parse_operand(lhs_text), self.parse_operand(rhs_text))
+        if opcode == "icmp":
+            pred, _, operand_text = rest.partition(" ")
+            if pred not in ICMP_PREDICATES:
+                raise ParseError(f"bad icmp predicate {pred!r}")
+            lhs_text, rhs_text = split_top_level(operand_text)
+            return ICmp(pred, self.parse_operand(lhs_text), self.parse_operand(rhs_text))
+        if opcode == "fcmp":
+            pred, _, operand_text = rest.partition(" ")
+            if pred not in FCMP_PREDICATES:
+                raise ParseError(f"bad fcmp predicate {pred!r}")
+            lhs_text, rhs_text = split_top_level(operand_text)
+            return FCmp(pred, self.parse_operand(lhs_text), self.parse_operand(rhs_text))
+        if opcode == "select":
+            _ty, operand_text = split_type_prefix(rest)
+            cond_text, true_text, false_text = split_top_level(operand_text)
+            return Select(
+                self.parse_operand(cond_text),
+                self.parse_operand(true_text),
+                self.parse_operand(false_text),
+            )
+        if opcode in CAST_OPS:
+            ty, operand_text = split_type_prefix(rest)
+            return Cast(opcode, self.parse_operand(operand_text), ty)
+        if opcode == "alloca":
+            parts = split_top_level(rest)
+            ty, _ = split_type_prefix(parts[0])
+            array_size = int(parts[1]) if len(parts) > 1 else 1
+            return Alloca(ty, array_size=array_size)
+        if opcode == "load":
+            volatile = False
+            if rest.startswith("volatile"):
+                volatile = True
+                rest = rest[len("volatile"):].lstrip()
+            _ty, ptr_text = split_type_prefix(rest)
+            return Load(self.parse_operand(ptr_text), volatile=volatile)
+        if opcode == "gep":
+            _ty, operand_text = split_type_prefix(rest)
+            parts = split_top_level(operand_text)
+            pointer = self.parse_operand(parts[0])
+            indices = [self.parse_operand(p) for p in parts[1:]]
+            return GetElementPtr(pointer, indices)
+        if opcode == "atomicrmw":
+            op, _, rest2 = rest.partition(" ")
+            if op not in ATOMIC_OPS:
+                raise ParseError(f"bad atomic op {op!r}")
+            _ty, operand_text = split_type_prefix(rest2)
+            ptr_text, val_text = split_top_level(operand_text)
+            return AtomicRMW(op, self.parse_operand(ptr_text), self.parse_operand(val_text))
+        if opcode == "call":
+            ty, call_text = split_type_prefix(rest)
+            return self._parse_call(ty, call_text)
+        if opcode == "phi":
+            ty, pairs_text = split_type_prefix(rest)
+            phi = Phi(ty)
+            for pair in split_top_level(pairs_text):
+                if not (pair.startswith("[") and pair.endswith("]")):
+                    raise ParseError(f"malformed phi incoming {pair!r}")
+                value_text, block_text = split_top_level(pair[1:-1])
+                block = self.parse_operand(block_text)
+                if not isinstance(block, BasicBlock):
+                    raise ParseError(f"phi incoming block {block_text!r} is not a block")
+                phi.add_incoming(self.parse_operand(value_text), block)
+            return phi
+        raise ParseError(f"unknown instruction {rhs!r}")
+
+    def _parse_call(self, return_type: Type, call_text: str) -> Call:
+        match = re.match(r"@([\w.$]+)\((.*)\)$", call_text.strip())
+        if not match:
+            raise ParseError(f"malformed call {call_text!r}")
+        callee_name, args_text = match.group(1), match.group(2)
+        callee = self.module.get_function(callee_name)
+        args = [self.parse_operand(a) for a in split_top_level(args_text) if a]
+        return Call(callee if callee is not None else callee_name, args, return_type)
+
+    def _parse_statement(self, line: str) -> Instruction:
+        opcode, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if opcode == "store":
+            volatile = False
+            if rest.startswith("volatile"):
+                volatile = True
+                rest = rest[len("volatile"):].lstrip()
+            _ty, operand_text = split_type_prefix(rest)
+            value_text, ptr_text = split_top_level(operand_text)
+            return Store(self.parse_operand(value_text), self.parse_operand(ptr_text), volatile)
+        if opcode == "br":
+            target = self.parse_operand(rest)
+            if not isinstance(target, BasicBlock):
+                raise ParseError(f"br target {rest!r} is not a block")
+            return Branch(target)
+        if opcode == "condbr":
+            cond_text, true_text, false_text = split_top_level(rest)
+            true_block = self.parse_operand(true_text)
+            false_block = self.parse_operand(false_text)
+            if not isinstance(true_block, BasicBlock) or not isinstance(false_block, BasicBlock):
+                raise ParseError(f"condbr targets must be blocks: {rest!r}")
+            return CondBranch(self.parse_operand(cond_text), true_block, false_block)
+        if opcode == "switch":
+            head, _, cases_text = rest.partition("[")
+            cases_text = cases_text.rstrip("]")
+            value_text, default_text = split_top_level(head)
+            default = self.parse_operand(default_text)
+            if not isinstance(default, BasicBlock):
+                raise ParseError("switch default must be a block")
+            cases: List[Tuple[int, BasicBlock]] = []
+            for case in split_top_level(cases_text):
+                if not case:
+                    continue
+                cv_text, _, blk_text = case.partition(":")
+                block = self.parse_operand(blk_text.strip())
+                if not isinstance(block, BasicBlock):
+                    raise ParseError("switch case target must be a block")
+                cases.append((int(cv_text.strip()), block))
+            return Switch(self.parse_operand(value_text), default, cases)
+        if opcode == "ret":
+            if rest:
+                return Return(self.parse_operand(rest))
+            return Return()
+        if opcode == "unreachable" or line == "unreachable":
+            return Unreachable()
+        if opcode == "call":
+            ty, call_text = split_type_prefix(rest)
+            return self._parse_call(ty, call_text)
+        raise ParseError(f"unknown statement {line!r}")
+
+
+# ---------------------------------------------------------------------------
+# Module-level parsing
+# ---------------------------------------------------------------------------
+_DEFINE_RE = re.compile(r"define\s+(.+?)\s+@([\w.$]+)\((.*?)\)\s*([\w\s]*)\{")
+_DECLARE_RE = re.compile(r"declare\s+(.+?)\s+@([\w.$]+)\((.*?)\)\s*([\w\s]*)$")
+_GLOBAL_RE = re.compile(r"@([\w.$]+)\s*=\s*global\s+(.+)$")
+
+
+def _parse_params(text: str) -> Tuple[List[Type], List[str]]:
+    types: List[Type] = []
+    names: List[str] = []
+    for i, part in enumerate(split_top_level(text)):
+        if not part:
+            continue
+        ty, rest = split_type_prefix(part)
+        types.append(ty)
+        rest = rest.strip()
+        names.append(rest.lstrip("%") if rest else f"arg{i}")
+    return types, names
+
+
+def parse_module(text: str, name: str = "module") -> Module:
+    """Parse a full module from text."""
+    module = Module(name)
+    lines = text.splitlines()
+    i = 0
+    pending: List[Tuple[Function, List[str]]] = []
+    while i < len(lines):
+        line = strip_comment(lines[i]).strip()
+        if line.startswith("; module") or not line:
+            if lines[i].strip().startswith("; module"):
+                module.name = lines[i].strip()[len("; module"):].strip() or module.name
+            i += 1
+            continue
+        gmatch = _GLOBAL_RE.match(line)
+        if gmatch and "define" not in line:
+            gv_name, rhs = gmatch.group(1), gmatch.group(2)
+            is_const = rhs.rstrip().endswith(" const")
+            if is_const:
+                rhs = rhs.rstrip()[: -len(" const")]
+            ty, init_text = split_type_prefix(rhs)
+            initializer = None
+            init_text = init_text.strip()
+            if init_text:
+                literal, _, type_text = init_text.rpartition(":")
+                init_ty = parse_type(type_text)
+                if init_ty.is_float:
+                    initializer = ConstantFloat(float(literal), init_ty)  # type: ignore[arg-type]
+                else:
+                    initializer = ConstantInt(int(literal), init_ty)  # type: ignore[arg-type]
+            module.add_global(GlobalVariable(ty, gv_name, initializer, is_const))
+            i += 1
+            continue
+        dmatch = _DECLARE_RE.match(line)
+        if dmatch:
+            ret_ty = parse_type(dmatch.group(1))
+            fn_name = dmatch.group(2)
+            param_types, param_names = _parse_params(dmatch.group(3))
+            fn = Function(fn_name, FunctionType(ret_ty, param_types), param_names, module)
+            fn.is_declaration = True
+            for attr in dmatch.group(4).split():
+                fn.attributes.add(attr)
+            i += 1
+            continue
+        fmatch = _DEFINE_RE.match(line)
+        if fmatch:
+            ret_ty = parse_type(fmatch.group(1))
+            fn_name = fmatch.group(2)
+            param_types, param_names = _parse_params(fmatch.group(3))
+            fn = Function(fn_name, FunctionType(ret_ty, param_types), param_names, module)
+            for attr in fmatch.group(4).split():
+                fn.attributes.add(attr)
+            body: List[str] = []
+            i += 1
+            while i < len(lines) and strip_comment(lines[i]).strip() != "}":
+                body.append(lines[i])
+                i += 1
+            if i >= len(lines):
+                raise ParseError(f"unterminated function @{fn_name}")
+            i += 1  # skip closing brace
+            pending.append((fn, body))
+            continue
+        raise ParseError(f"cannot parse module line: {line!r}")
+
+    # Bodies are parsed after all function headers exist so that calls can
+    # resolve to module functions regardless of definition order.
+    for fn, body in pending:
+        _FunctionParser(module, fn, body).parse()
+    return module
+
+
+def parse_function(text: str) -> Function:
+    """Parse a single function given as text; returns the first function."""
+    module = parse_module(text)
+    if not module.functions:
+        raise ParseError("no function found in text")
+    return module.functions[0]

@@ -1,0 +1,186 @@
+"""Textual serialization of the mini-IR.
+
+The format is a compact LLVM-inspired syntax designed to round-trip through
+:mod:`repro.ir.parser`.  Every value-producing instruction states its result
+type explicitly right after the opcode, which keeps the parser single-pass
+(modulo forward-reference patching for phi nodes).
+
+Example::
+
+    define f64 @dot(i64 %n, f64* %a, f64* %b) omp_outlined {
+    entry:
+      br ^loop
+    loop:
+      %i = phi i64 [0:i64, ^entry], [%inext, ^loop]
+      %acc = phi f64 [0.0:f64, ^entry], [%accnext, ^loop]
+      %pa = gep f64* %a, %i
+      %va = load f64 %pa
+      %pb = gep f64* %b, %i
+      %vb = load f64 %pb
+      %prod = fmul f64 %va, %vb
+      %accnext = fadd f64 %acc, %prod
+      %inext = add i64 %i, 1:i64
+      %cond = icmp slt %inext, %n
+      condbr %cond, ^loop, ^exit
+    exit:
+      ret %accnext
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import (
+    Alloca,
+    AtomicRMW,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from .module import Module
+from .values import (
+    Argument,
+    ConstantFloat,
+    ConstantInt,
+    GlobalVariable,
+    Undef,
+    Value,
+)
+
+
+def format_operand(value: Value) -> str:
+    """Render one operand reference."""
+    if isinstance(value, ConstantInt):
+        return f"{value.value}:{value.type!r}"
+    if isinstance(value, ConstantFloat):
+        return f"{value.value!r}:{value.type!r}"
+    if isinstance(value, Undef):
+        return f"undef:{value.type!r}"
+    if isinstance(value, BasicBlock):
+        return f"^{value.name}"
+    if isinstance(value, GlobalVariable):
+        return f"@{value.name}"
+    if isinstance(value, (Argument, Instruction)):
+        return f"%{value.name}"
+    if isinstance(value, Function):
+        return f"@{value.name}"
+    raise TypeError(f"cannot format operand {value!r}")
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render one instruction (without indentation)."""
+    def res() -> str:
+        return f"%{inst.name} = "
+
+    if isinstance(inst, BinaryOp):
+        return f"{res()}{inst.opcode} {inst.type!r} {format_operand(inst.lhs)}, {format_operand(inst.rhs)}"
+    if isinstance(inst, ICmp):
+        return f"{res()}icmp {inst.predicate} {format_operand(inst.lhs)}, {format_operand(inst.rhs)}"
+    if isinstance(inst, FCmp):
+        return f"{res()}fcmp {inst.predicate} {format_operand(inst.lhs)}, {format_operand(inst.rhs)}"
+    if isinstance(inst, Select):
+        ops = ", ".join(format_operand(o) for o in inst.operands)
+        return f"{res()}select {inst.type!r} {ops}"
+    if isinstance(inst, Cast):
+        return f"{res()}{inst.opcode} {inst.type!r} {format_operand(inst.source)}"
+    if isinstance(inst, Alloca):
+        suffix = f", {inst.array_size}" if inst.array_size != 1 else ""
+        return f"{res()}alloca {inst.allocated_type!r}{suffix}"
+    if isinstance(inst, Load):
+        vol = " volatile" if inst.is_volatile else ""
+        return f"{res()}load{vol} {inst.type!r} {format_operand(inst.pointer)}"
+    if isinstance(inst, Store):
+        vol = " volatile" if inst.is_volatile else ""
+        return (
+            f"store{vol} {inst.value.type!r} {format_operand(inst.value)}, "
+            f"{format_operand(inst.pointer)}"
+        )
+    if isinstance(inst, GetElementPtr):
+        indices = ", ".join(format_operand(i) for i in inst.indices)
+        return f"{res()}gep {inst.type!r} {format_operand(inst.pointer)}, {indices}"
+    if isinstance(inst, AtomicRMW):
+        return (
+            f"{res()}atomicrmw {inst.operation} {inst.type!r} "
+            f"{format_operand(inst.pointer)}, {format_operand(inst.value)}"
+        )
+    if isinstance(inst, Call):
+        args = ", ".join(format_operand(a) for a in inst.operands)
+        callee = inst.callee_name
+        prefix = res() if not inst.type.is_void else ""
+        return f"{prefix}call {inst.type!r} @{callee}({args})"
+    if isinstance(inst, Phi):
+        pairs = ", ".join(
+            f"[{format_operand(v)}, ^{b.name}]" for v, b in inst.incoming()
+        )
+        return f"{res()}phi {inst.type!r} {pairs}"
+    if isinstance(inst, Branch):
+        return f"br ^{inst.target.name}"
+    if isinstance(inst, CondBranch):
+        return (
+            f"condbr {format_operand(inst.condition)}, "
+            f"^{inst.if_true.name}, ^{inst.if_false.name}"
+        )
+    if isinstance(inst, Switch):
+        cases = ", ".join(f"{v}: ^{b.name}" for v, b in inst.cases)
+        return f"switch {format_operand(inst.value)}, ^{inst.default.name} [{cases}]"
+    if isinstance(inst, Return):
+        if inst.value is None:
+            return "ret"
+        return f"ret {format_operand(inst.value)}"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    raise TypeError(f"cannot print instruction {inst!r}")
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        lines.append(f"  {print_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def print_function(function: Function) -> str:
+    params = ", ".join(
+        f"{arg.type!r} %{arg.name}" for arg in function.arguments
+    )
+    attrs = " ".join(sorted(function.attributes))
+    attrs = f" {attrs}" if attrs else ""
+    header = f"define {function.return_type!r} @{function.name}({params}){attrs}"
+    if function.is_declaration or not function.blocks:
+        return f"declare {function.return_type!r} @{function.name}({params}){attrs}"
+    body = "\n".join(print_block(block) for block in function.blocks)
+    return f"{header} {{\n{body}\n}}"
+
+
+def print_global(gv: GlobalVariable) -> str:
+    init = ""
+    if gv.initializer is not None:
+        init = f" {format_operand(gv.initializer)}"
+    const = " const" if gv.is_constant_global else ""
+    return f"@{gv.name} = global {gv.value_type!r}{init}{const}"
+
+
+def print_module(module: Module) -> str:
+    """Serialize a whole module."""
+    parts: List[str] = [f"; module {module.name}"]
+    for gv in module.globals:
+        parts.append(print_global(gv))
+    for fn in module.functions:
+        parts.append(print_function(fn))
+    return "\n\n".join(parts) + "\n"

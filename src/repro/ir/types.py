@@ -1,0 +1,298 @@
+"""Type system for the mini-IR.
+
+The reproduction does not depend on LLVM; instead it ships a small typed,
+SSA-based intermediate representation whose surface is close enough to LLVM
+IR that the paper's pipeline (flag-sequence augmentation, ProGraML-style
+graph construction) can be exercised faithfully.
+
+Types are immutable and interned where it is cheap to do so, which makes
+equality checks fast in the hot paths of the pass pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+class Type:
+    """Base class of all IR types."""
+
+    #: short kind tag used by the graph vocabulary
+    kind: str = "type"
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - overridden
+        return self is other
+
+    def __hash__(self) -> int:
+        return hash(repr(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - overridden
+        return self.kind
+
+    # Convenience predicates -------------------------------------------------
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_bool(self) -> bool:
+        return isinstance(self, IntType) and self.bits == 1
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionType)
+
+    @property
+    def is_label(self) -> bool:
+        return isinstance(self, LabelType)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.is_int or self.is_float
+
+
+class VoidType(Type):
+    """The ``void`` type (functions with no return value)."""
+
+    kind = "void"
+    _instance: "VoidType | None" = None
+
+    def __new__(cls) -> "VoidType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+class LabelType(Type):
+    """Type of basic-block labels (used only by branch operands)."""
+
+    kind = "label"
+    _instance: "LabelType | None" = None
+
+    def __new__(cls) -> "LabelType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LabelType)
+
+    def __hash__(self) -> int:
+        return hash("label")
+
+    def __repr__(self) -> str:
+        return "label"
+
+
+class IntType(Type):
+    """Fixed-width integer type ``iN``."""
+
+    kind = "int"
+    __slots__ = ("bits",)
+    _cache: dict[int, "IntType"] = {}
+
+    def __new__(cls, bits: int) -> "IntType":
+        if bits <= 0:
+            raise ValueError(f"integer width must be positive, got {bits}")
+        cached = cls._cache.get(bits)
+        if cached is not None:
+            return cached
+        inst = super().__new__(cls)
+        inst.bits = bits
+        cls._cache[bits] = inst
+        return inst
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("int", self.bits))
+
+    def __repr__(self) -> str:
+        return f"i{self.bits}"
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.bits > 1 else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.bits > 1 else 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap ``value`` to the two's-complement range of this type."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if self.bits > 1 and value >= (1 << (self.bits - 1)):
+            value -= 1 << self.bits
+        return value
+
+
+class FloatType(Type):
+    """IEEE floating point type (``f32`` or ``f64``)."""
+
+    kind = "float"
+    __slots__ = ("bits",)
+    _cache: dict[int, "FloatType"] = {}
+
+    def __new__(cls, bits: int = 64) -> "FloatType":
+        if bits not in (32, 64):
+            raise ValueError(f"float width must be 32 or 64, got {bits}")
+        cached = cls._cache.get(bits)
+        if cached is not None:
+            return cached
+        inst = super().__new__(cls)
+        inst.bits = bits
+        cls._cache[bits] = inst
+        return inst
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FloatType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("float", self.bits))
+
+    def __repr__(self) -> str:
+        return f"f{self.bits}"
+
+
+class PointerType(Type):
+    """Pointer to another type."""
+
+    kind = "ptr"
+    __slots__ = ("pointee",)
+
+    def __init__(self, pointee: Type):
+        self.pointee = pointee
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*"
+
+
+class ArrayType(Type):
+    """Fixed-length array type ``[N x T]``."""
+
+    kind = "array"
+    __slots__ = ("element", "count")
+
+    def __init__(self, element: Type, count: int):
+        if count < 0:
+            raise ValueError("array length must be non-negative")
+        self.element = element
+        self.count = count
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and other.element == self.element
+            and other.count == self.count
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.element, self.count))
+
+    def __repr__(self) -> str:
+        return f"[{self.count} x {self.element!r}]"
+
+
+class FunctionType(Type):
+    """Function signature type."""
+
+    kind = "func"
+    __slots__ = ("return_type", "param_types")
+
+    def __init__(self, return_type: Type, param_types: Sequence[Type] = ()):
+        self.return_type = return_type
+        self.param_types: Tuple[Type, ...] = tuple(param_types)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionType)
+            and other.return_type == self.return_type
+            and other.param_types == self.param_types
+        )
+
+    def __hash__(self) -> int:
+        return hash(("func", self.return_type, self.param_types))
+
+    def __repr__(self) -> str:
+        params = ", ".join(repr(p) for p in self.param_types)
+        return f"{self.return_type!r} ({params})"
+
+
+# ---------------------------------------------------------------------------
+# Canonical singletons used throughout the codebase.
+# ---------------------------------------------------------------------------
+VOID = VoidType()
+LABEL = LabelType()
+BOOL = IntType(1)
+I8 = IntType(8)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def pointer_to(ty: Type) -> PointerType:
+    """Return a pointer type to ``ty``."""
+    return PointerType(ty)
+
+
+def array_of(ty: Type, count: int) -> ArrayType:
+    """Return the array type ``[count x ty]``."""
+    return ArrayType(ty, count)
+
+
+def parse_type(text: str) -> Type:
+    """Parse a textual type such as ``i32``, ``f64*`` or ``[8 x f32]``.
+
+    This is deliberately small: it covers the types the workload generator
+    emits, which is all the parser needs.
+    """
+    text = text.strip()
+    if text.endswith("*"):
+        return PointerType(parse_type(text[:-1]))
+    if text == "void":
+        return VOID
+    if text == "label":
+        return LABEL
+    if text.startswith("i"):
+        return IntType(int(text[1:]))
+    if text.startswith("f"):
+        return FloatType(int(text[1:]))
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1]
+        count_str, _, elem_str = inner.partition(" x ")
+        return ArrayType(parse_type(elem_str), int(count_str))
+    raise ValueError(f"cannot parse type {text!r}")

@@ -1,0 +1,163 @@
+"""Value hierarchy of the mini-IR.
+
+Every operand of an instruction is a :class:`Value`: constants, function
+arguments, global variables, basic blocks (as branch targets), functions
+(as call targets) and instructions themselves (SSA results).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .types import BOOL, F64, I64, FloatType, IntType, PointerType, Type
+
+
+class Value:
+    """Base class for everything that can appear as an operand."""
+
+    __slots__ = ("type", "name")
+
+    def __init__(self, type: Type, name: str = ""):
+        self.type = type
+        self.name = name
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+    def short(self) -> str:
+        """Short printable reference used by the printer."""
+        return f"%{self.name}" if self.name else "%<anon>"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.short()} : {self.type!r}>"
+
+
+class Constant(Value):
+    """Base class of constants."""
+
+    __slots__ = ()
+
+
+class ConstantInt(Constant):
+    """Integer (or boolean) constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, type: IntType = I64):
+        if not isinstance(type, IntType):
+            raise TypeError("ConstantInt requires an IntType")
+        super().__init__(type, "")
+        self.value = type.wrap(int(value))
+
+    def short(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConstantInt)
+            and other.value == self.value
+            and other.type == self.type
+        )
+
+    def __hash__(self) -> int:
+        return hash(("cint", self.value, self.type))
+
+
+class ConstantFloat(Constant):
+    """Floating-point constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, type: FloatType = F64):
+        if not isinstance(type, FloatType):
+            raise TypeError("ConstantFloat requires a FloatType")
+        super().__init__(type, "")
+        self.value = float(value)
+
+    def short(self) -> str:
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConstantFloat)
+            and other.value == self.value
+            and other.type == self.type
+        )
+
+    def __hash__(self) -> int:
+        return hash(("cfloat", self.value, self.type))
+
+
+class Undef(Constant):
+    """An undefined value of a given type (result of removed computation)."""
+
+    __slots__ = ()
+
+    def __init__(self, type: Type):
+        super().__init__(type, "")
+
+    def short(self) -> str:
+        return "undef"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Undef) and other.type == self.type
+
+    def __hash__(self) -> int:
+        return hash(("undef", self.type))
+
+
+class Argument(Value):
+    """Formal parameter of a function."""
+
+    __slots__ = ("parent", "index", "attributes")
+
+    def __init__(self, type: Type, name: str, index: int, parent=None):
+        super().__init__(type, name)
+        self.parent = parent
+        self.index = index
+        #: free-form attribute strings, e.g. {"noalias", "shared"}
+        self.attributes: set[str] = set()
+
+    def short(self) -> str:
+        return f"%{self.name}"
+
+
+class GlobalVariable(Value):
+    """Module-level global variable.
+
+    The value type is a pointer to ``value_type`` mirroring LLVM semantics
+    (globals are addresses).
+    """
+
+    __slots__ = ("value_type", "initializer", "is_constant_global")
+
+    def __init__(
+        self,
+        value_type: Type,
+        name: str,
+        initializer: Optional[Constant] = None,
+        is_constant_global: bool = False,
+    ):
+        super().__init__(PointerType(value_type), name)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.is_constant_global = is_constant_global
+
+    def short(self) -> str:
+        return f"@{self.name}"
+
+
+def const_int(value: int, type: IntType = I64) -> ConstantInt:
+    """Convenience constructor for integer constants."""
+    return ConstantInt(value, type)
+
+
+def const_float(value: float, type: FloatType = F64) -> ConstantFloat:
+    """Convenience constructor for float constants."""
+    return ConstantFloat(value, type)
+
+
+def const_bool(value: bool) -> ConstantInt:
+    """Convenience constructor for boolean constants."""
+    return ConstantInt(1 if value else 0, BOOL)

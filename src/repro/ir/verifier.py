@@ -1,0 +1,189 @@
+"""Structural verifier for the mini-IR.
+
+The verifier enforces the invariants the passes and the graph builder rely
+on; it is run after every pass in the test suite to catch miscompilations
+early (the same role ``opt -verify`` plays in LLVM).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .block import BasicBlock
+from .cfg import predecessors_map, reachable_blocks
+from .dominators import DominatorTree
+from .function import Function
+from .instructions import Instruction, Phi
+from .module import Module
+from .values import Argument, Constant, GlobalVariable, Value
+
+
+class VerificationError(Exception):
+    """Raised when the IR violates a structural invariant."""
+
+    def __init__(self, errors: List[str]):
+        super().__init__("; ".join(errors))
+        self.errors = errors
+
+
+def verify_function(function: Function, strict_ssa: bool = True) -> List[str]:
+    """Return the list of invariant violations for ``function``."""
+    errors: List[str] = []
+    if function.is_declaration:
+        return errors
+    if not function.blocks:
+        errors.append(f"@{function.name}: defined function has no blocks")
+        return errors
+
+    # --- every block terminated, exactly one terminator, phis leading
+    for block in function.blocks:
+        if not block.is_terminated:
+            errors.append(f"@{function.name}/{block.name}: block not terminated")
+        seen_non_phi = False
+        for i, inst in enumerate(block.instructions):
+            if inst.parent is not block:
+                errors.append(
+                    f"@{function.name}/{block.name}: instruction {inst.opcode} has wrong parent"
+                )
+            if inst.is_terminator and i != len(block.instructions) - 1:
+                errors.append(
+                    f"@{function.name}/{block.name}: terminator {inst.opcode} not at block end"
+                )
+            if isinstance(inst, Phi):
+                if seen_non_phi:
+                    errors.append(
+                        f"@{function.name}/{block.name}: phi after non-phi instruction"
+                    )
+            else:
+                seen_non_phi = True
+
+    # --- names: every non-void instruction has a unique name
+    names: dict[str, Instruction] = {}
+    for inst in function.instructions():
+        if inst.type.is_void:
+            continue
+        if not inst.name:
+            errors.append(f"@{function.name}: unnamed {inst.opcode} result")
+            continue
+        if inst.name in names:
+            errors.append(f"@{function.name}: duplicate value name %{inst.name}")
+        names[inst.name] = inst
+    for arg in function.arguments:
+        if arg.name in names:
+            errors.append(f"@{function.name}: argument %{arg.name} shadows a value")
+
+    # --- operand sanity: every operand is a known kind of value and, if an
+    #     instruction, is defined within this function
+    defined = set(function.instructions())
+    blocks = set(function.blocks)
+    for inst in function.instructions():
+        for op in inst.operands:
+            if isinstance(op, BasicBlock):
+                if op not in blocks:
+                    errors.append(
+                        f"@{function.name}: {inst.opcode} references foreign block {op.name}"
+                    )
+            elif isinstance(op, Instruction):
+                if op not in defined:
+                    errors.append(
+                        f"@{function.name}: {inst.opcode} uses value %{op.name} "
+                        "not defined in this function"
+                    )
+            elif isinstance(op, Argument):
+                if op not in function.arguments:
+                    errors.append(
+                        f"@{function.name}: {inst.opcode} uses foreign argument %{op.name}"
+                    )
+            elif isinstance(op, (Constant, GlobalVariable, Function)):
+                pass
+            elif isinstance(op, Value):
+                errors.append(
+                    f"@{function.name}: {inst.opcode} has unexpected operand kind {type(op).__name__}"
+                )
+
+    # --- phi incoming edges match predecessors
+    preds = predecessors_map(function)
+    reachable = reachable_blocks(function)
+    for block in function.blocks:
+        block_preds = set(preds.get(block, []))
+        for phi in block.phis():
+            incoming_blocks = set(phi.incoming_blocks)
+            if len(phi.operands) != len(phi.incoming_blocks):
+                errors.append(
+                    f"@{function.name}/{block.name}: phi %{phi.name} has mismatched "
+                    "values/blocks"
+                )
+            if block in reachable:
+                missing = block_preds - incoming_blocks
+                extra = incoming_blocks - block_preds
+                if missing:
+                    errors.append(
+                        f"@{function.name}/{block.name}: phi %{phi.name} missing incoming "
+                        f"for predecessors {[b.name for b in missing]}"
+                    )
+                if extra:
+                    errors.append(
+                        f"@{function.name}/{block.name}: phi %{phi.name} has incoming for "
+                        f"non-predecessors {[b.name for b in extra]}"
+                    )
+
+    # --- SSA dominance: every use is dominated by its definition
+    if strict_ssa and not errors:
+        domtree = DominatorTree(function)
+        def_block = {inst: inst.parent for inst in function.instructions()}
+        for block in function.blocks:
+            if block not in reachable:
+                continue
+            position = {inst: i for i, inst in enumerate(block.instructions)}
+            for inst in block.instructions:
+                if isinstance(inst, Phi):
+                    for value, incoming in inst.incoming():
+                        if isinstance(value, Instruction):
+                            vb = def_block.get(value)
+                            if vb is None or incoming not in reachable:
+                                continue
+                            if not domtree.dominates(vb, incoming):
+                                errors.append(
+                                    f"@{function.name}/{block.name}: phi %{inst.name} incoming "
+                                    f"%{value.name} does not dominate edge from {incoming.name}"
+                                )
+                    continue
+                for op in inst.operands:
+                    if isinstance(op, Instruction):
+                        vb = def_block.get(op)
+                        if vb is None:
+                            continue
+                        if vb is block:
+                            if position.get(op, -1) >= position.get(inst, 0):
+                                errors.append(
+                                    f"@{function.name}/{block.name}: use of %{op.name} before "
+                                    f"definition in {inst.opcode}"
+                                )
+                        elif not domtree.dominates(vb, block):
+                            errors.append(
+                                f"@{function.name}/{block.name}: %{op.name} used in {inst.opcode} "
+                                "without dominating definition"
+                            )
+    return errors
+
+
+def verify_module(module: Module, strict_ssa: bool = True) -> List[str]:
+    """Return all invariant violations in ``module``."""
+    errors: List[str] = []
+    seen_names: set[str] = set()
+    for fn in module.functions:
+        if fn.name in seen_names:
+            errors.append(f"duplicate function name @{fn.name}")
+        seen_names.add(fn.name)
+        errors.extend(verify_function(fn, strict_ssa=strict_ssa))
+    return errors
+
+
+def assert_valid(module_or_function, strict_ssa: bool = True) -> None:
+    """Raise :class:`VerificationError` if the IR is invalid."""
+    if isinstance(module_or_function, Module):
+        errors = verify_module(module_or_function, strict_ssa=strict_ssa)
+    else:
+        errors = verify_function(module_or_function, strict_ssa=strict_ssa)
+    if errors:
+        raise VerificationError(errors)

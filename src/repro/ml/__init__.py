@@ -1,0 +1,31 @@
+"""Classic-ML substrate: decision trees, GA feature selection, CV, scaling."""
+
+from .crossval import (
+    fold_of_groups,
+    grouped_kfold,
+    kfold_indices,
+    train_validation_split,
+)
+from .decision_tree import DecisionTreeClassifier
+from .feature_selection import (
+    FeatureSelectionResult,
+    ReducedTreeClassifier,
+    select_features_ga,
+)
+from .genetic import GAConfig, SubsetGeneticAlgorithm
+from .scaling import MinMaxScaler, StandardScaler
+
+__all__ = [
+    "fold_of_groups",
+    "grouped_kfold",
+    "kfold_indices",
+    "train_validation_split",
+    "DecisionTreeClassifier",
+    "FeatureSelectionResult",
+    "ReducedTreeClassifier",
+    "select_features_ga",
+    "GAConfig",
+    "SubsetGeneticAlgorithm",
+    "MinMaxScaler",
+    "StandardScaler",
+]

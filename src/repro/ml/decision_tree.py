@@ -1,0 +1,201 @@
+"""CART decision-tree classifier (NumPy).
+
+A from-scratch replacement for scikit-learn's
+``DecisionTreeClassifier(criterion="gini")`` with default parameters, which
+is what the paper uses for the hybrid (static-vs-dynamic) classifier, the
+flag-prediction model and the dynamic performance-counter baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _TreeNode:
+    """One node of a fitted tree."""
+
+    prediction: int
+    probabilities: np.ndarray
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+class DecisionTreeClassifier:
+    """Binary-split CART classifier with the gini criterion.
+
+    Parameters mirror scikit-learn's defaults: grow until leaves are pure or
+    below ``min_samples_split`` samples, no depth limit unless requested.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        random_state: int = 0,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: Optional[_TreeNode] = None
+        self._num_classes = 0
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D (samples, features)")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels must have the same length")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._num_classes = int(labels.max()) + 1 if labels.size else 1
+        rng = np.random.default_rng(self.random_state)
+        self._root = self._build(features, labels, depth=0, rng=rng)
+        return self
+
+    def _build(
+        self, features: np.ndarray, labels: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _TreeNode:
+        counts = np.bincount(labels, minlength=self._num_classes)
+        node = _TreeNode(
+            prediction=int(counts.argmax()),
+            probabilities=counts / max(1, counts.sum()),
+        )
+        if (
+            labels.size < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or counts.max() == labels.size
+        ):
+            return node
+        split = self._best_split(features, labels, counts, rng)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = features[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(features[mask], labels[mask], depth + 1, rng)
+        node.right = self._build(features[~mask], labels[~mask], depth + 1, rng)
+        return node
+
+    def _best_split(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        parent_counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Optional[Tuple[int, float]]:
+        n_samples, n_features = features.shape
+        parent_gini = _gini(parent_counts)
+        best_gain = 1e-12
+        best: Optional[Tuple[int, float]] = None
+        feature_indices = np.arange(n_features)
+        if self.max_features is not None and self.max_features < n_features:
+            feature_indices = rng.choice(n_features, size=self.max_features, replace=False)
+        for feature in feature_indices:
+            column = features[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_values = column[order]
+            sorted_labels = labels[order]
+            left_counts = np.zeros(self._num_classes)
+            right_counts = parent_counts.astype(np.float64).copy()
+            for i in range(n_samples - 1):
+                cls = sorted_labels[i]
+                left_counts[cls] += 1
+                right_counts[cls] -= 1
+                if sorted_values[i] == sorted_values[i + 1]:
+                    continue
+                n_left = i + 1
+                n_right = n_samples - n_left
+                gain = parent_gini - (
+                    n_left / n_samples * _gini(left_counts)
+                    + n_right / n_samples * _gini(right_counts)
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    threshold = (sorted_values[i] + sorted_values[i + 1]) / 2.0
+                    best = (int(feature), float(threshold))
+        return best
+
+    # -------------------------------------------------------------- predict
+    def _leaf_for(self, row: np.ndarray) -> _TreeNode:
+        if self._root is None:
+            raise RuntimeError("predict called before fit")
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right  # type: ignore[assignment]
+        return node
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        return np.array([self._leaf_for(row).prediction for row in features], dtype=np.int64)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        return np.stack([self._leaf_for(row).probabilities for row in features])
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        predictions = self.predict(features)
+        labels = np.asarray(labels, dtype=np.int64)
+        return float((predictions == labels).mean()) if labels.size else 0.0
+
+    # --------------------------------------------------------------- inspect
+    def depth(self) -> int:
+        def walk(node: Optional[_TreeNode]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def node_count(self) -> int:
+        def walk(node: Optional[_TreeNode]) -> int:
+            if node is None:
+                return 0
+            return 1 + walk(node.left) + walk(node.right)
+
+        return walk(self._root)
+
+    def feature_importances(self, num_features: int) -> np.ndarray:
+        """Split-count based importances (normalised)."""
+        importances = np.zeros(num_features)
+
+        def walk(node: Optional[_TreeNode]) -> None:
+            if node is None or node.is_leaf:
+                return
+            importances[node.feature] += 1.0
+            walk(node.left)
+            walk(node.right)
+
+        walk(self._root)
+        total = importances.sum()
+        return importances / total if total > 0 else importances

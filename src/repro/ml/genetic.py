@@ -1,0 +1,138 @@
+"""Genetic algorithm for subset selection (pyeasyga replacement).
+
+The paper uses a GA (population 500, crossover 0.8, mutation 0.1) to select
+10-element subsets of the 256-dimensional GNN vectors before feeding them to
+a decision tree.  This module implements exactly that search: individuals
+are fixed-size index subsets, fitness is supplied by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class GAConfig:
+    """Genetic-algorithm hyper-parameters (paper defaults)."""
+
+    population_size: int = 500
+    generations: int = 20
+    crossover_probability: float = 0.8
+    mutation_probability: float = 0.1
+    elitism: int = 2
+    tournament_size: int = 3
+    seed: int = 0
+
+
+class SubsetGeneticAlgorithm:
+    """Searches for the fixed-size index subset maximising a fitness function.
+
+    Parameters
+    ----------
+    num_items:
+        Size of the universe (e.g. 256 vector dimensions).
+    subset_size:
+        Number of indices per individual (10 in the paper).
+    fitness:
+        Callable mapping a sorted tuple of indices to a float score (higher
+        is better).  Results are memoised, so expensive fitness functions
+        (training a decision tree per candidate) are evaluated once per
+        distinct subset.
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        subset_size: int,
+        fitness: Callable[[Tuple[int, ...]], float],
+        config: Optional[GAConfig] = None,
+    ):
+        if subset_size > num_items:
+            raise ValueError("subset_size cannot exceed num_items")
+        self.num_items = num_items
+        self.subset_size = subset_size
+        self.fitness = fitness
+        self.config = config or GAConfig()
+        self._cache: dict[Tuple[int, ...], float] = {}
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> Tuple[Tuple[int, ...], float]:
+        """Run the GA; return (best subset, best fitness)."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        population = [self._random_individual(rng) for _ in range(cfg.population_size)]
+        best_individual = population[0]
+        best_fitness = self._evaluate(best_individual)
+
+        for _generation in range(cfg.generations):
+            scored = [(self._evaluate(ind), ind) for ind in population]
+            scored.sort(key=lambda pair: pair[0], reverse=True)
+            if scored[0][0] > best_fitness:
+                best_fitness, best_individual = scored[0]
+            next_population: List[Tuple[int, ...]] = [
+                ind for _, ind in scored[: cfg.elitism]
+            ]
+            while len(next_population) < cfg.population_size:
+                parent_a = self._tournament(scored, rng)
+                parent_b = self._tournament(scored, rng)
+                if rng.random() < cfg.crossover_probability:
+                    child = self._crossover(parent_a, parent_b, rng)
+                else:
+                    child = parent_a
+                if rng.random() < cfg.mutation_probability:
+                    child = self._mutate(child, rng)
+                next_population.append(child)
+            population = next_population
+
+        # Final evaluation pass.
+        for individual in population:
+            score = self._evaluate(individual)
+            if score > best_fitness:
+                best_fitness, best_individual = score, individual
+        return best_individual, best_fitness
+
+    # ------------------------------------------------------------ operators
+    def _random_individual(self, rng: np.random.Generator) -> Tuple[int, ...]:
+        return tuple(sorted(rng.choice(self.num_items, size=self.subset_size, replace=False)))
+
+    def _evaluate(self, individual: Tuple[int, ...]) -> float:
+        cached = self._cache.get(individual)
+        if cached is None:
+            cached = float(self.fitness(individual))
+            self._cache[individual] = cached
+        return cached
+
+    def _tournament(
+        self, scored: Sequence[Tuple[float, Tuple[int, ...]]], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        indices = rng.integers(0, len(scored), size=self.config.tournament_size)
+        best = max(indices, key=lambda i: scored[i][0])
+        return scored[best][1]
+
+    def _crossover(
+        self, parent_a: Tuple[int, ...], parent_b: Tuple[int, ...], rng: np.random.Generator
+    ) -> Tuple[int, ...]:
+        pool = list(dict.fromkeys(list(parent_a) + list(parent_b)))
+        if len(pool) < self.subset_size:
+            extras = [i for i in range(self.num_items) if i not in pool]
+            rng.shuffle(extras)
+            pool.extend(extras[: self.subset_size - len(pool)])
+        chosen = rng.choice(len(pool), size=self.subset_size, replace=False)
+        return tuple(sorted(pool[i] for i in chosen))
+
+    def _mutate(self, individual: Tuple[int, ...], rng: np.random.Generator) -> Tuple[int, ...]:
+        as_list = list(individual)
+        position = int(rng.integers(0, len(as_list)))
+        candidates = [i for i in range(self.num_items) if i not in individual]
+        if not candidates:
+            return individual
+        as_list[position] = int(rng.choice(candidates))
+        return tuple(sorted(as_list))
+
+    @property
+    def evaluations(self) -> int:
+        """Number of distinct fitness evaluations performed."""
+        return len(self._cache)

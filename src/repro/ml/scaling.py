@@ -1,0 +1,55 @@
+"""Feature scaling helpers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance feature scaling (fit on train, apply to all)."""
+
+    def __init__(self):
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = np.asarray(features, dtype=np.float64)
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("transform called before fit")
+        return (np.asarray(features, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+
+class MinMaxScaler:
+    """Scale features to [0, 1] based on the training range."""
+
+    def __init__(self):
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "MinMaxScaler":
+        features = np.asarray(features, dtype=np.float64)
+        self.min_ = features.min(axis=0)
+        value_range = features.max(axis=0) - self.min_
+        value_range[value_range == 0.0] = 1.0
+        self.range_ = value_range
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("transform called before fit")
+        return (np.asarray(features, dtype=np.float64) - self.min_) / self.range_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

@@ -1,0 +1,76 @@
+"""NUMA + hardware-prefetcher machine simulator.
+
+This subpackage substitutes for the paper's physical Sandy Bridge and
+Skylake testbeds: it provides machine topologies, the 288/320-point
+configuration space (threads, nodes, thread mapping, page mapping, 16
+prefetcher settings), and an analytical timing model that produces execution
+times and performance counters for a workload profile.
+"""
+
+from .configuration import (
+    Configuration,
+    build_configuration_space,
+    build_numa_points,
+    configuration_distance,
+    default_configuration,
+    space_summary,
+    translate_configuration,
+)
+from .counters import COUNTER_NAMES, PerformanceCounters, SimulationResult
+from .engine import EngineConfig, NumaPrefetchSimulator, simulate
+from .machines import MACHINES, machine_by_name, sandy_bridge, skylake, skylake_gold
+from .mapping import (
+    PAGE_MAPPINGS,
+    THREAD_MAPPINGS,
+    PageMapping,
+    Placement,
+    ThreadMapping,
+    compute_placement,
+    map_threads,
+)
+from .prefetchers import (
+    PrefetchEffect,
+    PrefetcherSetting,
+    all_prefetcher_settings,
+    prefetcher_effect,
+    prefetcher_setting_table,
+)
+from .profile import WorkloadProfile
+from .topology import CacheLevel, MachineTopology, standard_cache_hierarchy
+
+__all__ = [
+    "Configuration",
+    "build_configuration_space",
+    "build_numa_points",
+    "configuration_distance",
+    "default_configuration",
+    "space_summary",
+    "translate_configuration",
+    "COUNTER_NAMES",
+    "PerformanceCounters",
+    "SimulationResult",
+    "EngineConfig",
+    "NumaPrefetchSimulator",
+    "simulate",
+    "MACHINES",
+    "machine_by_name",
+    "sandy_bridge",
+    "skylake",
+    "skylake_gold",
+    "PAGE_MAPPINGS",
+    "THREAD_MAPPINGS",
+    "PageMapping",
+    "Placement",
+    "ThreadMapping",
+    "compute_placement",
+    "map_threads",
+    "PrefetchEffect",
+    "PrefetcherSetting",
+    "all_prefetcher_settings",
+    "prefetcher_effect",
+    "prefetcher_setting_table",
+    "WorkloadProfile",
+    "CacheLevel",
+    "MachineTopology",
+    "standard_cache_hierarchy",
+]

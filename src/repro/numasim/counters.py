@@ -1,0 +1,80 @@
+"""Performance counters produced by the simulator.
+
+The dynamic baseline of the paper (Sánchez Barrera et al.) trains on a small
+set of hardware counters — most importantly the package power and the L3
+miss ratio.  The simulator produces those plus a few more so the dynamic
+model has the same kind of information a real profiler would provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+#: canonical ordering of counter features used by the dynamic model
+COUNTER_NAMES = (
+    "package_power_w",
+    "l3_miss_ratio",
+    "l2_miss_ratio",
+    "l1_miss_ratio",
+    "dram_bandwidth_gbs",
+    "remote_access_ratio",
+    "bandwidth_utilization",
+    "ipc",
+    "stall_fraction",
+    "prefetch_traffic_ratio",
+)
+
+
+@dataclass
+class PerformanceCounters:
+    """One configuration's worth of simulated hardware counters."""
+
+    package_power_w: float = 0.0
+    l3_miss_ratio: float = 0.0
+    l2_miss_ratio: float = 0.0
+    l1_miss_ratio: float = 0.0
+    dram_bandwidth_gbs: float = 0.0
+    remote_access_ratio: float = 0.0
+    bandwidth_utilization: float = 0.0
+    ipc: float = 0.0
+    stall_fraction: float = 0.0
+    prefetch_traffic_ratio: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: float(getattr(self, name)) for name in COUNTER_NAMES}
+
+    def as_vector(self) -> np.ndarray:
+        """Counters as a feature vector in :data:`COUNTER_NAMES` order."""
+        return np.array([getattr(self, name) for name in COUNTER_NAMES], dtype=np.float64)
+
+    @staticmethod
+    def feature_names() -> List[str]:
+        return list(COUNTER_NAMES)
+
+    @staticmethod
+    def from_vector(vector: np.ndarray) -> "PerformanceCounters":
+        values = dict(zip(COUNTER_NAMES, np.asarray(vector, dtype=np.float64)))
+        return PerformanceCounters(**values)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one region under one configuration."""
+
+    time_seconds: float
+    counters: PerformanceCounters
+    per_call_times: List[float] = field(default_factory=list)
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_seconds * 1e3
+
+    def speedup_against(self, baseline: "SimulationResult") -> float:
+        """Speedup of this result relative to ``baseline``."""
+        if self.time_seconds <= 0:
+            return 0.0
+        return baseline.time_seconds / self.time_seconds

@@ -1,0 +1,87 @@
+"""Preset machine topologies mirroring the paper's testbeds."""
+
+from __future__ import annotations
+
+from .topology import MachineTopology, standard_cache_hierarchy
+
+
+def sandy_bridge() -> MachineTopology:
+    """Four-node Intel Sandy Bridge EP E5-4650 analogue (4 x 8 cores)."""
+    return MachineTopology(
+        name="sandy-bridge",
+        num_nodes=4,
+        cores_per_node=8,
+        frequency_ghz=2.7,
+        flops_per_cycle=8.0,   # AVX: 4 DP FMA-less adds + muls
+        issue_width=4.0,
+        caches=standard_cache_hierarchy(
+            l1_kb=32.0, l2_kb=256.0, l3_kb=20_480.0, cores_sharing_l3=8
+        ),
+        dram_latency_ns=85.0,
+        remote_latency_ns=160.0,
+        node_bandwidth_gbs=38.0,
+        interconnect_bandwidth_gbs=16.0,
+        base_power_w=60.0,
+        core_power_w=8.0,
+        dram_power_per_gbs_w=0.35,
+    )
+
+
+def skylake() -> MachineTopology:
+    """Dual-node Intel Skylake Platinum 8168 analogue (2 x 24 cores)."""
+    return MachineTopology(
+        name="skylake",
+        num_nodes=2,
+        cores_per_node=24,
+        frequency_ghz=2.7,
+        flops_per_cycle=16.0,  # AVX-512
+        issue_width=4.0,
+        caches=standard_cache_hierarchy(
+            l1_kb=32.0, l2_kb=1024.0, l3_kb=33_792.0, cores_sharing_l3=24
+        ),
+        dram_latency_ns=80.0,
+        remote_latency_ns=138.0,
+        node_bandwidth_gbs=105.0,
+        interconnect_bandwidth_gbs=41.0,
+        base_power_w=80.0,
+        core_power_w=6.0,
+        dram_power_per_gbs_w=0.30,
+    )
+
+
+def skylake_gold() -> MachineTopology:
+    """Skylake Xeon Gold 6130 analogue (2 x 16 cores) — the Grid'5000 machine
+    used for the input-size experiment (Figure 10)."""
+    return MachineTopology(
+        name="skylake-gold",
+        num_nodes=2,
+        cores_per_node=16,
+        frequency_ghz=2.1,
+        flops_per_cycle=16.0,
+        issue_width=4.0,
+        caches=standard_cache_hierarchy(
+            l1_kb=32.0, l2_kb=1024.0, l3_kb=22_528.0, cores_sharing_l3=16
+        ),
+        dram_latency_ns=82.0,
+        remote_latency_ns=142.0,
+        node_bandwidth_gbs=85.0,
+        interconnect_bandwidth_gbs=38.0,
+        base_power_w=70.0,
+        core_power_w=6.0,
+        dram_power_per_gbs_w=0.30,
+    )
+
+
+MACHINES = {
+    "sandy-bridge": sandy_bridge,
+    "skylake": skylake,
+    "skylake-gold": skylake_gold,
+}
+
+
+def machine_by_name(name: str) -> MachineTopology:
+    """Look a preset machine up by name."""
+    try:
+        return MACHINES[name]()
+    except KeyError as exc:
+        raise KeyError(f"unknown machine {name!r}; known: {sorted(MACHINES)}") from exc

@@ -1,0 +1,133 @@
+"""Dynamic workload profiles consumed by the simulator.
+
+A :class:`WorkloadProfile` is the simulator-facing description of one OpenMP
+parallel region: how much arithmetic it does, how it touches memory, how
+much it synchronises and how its behaviour drifts between calls.  The
+workload generator (:mod:`repro.workloads`) derives a profile and the
+matching mini-IR from one common kernel specification, so the static
+structure the GNN sees and the dynamic behaviour the simulator times are
+consistent with each other — exactly the property the paper relies on when
+it claims static IR carries enough signal to pick configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Dynamic characteristics of one parallel region."""
+
+    name: str
+
+    # Work volume -----------------------------------------------------------
+    iterations: float = 1e6          # loop iterations per region invocation
+    calls: int = 10                  # invocations per application run
+    flops_per_iter: float = 4.0      # double-precision operations per iteration
+    bytes_per_iter: float = 16.0     # demand bytes touched per iteration
+
+    # Memory behaviour --------------------------------------------------------
+    footprint_mb: float = 64.0           # total data footprint
+    working_set_kb: float = 512.0        # per-thread hot working set
+    sequential_fraction: float = 0.7     # streaming accesses
+    strided_fraction: float = 0.2        # fixed-stride accesses
+    irregular_fraction: float = 0.1      # gather / pointer-chasing accesses
+    write_ratio: float = 0.3             # stores / (loads + stores)
+    shared_fraction: float = 0.1         # accesses to data shared across threads
+    init_by_master: bool = True          # serial initialisation (first-touch trap)
+
+    # Parallel behaviour ------------------------------------------------------
+    serial_fraction: float = 0.02        # Amdahl serial part of the region
+    load_imbalance: float = 1.05         # max thread work / mean thread work
+    atomics_per_iter: float = 0.0
+    critical_fraction: float = 0.0       # fraction of work under a lock
+    barriers_per_call: float = 1.0
+    false_sharing: float = 0.0           # 0..1 intensity
+
+    # Core behaviour ----------------------------------------------------------
+    dependency_chain: float = 0.3        # 0 = fully independent, 1 = serial chain
+    branch_regularity: float = 0.85      # 1 = perfectly predictable branches
+
+    # Behaviour drift (per-call phase changes; drives Figure 12 and the need
+    # for dynamic profiling on some regions) ----------------------------------
+    phase_variability: float = 0.0
+    scalability_limit: Optional[int] = None  # thread count beyond which no gains
+
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ utils
+    def __post_init__(self) -> None:
+        total_pattern = (
+            self.sequential_fraction + self.strided_fraction + self.irregular_fraction
+        )
+        if total_pattern > 1.0 + 1e-9:
+            raise ValueError(
+                f"{self.name}: access-pattern fractions sum to {total_pattern:.3f} > 1"
+            )
+        for attr in (
+            "write_ratio",
+            "shared_fraction",
+            "serial_fraction",
+            "critical_fraction",
+            "false_sharing",
+            "dependency_chain",
+            "branch_regularity",
+            "phase_variability",
+        ):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: {attr}={value} outside [0, 1]")
+        if self.load_imbalance < 1.0:
+            raise ValueError(f"{self.name}: load_imbalance must be >= 1")
+
+    @property
+    def cache_resident_fraction(self) -> float:
+        """Accesses always served by the L1 (register-like temporal reuse)."""
+        return max(
+            0.0,
+            1.0
+            - self.sequential_fraction
+            - self.strided_fraction
+            - self.irregular_fraction,
+        )
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per demand byte."""
+        return self.flops_per_iter / max(1e-9, self.bytes_per_iter)
+
+    def scaled(self, factor: float, name_suffix: str = "") -> "WorkloadProfile":
+        """Return a copy with a ``factor``-times larger input size.
+
+        Scaling an input grows the footprint and the iteration count and
+        shifts a cache-resident workload toward memory-bound behaviour —
+        this is what the input-size experiment (Figure 10) exercises.
+        """
+        new_ws = self.working_set_kb * factor
+        return replace(
+            self,
+            name=self.name + name_suffix,
+            iterations=self.iterations * factor,
+            footprint_mb=self.footprint_mb * factor,
+            working_set_kb=new_ws,
+        )
+
+    def with_variability(self, variability: float) -> "WorkloadProfile":
+        return replace(self, phase_variability=float(variability))
+
+    def describe(self) -> Dict[str, float]:
+        return {
+            "iterations": self.iterations,
+            "flops_per_iter": self.flops_per_iter,
+            "bytes_per_iter": self.bytes_per_iter,
+            "footprint_mb": self.footprint_mb,
+            "arithmetic_intensity": self.arithmetic_intensity,
+            "sequential": self.sequential_fraction,
+            "strided": self.strided_fraction,
+            "irregular": self.irregular_fraction,
+            "shared": self.shared_fraction,
+            "atomics_per_iter": self.atomics_per_iter,
+            "serial_fraction": self.serial_fraction,
+        }

@@ -1,0 +1,116 @@
+"""Machine topology description for the NUMA/prefetcher simulator.
+
+The simulator replaces the paper's physical testbeds (a four-node Intel
+Sandy Bridge EP E5-4650 and a dual-node Intel Skylake Platinum 8168).  A
+:class:`MachineTopology` captures the first-order parameters that determine
+how NUMA and prefetcher configurations reorder: core counts per node, cache
+capacities, local/remote latencies, per-node and cross-node bandwidths, and
+core throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the cache hierarchy."""
+
+    name: str
+    size_kb: float
+    line_bytes: int
+    latency_cycles: float
+    shared_by_cores: int  # 1 = private, >1 = shared by that many cores
+
+
+@dataclass(frozen=True)
+class MachineTopology:
+    """Static description of a NUMA machine."""
+
+    name: str
+    num_nodes: int
+    cores_per_node: int
+    frequency_ghz: float
+    flops_per_cycle: float
+    issue_width: float
+    caches: tuple
+    dram_latency_ns: float
+    remote_latency_ns: float
+    node_bandwidth_gbs: float          # one node's local memory bandwidth
+    interconnect_bandwidth_gbs: float  # per-link cross-node bandwidth
+    base_power_w: float
+    core_power_w: float
+    dram_power_per_gbs_w: float
+
+    # --------------------------------------------------------------- derived
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.cores_per_node
+
+    @property
+    def l1(self) -> CacheLevel:
+        return self.caches[0]
+
+    @property
+    def l2(self) -> CacheLevel:
+        return self.caches[1]
+
+    @property
+    def l3(self) -> CacheLevel:
+        return self.caches[2]
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.frequency_ghz
+
+    @property
+    def total_bandwidth_gbs(self) -> float:
+        return self.node_bandwidth_gbs * self.num_nodes
+
+    def peak_gflops(self, cores: int) -> float:
+        """Peak double-precision GFLOP/s for ``cores`` active cores."""
+        return cores * self.frequency_ghz * self.flops_per_cycle
+
+    def validate(self) -> List[str]:
+        problems: List[str] = []
+        if self.num_nodes < 1:
+            problems.append("num_nodes must be >= 1")
+        if self.cores_per_node < 1:
+            problems.append("cores_per_node must be >= 1")
+        if len(self.caches) != 3:
+            problems.append("exactly three cache levels (L1, L2, L3) are expected")
+        if self.remote_latency_ns < self.dram_latency_ns:
+            problems.append("remote latency should not be lower than local latency")
+        return problems
+
+    def describe(self) -> Dict[str, float]:
+        """Flat summary used in reports."""
+        return {
+            "nodes": float(self.num_nodes),
+            "cores_per_node": float(self.cores_per_node),
+            "total_cores": float(self.total_cores),
+            "frequency_ghz": self.frequency_ghz,
+            "l1_kb": self.l1.size_kb,
+            "l2_kb": self.l2.size_kb,
+            "l3_kb": self.l3.size_kb,
+            "dram_latency_ns": self.dram_latency_ns,
+            "remote_latency_ns": self.remote_latency_ns,
+            "node_bandwidth_gbs": self.node_bandwidth_gbs,
+        }
+
+
+def standard_cache_hierarchy(
+    l1_kb: float = 32.0,
+    l2_kb: float = 256.0,
+    l3_kb: float = 20480.0,
+    cores_sharing_l3: int = 8,
+    line_bytes: int = 64,
+) -> tuple:
+    """Build the usual (L1 private, L2 private, L3 shared) hierarchy."""
+    return (
+        CacheLevel("L1", l1_kb, line_bytes, latency_cycles=4.0, shared_by_cores=1),
+        CacheLevel("L2", l2_kb, line_bytes, latency_cycles=12.0, shared_by_cores=1),
+        CacheLevel("L3", l3_kb, line_bytes, latency_cycles=40.0, shared_by_cores=cores_sharing_l3),
+    )

@@ -1,0 +1,67 @@
+"""Compiler transformations over the mini-IR and flag-sequence sampling.
+
+Importing this package registers every pass in :data:`PASS_REGISTRY`, after
+which :class:`PassManager` can build pipelines from pass names, exactly the
+way flag sequences are expressed throughout the reproduction.
+"""
+
+from .pass_manager import (
+    PASS_REGISTRY,
+    FunctionPass,
+    ModulePass,
+    PassManager,
+    PassStatistics,
+    apply_flag_sequence,
+    available_passes,
+    create_pass,
+    register_pass,
+    run_passes,
+)
+
+# Importing the pass modules populates the registry.
+from . import dce as _dce  # noqa: F401
+from . import constfold as _constfold  # noqa: F401
+from . import instcombine as _instcombine  # noqa: F401
+from . import cse as _cse  # noqa: F401
+from . import simplifycfg as _simplifycfg  # noqa: F401
+from . import licm as _licm  # noqa: F401
+from . import loop_unroll as _loop_unroll  # noqa: F401
+from . import inline as _inline  # noqa: F401
+from . import mem2reg as _mem2reg  # noqa: F401
+from . import globalopt as _globalopt  # noqa: F401
+
+from .flag_sampler import FlagSequence, FlagSequenceSampler, sample_flag_sequences
+from .pipelines import (
+    O0_PIPELINE,
+    O1_PIPELINE,
+    O2_PIPELINE,
+    O3_PIPELINE,
+    PIPELINES,
+    default_compilation_sequence,
+    describe_sequence,
+    pipeline,
+)
+
+__all__ = [
+    "PASS_REGISTRY",
+    "FunctionPass",
+    "ModulePass",
+    "PassManager",
+    "PassStatistics",
+    "apply_flag_sequence",
+    "available_passes",
+    "create_pass",
+    "register_pass",
+    "run_passes",
+    "FlagSequence",
+    "FlagSequenceSampler",
+    "sample_flag_sequences",
+    "O0_PIPELINE",
+    "O1_PIPELINE",
+    "O2_PIPELINE",
+    "O3_PIPELINE",
+    "PIPELINES",
+    "default_compilation_sequence",
+    "describe_sequence",
+    "pipeline",
+]

@@ -1,0 +1,213 @@
+"""Constant folding and propagation."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryOp,
+    Cast,
+    FCmp,
+    ICmp,
+    Instruction,
+    Select,
+)
+from ..ir.types import FloatType, IntType
+from ..ir.values import Constant, ConstantFloat, ConstantInt, Value, const_bool
+from .pass_manager import FunctionPass, register_pass
+
+
+def fold_binary(opcode: str, lhs: Constant, rhs: Constant, result_type) -> Optional[Constant]:
+    """Fold a binary operation over two constants, or return None."""
+    if isinstance(result_type, FloatType):
+        if not isinstance(lhs, (ConstantFloat, ConstantInt)) or not isinstance(
+            rhs, (ConstantFloat, ConstantInt)
+        ):
+            return None
+        a, b = float(lhs.value), float(rhs.value)
+        if opcode == "fadd":
+            return ConstantFloat(a + b, result_type)
+        if opcode == "fsub":
+            return ConstantFloat(a - b, result_type)
+        if opcode == "fmul":
+            return ConstantFloat(a * b, result_type)
+        if opcode == "fdiv":
+            return ConstantFloat(a / b, result_type) if b != 0.0 else None
+        if opcode == "frem":
+            return ConstantFloat(math.fmod(a, b), result_type) if b != 0.0 else None
+        return None
+    if not isinstance(result_type, IntType):
+        return None
+    if not isinstance(lhs, ConstantInt) or not isinstance(rhs, ConstantInt):
+        return None
+    a, b = lhs.value, rhs.value
+    if opcode == "add":
+        return ConstantInt(a + b, result_type)
+    if opcode == "sub":
+        return ConstantInt(a - b, result_type)
+    if opcode == "mul":
+        return ConstantInt(a * b, result_type)
+    if opcode in ("sdiv", "udiv"):
+        return ConstantInt(int(a / b), result_type) if b != 0 else None
+    if opcode in ("srem", "urem"):
+        return ConstantInt(int(math.fmod(a, b)), result_type) if b != 0 else None
+    if opcode == "and":
+        return ConstantInt(a & b, result_type)
+    if opcode == "or":
+        return ConstantInt(a | b, result_type)
+    if opcode == "xor":
+        return ConstantInt(a ^ b, result_type)
+    if opcode == "shl":
+        return ConstantInt(a << (b % result_type.bits), result_type)
+    if opcode == "lshr":
+        return ConstantInt((a % (1 << result_type.bits)) >> (b % result_type.bits), result_type)
+    if opcode == "ashr":
+        return ConstantInt(a >> (b % result_type.bits), result_type)
+    return None
+
+
+def fold_icmp(predicate: str, lhs: ConstantInt, rhs: ConstantInt) -> Constant:
+    a, b = lhs.value, rhs.value
+    if predicate in ("ult", "ule", "ugt", "uge"):
+        bits = lhs.type.bits if isinstance(lhs.type, IntType) else 64
+        mask = (1 << bits) - 1
+        a &= mask
+        b &= mask
+        predicate = {"ult": "slt", "ule": "sle", "ugt": "sgt", "uge": "sge"}[predicate]
+    result = {
+        "eq": a == b,
+        "ne": a != b,
+        "slt": a < b,
+        "sle": a <= b,
+        "sgt": a > b,
+        "sge": a >= b,
+    }[predicate]
+    return const_bool(result)
+
+
+def fold_fcmp(predicate: str, lhs: ConstantFloat, rhs: ConstantFloat) -> Constant:
+    a, b = float(lhs.value), float(rhs.value)
+    result = {
+        "oeq": a == b,
+        "one": a != b,
+        "olt": a < b,
+        "ole": a <= b,
+        "ogt": a > b,
+        "oge": a >= b,
+    }[predicate]
+    return const_bool(result)
+
+
+def fold_instruction(inst: Instruction) -> Optional[Constant]:
+    """Return the constant this instruction folds to, or None."""
+    if isinstance(inst, BinaryOp):
+        lhs, rhs = inst.lhs, inst.rhs
+        if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+            return fold_binary(inst.opcode, lhs, rhs, inst.type)
+        return None
+    if isinstance(inst, ICmp):
+        if isinstance(inst.lhs, ConstantInt) and isinstance(inst.rhs, ConstantInt):
+            return fold_icmp(inst.predicate, inst.lhs, inst.rhs)
+        return None
+    if isinstance(inst, FCmp):
+        if isinstance(inst.lhs, ConstantFloat) and isinstance(inst.rhs, ConstantFloat):
+            return fold_fcmp(inst.predicate, inst.lhs, inst.rhs)
+        return None
+    if isinstance(inst, Select):
+        cond = inst.condition
+        if isinstance(cond, ConstantInt):
+            chosen = inst.true_value if cond.value else inst.false_value
+            if isinstance(chosen, Constant):
+                return chosen
+        return None
+    if isinstance(inst, Cast):
+        src = inst.source
+        if not isinstance(src, Constant):
+            return None
+        if inst.opcode in ("trunc", "zext", "sext") and isinstance(src, ConstantInt):
+            assert isinstance(inst.type, IntType)
+            return ConstantInt(src.value, inst.type)
+        if inst.opcode == "fptosi" and isinstance(src, ConstantFloat):
+            assert isinstance(inst.type, IntType)
+            return ConstantInt(int(src.value), inst.type)
+        if inst.opcode in ("sitofp", "fpext", "fptrunc") and isinstance(
+            src, (ConstantInt, ConstantFloat)
+        ):
+            assert isinstance(inst.type, FloatType)
+            return ConstantFloat(float(src.value), inst.type)
+        return None
+    return None
+
+
+@register_pass
+class ConstantFolding(FunctionPass):
+    """Fold instructions whose operands are all constants, to a fixpoint.
+
+    The fold only rewrites *uses*; the now-dead defining instructions are
+    left for :class:`~repro.passes.dce.DeadCodeElimination`, mirroring how
+    LLVM separates the two concerns.
+    """
+
+    name = "constfold"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for inst in list(function.instructions()):
+                folded = fold_instruction(inst)
+                if folded is None:
+                    continue
+                if function.replace_all_uses_with(inst, folded):
+                    progress = True
+                    changed = True
+        return changed
+
+
+@register_pass
+class ConstantPropagation(FunctionPass):
+    """Propagate constants through select/phi chains where trivially safe.
+
+    A phi whose incoming values are all the same constant becomes that
+    constant; a phi whose incoming values are all the same SSA value becomes
+    that value (LCSSA-style cleanup).
+    """
+
+    name = "constprop"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for block in function.blocks:
+                for phi in block.phis():
+                    values = list(phi.operands)
+                    if not values:
+                        continue
+                    first = values[0]
+                    same_object = all(v is first for v in values[1:])
+                    same_constant = (
+                        isinstance(first, Constant)
+                        and all(isinstance(v, Constant) and v == first for v in values[1:])
+                    )
+                    # A phi that only references itself and one other value is
+                    # also redundant (common after simplify-cfg).
+                    non_self = [v for v in values if v is not phi]
+                    redundant_self = len(set(id(v) for v in non_self)) == 1 and len(non_self) >= 1
+                    if same_object or same_constant:
+                        replacement: Value = first
+                    elif redundant_self:
+                        replacement = non_self[0]
+                    else:
+                        continue
+                    if replacement is phi:
+                        continue
+                    function.replace_all_uses_with(phi, replacement)
+                    block.remove(phi)
+                    progress = True
+                    changed = True
+        return changed

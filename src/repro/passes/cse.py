@@ -1,0 +1,121 @@
+"""Common-subexpression elimination (local CSE and dominator-scoped GVN)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.dominators import DominatorTree
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryOp,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Select,
+)
+from ..ir.values import Constant, Value
+from .pass_manager import FunctionPass, register_pass
+
+
+def _operand_key(value: Value) -> object:
+    """Hashable identity of an operand for expression keys."""
+    if isinstance(value, Constant):
+        return ("const", repr(value.type), getattr(value, "value", None))
+    return ("val", id(value))
+
+
+def expression_key(inst: Instruction) -> Optional[Tuple]:
+    """Hashable key identifying the computation of ``inst``, if CSE-able."""
+    if isinstance(inst, BinaryOp):
+        operands = [_operand_key(inst.lhs), _operand_key(inst.rhs)]
+        if inst.is_commutative:
+            operands.sort(key=repr)
+        return ("bin", inst.opcode, tuple(operands))
+    if isinstance(inst, ICmp):
+        return ("icmp", inst.predicate, _operand_key(inst.lhs), _operand_key(inst.rhs))
+    if isinstance(inst, FCmp):
+        return ("fcmp", inst.predicate, _operand_key(inst.lhs), _operand_key(inst.rhs))
+    if isinstance(inst, Cast):
+        return ("cast", inst.opcode, repr(inst.type), _operand_key(inst.source))
+    if isinstance(inst, Select):
+        return ("select", tuple(_operand_key(op) for op in inst.operands))
+    if isinstance(inst, GetElementPtr):
+        return ("gep", tuple(_operand_key(op) for op in inst.operands))
+    return None
+
+
+@register_pass
+class LocalCSE(FunctionPass):
+    """Eliminate identical pure expressions within each basic block."""
+
+    name = "cse"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        for block in function.blocks:
+            available: Dict[Tuple, Instruction] = {}
+            for inst in list(block.instructions):
+                if not inst.is_pure:
+                    continue
+                key = expression_key(inst)
+                if key is None:
+                    continue
+                existing = available.get(key)
+                if existing is None:
+                    available[key] = inst
+                    continue
+                function.replace_all_uses_with(inst, existing)
+                block.remove(inst)
+                changed = True
+        return changed
+
+
+@register_pass
+class GlobalValueNumbering(FunctionPass):
+    """Dominator-scoped value numbering.
+
+    Walks the dominator tree depth-first carrying a scoped hash table of
+    available expressions, so an expression computed in a dominating block
+    replaces re-computations in dominated blocks.
+    """
+
+    name = "gvn"
+
+    def run_on_function(self, function: Function) -> bool:
+        if not function.blocks:
+            return False
+        domtree = DominatorTree(function)
+        entry = function.entry_block
+        assert entry is not None
+        self._changed = False
+        self._function = function
+        self._visit(entry, domtree, {})
+        return self._changed
+
+    def _visit(
+        self,
+        block: BasicBlock,
+        domtree: DominatorTree,
+        available: Dict[Tuple, Instruction],
+    ) -> None:
+        scope: Dict[Tuple, Instruction] = dict(available)
+        for inst in list(block.instructions):
+            if not inst.is_pure:
+                continue
+            key = expression_key(inst)
+            if key is None:
+                continue
+            existing = scope.get(key)
+            if existing is not None:
+                self._function.replace_all_uses_with(inst, existing)
+                block.remove(inst)
+                self._changed = True
+            else:
+                scope[key] = inst
+        for child in domtree.children(block):
+            if child is block:
+                continue
+            self._visit(child, domtree, scope)

@@ -1,0 +1,73 @@
+"""Dead code elimination and unreachable-block removal."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.block import BasicBlock
+from ..ir.cfg import reachable_blocks
+from ..ir.function import Function, remove_block_and_fix_phis
+from ..ir.instructions import Instruction
+from ..ir.values import Value
+from .pass_manager import FunctionPass, register_pass
+
+
+def _use_counts(function: Function) -> Dict[Value, int]:
+    counts: Dict[Value, int] = {}
+    for inst in function.instructions():
+        for op in inst.operands:
+            if isinstance(op, Instruction):
+                counts[op] = counts.get(op, 0) + 1
+    return counts
+
+
+@register_pass
+class DeadCodeElimination(FunctionPass):
+    """Remove pure instructions whose results are never used.
+
+    Works back to a fixpoint so chains of dead computations disappear in one
+    run — this is the pass whose effect the paper singles out as an example
+    of exposing code properties ("if a code has large blocks of useless code,
+    this compiler pass will have a significant impact").
+    """
+
+    name = "dce"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        while True:
+            counts = _use_counts(function)
+            dead: List[Instruction] = [
+                inst
+                for inst in function.instructions()
+                if inst.is_pure and counts.get(inst, 0) == 0 and not inst.type.is_void
+            ]
+            if not dead:
+                break
+            for inst in dead:
+                if inst.parent is not None:
+                    inst.parent.remove(inst)
+            changed = True
+        return changed
+
+
+@register_pass
+class RemoveUnreachableBlocks(FunctionPass):
+    """Delete blocks not reachable from the entry block."""
+
+    name = "unreachable-block-elim"
+
+    def run_on_function(self, function: Function) -> bool:
+        if not function.blocks:
+            return False
+        reachable: Set[BasicBlock] = reachable_blocks(function)
+        dead_blocks = [block for block in function.blocks if block not in reachable]
+        if not dead_blocks:
+            return False
+        for block in dead_blocks:
+            # Drop the dead block's instructions first so that stale operand
+            # references (from the dead region into itself) disappear.
+            for inst in list(block.instructions):
+                block.remove(inst)
+            remove_block_and_fix_phis(function, block)
+        return True

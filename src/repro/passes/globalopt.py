@@ -1,0 +1,93 @@
+"""Module-level cleanup passes."""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import Call, Store
+from ..ir.module import Module
+from ..ir.values import GlobalVariable
+from .pass_manager import ModulePass, register_pass
+
+
+@register_pass
+class GlobalOpt(ModulePass):
+    """Mark globals that are never stored to as constants.
+
+    Purely an IR-annotation change (it influences printing and the graph
+    features) but it mirrors the analysis LLVM's ``-globalopt`` performs.
+    """
+
+    name = "globalopt"
+
+    def run_on_module(self, module: Module) -> bool:
+        stored: set[str] = set()
+        for fn in module.functions:
+            for inst in fn.instructions():
+                if isinstance(inst, Store) and isinstance(inst.pointer, GlobalVariable):
+                    stored.add(inst.pointer.name)
+        changed = False
+        for gv in module.globals:
+            if gv.name not in stored and not gv.is_constant_global:
+                gv.is_constant_global = True
+                changed = True
+        return changed
+
+
+@register_pass
+class DeadFunctionElimination(ModulePass):
+    """Remove internal functions that are never called.
+
+    Functions marked ``internal`` that have no call sites anywhere in the
+    module are dropped.  OpenMP outlined regions and externally-visible
+    functions are always kept.
+    """
+
+    name = "deadfunc"
+
+    def run_on_module(self, module: Module) -> bool:
+        called: set[str] = set()
+        for fn in module.functions:
+            for inst in fn.instructions():
+                if isinstance(inst, Call):
+                    called.add(inst.callee_name)
+        removable = [
+            fn
+            for fn in module.functions
+            if "internal" in fn.attributes
+            and not fn.is_omp_outlined
+            and fn.name not in called
+            and not fn.is_declaration
+        ]
+        for fn in removable:
+            module.remove_function(fn)
+        return bool(removable)
+
+
+@register_pass
+class DeadArgumentAnnotation(ModulePass):
+    """Annotate unused arguments of defined functions.
+
+    Changing signatures would require rewriting every call site; instead the
+    pass records unused arguments in function metadata-like attributes
+    (``deadarg_<name>``), which perturbs the printed IR and the graph
+    features the same way LLVM's ``-deadargelim`` would perturb real IR,
+    without breaking ABI assumptions elsewhere in the pipeline.
+    """
+
+    name = "deadargelim"
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for fn in module.functions:
+            if fn.is_declaration:
+                continue
+            used = set()
+            for inst in fn.instructions():
+                for op in inst.operands:
+                    used.add(id(op))
+            for arg in fn.arguments:
+                attr = f"deadarg_{arg.name}"
+                if id(arg) not in used and attr not in fn.attributes:
+                    fn.attributes.add(attr)
+                    changed = True
+        return changed

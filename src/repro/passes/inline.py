@@ -1,0 +1,167 @@
+"""Function inlining."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Branch, Call, Instruction, Phi, Return
+from ..ir.module import Module
+from ..ir.values import Value
+from .pass_manager import ModulePass, register_pass
+
+
+def _is_recursive(function: Function) -> bool:
+    for inst in function.instructions():
+        if isinstance(inst, Call) and inst.callee is function:
+            return True
+    return False
+
+
+@register_pass
+class Inliner(ModulePass):
+    """Inline calls to small, non-recursive, defined functions.
+
+    Functions marked ``noinline`` are skipped, functions marked ``inline``
+    are always considered; otherwise a size threshold applies.  OpenMP
+    outlined functions are never inlined into their callers (they must stay
+    extractable as regions), but calls *inside* them are fair game.
+    """
+
+    name = "inline"
+
+    def __init__(self, max_callee_size: int = 40):
+        self.max_callee_size = max_callee_size
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for caller in list(module.functions):
+            if caller.is_declaration:
+                continue
+            changed |= self._inline_in_function(caller)
+        return changed
+
+    # ------------------------------------------------------------------
+    def _should_inline(self, callee: Function) -> bool:
+        if callee.is_declaration or callee.is_omp_outlined:
+            return False
+        if "noinline" in callee.attributes:
+            return False
+        if _is_recursive(callee):
+            return False
+        if "inline" in callee.attributes:
+            return True
+        return callee.instruction_count() <= self.max_callee_size
+
+    def _inline_in_function(self, caller: Function) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for block in list(caller.blocks):
+                for inst in list(block.instructions):
+                    if not isinstance(inst, Call):
+                        continue
+                    callee = inst.callee
+                    if not isinstance(callee, Function) or callee is caller:
+                        continue
+                    if not self._should_inline(callee):
+                        continue
+                    self._inline_call(caller, block, inst, callee)
+                    progress = True
+                    changed = True
+                    break
+                if progress:
+                    break
+        return changed
+
+    def _inline_call(
+        self,
+        caller: Function,
+        block: BasicBlock,
+        call: Call,
+        callee: Function,
+    ) -> None:
+        call_index = block.instructions.index(call)
+
+        # 1. Split the caller block after the call.
+        continuation = BasicBlock(f"{block.name}.cont.{caller.next_name()}")
+        caller.blocks.insert(caller.blocks.index(block) + 1, continuation)
+        continuation.parent = caller
+        trailing = block.instructions[call_index + 1 :]
+        for inst in trailing:
+            block.remove(inst)
+            continuation.append(inst)
+        block.remove(call)
+        # Successor phis that named `block` as the incoming predecessor now
+        # receive their value via the continuation block.
+        for succ in continuation.successors():
+            for phi in succ.phis():
+                for i, incoming in enumerate(phi.incoming_blocks):
+                    if incoming is block:
+                        phi.incoming_blocks[i] = continuation
+
+        # 2. Clone the callee body with argument substitution.
+        value_map: Dict[Value, Value] = {}
+        for formal, actual in zip(callee.arguments, call.operands):
+            value_map[formal] = actual
+        block_map: Dict[BasicBlock, BasicBlock] = {}
+        cloned_blocks: List[BasicBlock] = []
+        for src_block in callee.blocks:
+            clone = BasicBlock(f"{callee.name}.{src_block.name}.{caller.next_name()}")
+            clone.parent = caller
+            block_map[src_block] = clone
+            cloned_blocks.append(clone)
+        insert_at = caller.blocks.index(continuation)
+        caller.blocks[insert_at:insert_at] = cloned_blocks
+
+        returns: List[tuple[BasicBlock, Optional[Value]]] = []
+        for src_block, clone in block_map.items():
+            for inst in src_block.instructions:
+                if isinstance(inst, Return):
+                    returns.append((clone, inst.value))
+                    continue  # replaced by a branch to the continuation below
+                new_inst = inst.clone()
+                new_inst.name = (
+                    f"{inst.name}.inl{caller.next_name()}" if inst.name else ""
+                )
+                clone.append(new_inst)
+                value_map[inst] = new_inst
+
+        # 3. Remap operands (values and blocks) inside the cloned body.
+        def _remap(value: Value) -> Value:
+            if isinstance(value, BasicBlock):
+                return block_map.get(value, value)
+            mapped = value_map.get(value)
+            return mapped if mapped is not None else value
+
+        for clone in cloned_blocks:
+            for inst in clone.instructions:
+                inst.operands = [_remap(op) for op in inst.operands]
+                if isinstance(inst, Phi):
+                    inst.incoming_blocks = [
+                        block_map.get(b, b) for b in inst.incoming_blocks
+                    ]
+
+        # 4. Wire control flow: call block jumps to the cloned entry; every
+        #    cloned return jumps to the continuation.
+        entry_clone = block_map[callee.blocks[0]]
+        block.append(Branch(entry_clone))
+        return_values: List[tuple[Value, BasicBlock]] = []
+        for clone, value in returns:
+            clone.append(Branch(continuation))
+            if value is not None:
+                return_values.append((value_map.get(value, value), clone))
+
+        # 5. Replace uses of the call's result.
+        if not call.type.is_void and return_values:
+            if len(return_values) == 1:
+                replacement: Value = return_values[0][0]
+            else:
+                phi = Phi(call.type, caller.next_name("retphi"))
+                for value, clone in return_values:
+                    phi.add_incoming(value, clone)
+                continuation.insert(0, phi)
+                replacement = phi
+            caller.replace_all_uses_with(call, replacement)

@@ -1,0 +1,159 @@
+"""Peephole algebraic simplifications (a small ``instcombine``)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.function import Function
+from ..ir.instructions import BinaryOp, ICmp, Instruction, Select
+from ..ir.types import FloatType, IntType
+from ..ir.values import ConstantFloat, ConstantInt, Value, const_bool
+from .pass_manager import FunctionPass, register_pass
+
+
+def _is_int_zero(value: Value) -> bool:
+    return isinstance(value, ConstantInt) and value.value == 0
+
+
+def _is_int_one(value: Value) -> bool:
+    return isinstance(value, ConstantInt) and value.value == 1
+
+
+def _is_float_zero(value: Value) -> bool:
+    return isinstance(value, ConstantFloat) and value.value == 0.0
+
+
+def _is_float_one(value: Value) -> bool:
+    return isinstance(value, ConstantFloat) and value.value == 1.0
+
+
+def simplify(inst: Instruction) -> Optional[Value]:
+    """Return a simpler value equivalent to ``inst``, or None."""
+    if isinstance(inst, BinaryOp):
+        return _simplify_binary(inst)
+    if isinstance(inst, ICmp):
+        if inst.lhs is inst.rhs:
+            if inst.predicate in ("eq", "sle", "sge", "ule", "uge"):
+                return const_bool(True)
+            if inst.predicate in ("ne", "slt", "sgt", "ult", "ugt"):
+                return const_bool(False)
+    if isinstance(inst, Select):
+        if inst.true_value is inst.false_value:
+            return inst.true_value
+        cond = inst.condition
+        if isinstance(cond, ConstantInt):
+            return inst.true_value if cond.value else inst.false_value
+    return None
+
+
+def _simplify_binary(inst: BinaryOp) -> Optional[Value]:
+    op = inst.opcode
+    lhs, rhs = inst.lhs, inst.rhs
+    is_int = isinstance(inst.type, IntType)
+    is_float = isinstance(inst.type, FloatType)
+
+    if op == "add":
+        if _is_int_zero(rhs):
+            return lhs
+        if _is_int_zero(lhs):
+            return rhs
+    elif op == "sub":
+        if _is_int_zero(rhs):
+            return lhs
+        if lhs is rhs and is_int:
+            return ConstantInt(0, inst.type)  # type: ignore[arg-type]
+    elif op == "mul":
+        if _is_int_one(rhs):
+            return lhs
+        if _is_int_one(lhs):
+            return rhs
+        if _is_int_zero(rhs) or _is_int_zero(lhs):
+            return ConstantInt(0, inst.type)  # type: ignore[arg-type]
+    elif op in ("sdiv", "udiv"):
+        if _is_int_one(rhs):
+            return lhs
+    elif op in ("srem", "urem"):
+        if _is_int_one(rhs):
+            return ConstantInt(0, inst.type)  # type: ignore[arg-type]
+    elif op in ("and", "or"):
+        if lhs is rhs:
+            return lhs
+        if op == "and" and (_is_int_zero(lhs) or _is_int_zero(rhs)):
+            return ConstantInt(0, inst.type)  # type: ignore[arg-type]
+        if op == "or":
+            if _is_int_zero(rhs):
+                return lhs
+            if _is_int_zero(lhs):
+                return rhs
+    elif op == "xor":
+        if lhs is rhs and is_int:
+            return ConstantInt(0, inst.type)  # type: ignore[arg-type]
+        if _is_int_zero(rhs):
+            return lhs
+        if _is_int_zero(lhs):
+            return rhs
+    elif op in ("shl", "lshr", "ashr"):
+        if _is_int_zero(rhs):
+            return lhs
+    elif op == "fadd":
+        if _is_float_zero(rhs):
+            return lhs
+        if _is_float_zero(lhs):
+            return rhs
+    elif op == "fsub":
+        if _is_float_zero(rhs):
+            return lhs
+    elif op == "fmul":
+        if _is_float_one(rhs):
+            return lhs
+        if _is_float_one(lhs):
+            return rhs
+    elif op == "fdiv":
+        if _is_float_one(rhs):
+            return lhs
+    return None
+
+
+@register_pass
+class InstCombine(FunctionPass):
+    """Apply algebraic identities (x+0, x*1, x-x, x^x, ...) to a fixpoint."""
+
+    name = "instcombine"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for inst in list(function.instructions()):
+                replacement = simplify(inst)
+                if replacement is None or replacement is inst:
+                    continue
+                if function.replace_all_uses_with(inst, replacement):
+                    progress = True
+                    changed = True
+        return changed
+
+
+@register_pass
+class Reassociate(FunctionPass):
+    """Canonicalize commutative operands: constants to the right-hand side.
+
+    Like LLVM's ``-reassociate`` this does not change semantics, only the
+    shape of expressions, which makes CSE/GVN find more matches and — for
+    this project — perturbs the data-flow graph fed to the GNN.
+    """
+
+    name = "reassociate"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        for inst in function.instructions():
+            if isinstance(inst, BinaryOp) and inst.is_commutative:
+                lhs, rhs = inst.lhs, inst.rhs
+                lhs_const = isinstance(lhs, (ConstantInt, ConstantFloat))
+                rhs_const = isinstance(rhs, (ConstantInt, ConstantFloat))
+                if lhs_const and not rhs_const:
+                    inst.operands[0], inst.operands[1] = rhs, lhs
+                    changed = True
+        return changed

@@ -1,0 +1,62 @@
+"""Loop-invariant code motion."""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction, Load, Phi
+from ..ir.loops import Loop, find_loops
+from ..ir.values import Argument, Constant, GlobalVariable, Value
+from .pass_manager import FunctionPass, register_pass
+
+
+def _is_invariant_operand(value: Value, loop: Loop, hoisted: Set[Instruction]) -> bool:
+    if isinstance(value, (Constant, Argument, GlobalVariable)):
+        return True
+    if isinstance(value, Instruction):
+        if value in hoisted:
+            return True
+        return value.parent is not None and value.parent not in loop.blocks
+    return False
+
+
+@register_pass
+class LoopInvariantCodeMotion(FunctionPass):
+    """Hoist pure loop-invariant computations into the loop preheader.
+
+    Loads are intentionally *not* hoisted: without alias analysis a load in
+    the loop body may observe stores from other iterations (or other
+    threads, since these are OpenMP regions), so only arithmetic, compares,
+    casts, selects and GEPs move.
+    """
+
+    name = "licm"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        for loop in find_loops(function):
+            preheader = loop.preheader()
+            if preheader is None or not preheader.is_terminated:
+                continue
+            hoisted: Set[Instruction] = set()
+            progress = True
+            while progress:
+                progress = False
+                for block in list(loop.blocks):
+                    for inst in list(block.instructions):
+                        if isinstance(inst, (Phi, Load)) or not inst.is_pure:
+                            continue
+                        if inst in hoisted:
+                            continue
+                        if not all(
+                            _is_invariant_operand(op, loop, hoisted)
+                            for op in inst.operands
+                        ):
+                            continue
+                        block.remove(inst)
+                        preheader.insert_before_terminator(inst)
+                        hoisted.add(inst)
+                        progress = True
+                        changed = True
+        return changed

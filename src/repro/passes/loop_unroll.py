@@ -1,0 +1,200 @@
+"""Full unrolling of small counted loops.
+
+The pass targets the canonical self-loop shape the workload generator emits
+for small fixed-trip inner loops::
+
+    preheader:
+        br ^header
+    header:
+        %i   = phi i64 [0:i64, ^preheader], [%inext, ^header]
+        ... body ...
+        %inext = add i64 %i, 1:i64
+        %cond  = icmp slt %inext, N:i64
+        condbr %cond, ^header, ^exit
+
+When the trip count is a known constant not larger than ``max_trip`` the
+loop body is replicated that many times in straight-line form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Branch, CondBranch, Instruction, Phi
+from ..ir.loops import Loop, find_loops
+from ..ir.values import ConstantInt, Value
+from .pass_manager import FunctionPass, register_pass
+
+
+@register_pass
+class LoopUnroll(FunctionPass):
+    """Fully unroll single-block counted loops with small constant trips."""
+
+    name = "loop-unroll"
+
+    def __init__(self, max_trip: int = 8):
+        self.max_trip = max_trip
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        # Re-discover loops after each unroll since the CFG changes.
+        progress = True
+        while progress:
+            progress = False
+            for loop in find_loops(function):
+                if self._try_unroll(function, loop):
+                    progress = True
+                    changed = True
+                    break
+        return changed
+
+    # ------------------------------------------------------------------
+    def _try_unroll(self, function: Function, loop: Loop) -> bool:
+        header = loop.header
+        if loop.blocks != {header}:
+            return False
+        trip = self._constant_trip(loop)
+        if trip is None or trip <= 0 or trip > self.max_trip:
+            return False
+        preheader = loop.preheader()
+        if preheader is None:
+            return False
+        term = header.terminator
+        if not isinstance(term, CondBranch):
+            return False
+        exit_block = term.if_false if term.if_true is header else term.if_true
+        if exit_block is header:
+            return False
+
+        phis = header.phis()
+        body = [inst for inst in header.instructions if not isinstance(inst, Phi)]
+        body = [inst for inst in body if not inst.is_terminator]
+
+        # Current value of each phi for the iteration being emitted.
+        current: Dict[Phi, Value] = {}
+        for phi in phis:
+            init = phi.incoming_value_for(preheader)
+            if init is None:
+                return False
+            current[phi] = init
+
+        new_blocks: List[BasicBlock] = []
+        # Remap of original instruction -> its clone in the latest iteration,
+        # needed so uses of body values *after* the loop refer to the final
+        # iteration's clones.
+        last_clone: Dict[Instruction, Value] = {}
+
+        for iteration in range(trip):
+            block = BasicBlock(f"{header.name}.unroll{iteration}")
+            function.blocks.insert(function.blocks.index(header), block)
+            block.parent = function
+            new_blocks.append(block)
+            mapping: Dict[Value, Value] = dict(current)
+            for inst in body:
+                clone = inst.clone()
+                clone.operands = [mapping.get(op, op) for op in clone.operands]
+                clone.name = f"{inst.name}.it{iteration}" if inst.name else ""
+                block.append(clone)
+                mapping[inst] = clone
+                last_clone[inst] = clone
+            # Advance phi values using the latch (in-loop) incoming operand.
+            next_values: Dict[Phi, Value] = {}
+            for phi in phis:
+                latch_value = phi.incoming_value_for(header)
+                if latch_value is None:
+                    return False
+                next_values[phi] = mapping.get(latch_value, latch_value)
+            current = next_values
+            if iteration > 0:
+                prev = new_blocks[iteration - 1]
+                prev.append(Branch(block))
+
+        # Wire: preheader -> first unrolled block -> ... -> exit block.
+        pre_term = preheader.terminator
+        assert pre_term is not None
+        pre_term.replace_operand(header, new_blocks[0])
+        new_blocks[-1].append(Branch(exit_block))
+
+        # Values flowing out of the loop: phis referenced after the loop take
+        # their final value; body instructions referenced after the loop take
+        # their last-iteration clone.
+        for phi in phis:
+            function.replace_all_uses_with(phi, current[phi])
+        for inst in body:
+            clone = last_clone.get(inst)
+            if clone is not None:
+                for user in function.uses_of(inst):
+                    if user.parent is not None and user.parent not in (header,):
+                        user.replace_operand(inst, clone)
+
+        # Phis in the exit block now receive their values from the last
+        # unrolled block instead of the old header.
+        for phi in exit_block.phis():
+            for i, incoming in enumerate(phi.incoming_blocks):
+                if incoming is header:
+                    phi.incoming_blocks[i] = new_blocks[-1]
+                    phi.operands[i] = self._remap_exit_value(
+                        phi.operands[i], current, last_clone, phis
+                    )
+
+        # Finally delete the original header.
+        for inst in list(header.instructions):
+            header.remove(inst)
+        function.remove_block(header)
+        return True
+
+    @staticmethod
+    def _remap_exit_value(
+        value: Value,
+        current: Dict[Phi, Value],
+        last_clone: Dict[Instruction, Value],
+        phis: List[Phi],
+    ) -> Value:
+        if isinstance(value, Phi) and value in current:
+            return current[value]
+        if isinstance(value, Instruction) and value in last_clone:
+            return last_clone[value]
+        return value
+
+    # ------------------------------------------------------------------
+    def _constant_trip(self, loop: Loop) -> Optional[int]:
+        """Exact trip count for step-1 counted self-loops, else None."""
+        header = loop.header
+        phi = loop.induction_phi()
+        if phi is None:
+            return None
+        term = header.terminator
+        if not isinstance(term, CondBranch):
+            return None
+        cond = term.condition
+        from ..ir.instructions import BinaryOp, ICmp
+
+        if not isinstance(cond, ICmp) or cond.predicate not in ("slt", "sle"):
+            return None
+        bound = cond.rhs
+        if not isinstance(bound, ConstantInt):
+            return None
+        init = None
+        step_value = None
+        latch_value = phi.incoming_value_for(header)
+        for value, block in phi.incoming():
+            if block is not header and isinstance(value, ConstantInt):
+                init = value.value
+        if not isinstance(latch_value, BinaryOp) or latch_value.opcode != "add":
+            return None
+        if latch_value.lhs is phi and isinstance(latch_value.rhs, ConstantInt):
+            step_value = latch_value.rhs.value
+        elif latch_value.rhs is phi and isinstance(latch_value.lhs, ConstantInt):
+            step_value = latch_value.lhs.value
+        if init is None or step_value != 1:
+            return None
+        # The comparison may be on the phi or on the incremented value.
+        compare_on_next = cond.lhs is latch_value
+        count = bound.value - init
+        if cond.predicate == "sle":
+            count += 1
+        if not compare_on_next:
+            count += 1 if cond.lhs is phi else 0
+        return count if count > 0 else None

@@ -1,0 +1,79 @@
+"""Scalar promotion passes operating on allocas.
+
+Full SSA construction (phi insertion over the dominance frontier) is not
+needed for the workloads in this project: the generator emits scalars in SSA
+form already and uses allocas only for thread-private temporaries that are
+read and written within a single block.  Two conservative but sound passes
+cover those patterns:
+
+- :class:`StoreLoadForwarding` forwards a stored value to subsequent loads of
+  the same pointer within a basic block (when no intervening instruction can
+  modify memory).
+- :class:`DeadStoreElimination` deletes a store that is overwritten by a
+  later store to the same pointer within the same block with no intervening
+  read or call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.function import Function
+from ..ir.instructions import AtomicRMW, Call, Instruction, Load, Store
+from ..ir.values import Value
+from .pass_manager import FunctionPass, register_pass
+
+
+def _may_write_memory(inst: Instruction) -> bool:
+    return isinstance(inst, (Store, Call, AtomicRMW))
+
+
+@register_pass
+class StoreLoadForwarding(FunctionPass):
+    """Forward stored values to later loads of the same pointer in a block."""
+
+    name = "mem2reg"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        for block in function.blocks:
+            known: Dict[int, Value] = {}
+            for inst in list(block.instructions):
+                if isinstance(inst, Store) and not inst.is_volatile:
+                    known[id(inst.pointer)] = inst.value
+                    continue
+                if isinstance(inst, Load) and not inst.is_volatile:
+                    forwarded = known.get(id(inst.pointer))
+                    if forwarded is not None and forwarded.type == inst.type:
+                        function.replace_all_uses_with(inst, forwarded)
+                        block.remove(inst)
+                        changed = True
+                    continue
+                if _may_write_memory(inst):
+                    # A call or an aliased store may change any location.
+                    known.clear()
+        return changed
+
+
+@register_pass
+class DeadStoreElimination(FunctionPass):
+    """Remove stores overwritten before any possible read."""
+
+    name = "dse"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        for block in function.blocks:
+            pending: Dict[int, Store] = {}
+            for inst in list(block.instructions):
+                if isinstance(inst, Store) and not inst.is_volatile:
+                    previous: Optional[Store] = pending.get(id(inst.pointer))
+                    if previous is not None:
+                        block.remove(previous)
+                        changed = True
+                    pending[id(inst.pointer)] = inst
+                    continue
+                if isinstance(inst, (Load, Call, AtomicRMW)):
+                    # Any read or opaque call may observe pending stores.
+                    pending.clear()
+        return changed

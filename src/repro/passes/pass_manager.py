@@ -1,0 +1,157 @@
+"""Pass infrastructure: pass base classes, registry and the pass manager.
+
+The paper's dataset-augmentation step compiles each benchmark under many
+different *flag sequences* — ordered subsets of the ``-O3`` pipeline.  Here a
+flag sequence is simply a list of registered pass names executed in order by
+the :class:`PassManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..ir.function import Function
+from ..ir.module import Module
+
+
+class FunctionPass:
+    """A transformation applied to one function at a time."""
+
+    #: registry name; subclasses must override.
+    name: str = "<abstract>"
+
+    def run_on_function(self, function: Function) -> bool:
+        """Transform ``function`` in place; return True if anything changed."""
+        raise NotImplementedError
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for fn in module.functions:
+            if fn.is_declaration:
+                continue
+            changed |= self.run_on_function(fn)
+        return changed
+
+
+class ModulePass:
+    """A transformation applied to a whole module."""
+
+    name: str = "<abstract>"
+
+    def run_on_module(self, module: Module) -> bool:
+        raise NotImplementedError
+
+
+PASS_REGISTRY: Dict[str, Callable[[], object]] = {}
+
+
+def register_pass(cls):
+    """Class decorator adding a pass to the global registry by its name."""
+    if not getattr(cls, "name", None) or cls.name == "<abstract>":
+        raise ValueError(f"pass {cls.__name__} must define a unique name")
+    if cls.name in PASS_REGISTRY:
+        raise ValueError(f"duplicate pass name {cls.name!r}")
+    PASS_REGISTRY[cls.name] = cls
+    return cls
+
+
+def create_pass(name: str):
+    """Instantiate a registered pass by name."""
+    try:
+        factory = PASS_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown pass {name!r}; known passes: {sorted(PASS_REGISTRY)}"
+        ) from exc
+    return factory()
+
+
+def available_passes() -> List[str]:
+    """Names of all registered passes (sorted)."""
+    return sorted(PASS_REGISTRY)
+
+
+@dataclass
+class PassStatistics:
+    """Book-keeping about one pass-manager run."""
+
+    executed: List[str] = field(default_factory=list)
+    changed: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, name: str, changed: bool) -> None:
+        self.executed.append(name)
+        self.changed[name] = self.changed.get(name, 0) + (1 if changed else 0)
+
+
+class PassManager:
+    """Runs an ordered sequence of passes over a module.
+
+    Parameters
+    ----------
+    passes:
+        Pass names (strings) or pass instances.
+    verify_each:
+        When True the IR verifier runs after every pass; used heavily by the
+        test suite to localize miscompilations.
+    """
+
+    def __init__(self, passes: Sequence[object] = (), verify_each: bool = False):
+        self.passes: List[object] = []
+        for item in passes:
+            self.add(item)
+        self.verify_each = verify_each
+        self.statistics = PassStatistics()
+
+    def add(self, pass_or_name) -> "PassManager":
+        if isinstance(pass_or_name, str):
+            self.passes.append(create_pass(pass_or_name))
+        else:
+            self.passes.append(pass_or_name)
+        return self
+
+    @property
+    def pass_names(self) -> List[str]:
+        return [getattr(p, "name", type(p).__name__) for p in self.passes]
+
+    def run(self, module: Module) -> bool:
+        """Run every pass in order; return True if the module changed."""
+        from ..ir.verifier import assert_valid
+
+        changed_any = False
+        for pass_obj in self.passes:
+            changed = bool(pass_obj.run_on_module(module))
+            changed_any |= changed
+            self.statistics.record(getattr(pass_obj, "name", type(pass_obj).__name__), changed)
+            if self.verify_each:
+                assert_valid(module)
+        return changed_any
+
+
+def run_passes(
+    module: Module,
+    pass_names: Iterable[str],
+    verify_each: bool = False,
+) -> Module:
+    """Convenience wrapper: run ``pass_names`` over ``module`` in place."""
+    PassManager(list(pass_names), verify_each=verify_each).run(module)
+    return module
+
+
+def apply_flag_sequence(
+    module: Module,
+    sequence: Sequence[str],
+    verify_each: bool = False,
+    clone: bool = True,
+) -> Module:
+    """Apply one flag sequence, optionally on a clone of the module.
+
+    This is the augmentation primitive of the paper: the same source module
+    compiled under different sequences produces structurally different IR
+    (and therefore different graphs) with identical semantics and identical
+    configuration label.
+    """
+    target = module.clone() if clone else module
+    run_passes(target, sequence, verify_each=verify_each)
+    target.metadata["flag_sequence"] = list(sequence)
+    return target

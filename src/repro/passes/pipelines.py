@@ -1,0 +1,96 @@
+"""Optimization pipelines (the ``-O1/-O2/-O3`` analogues).
+
+The concrete pass ordering loosely follows LLVM's legacy pass manager at the
+corresponding levels: early cleanup, scalar optimizations, loop
+optimizations, then a late cleanup round.  The exact ordering matters less
+than the fact that *subsets* of this list produce diverse but semantically
+equivalent IR — that is what the paper's augmentation step exploits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+#: the full -O3 analogue used as the sampling basis for flag sequences.
+O3_PIPELINE: List[str] = [
+    "simplifycfg",
+    "mem2reg",
+    "instcombine",
+    "reassociate",
+    "constfold",
+    "constprop",
+    "cse",
+    "simplifycfg",
+    "inline",
+    "instcombine",
+    "gvn",
+    "licm",
+    "loop-unroll",
+    "constfold",
+    "instcombine",
+    "dse",
+    "dce",
+    "deadargelim",
+    "globalopt",
+    "deadfunc",
+    "unreachable-block-elim",
+    "simplifycfg",
+    "dce",
+]
+
+#: a lighter -O2 analogue (no unrolling, single instcombine round).
+O2_PIPELINE: List[str] = [
+    "simplifycfg",
+    "mem2reg",
+    "instcombine",
+    "constfold",
+    "constprop",
+    "cse",
+    "inline",
+    "gvn",
+    "licm",
+    "dse",
+    "dce",
+    "simplifycfg",
+    "dce",
+]
+
+#: -O1: basic cleanup only.
+O1_PIPELINE: List[str] = [
+    "simplifycfg",
+    "instcombine",
+    "constfold",
+    "dce",
+]
+
+#: -O0: nothing.
+O0_PIPELINE: List[str] = []
+
+PIPELINES = {
+    "O0": O0_PIPELINE,
+    "O1": O1_PIPELINE,
+    "O2": O2_PIPELINE,
+    "O3": O3_PIPELINE,
+}
+
+
+def pipeline(level: str) -> List[str]:
+    """Return the pass list for an optimization level (``"O0"``..``"O3"``)."""
+    try:
+        return list(PIPELINES[level])
+    except KeyError as exc:
+        raise KeyError(f"unknown optimization level {level!r}") from exc
+
+
+def default_compilation_sequence() -> List[str]:
+    """The sequence used when a benchmark is compiled "with default flags".
+
+    The paper compiles benchmarks at their default O2/O3 when measuring
+    timings (step C); we use O2 which keeps regions structurally rich.
+    """
+    return pipeline("O2")
+
+
+def describe_sequence(sequence: Sequence[str]) -> str:
+    """Human-readable one-line description of a flag sequence."""
+    return " -> ".join(sequence) if sequence else "<empty>"

@@ -1,0 +1,113 @@
+"""Control-flow graph simplification."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.block import BasicBlock
+from ..ir.cfg import predecessors_map, reachable_blocks
+from ..ir.function import Function, remove_block_and_fix_phis
+from ..ir.instructions import Branch, CondBranch, Phi
+from ..ir.values import ConstantInt
+from .pass_manager import FunctionPass, register_pass
+
+
+@register_pass
+class SimplifyCFG(FunctionPass):
+    """Fold constant branches, delete unreachable blocks, merge chains.
+
+    The three steps are applied repeatedly until none of them fires, which
+    mirrors LLVM's ``-simplifycfg`` closely enough for augmentation purposes.
+    """
+
+    name = "simplifycfg"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            progress |= self._fold_constant_branches(function)
+            progress |= self._remove_unreachable(function)
+            progress |= self._merge_straightline(function)
+            changed |= progress
+        return changed
+
+    # ------------------------------------------------------------- step 1
+    def _fold_constant_branches(self, function: Function) -> bool:
+        changed = False
+        for block in function.blocks:
+            term = block.terminator
+            if not isinstance(term, CondBranch):
+                continue
+            cond = term.condition
+            if not isinstance(cond, ConstantInt):
+                continue
+            taken = term.if_true if cond.value else term.if_false
+            not_taken = term.if_false if cond.value else term.if_true
+            block.remove(term)
+            block.append(Branch(taken))
+            if not_taken is not taken:
+                # This block is no longer a predecessor of the dead edge's
+                # target; drop the corresponding phi entries.
+                for phi in not_taken.phis():
+                    phi.remove_incoming(block)
+            changed = True
+        return changed
+
+    # ------------------------------------------------------------- step 2
+    def _remove_unreachable(self, function: Function) -> bool:
+        if not function.blocks:
+            return False
+        reachable = reachable_blocks(function)
+        dead = [b for b in function.blocks if b not in reachable]
+        for block in dead:
+            for inst in list(block.instructions):
+                block.remove(inst)
+            remove_block_and_fix_phis(function, block)
+        return bool(dead)
+
+    # ------------------------------------------------------------- step 3
+    def _merge_straightline(self, function: Function) -> bool:
+        """Merge a block into its unique successor when that successor has a
+        unique predecessor (a -> b with no other edges)."""
+        changed = False
+        preds = predecessors_map(function)
+        for block in list(function.blocks):
+            term = block.terminator
+            if not isinstance(term, Branch):
+                continue
+            succ = term.target
+            if succ is block:
+                continue
+            if len(preds.get(succ, [])) != 1:
+                continue
+            if succ is function.entry_block:
+                continue
+            # Rewrite succ's phis: with a single predecessor each phi has at
+            # most one incoming value, which simply replaces the phi.
+            for phi in list(succ.phis()):
+                incoming = phi.incoming_value_for(block)
+                if incoming is None and phi.operands:
+                    incoming = phi.operands[0]
+                if incoming is not None:
+                    function.replace_all_uses_with(phi, incoming)
+                succ.remove(phi)
+            # Splice succ's instructions after removing block's terminator.
+            block.remove(term)
+            moved: List = list(succ.instructions)
+            for inst in moved:
+                succ.remove(inst)
+                block.append(inst)
+            # Phis in succ's successors must now name `block` as the
+            # incoming predecessor instead of `succ`.
+            for next_block in block.successors():
+                for phi in next_block.phis():
+                    for i, incoming_block in enumerate(phi.incoming_blocks):
+                        if incoming_block is succ:
+                            phi.incoming_blocks[i] = block
+            remove_block_and_fix_phis(function, succ)
+            changed = True
+            # predecessor map is stale after a merge; recompute lazily.
+            preds = predecessors_map(function)
+        return changed

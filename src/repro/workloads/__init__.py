@@ -1,0 +1,32 @@
+"""Synthetic OpenMP-region benchmark suite (NAS / Rodinia / LULESH / CLOMP analogues)."""
+
+from .families import clomp_regions, lulesh_regions, nas_regions, rodinia_regions
+from .inputs import INPUT_SIZES, SIZE_1, SIZE_2, InputScaling, profile_for_size, scaling_for
+from .irgen import KernelIRGenerator, generate_region_module
+from .profiles import derive_profile
+from .spec import ALL_PATTERNS, KernelSpec, Pattern
+from .suite import Region, all_specs, build_suite, region_by_name, suite_summary
+
+__all__ = [
+    "clomp_regions",
+    "lulesh_regions",
+    "nas_regions",
+    "rodinia_regions",
+    "INPUT_SIZES",
+    "SIZE_1",
+    "SIZE_2",
+    "InputScaling",
+    "profile_for_size",
+    "scaling_for",
+    "KernelIRGenerator",
+    "generate_region_module",
+    "derive_profile",
+    "ALL_PATTERNS",
+    "KernelSpec",
+    "Pattern",
+    "Region",
+    "all_specs",
+    "build_suite",
+    "region_by_name",
+    "suite_summary",
+]

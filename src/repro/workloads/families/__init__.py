@@ -1,0 +1,8 @@
+"""Benchmark families of the region suite (NAS, Rodinia, LULESH, CLOMP)."""
+
+from .clomp import clomp_regions
+from .lulesh import lulesh_regions
+from .nas import nas_regions
+from .rodinia import rodinia_regions
+
+__all__ = ["clomp_regions", "lulesh_regions", "nas_regions", "rodinia_regions"]

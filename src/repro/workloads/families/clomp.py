@@ -1,0 +1,56 @@
+"""CLOMP region analogues.
+
+CLOMP (Characterization of Linux OpenMP) measures OpenMP overheads with many
+small parallel loops over linked zones.  Its regions are tiny: per-call work
+is dominated by fork/join, scheduling and barrier costs, so they scale
+poorly and the optimal configurations use a fraction of the machine — these
+regions are where the search space yields its largest speedups over the
+"all cores, everything on" default.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spec import KernelSpec, Pattern
+
+#: (source line, iterations, inner trip count, scalability limit, barriers)
+_CLOMP_VARIANTS = (
+    ("805", 3.0e4, 6, 8, 30.0),
+    ("988", 5.0e4, 8, 8, 40.0),
+    ("1007", 2.0e4, 4, 4, 30.0),
+    ("1017", 4.0e4, 6, 8, 35.0),
+    ("1036", 6.0e4, 10, 12, 45.0),
+    ("1046", 2.5e4, 4, 4, 25.0),
+    ("1056", 8.0e4, 12, 16, 50.0),
+    ("1075", 5.5e4, 8, 8, 40.0),
+    ("1085", 3.5e4, 6, 8, 30.0),
+    ("1095", 4.5e4, 8, 8, 35.0),
+    ("1105", 7.0e4, 10, 12, 45.0),
+)
+
+
+def clomp_regions() -> List[KernelSpec]:
+    regions: List[KernelSpec] = []
+    for line, iterations, inner_trip, scalability, barriers in _CLOMP_VARIANTS:
+        regions.append(
+            KernelSpec(
+                name=f"clomp {line}",
+                family="clomp",
+                pattern=Pattern.INNER_LOOP,
+                num_arrays=2,
+                flop_chain=2,
+                inner_trip=inner_trip,
+                iterations=iterations,
+                calls=40,
+                footprint_mb=2.0,
+                working_set_kb=64.0,
+                shared_fraction=0.25,
+                serial_fraction=0.06,
+                load_imbalance=1.1,
+                barriers_per_call=barriers,
+                scalability_limit=scalability,
+                init_by_master=True,
+            )
+        )
+    return regions

@@ -1,0 +1,135 @@
+"""LULESH 2.0 region analogues.
+
+LULESH exposes many OpenMP regions of very different character: large
+bandwidth-bound element sweeps, gather-style node accumulations, small
+fix-up loops that barely scale, and a couple of compute-dense EOS kernels.
+Region names carry the source line of the parallel region as in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spec import KernelSpec, Pattern
+
+
+def lulesh_regions() -> List[KernelSpec]:
+    regions: List[KernelSpec] = []
+
+    regions.append(
+        KernelSpec(
+            name="lulesh 549",
+            family="lulesh",
+            pattern=Pattern.STREAMING,
+            num_arrays=4,
+            flop_chain=5,
+            iterations=4.0e5,
+            footprint_mb=60.0,
+            working_set_kb=2_500.0,
+            shared_fraction=0.1,
+            scalability_limit=16,
+            barriers_per_call=2.0,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="lulesh 810",
+            family="lulesh",
+            pattern=Pattern.GATHER,
+            num_arrays=4,
+            flop_chain=8,
+            uses_atomics=True,
+            iterations=1.8e6,
+            footprint_mb=380.0,
+            working_set_kb=30_000.0,
+            shared_fraction=0.45,
+            load_imbalance=1.15,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="lulesh 1037",
+            family="lulesh",
+            pattern=Pattern.STREAMING,
+            num_arrays=5,
+            flop_chain=12,
+            iterations=2.4e6,
+            footprint_mb=450.0,
+            working_set_kb=40_000.0,
+            shared_fraction=0.1,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="lulesh 1538",
+            family="lulesh",
+            pattern=Pattern.STENCIL,
+            num_arrays=4,
+            flop_chain=9,
+            uses_sqrt=True,
+            iterations=2.0e6,
+            footprint_mb=330.0,
+            working_set_kb=26_000.0,
+            shared_fraction=0.15,
+            phase_variability=0.2,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="lulesh 2051",
+            family="lulesh",
+            pattern=Pattern.COMPUTE,
+            num_arrays=4,
+            flop_chain=18,
+            uses_sqrt=True,
+            uses_exp=True,
+            iterations=1.5e6,
+            footprint_mb=90.0,
+            working_set_kb=3_000.0,
+            shared_fraction=0.05,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="lulesh 2058",
+            family="lulesh",
+            pattern=Pattern.BRANCHY,
+            num_arrays=3,
+            flop_chain=4,
+            iterations=9.0e5,
+            footprint_mb=120.0,
+            working_set_kb=8_000.0,
+            shared_fraction=0.2,
+            branch_regularity=0.6,
+            load_imbalance=1.25,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="lulesh 2104",
+            family="lulesh",
+            pattern=Pattern.STREAMING,
+            num_arrays=3,
+            flop_chain=3,
+            iterations=6.0e5,
+            footprint_mb=70.0,
+            working_set_kb=2_000.0,
+            shared_fraction=0.1,
+            scalability_limit=24,
+            barriers_per_call=3.0,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="lulesh 2269",
+            family="lulesh",
+            pattern=Pattern.TRIAD,
+            num_arrays=3,
+            flop_chain=2,
+            iterations=3.2e6,
+            footprint_mb=540.0,
+            working_set_kb=46_000.0,
+            shared_fraction=0.08,
+        )
+    )
+    return regions

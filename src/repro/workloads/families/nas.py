@@ -1,0 +1,231 @@
+"""NAS Parallel Benchmarks (C/OpenMP version) region analogues.
+
+Region names follow Figure 3 of the paper (benchmark plus source line of the
+OpenMP parallel region).  Each spec captures the dominant behaviour of the
+corresponding NAS kernel: the BT/SP/LU line solvers are blocked sweeps with
+healthy arithmetic intensity, CG is a sparse matrix-vector product (gather),
+FT's steps are strided FFT passes, IS is a counting sort with shared updates
+and MG's smoother/residual are memory-bound stencils.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spec import KernelSpec, Pattern
+
+
+def nas_regions() -> List[KernelSpec]:
+    regions: List[KernelSpec] = []
+
+    # ----------------------------------------------------------------- BT
+    for axis, line_hint in (("xsolve", 0), ("ysolve", 1), ("zsolve", 2)):
+        regions.append(
+            KernelSpec(
+                name=f"bt {axis}",
+                family="nas",
+                pattern=Pattern.BLOCKED,
+                num_arrays=4,
+                flop_chain=10,
+                stride=1 if axis == "xsolve" else 4,
+                iterations=1.8e6,
+                footprint_mb=190.0,
+                working_set_kb=6_000.0,
+                shared_fraction=0.08,
+                load_imbalance=1.04,
+                serial_fraction=0.01,
+                dependency_chain=0.35 + 0.05 * line_hint,
+            )
+        )
+    regions.append(
+        KernelSpec(
+            name="bt rhs",
+            family="nas",
+            pattern=Pattern.STENCIL2D,
+            num_arrays=4,
+            flop_chain=12,
+            iterations=2.2e6,
+            footprint_mb=210.0,
+            working_set_kb=8_000.0,
+            shared_fraction=0.1,
+            serial_fraction=0.01,
+        )
+    )
+
+    # ----------------------------------------------------------------- CG
+    regions.append(
+        KernelSpec(
+            name="cg 405",
+            family="nas",
+            pattern=Pattern.GATHER,
+            num_arrays=3,
+            flop_chain=2,
+            iterations=3.0e6,
+            footprint_mb=380.0,
+            working_set_kb=48_000.0,
+            shared_fraction=0.45,
+            load_imbalance=1.12,
+            serial_fraction=0.02,
+            uses_atomics=False,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="cg 551",
+            family="nas",
+            pattern=Pattern.REDUCTION,
+            num_arrays=2,
+            flop_chain=2,
+            uses_atomics=True,
+            iterations=1.2e6,
+            footprint_mb=90.0,
+            working_set_kb=12_000.0,
+            shared_fraction=0.35,
+            barriers_per_call=2.0,
+        )
+    )
+
+    # ----------------------------------------------------------------- FT
+    for step, stride, iters in (("step 1", 1, 2.6e6), ("step 2", 8, 2.6e6), ("step 3", 64, 2.6e6)):
+        regions.append(
+            KernelSpec(
+                name=f"ft {step}",
+                family="nas",
+                pattern=Pattern.BLOCKED,
+                num_arrays=3,
+                flop_chain=6,
+                stride=stride,
+                iterations=iters,
+                footprint_mb=520.0,
+                working_set_kb=26_000.0,
+                shared_fraction=0.15,
+                serial_fraction=0.015,
+            )
+        )
+
+    # ----------------------------------------------------------------- IS
+    regions.append(
+        KernelSpec(
+            name="is rank",
+            family="nas",
+            pattern=Pattern.SCATTER,
+            num_arrays=2,
+            flop_chain=1,
+            uses_atomics=True,
+            iterations=4.0e6,
+            footprint_mb=300.0,
+            working_set_kb=40_000.0,
+            shared_fraction=0.55,
+            load_imbalance=1.15,
+            phase_variability=0.35,
+            branch_regularity=0.6,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="is main",
+            family="nas",
+            pattern=Pattern.STREAMING,
+            num_arrays=3,
+            flop_chain=1,
+            iterations=2.5e6,
+            footprint_mb=280.0,
+            working_set_kb=35_000.0,
+            shared_fraction=0.2,
+            serial_fraction=0.05,
+        )
+    )
+
+    # ----------------------------------------------------------------- LU
+    regions.append(
+        KernelSpec(
+            name="lu rhs",
+            family="nas",
+            pattern=Pattern.STENCIL2D,
+            num_arrays=4,
+            flop_chain=9,
+            iterations=2.0e6,
+            footprint_mb=170.0,
+            working_set_kb=7_000.0,
+            shared_fraction=0.1,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="lu ssor",
+            family="nas",
+            pattern=Pattern.STENCIL,
+            num_arrays=3,
+            flop_chain=8,
+            iterations=1.6e6,
+            footprint_mb=150.0,
+            working_set_kb=6_000.0,
+            shared_fraction=0.12,
+            dependency_chain=0.55,
+            load_imbalance=1.2,
+            barriers_per_call=4.0,
+        )
+    )
+
+    # ----------------------------------------------------------------- MG
+    regions.append(
+        KernelSpec(
+            name="mg psinv",
+            family="nas",
+            pattern=Pattern.STENCIL2D,
+            num_arrays=3,
+            flop_chain=7,
+            iterations=3.2e6,
+            footprint_mb=620.0,
+            working_set_kb=52_000.0,
+            shared_fraction=0.18,
+            phase_variability=0.25,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="mg residual",
+            family="nas",
+            pattern=Pattern.STENCIL2D,
+            num_arrays=3,
+            flop_chain=6,
+            iterations=3.4e6,
+            footprint_mb=640.0,
+            working_set_kb=54_000.0,
+            shared_fraction=0.2,
+            phase_variability=0.45,
+            load_imbalance=1.1,
+        )
+    )
+
+    # ----------------------------------------------------------------- SP
+    for axis in ("xsolve", "ysolve", "zsolve"):
+        regions.append(
+            KernelSpec(
+                name=f"sp {axis}",
+                family="nas",
+                pattern=Pattern.BLOCKED,
+                num_arrays=4,
+                flop_chain=8,
+                stride=1 if axis == "xsolve" else 4,
+                iterations=2.4e6,
+                footprint_mb=240.0,
+                working_set_kb=9_000.0,
+                shared_fraction=0.08,
+                serial_fraction=0.01,
+            )
+        )
+    regions.append(
+        KernelSpec(
+            name="sp rhs",
+            family="nas",
+            pattern=Pattern.STENCIL2D,
+            num_arrays=4,
+            flop_chain=11,
+            iterations=2.6e6,
+            footprint_mb=260.0,
+            working_set_kb=10_000.0,
+            shared_fraction=0.1,
+        )
+    )
+    return regions

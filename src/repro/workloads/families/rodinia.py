@@ -1,0 +1,334 @@
+"""Rodinia and miscellaneous proxy-app region analogues.
+
+Covers the Rodinia kernels the paper evaluates (bfs, b+tree, cfd, hotspot,
+hotspot3D, kmeans, lud, nn, needle, pathfinder, streamcluster) plus the
+stand-alone proxy applications used alongside them (blackscholes, HACCmk,
+quicksilver).  Names again follow Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spec import KernelSpec, Pattern
+
+
+def rodinia_regions() -> List[KernelSpec]:
+    regions: List[KernelSpec] = []
+
+    # ---------------------------------------------------------------- BFS
+    regions.append(
+        KernelSpec(
+            name="bfs 135",
+            family="rodinia",
+            pattern=Pattern.GATHER,
+            num_arrays=3,
+            flop_chain=1,
+            branch_in_body=True,
+            iterations=2.2e6,
+            footprint_mb=340.0,
+            working_set_kb=45_000.0,
+            shared_fraction=0.5,
+            load_imbalance=1.35,
+            branch_regularity=0.55,
+            phase_variability=0.2,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="bfs 157",
+            family="rodinia",
+            pattern=Pattern.BRANCHY,
+            num_arrays=3,
+            flop_chain=1,
+            iterations=1.8e6,
+            footprint_mb=320.0,
+            working_set_kb=42_000.0,
+            shared_fraction=0.45,
+            load_imbalance=1.4,
+            branch_regularity=0.5,
+        )
+    )
+
+    # ------------------------------------------------------------- B+tree
+    for line, depth in (("86", 0.9), ("96", 0.95)):
+        regions.append(
+            KernelSpec(
+                name=f"b+tree {line}",
+                family="rodinia",
+                pattern=Pattern.POINTER_CHASE,
+                num_arrays=2,
+                flop_chain=1,
+                iterations=1.2e6,
+                footprint_mb=260.0,
+                working_set_kb=60_000.0,
+                shared_fraction=0.3,
+                dependency_chain=depth,
+                branch_regularity=0.6,
+            )
+        )
+
+    # ----------------------------------------------------------------- CFD
+    regions.append(
+        KernelSpec(
+            name="cfd 211",
+            family="rodinia",
+            pattern=Pattern.GATHER,
+            num_arrays=4,
+            flop_chain=8,
+            uses_sqrt=True,
+            iterations=2.0e6,
+            footprint_mb=410.0,
+            working_set_kb=30_000.0,
+            shared_fraction=0.35,
+            load_imbalance=1.1,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="cfd 347",
+            family="rodinia",
+            pattern=Pattern.GATHER,
+            num_arrays=4,
+            flop_chain=10,
+            uses_sqrt=True,
+            iterations=2.4e6,
+            footprint_mb=430.0,
+            working_set_kb=32_000.0,
+            shared_fraction=0.4,
+            phase_variability=0.3,
+            load_imbalance=1.15,
+        )
+    )
+
+    # ------------------------------------------------------------ hotspot
+    regions.append(
+        KernelSpec(
+            name="Hotspot",
+            family="rodinia",
+            pattern=Pattern.STENCIL2D,
+            num_arrays=3,
+            flop_chain=6,
+            iterations=2.2e6,
+            footprint_mb=120.0,
+            working_set_kb=9_000.0,
+            shared_fraction=0.12,
+            barriers_per_call=3.0,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="hotspot3D",
+            family="rodinia",
+            pattern=Pattern.STENCIL2D,
+            num_arrays=3,
+            flop_chain=8,
+            iterations=2.8e6,
+            footprint_mb=520.0,
+            working_set_kb=48_000.0,
+            shared_fraction=0.15,
+        )
+    )
+
+    # ------------------------------------------------------------- kmeans
+    regions.append(
+        KernelSpec(
+            name="kmeans",
+            family="rodinia",
+            pattern=Pattern.REDUCTION,
+            num_arrays=3,
+            flop_chain=6,
+            uses_atomics=True,
+            iterations=2.6e6,
+            footprint_mb=200.0,
+            working_set_kb=800.0,
+            shared_fraction=0.65,
+            barriers_per_call=4.0,
+            phase_variability=0.45,
+            load_imbalance=1.1,
+        )
+    )
+
+    # ---------------------------------------------------------------- LUD
+    regions.append(
+        KernelSpec(
+            name="lud",
+            family="rodinia",
+            pattern=Pattern.BLOCKED,
+            num_arrays=2,
+            flop_chain=9,
+            stride=16,
+            iterations=1.4e6,
+            footprint_mb=64.0,
+            working_set_kb=2_000.0,
+            shared_fraction=0.2,
+            dependency_chain=0.5,
+            load_imbalance=1.3,
+            barriers_per_call=8.0,
+        )
+    )
+
+    # ----------------------------------------------------------------- NN
+    regions.append(
+        KernelSpec(
+            name="nn",
+            family="rodinia",
+            pattern=Pattern.STREAMING,
+            num_arrays=2,
+            flop_chain=3,
+            uses_sqrt=True,
+            iterations=9.0e5,
+            footprint_mb=40.0,
+            working_set_kb=600.0,
+            shared_fraction=0.1,
+            scalability_limit=16,
+            phase_variability=0.25,
+            serial_fraction=0.06,
+        )
+    )
+
+    # -------------------------------------------------------------- needle
+    regions.append(
+        KernelSpec(
+            name="needle 116",
+            family="rodinia",
+            pattern=Pattern.STENCIL,
+            num_arrays=3,
+            flop_chain=3,
+            iterations=1.1e6,
+            footprint_mb=140.0,
+            working_set_kb=5_000.0,
+            shared_fraction=0.3,
+            dependency_chain=0.6,
+            load_imbalance=1.5,
+            barriers_per_call=12.0,
+            phase_variability=0.4,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="needle 176",
+            family="rodinia",
+            pattern=Pattern.STENCIL,
+            num_arrays=3,
+            flop_chain=3,
+            iterations=1.0e6,
+            footprint_mb=130.0,
+            working_set_kb=4_800.0,
+            shared_fraction=0.3,
+            dependency_chain=0.6,
+            load_imbalance=1.45,
+            barriers_per_call=12.0,
+        )
+    )
+
+    # ----------------------------------------------------------- pathfinder
+    regions.append(
+        KernelSpec(
+            name="pathfinder",
+            family="rodinia",
+            pattern=Pattern.STENCIL,
+            num_arrays=3,
+            flop_chain=2,
+            branch_in_body=True,
+            iterations=8.0e5,
+            footprint_mb=30.0,
+            working_set_kb=700.0,
+            shared_fraction=0.2,
+            scalability_limit=16,
+            barriers_per_call=6.0,
+            branch_regularity=0.7,
+        )
+    )
+
+    # -------------------------------------------------------- streamcluster
+    regions.append(
+        KernelSpec(
+            name="streamcluster 451",
+            family="rodinia",
+            pattern=Pattern.GATHER,
+            num_arrays=3,
+            flop_chain=7,
+            uses_sqrt=True,
+            iterations=2.4e6,
+            footprint_mb=240.0,
+            working_set_kb=20_000.0,
+            shared_fraction=0.55,
+            barriers_per_call=6.0,
+            phase_variability=0.5,
+            load_imbalance=1.2,
+        )
+    )
+    regions.append(
+        KernelSpec(
+            name="streamcluster 539",
+            family="rodinia",
+            pattern=Pattern.REDUCTION,
+            num_arrays=3,
+            flop_chain=6,
+            uses_atomics=True,
+            uses_sqrt=True,
+            iterations=2.0e6,
+            footprint_mb=220.0,
+            working_set_kb=18_000.0,
+            shared_fraction=0.6,
+            barriers_per_call=6.0,
+            phase_variability=0.35,
+        )
+    )
+
+    # --------------------------------------------------------- blackscholes
+    regions.append(
+        KernelSpec(
+            name="blackscholes",
+            family="rodinia",
+            pattern=Pattern.COMPUTE,
+            num_arrays=4,
+            flop_chain=16,
+            uses_exp=True,
+            uses_sqrt=True,
+            iterations=2.2e6,
+            footprint_mb=110.0,
+            working_set_kb=1_500.0,
+            shared_fraction=0.05,
+            phase_variability=0.3,
+        )
+    )
+
+    # --------------------------------------------------------------- HACCmk
+    regions.append(
+        KernelSpec(
+            name="HACCmk",
+            family="rodinia",
+            pattern=Pattern.COMPUTE,
+            num_arrays=4,
+            flop_chain=20,
+            uses_sqrt=True,
+            iterations=2.6e6,
+            footprint_mb=20.0,
+            working_set_kb=500.0,
+            shared_fraction=0.05,
+            dependency_chain=0.2,
+            phase_variability=0.2,
+        )
+    )
+
+    # ------------------------------------------------------------ quicksilver
+    regions.append(
+        KernelSpec(
+            name="quicksilver",
+            family="rodinia",
+            pattern=Pattern.BRANCHY,
+            num_arrays=3,
+            flop_chain=6,
+            uses_sqrt=True,
+            iterations=1.6e6,
+            footprint_mb=300.0,
+            working_set_kb=25_000.0,
+            shared_fraction=0.4,
+            load_imbalance=1.6,
+            branch_regularity=0.45,
+            phase_variability=0.3,
+        )
+    )
+    return regions

@@ -1,0 +1,60 @@
+"""Input sizes.
+
+The paper's input-size experiment (Figure 10, Section IV-E) uses two inputs
+per benchmark: ``size-1`` (NAS CLASS A / Rodinia small) and ``size-2`` (NAS
+CLASS B / Rodinia largest).  Scaling an input multiplies the iteration count
+and the data footprint, which can move a region from cache-resident to
+bandwidth-bound and therefore change its best configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..numasim.profile import WorkloadProfile
+
+SIZE_1 = "size-1"
+SIZE_2 = "size-2"
+INPUT_SIZES = (SIZE_1, SIZE_2)
+
+#: multiplicative footprint/iteration factors per input size.
+_SIZE_FACTORS: Dict[str, float] = {SIZE_1: 1.0, SIZE_2: 4.0}
+
+#: families whose behaviour is particularly input-sensitive; their working
+#: set grows faster than their iteration count (e.g. NAS CLASS B grids).
+_SENSITIVE_FAMILIES = ("nas", "rodinia")
+
+
+@dataclass(frozen=True)
+class InputScaling:
+    """How one region's profile changes with the input size."""
+
+    iterations_factor: float
+    footprint_factor: float
+    working_set_factor: float
+
+
+def scaling_for(family: str, size: str) -> InputScaling:
+    """The scaling applied to a region of ``family`` at input ``size``."""
+    if size not in _SIZE_FACTORS:
+        raise KeyError(f"unknown input size {size!r}; known: {INPUT_SIZES}")
+    base = _SIZE_FACTORS[size]
+    if size == SIZE_1:
+        return InputScaling(1.0, 1.0, 1.0)
+    if family in _SENSITIVE_FAMILIES:
+        return InputScaling(base, base, base * 1.5)
+    return InputScaling(base, base, base)
+
+
+def profile_for_size(profile: WorkloadProfile, family: str, size: str) -> WorkloadProfile:
+    """Return the profile of a region at the requested input size."""
+    scaling = scaling_for(family, size)
+    from dataclasses import replace
+
+    return replace(
+        profile,
+        iterations=profile.iterations * scaling.iterations_factor,
+        footprint_mb=profile.footprint_mb * scaling.footprint_factor,
+        working_set_kb=profile.working_set_kb * scaling.working_set_factor,
+    )

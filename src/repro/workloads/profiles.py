@@ -1,0 +1,143 @@
+"""Deriving simulator profiles from kernel specifications.
+
+The derivation encodes the (approximate) correspondence between static
+structure and dynamic behaviour: loads/stores per iteration come from the
+pattern, arithmetic from the flop chain, access-pattern fractions from the
+pattern type, synchronisation from the atomics/critical flags.  Dynamic-only
+characteristics (footprint, working set, scalability limits, phase
+variability) are taken from the spec's dynamic fields, which the IR cannot
+express — they are the reason the static model cannot be perfect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from ..numasim.profile import WorkloadProfile
+from .spec import KernelSpec, Pattern
+
+#: (sequential, strided, irregular) access-pattern fractions per pattern.
+_PATTERN_MIX: Dict[str, tuple] = {
+    Pattern.STREAMING: (0.85, 0.05, 0.0),
+    Pattern.TRIAD: (0.9, 0.05, 0.0),
+    Pattern.STENCIL: (0.75, 0.2, 0.0),
+    Pattern.STENCIL2D: (0.55, 0.4, 0.0),
+    Pattern.REDUCTION: (0.8, 0.05, 0.0),
+    Pattern.GATHER: (0.25, 0.05, 0.65),
+    Pattern.SCATTER: (0.25, 0.05, 0.65),
+    Pattern.POINTER_CHASE: (0.05, 0.05, 0.85),
+    Pattern.BRANCHY: (0.55, 0.15, 0.15),
+    Pattern.INNER_LOOP: (0.3, 0.1, 0.0),
+    Pattern.BLOCKED: (0.45, 0.45, 0.0),
+    Pattern.COMPUTE: (0.25, 0.1, 0.0),
+}
+
+#: (loads, stores) per iteration for each pattern (element accesses).
+_PATTERN_ACCESSES: Dict[str, tuple] = {
+    Pattern.STREAMING: (2, 1),
+    Pattern.TRIAD: (2, 1),
+    Pattern.STENCIL: (3, 1),
+    Pattern.STENCIL2D: (5, 1),
+    Pattern.REDUCTION: (1, 0),
+    Pattern.GATHER: (3, 1),
+    Pattern.SCATTER: (2, 1),
+    Pattern.POINTER_CHASE: (2, 1),
+    Pattern.BRANCHY: (1, 1),
+    Pattern.INNER_LOOP: (1, 1),
+    Pattern.BLOCKED: (3, 1),
+    Pattern.COMPUTE: (2, 1),
+}
+
+#: baseline dependency chain per pattern (0 = independent iterations).
+_PATTERN_DEPENDENCY: Dict[str, float] = {
+    Pattern.STREAMING: 0.15,
+    Pattern.TRIAD: 0.1,
+    Pattern.STENCIL: 0.2,
+    Pattern.STENCIL2D: 0.25,
+    Pattern.REDUCTION: 0.45,
+    Pattern.GATHER: 0.35,
+    Pattern.SCATTER: 0.35,
+    Pattern.POINTER_CHASE: 0.95,
+    Pattern.BRANCHY: 0.3,
+    Pattern.INNER_LOOP: 0.5,
+    Pattern.BLOCKED: 0.2,
+    Pattern.COMPUTE: 0.35,
+}
+
+
+def derive_profile(spec: KernelSpec) -> WorkloadProfile:
+    """Build the :class:`WorkloadProfile` corresponding to ``spec``."""
+    sequential, strided, irregular = _PATTERN_MIX[spec.pattern]
+    loads, stores = _PATTERN_ACCESSES[spec.pattern]
+    if not spec.writes_output:
+        stores = max(0, stores - 1)
+
+    # Extra math calls lengthen the per-iteration arithmetic.
+    flops = float(spec.flop_chain)
+    if spec.pattern == Pattern.COMPUTE:
+        flops = max(8.0, flops)
+    if spec.pattern in (Pattern.STENCIL, Pattern.STENCIL2D):
+        flops += 2.0 * (5 if spec.pattern == Pattern.STENCIL2D else 3)
+    if spec.uses_sqrt:
+        flops += 12.0
+    if spec.uses_exp:
+        flops += 20.0
+    if spec.inner_trip > 0:
+        flops += 2.0 * spec.inner_trip
+    flops = max(1.0, flops)
+
+    bytes_per_iter = 8.0 * (loads + stores)
+    write_ratio = stores / max(1.0, loads + stores)
+
+    atomics_per_iter = 0.0
+    if spec.uses_atomics:
+        if spec.pattern == Pattern.SCATTER:
+            atomics_per_iter = 1.0
+        elif spec.pattern == Pattern.REDUCTION and spec.shared_fraction > 0.5:
+            atomics_per_iter = 1.0
+        else:
+            atomics_per_iter = 1.0 / max(1.0, spec.iterations / (spec.iterations * 0.001 + 1.0))
+            atomics_per_iter = min(0.05, atomics_per_iter)
+
+    critical_fraction = 0.0
+    if spec.uses_critical:
+        critical_fraction = 0.02
+
+    dependency = (
+        spec.dependency_chain
+        if spec.dependency_chain is not None
+        else _PATTERN_DEPENDENCY[spec.pattern]
+    )
+    branch_regularity = spec.branch_regularity
+    if spec.branch_in_body or spec.pattern == Pattern.BRANCHY:
+        branch_regularity = min(branch_regularity, 0.65)
+
+    profile = WorkloadProfile(
+        name=spec.name,
+        iterations=spec.iterations,
+        calls=spec.calls,
+        flops_per_iter=flops,
+        bytes_per_iter=bytes_per_iter,
+        footprint_mb=spec.footprint_mb,
+        working_set_kb=spec.working_set_kb,
+        sequential_fraction=sequential,
+        strided_fraction=strided,
+        irregular_fraction=irregular,
+        write_ratio=write_ratio,
+        shared_fraction=spec.shared_fraction,
+        init_by_master=spec.init_by_master,
+        serial_fraction=spec.serial_fraction,
+        load_imbalance=spec.load_imbalance,
+        atomics_per_iter=atomics_per_iter,
+        critical_fraction=critical_fraction,
+        barriers_per_call=spec.barriers_per_call,
+        false_sharing=spec.false_sharing,
+        dependency_chain=dependency,
+        branch_regularity=branch_regularity,
+        phase_variability=spec.phase_variability,
+        scalability_limit=spec.scalability_limit,
+    )
+    if spec.profile_overrides:
+        profile = replace(profile, **spec.profile_overrides)
+    return profile

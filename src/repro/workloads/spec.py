@@ -1,0 +1,108 @@
+"""Kernel specifications.
+
+A :class:`KernelSpec` is the single source of truth for one OpenMP parallel
+region: the IR generator (:mod:`repro.workloads.irgen`) turns it into a
+mini-IR module and the profile builder (:mod:`repro.workloads.profiles`)
+turns it into the :class:`~repro.numasim.profile.WorkloadProfile` the
+simulator times.  Because both views derive from the same spec, the static
+structure of the region is predictive of its dynamic behaviour — up to the
+explicitly "dynamic-only" knobs (footprint, phase variability, scalability
+limit) that the IR cannot express, which is precisely the gap the paper's
+hybrid model exists to close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class Pattern:
+    """Loop-body memory/compute patterns supported by the generator."""
+
+    STREAMING = "streaming"           # c[i] = f(a[i], b[i])
+    TRIAD = "triad"                   # a[i] = b[i] + s * c[i]
+    STENCIL = "stencil"               # b[i] = w0*a[i-1] + w1*a[i] + w2*a[i+1]
+    STENCIL2D = "stencil2d"           # 5-point stencil over a row-major grid
+    REDUCTION = "reduction"           # acc += f(a[i]), atomic combine at the end
+    GATHER = "gather"                 # b[i] = a[idx[i]]
+    SCATTER = "scatter"               # a[idx[i]] += f(b[i])
+    POINTER_CHASE = "pointer_chase"   # j = next[j]
+    BRANCHY = "branchy"               # data-dependent if/else work
+    INNER_LOOP = "inner_loop"         # small constant-trip inner loop (CLOMP)
+    BLOCKED = "blocked"               # blocked traversal with strided accesses
+    COMPUTE = "compute"               # long arithmetic chains, little memory
+
+
+ALL_PATTERNS = (
+    Pattern.STREAMING,
+    Pattern.TRIAD,
+    Pattern.STENCIL,
+    Pattern.STENCIL2D,
+    Pattern.REDUCTION,
+    Pattern.GATHER,
+    Pattern.SCATTER,
+    Pattern.POINTER_CHASE,
+    Pattern.BRANCHY,
+    Pattern.INNER_LOOP,
+    Pattern.BLOCKED,
+    Pattern.COMPUTE,
+)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static + dynamic description of one parallel region."""
+
+    name: str
+    family: str                       # "nas", "rodinia", "lulesh", "clomp"
+    pattern: str = Pattern.STREAMING
+
+    # ---- static structure (visible in the IR) ------------------------------
+    num_arrays: int = 3               # number of f64* array arguments
+    flop_chain: int = 2               # fmul/fadd chain length per element
+    stride: int = 1                   # access stride in elements
+    uses_sqrt: bool = False           # calls @sqrt in the body
+    uses_exp: bool = False            # calls @exp in the body
+    uses_thread_partition: bool = True  # calls omp_get_thread_num/num_threads
+    uses_atomics: bool = False        # atomicrmw combine
+    uses_critical: bool = False       # kmpc_critical call pair
+    inner_trip: int = 0               # constant-trip inner loop length (0 = none)
+    branch_in_body: bool = False      # data-dependent branch
+    writes_output: bool = True        # stores to an output array
+    second_level_indirection: bool = False  # a[idx[idx2[i]]]
+
+    # ---- dynamic behaviour (only partly visible statically) ----------------
+    iterations: float = 1e6
+    calls: int = 10
+    footprint_mb: float = 64.0
+    working_set_kb: float = 1024.0
+    shared_fraction: float = 0.1
+    load_imbalance: float = 1.05
+    serial_fraction: float = 0.02
+    barriers_per_call: float = 1.0
+    false_sharing: float = 0.0
+    init_by_master: bool = True
+    scalability_limit: Optional[int] = None
+    phase_variability: float = 0.0
+    branch_regularity: float = 0.9
+    dependency_chain: Optional[float] = None   # override derived value
+
+    #: free-form extra overrides applied to the derived WorkloadProfile
+    profile_overrides: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ALL_PATTERNS:
+            raise ValueError(f"{self.name}: unknown pattern {self.pattern!r}")
+        if self.num_arrays < 1:
+            raise ValueError(f"{self.name}: at least one array is required")
+        if self.flop_chain < 0:
+            raise ValueError(f"{self.name}: flop_chain must be >= 0")
+        if self.inner_trip < 0:
+            raise ValueError(f"{self.name}: inner_trip must be >= 0")
+
+    @property
+    def region_function_name(self) -> str:
+        """Name of the OpenMP outlined function in the generated module."""
+        sanitized = self.name.replace(" ", "_").replace("+", "p").replace("-", "_")
+        return f"omp_outlined_{sanitized}"

@@ -1,0 +1,106 @@
+"""The 57-region benchmark suite.
+
+Combines the four families (NAS, Rodinia + proxy apps, LULESH, CLOMP) into
+the same 57 OpenMP parallel regions the paper evaluates, and materialises
+each region as a :class:`Region`: its kernel spec, its generated IR module
+and its simulator profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ir.module import Module
+from ..numasim.profile import WorkloadProfile
+from .families import clomp_regions, lulesh_regions, nas_regions, rodinia_regions
+from .inputs import SIZE_1, profile_for_size
+from .irgen import KernelIRGenerator
+from .profiles import derive_profile
+from .spec import KernelSpec
+
+
+@dataclass
+class Region:
+    """One OpenMP parallel region of the suite."""
+
+    spec: KernelSpec
+    module: Module
+    profile: WorkloadProfile
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def family(self) -> str:
+        return self.spec.family
+
+    @property
+    def function_name(self) -> str:
+        return self.spec.region_function_name
+
+    def profile_at(self, size: str) -> WorkloadProfile:
+        """Profile of this region at a given input size."""
+        return profile_for_size(self.profile, self.family, size)
+
+
+def all_specs() -> List[KernelSpec]:
+    """Kernel specs of all 57 regions, in a stable order."""
+    specs = nas_regions() + rodinia_regions() + lulesh_regions() + clomp_regions()
+    names = [s.name for s in specs]
+    if len(names) != len(set(names)):
+        duplicates = {n for n in names if names.count(n) > 1}
+        raise RuntimeError(f"duplicate region names in suite: {duplicates}")
+    return specs
+
+
+def build_suite(
+    families: Optional[List[str]] = None,
+    limit: Optional[int] = None,
+    emit_helper_calls: bool = True,
+) -> List[Region]:
+    """Build the region suite (IR modules + profiles).
+
+    Parameters
+    ----------
+    families:
+        Restrict to a subset of families (useful for fast tests).
+    limit:
+        Keep only the first ``limit`` regions after filtering.
+    """
+    generator = KernelIRGenerator(emit_helper_calls=emit_helper_calls)
+    regions: List[Region] = []
+    for spec in all_specs():
+        if families is not None and spec.family not in families:
+            continue
+        module = generator.generate(spec)
+        profile = derive_profile(spec)
+        regions.append(Region(spec=spec, module=module, profile=profile))
+        if limit is not None and len(regions) >= limit:
+            break
+    return regions
+
+
+def suite_summary(regions: List[Region]) -> Dict[str, float]:
+    """Aggregate statistics about the suite (used by docs and tests)."""
+    if not regions:
+        return {"regions": 0.0}
+    per_family: Dict[str, int] = {}
+    for region in regions:
+        per_family[region.family] = per_family.get(region.family, 0) + 1
+    instructions = [region.module.instruction_count() for region in regions]
+    return {
+        "regions": float(len(regions)),
+        "families": float(len(per_family)),
+        **{f"family_{name}": float(count) for name, count in per_family.items()},
+        "instructions_mean": float(sum(instructions) / len(instructions)),
+        "instructions_max": float(max(instructions)),
+    }
+
+
+def region_by_name(regions: List[Region], name: str) -> Region:
+    for region in regions:
+        if region.name == name:
+            return region
+    raise KeyError(f"no region named {name!r}")

@@ -1,0 +1,106 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests without installing the package (e.g. straight from
+# a source checkout): put ``src`` on the path if the import fails.
+try:  # pragma: no cover - trivial import guard
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import HybridModelConfig, PipelineConfig, ReproPipeline, StaticModelConfig
+from repro.ir import (
+    BasicBlock,
+    F64,
+    Function,
+    FunctionType,
+    I64,
+    IRBuilder,
+    Module,
+    const_float,
+    const_int,
+    pointer_to,
+)
+from repro.workloads import build_suite
+
+
+def build_dot_product_module() -> Module:
+    """A small reference module used across many IR tests."""
+    module = Module("dot")
+    fn = Function(
+        "dot",
+        FunctionType(F64, [I64, pointer_to(F64), pointer_to(F64)]),
+        ["n", "a", "b"],
+        module,
+    )
+    fn.attributes.add("omp_outlined")
+    entry = BasicBlock("entry", fn)
+    loop = BasicBlock("loop", fn)
+    exit_block = BasicBlock("exit", fn)
+    b = IRBuilder(entry)
+    b.br(loop)
+    b.position_at_end(loop)
+    i = b.phi(I64, "i")
+    acc = b.phi(F64, "acc")
+    pa = b.gep(fn.arguments[1], [i], "pa")
+    va = b.load(pa, "va")
+    pb = b.gep(fn.arguments[2], [i], "pb")
+    vb = b.load(pb, "vb")
+    prod = b.fmul(va, vb, "prod")
+    acc_next = b.fadd(acc, prod, "accnext")
+    i_next = b.add(i, const_int(1), "inext")
+    cond = b.icmp("slt", i_next, fn.arguments[0], "cond")
+    b.condbr(cond, loop, exit_block)
+    i.add_incoming(const_int(0), entry)
+    i.add_incoming(i_next, loop)
+    acc.add_incoming(const_float(0.0), entry)
+    acc.add_incoming(acc_next, loop)
+    b.position_at_end(exit_block)
+    b.ret(acc_next)
+    return module
+
+
+@pytest.fixture
+def dot_module() -> Module:
+    return build_dot_product_module()
+
+
+@pytest.fixture(scope="session")
+def region_suite():
+    """The full 57-region suite (built once per test session)."""
+    return build_suite()
+
+
+@pytest.fixture(scope="session")
+def small_suite():
+    """A small suite used by the core/pipeline tests (fast)."""
+    return build_suite(families=["clomp", "lulesh"], limit=12)
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline():
+    """A deliberately tiny end-to-end pipeline (single machine, few folds)."""
+    config = PipelineConfig(
+        machines=("skylake",),
+        families=["clomp", "lulesh", "rodinia"],
+        region_limit=18,
+        num_flag_sequences=3,
+        num_labels=6,
+        folds=3,
+        static_model=StaticModelConfig(
+            hidden_dim=16, graph_vector_dim=16, num_rgcn_layers=1, epochs=4, batch_size=16
+        ),
+        hybrid=HybridModelConfig(use_ga_selection=False),
+    )
+    return ReproPipeline(config).build()
+
+
+@pytest.fixture(scope="session")
+def tiny_evaluation(tiny_pipeline):
+    return tiny_pipeline.evaluate("skylake")

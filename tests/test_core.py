@@ -1,0 +1,180 @@
+"""Tests for the paper's pipeline components (labeling, augmentation, models)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Augmenter,
+    DynamicConfigurationPredictor,
+    HybridModelConfig,
+    HybridStaticDynamicClassifier,
+    MachineDataset,
+    combine_predictions,
+    format_table,
+    label_space_quality,
+    select_label_space,
+    select_sequence_shortlist,
+)
+from repro.core.evaluation import evaluate_label_choice
+from repro.graphs import GraphEncoder
+from repro.numasim import skylake
+from repro.workloads import build_suite
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    regions = build_suite(families=["clomp", "lulesh"], limit=10)
+    return regions, MachineDataset(skylake(), regions)
+
+
+class TestLabeling:
+    def test_timings_cover_full_space(self, small_dataset):
+        regions, dataset = small_dataset
+        assert set(dataset.region_names()) == {r.name for r in regions}
+        timing = dataset.timing(regions[0].name)
+        assert len(timing.times) == len(dataset.space)
+        assert timing.default_time > 0
+
+    def test_best_configuration_is_minimum(self, small_dataset):
+        _, dataset = small_dataset
+        timing = dataset.timing(dataset.region_names()[0])
+        best = timing.best_configuration()
+        assert timing.times[best] == min(timing.times.values())
+        assert timing.error_of(best) == 0.0
+
+    def test_label_space_preserves_gains(self, small_dataset):
+        _, dataset = small_dataset
+        label_space = select_label_space(dataset, num_labels=13)
+        assert label_space.num_labels <= 13
+        assert dataset.default in label_space.configurations
+        quality = label_space_quality(dataset, label_space)
+        assert quality > 0.9  # paper: 99% for 13 labels
+
+    def test_fewer_labels_cannot_be_better(self, small_dataset):
+        _, dataset = small_dataset
+        big = select_label_space(dataset, num_labels=13)
+        small = select_label_space(dataset, num_labels=2)
+        assert label_space_quality(dataset, small) <= label_space_quality(dataset, big) + 1e-9
+
+    def test_labels_for_regions(self, small_dataset):
+        _, dataset = small_dataset
+        label_space = select_label_space(dataset, num_labels=6)
+        labels = label_space.labels_for(dataset)
+        assert set(labels) == set(dataset.region_names())
+        assert all(0 <= v < label_space.num_labels for v in labels.values())
+
+    def test_speedups_against_default(self, small_dataset):
+        _, dataset = small_dataset
+        speedups = dataset.full_exploration_speedups()
+        assert all(v >= 1.0 - 1e-9 for v in speedups.values())
+        assert dataset.average_full_speedup() >= 1.0
+
+    def test_evaluate_label_choice(self, small_dataset):
+        _, dataset = small_dataset
+        label_space = select_label_space(dataset, num_labels=6)
+        region = dataset.region_names()[0]
+        best_label = label_space.best_label_for(dataset.timing(region))
+        outcome = evaluate_label_choice(dataset, label_space, region, best_label)
+        assert outcome["error"] == pytest.approx(0.0)
+        assert outcome["speedup"] >= 1.0 - 1e-9
+
+
+class TestAugmentation:
+    def test_augmenter_produces_variants(self):
+        regions = build_suite(families=["lulesh"], limit=3)
+        augmenter = Augmenter(num_sequences=4, seed=0)
+        dataset = augmenter.augment(regions)
+        # one default variant + 4 sampled sequences per region
+        assert len(dataset.samples) == 3 * 5
+        assert set(dataset.region_names()) == {r.name for r in regions}
+        assert len(dataset.samples_for_region(regions[0].name)) == 5
+        assert len(dataset.samples_for_sequence("default-O2")) == 3
+
+    def test_variants_differ_structurally(self):
+        regions = build_suite(families=["nas"], limit=2)
+        dataset = Augmenter(num_sequences=6, seed=1).augment(regions)
+        sizes = {s.graph.num_nodes for s in dataset.samples_for_region(regions[0].name)}
+        assert len(sizes) > 1
+
+    def test_assign_labels(self):
+        regions = build_suite(families=["clomp"], limit=2)
+        dataset = Augmenter(num_sequences=2, seed=0).augment(regions)
+        labels = {regions[0].name: 3, regions[1].name: 1}
+        dataset.assign_labels(labels)
+        for sample in dataset.samples:
+            assert sample.label == labels[sample.region_name]
+            assert sample.graph.label == labels[sample.region_name]
+
+    def test_groups_align_with_samples(self):
+        regions = build_suite(families=["clomp"], limit=2)
+        dataset = Augmenter(num_sequences=2, seed=0).augment(regions)
+        groups = dataset.groups()
+        assert len(groups) == len(dataset.samples)
+        assert set(groups) == {r.name for r in regions}
+
+
+class TestDynamicModel:
+    def test_dynamic_model_learns_labels(self, small_dataset):
+        _, dataset = small_dataset
+        label_space = select_label_space(dataset, num_labels=6)
+        labels = label_space.labels_for(dataset)
+        names = dataset.region_names()
+        model = DynamicConfigurationPredictor()
+        model.fit(dataset, labels, names)
+        predictions = model.predict(dataset, names)
+        accuracy = np.mean([predictions[n] == labels[n] for n in names])
+        assert accuracy > 0.7  # counters are highly informative in-sample
+        assert model.profiling_cost_seconds(dataset, names) > 0
+
+    def test_predict_before_fit_raises(self, small_dataset):
+        _, dataset = small_dataset
+        with pytest.raises(RuntimeError):
+            DynamicConfigurationPredictor().predict(dataset, dataset.region_names())
+
+
+class TestHybridModel:
+    def test_threshold_splits_classes(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.random((40, 8))
+        # errors correlated with the first dimension
+        errors = np.where(vectors[:, 0] > 0.6, 0.4, 0.05)
+        clf = HybridStaticDynamicClassifier(HybridModelConfig(use_ga_selection=False))
+        clf.fit(vectors, errors)
+        decisions = clf.needs_dynamic(vectors)
+        assert decisions.dtype == bool
+        assert 0 < decisions.sum() < len(decisions)
+        assert clf.accuracy(vectors, errors) > 0.8
+
+    def test_fallback_when_all_errors_small(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.random((30, 6))
+        errors = np.full(30, 0.01)
+        errors[:9] = 0.05  # worst 30% still far below the 20% threshold
+        clf = HybridStaticDynamicClassifier(HybridModelConfig(use_ga_selection=False))
+        clf.fit(vectors, errors)
+        decisions = clf.needs_dynamic(vectors)
+        assert decisions.sum() > 0  # fallback labelling kicked in
+
+    def test_combine_predictions(self):
+        static = {"a": 1, "b": 2, "c": 3}
+        dynamic = {"a": 5, "b": 6}
+        decisions = {"a": True, "b": False, "c": True}
+        combined = combine_predictions(static, dynamic, decisions)
+        assert combined == {"a": 5, "b": 2, "c": 3}  # c profiled but no dynamic answer
+
+
+class TestFlagSelectionHelpers:
+    def test_shortlist_greedy(self):
+        table = {
+            "s1": {"r1": 1.5, "r2": 1.0, "r3": 1.0},
+            "s2": {"r1": 1.0, "r2": 1.6, "r3": 1.0},
+            "s3": {"r1": 1.1, "r2": 1.1, "r3": 1.1},
+        }
+        shortlist = select_sequence_shortlist(table, ["r1", "r2", "r3"], max_sequences=2)
+        assert len(shortlist) <= 2
+        assert shortlist[0] in {"s1", "s2", "s3"}
+
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        assert "a" in text and "22" in text
+        assert format_table([]) == "(empty)"

@@ -1,0 +1,176 @@
+"""Tests for ProGraML-style graph construction, encoding and batching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    FLOW_CALL,
+    FLOW_CONTROL,
+    FLOW_DATA,
+    GraphBuilder,
+    GraphEncoder,
+    NODE_KIND_CONSTANT,
+    NODE_KIND_INSTRUCTION,
+    NODE_KIND_VARIABLE,
+    RELATIONS,
+    ProgramGraph,
+    build_graph,
+    collate,
+    default_vocabulary,
+    graph_statistics,
+    instruction_token,
+    iterate_minibatches,
+    merge_graphs,
+)
+from repro.ir import parse_function
+from repro.passes import apply_flag_sequence, pipeline
+
+
+class TestVocabulary:
+    def test_contains_all_instruction_tokens(self):
+        vocab = default_vocabulary()
+        for token in ("add", "load", "store", "phi", "condbr", "icmp_slt", "call_sqrt"):
+            assert token in vocab
+
+    def test_unknown_maps_to_unk(self):
+        vocab = default_vocabulary()
+        assert vocab.index_of("martian_opcode") == vocab.index_of("<unk>")
+
+    def test_bijection(self):
+        vocab = default_vocabulary()
+        for token in vocab.tokens:
+            assert vocab.token_at(vocab.index_of(token)) == token
+
+
+class TestGraphConstruction:
+    def test_dot_graph_structure(self, dot_module):
+        graph = build_graph(dot_module)
+        assert graph.validate() == []
+        kinds = {node.kind for node in graph.nodes}
+        assert kinds == {NODE_KIND_INSTRUCTION, NODE_KIND_VARIABLE, NODE_KIND_CONSTANT}
+        counts = graph.edge_counts()
+        assert counts[FLOW_CONTROL] > 0
+        assert counts[FLOW_DATA] > 0
+
+    def test_control_edges_follow_block_order(self, dot_module):
+        graph = build_graph(dot_module)
+        # the loop terminator has a control edge back to the loop's first inst
+        control = graph.edges_of_flow(FLOW_CONTROL)
+        sources = {e.source for e in control}
+        assert len(control) >= len([n for n in graph.nodes if n.kind == "instruction"]) - 3
+        assert sources
+
+    def test_call_edges_connect_helper(self, region_suite):
+        region = next(r for r in region_suite if r.spec.flop_chain >= 4)
+        graph = GraphBuilder().build_module(region.module)
+        assert graph.edge_counts()[FLOW_CALL] >= 1
+
+    def test_instruction_token_specialization(self):
+        fn = parse_function(
+            """
+define f64 @f(f64 %x, f64* %p) {
+entry:
+  %c = fcmp ogt %x, 0.5:f64
+  %s = call f64 @sqrt(%x)
+  %old = atomicrmw fadd f64 %p, %x
+  ret %s
+}
+"""
+        )
+        tokens = [instruction_token(i) for i in fn.instructions()]
+        assert "fcmp_ogt" in tokens
+        assert "call_sqrt" in tokens
+        assert "atomicrmw_fadd" in tokens
+
+    def test_graph_changes_with_flag_sequence(self, region_suite):
+        region = region_suite[0]
+        base = GraphBuilder().build_module(region.module)
+        optimized_module = apply_flag_sequence(region.module, pipeline("O3"))
+        optimized = GraphBuilder().build_module(optimized_module)
+        assert optimized.num_nodes != base.num_nodes or optimized.num_edges != base.num_edges
+
+    def test_merge_graphs(self, dot_module):
+        a = build_graph(dot_module)
+        merged = merge_graphs([a, a])
+        assert merged.num_nodes == 2 * a.num_nodes
+        assert merged.num_edges == 2 * a.num_edges
+
+    def test_to_networkx(self, dot_module):
+        graph = build_graph(dot_module)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == graph.num_nodes
+        assert nx_graph.number_of_edges() == graph.num_edges
+
+    def test_statistics(self, dot_module):
+        stats = graph_statistics([build_graph(dot_module)])
+        assert stats["count"] == 1
+        assert stats["nodes_mean"] > 0
+
+
+class TestEncoding:
+    def test_encoded_shapes(self, dot_module):
+        graph = build_graph(dot_module)
+        encoder = GraphEncoder()
+        encoded = encoder.encode(graph, label=5)
+        assert encoded.token_ids.shape[0] == graph.num_nodes
+        assert encoded.extra_features.shape == (graph.num_nodes, GraphEncoder.NUM_EXTRA_FEATURES)
+        assert encoded.label == 5
+        assert set(encoded.relations) == set(RELATIONS)
+
+    def test_reverse_relations_mirror_forward(self, dot_module):
+        encoded = GraphEncoder().encode(build_graph(dot_module))
+        fwd = encoded.relations["data"]
+        rev = encoded.relations["data_rev"]
+        assert fwd.shape == rev.shape
+        assert np.array_equal(fwd[0], rev[1])
+        assert np.array_equal(fwd[1], rev[0])
+
+    def test_loop_depth_feature_nonzero(self, dot_module):
+        encoded = GraphEncoder().encode(build_graph(dot_module))
+        assert encoded.extra_features[:, 0].max() >= 1.0
+
+    def test_literal_magnitude_feature(self, region_suite):
+        clomp = next(r for r in region_suite if r.family == "clomp")
+        encoded = GraphEncoder().encode(build_graph(clomp.module))
+        assert encoded.extra_features[:, 4].max() > 0.0
+
+
+class TestBatching:
+    def test_collate_offsets_edges(self, dot_module):
+        encoder = GraphEncoder()
+        encoded = encoder.encode(build_graph(dot_module), label=1)
+        batch = collate([encoded, encoded, encoded])
+        assert batch.num_graphs == 3
+        assert batch.num_nodes == 3 * encoded.num_nodes
+        assert batch.labels.tolist() == [1, 1, 1]
+        # Edge indices of the last graph must be offset into the last block.
+        data_edges = batch.relations["data"]
+        assert data_edges.max() < batch.num_nodes
+        assert data_edges.max() >= 2 * encoded.num_nodes
+
+    def test_collate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            collate([])
+
+    def test_normalized_adjacency_rows(self, dot_module):
+        encoded = GraphEncoder().encode(build_graph(dot_module))
+        batch = collate([encoded, encoded])
+        adjacency = batch.normalized_adjacency()
+        matrix = adjacency["data"]
+        rows = np.asarray(matrix.sum(axis=1)).ravel()
+        # Every row with incoming data edges sums to exactly 1 (mean aggregation).
+        nonzero = rows[rows > 0]
+        assert np.allclose(nonzero, 1.0)
+
+    @given(st.integers(min_value=1, max_value=7))
+    @settings(max_examples=10, deadline=None)
+    def test_minibatches_cover_every_graph(self, batch_size):
+        graph = ProgramGraph("tiny")
+        node = graph.add_node(NODE_KIND_INSTRUCTION, "ret")
+        encoder = GraphEncoder()
+        graphs = [encoder.encode(graph, label=i % 3) for i in range(13)]
+        seen = 0
+        for batch in iterate_minibatches(graphs, batch_size, shuffle=True, seed=1):
+            seen += batch.num_graphs
+        assert seen == len(graphs)

@@ -1,0 +1,244 @@
+"""Tests for CFG analyses, dominators, loops, the verifier and the interpreter."""
+
+import pytest
+
+from repro.ir import (
+    BOOL,
+    F64,
+    I64,
+    BasicBlock,
+    Branch,
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    Return,
+    VerificationError,
+    assert_valid,
+    const_bool,
+    const_float,
+    const_int,
+    parse_function,
+    pointer_to,
+    run_function,
+    verify_function,
+)
+from repro.ir.cfg import back_edges, is_acyclic, predecessors_map, reachable_blocks, reverse_postorder
+from repro.ir.dominators import DominatorTree
+from repro.ir.interpreter import Interpreter, InterpreterError, Pointer
+from repro.ir.loops import find_loops, loop_depth_map, max_loop_depth
+
+
+def build_diamond():
+    """if/else diamond used by CFG and dominator tests."""
+    module = Module("diamond")
+    fn = Function("f", FunctionType(I64, [I64]), ["x"], module)
+    entry = BasicBlock("entry", fn)
+    then = BasicBlock("then", fn)
+    other = BasicBlock("else", fn)
+    merge = BasicBlock("merge", fn)
+    b = IRBuilder(entry)
+    cond = b.icmp("sgt", fn.arguments[0], const_int(0), "cond")
+    b.condbr(cond, then, other)
+    b.position_at_end(then)
+    doubled = b.mul(fn.arguments[0], const_int(2), "doubled")
+    b.br(merge)
+    b.position_at_end(other)
+    negated = b.sub(const_int(0), fn.arguments[0], "negated")
+    b.br(merge)
+    b.position_at_end(merge)
+    phi = b.phi(I64, "result")
+    phi.add_incoming(doubled, then)
+    phi.add_incoming(negated, other)
+    b.ret(phi)
+    return module, fn, (entry, then, other, merge)
+
+
+class TestCFG:
+    def test_reverse_postorder_starts_at_entry(self, dot_module):
+        fn = dot_module.functions[0]
+        rpo = reverse_postorder(fn)
+        assert rpo[0] is fn.entry_block
+        assert len(rpo) == len(fn.blocks)
+
+    def test_predecessors(self):
+        _, fn, (entry, then, other, merge) = build_diamond()
+        preds = predecessors_map(fn)
+        assert set(preds[merge]) == {then, other}
+        assert preds[entry] == []
+
+    def test_reachability_and_acyclic(self):
+        module, fn, blocks = build_diamond()
+        assert reachable_blocks(fn) == set(blocks)
+        assert is_acyclic(fn)
+
+    def test_back_edges_on_loop(self, dot_module):
+        fn = dot_module.functions[0]
+        edges = back_edges(fn)
+        assert len(edges) == 1
+        tail, head = edges[0]
+        assert head.name == "loop"
+        assert not is_acyclic(fn)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        _, fn, (entry, then, other, merge) = build_diamond()
+        dom = DominatorTree(fn)
+        for block in fn.blocks:
+            assert dom.dominates(entry, block)
+
+    def test_branches_do_not_dominate_merge(self):
+        _, fn, (entry, then, other, merge) = build_diamond()
+        dom = DominatorTree(fn)
+        assert not dom.dominates(then, merge)
+        assert dom.immediate_dominator(merge) is entry
+
+    def test_dominance_frontier(self):
+        _, fn, (entry, then, other, merge) = build_diamond()
+        dom = DominatorTree(fn)
+        frontier = dom.dominance_frontier()
+        assert merge in frontier[then]
+        assert merge in frontier[other]
+
+
+class TestLoops:
+    def test_dot_loop_detected(self, dot_module):
+        fn = dot_module.functions[0]
+        loops = find_loops(fn)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header.name == "loop"
+        assert loop.preheader() is fn.entry_block
+        assert loop.induction_phi() is not None
+        assert max_loop_depth(fn) == 1
+
+    def test_constant_trip_count(self):
+        fn = parse_function(
+            """
+define i64 @count() {
+entry:
+  br ^loop
+loop:
+  %i = phi i64 [0:i64, ^entry], [%inext, ^loop]
+  %inext = add i64 %i, 1:i64
+  %cond = icmp slt %inext, 8:i64
+  condbr %cond, ^loop, ^done
+done:
+  ret %inext
+}
+"""
+        )
+        loops = find_loops(fn)
+        assert loops[0].trip_count() == 8
+
+    def test_nested_depth_in_suite(self, region_suite):
+        clomp = next(r for r in region_suite if r.family == "clomp")
+        depths = loop_depth_map(clomp.module.functions[-1])
+        assert max(depths.values()) == 2  # outer worksharing loop + inner loop
+
+
+class TestVerifier:
+    def test_valid_module_passes(self, dot_module):
+        assert_valid(dot_module)
+
+    def test_missing_terminator_detected(self):
+        module = Module("bad")
+        fn = Function("f", FunctionType(I64, []), [], module)
+        BasicBlock("entry", fn)
+        errors = verify_function(fn)
+        assert any("not terminated" in e for e in errors)
+
+    def test_duplicate_names_detected(self):
+        module = Module("bad")
+        fn = Function("f", FunctionType(I64, []), [], module)
+        block = BasicBlock("entry", fn)
+        b = IRBuilder(block)
+        b.add(const_int(1), const_int(2), "x")
+        b.add(const_int(3), const_int(4), "x")
+        b.ret(const_int(0))
+        errors = verify_function(fn)
+        assert any("duplicate value name" in e for e in errors)
+
+    def test_phi_incoming_mismatch_detected(self, dot_module):
+        fn = dot_module.functions[0]
+        phi = fn.block_named("loop").phis()[0]
+        phi.remove_incoming(fn.entry_block)
+        errors = verify_function(fn)
+        assert any("missing incoming" in e for e in errors)
+
+    def test_use_before_def_detected(self):
+        module = Module("bad")
+        fn = Function("f", FunctionType(I64, []), [], module)
+        block = BasicBlock("entry", fn)
+        b = IRBuilder(block)
+        first = b.add(const_int(1), const_int(2), "a")
+        second = b.add(const_int(3), const_int(4), "b")
+        b.ret(second)
+        # Swap so that %b is used by ret but defined after... instead create a
+        # use of a later-defined value explicitly.
+        block.instructions[0], block.instructions[1] = block.instructions[1], block.instructions[0]
+        second.operands[0] = first  # now 'b' (first in list) uses 'a' defined later
+        errors = verify_function(fn)
+        assert errors
+
+    def test_assert_valid_raises(self):
+        module = Module("bad")
+        fn = Function("f", FunctionType(I64, []), [], module)
+        BasicBlock("entry", fn)
+        with pytest.raises(VerificationError):
+            assert_valid(module)
+
+
+class TestInterpreter:
+    def test_dot_product(self, dot_module):
+        result = run_function(dot_module.functions[0], [3, [1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        assert result == pytest.approx(32.0)
+
+    def test_pointer_out_of_bounds(self):
+        pointer = Pointer([1.0, 2.0], 5)
+        with pytest.raises(InterpreterError):
+            pointer.load()
+
+    def test_diamond_paths(self):
+        _, fn, _ = build_diamond()
+        assert run_function(fn, [4]) == 8
+        assert run_function(fn, [-3]) == 3
+
+    def test_step_limit(self, dot_module):
+        interp = Interpreter(max_steps=10)
+        with pytest.raises(InterpreterError):
+            interp.run(dot_module.functions[0], [10_000, [0.0] * 10_000, [0.0] * 10_000])
+
+    def test_openmp_intrinsics(self):
+        fn = parse_function(
+            """
+define i64 @who() {
+entry:
+  %tid = call i64 @omp_get_thread_num()
+  %nth = call i64 @omp_get_num_threads()
+  %sum = add i64 %tid, %nth
+  ret %sum
+}
+"""
+        )
+        assert Interpreter(thread_id=3, num_threads=8).run(fn, []) == 11
+
+    def test_math_externals(self):
+        fn = parse_function(
+            """
+define f64 @hyp(f64 %x, f64 %y) {
+entry:
+  %xx = fmul f64 %x, %x
+  %yy = fmul f64 %y, %y
+  %sum = fadd f64 %xx, %yy
+  %result = call f64 @sqrt(%sum)
+  ret %result
+}
+"""
+        )
+        assert run_function(fn, [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_arguments_length_checked(self, dot_module):
+        with pytest.raises(InterpreterError):
+            run_function(dot_module.functions[0], [1])

@@ -1,0 +1,205 @@
+"""Tests for values, instructions and basic blocks."""
+
+import pytest
+
+from repro.ir import (
+    BOOL,
+    F64,
+    I64,
+    Alloca,
+    AtomicRMW,
+    BasicBlock,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    Function,
+    FunctionType,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Module,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Switch,
+    const_bool,
+    const_float,
+    const_int,
+    pointer_to,
+)
+from repro.ir.values import Argument, GlobalVariable, Undef
+
+
+class TestConstants:
+    def test_constant_int_wraps_to_type(self):
+        c = const_int(2 ** 40, I64)
+        assert c.value == 2 ** 40
+        small = const_int(300, BOOL.__class__(8))
+        assert -128 <= small.value <= 127
+
+    def test_constant_equality_by_value_and_type(self):
+        assert const_int(3) == const_int(3)
+        assert const_int(3) != const_int(4)
+        assert const_float(1.5) == const_float(1.5)
+        assert const_bool(True).value == 1
+
+    def test_undef(self):
+        u = Undef(F64)
+        assert u.short() == "undef"
+        assert u == Undef(F64)
+        assert u != Undef(I64)
+
+    def test_global_variable_is_pointer_valued(self):
+        gv = GlobalVariable(F64, "g", const_float(2.0))
+        assert gv.type == pointer_to(F64)
+        assert gv.short() == "@g"
+
+
+class TestInstructionConstruction:
+    def test_binary_op_type_follows_lhs(self):
+        add = BinaryOp("add", const_int(1), const_int(2))
+        assert add.type == I64
+        fmul = BinaryOp("fmul", const_float(1.0), const_float(2.0))
+        assert fmul.type == F64
+
+    def test_unknown_binary_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryOp("frobnicate", const_int(1), const_int(2))
+
+    def test_icmp_produces_bool(self):
+        cmp = ICmp("slt", const_int(1), const_int(2))
+        assert cmp.type == BOOL
+        with pytest.raises(ValueError):
+            ICmp("nonsense", const_int(1), const_int(2))
+
+    def test_load_requires_pointer(self):
+        arg = Argument(pointer_to(F64), "p", 0)
+        load = Load(arg)
+        assert load.type == F64
+        with pytest.raises(TypeError):
+            Load(const_int(3))
+
+    def test_store_has_void_type(self):
+        arg = Argument(pointer_to(F64), "p", 0)
+        store = Store(const_float(1.0), arg)
+        assert store.type.is_void
+        assert store.has_side_effects
+
+    def test_gep_result_type(self):
+        arg = Argument(pointer_to(F64), "p", 0)
+        gep = GetElementPtr(arg, [const_int(3)])
+        assert gep.type == pointer_to(F64)
+
+    def test_alloca_returns_pointer(self):
+        alloca = Alloca(F64, array_size=4)
+        assert alloca.type == pointer_to(F64)
+        assert alloca.array_size == 4
+
+    def test_atomicrmw(self):
+        arg = Argument(pointer_to(F64), "p", 0)
+        rmw = AtomicRMW("fadd", arg, const_float(1.0))
+        assert rmw.type == F64
+        assert rmw.has_side_effects
+        with pytest.raises(ValueError):
+            AtomicRMW("frob", arg, const_float(1.0))
+
+    def test_select_and_cast(self):
+        sel = Select(const_bool(True), const_float(1.0), const_float(2.0))
+        assert sel.type == F64
+        cast = Cast("sitofp", const_int(3), F64)
+        assert cast.type == F64
+        with pytest.raises(ValueError):
+            Cast("warp", const_int(3), F64)
+
+    def test_call_return_type_defaults_to_void_for_externals(self):
+        call = Call("omp_get_thread_num", [], I64)
+        assert call.type == I64
+        assert call.callee_name == "omp_get_thread_num"
+        barrier = Call("kmpc_barrier", [])
+        assert barrier.type.is_void
+
+    def test_terminators(self):
+        block_a = BasicBlock("a")
+        block_b = BasicBlock("b")
+        br = Branch(block_a)
+        assert br.is_terminator and br.successors() == [block_a]
+        cbr = CondBranch(const_bool(True), block_a, block_b)
+        assert set(cbr.successors()) == {block_a, block_b}
+        sw = Switch(const_int(1), block_a, [(0, block_b)])
+        assert block_b in sw.successors() and block_a in sw.successors()
+        assert Return(const_int(1)).successors() == []
+
+    def test_phi_incoming_management(self):
+        block_a = BasicBlock("a")
+        block_b = BasicBlock("b")
+        phi = Phi(I64, "x")
+        phi.add_incoming(const_int(1), block_a)
+        phi.add_incoming(const_int(2), block_b)
+        assert phi.incoming_value_for(block_a).value == 1
+        phi.remove_incoming(block_a)
+        assert phi.incoming_value_for(block_a) is None
+        assert len(phi.operands) == 1
+
+    def test_replace_operand(self):
+        a, b = const_int(1), const_int(2)
+        add = BinaryOp("add", a, a)
+        assert add.replace_operand(a, b) == 2
+        assert add.lhs is b and add.rhs is b
+
+    def test_clone_preserves_subclass_fields(self):
+        cmp = ICmp("slt", const_int(1), const_int(2))
+        clone = cmp.clone()
+        assert isinstance(clone, ICmp)
+        assert clone.predicate == "slt"
+        assert clone is not cmp
+        load = Load(Argument(pointer_to(F64), "p", 0), volatile=True)
+        assert load.clone().is_volatile
+
+
+class TestBasicBlock:
+    def test_append_and_terminator(self):
+        module = Module("m")
+        fn = Function("f", FunctionType(F64, []), [], module)
+        block = BasicBlock("entry", fn)
+        assert block in fn.blocks
+        ret = Return(const_float(0.0))
+        block.append(ret)
+        assert block.terminator is ret
+        assert block.is_terminated
+
+    def test_phis_must_lead(self):
+        block = BasicBlock("b")
+        phi = Phi(I64, "p")
+        block.append(phi)
+        block.append(Return())
+        assert block.phis() == [phi]
+        assert block.first_non_phi_index() == 1
+
+    def test_insert_before_terminator(self):
+        block = BasicBlock("b")
+        block.append(Return())
+        add = BinaryOp("add", const_int(1), const_int(2), "x")
+        block.insert_before_terminator(add)
+        assert block.instructions[0] is add
+        assert block.instructions[-1].opcode == "ret"
+
+
+class TestFunction:
+    def test_static_features(self, dot_module):
+        fn = dot_module.functions[0]
+        features = fn.static_features()
+        assert features["num_blocks"] == 3
+        assert features["num_loads"] == 2
+        assert features["num_loops"] == 1
+        assert 0 < features["mem_ratio"] < 1
+
+    def test_replace_all_uses(self, dot_module):
+        fn = dot_module.functions[0]
+        va = next(i for i in fn.instructions() if i.name == "va")
+        vb = next(i for i in fn.instructions() if i.name == "vb")
+        replaced = fn.replace_all_uses_with(va, vb)
+        assert replaced >= 1
+        assert not fn.uses_of(va)

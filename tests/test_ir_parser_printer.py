@@ -1,0 +1,129 @@
+"""Round-trip tests for the textual IR format."""
+
+import pytest
+
+from repro.ir import (
+    Module,
+    ParseError,
+    assert_valid,
+    parse_function,
+    parse_module,
+    print_module,
+    run_function,
+)
+from repro.ir.parser import split_top_level, split_type_prefix
+from repro.ir.types import F64, I64, array_of, pointer_to
+from repro.workloads import build_suite
+
+
+class TestLexHelpers:
+    def test_split_type_prefix_simple(self):
+        ty, rest = split_type_prefix("i64 %x, %y")
+        assert ty == I64 and rest == "%x, %y"
+
+    def test_split_type_prefix_pointer_and_array(self):
+        ty, rest = split_type_prefix("[8 x f64]* %p")
+        assert ty == pointer_to(array_of(F64, 8))
+        assert rest == "%p"
+
+    def test_split_top_level_respects_brackets(self):
+        parts = split_top_level("[1:i64, ^a], [2:i64, ^b]")
+        assert parts == ["[1:i64, ^a]", "[2:i64, ^b]"]
+
+    def test_split_type_prefix_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            split_type_prefix("%x")
+
+
+class TestRoundTrip:
+    def test_dot_product_round_trip(self, dot_module):
+        text = print_module(dot_module)
+        reparsed = parse_module(text)
+        assert_valid(reparsed)
+        assert print_module(reparsed) == text
+
+    def test_round_trip_preserves_semantics(self, dot_module):
+        reparsed = parse_module(print_module(dot_module))
+        args = [4, [1.0, 2.0, 3.0, 4.0], [2.0, 2.0, 2.0, 2.0]]
+        original = run_function(dot_module.functions[0], [4, list(args[1]), list(args[2])])
+        recovered = run_function(reparsed.functions[0], [4, list(args[1]), list(args[2])])
+        assert original == recovered == 20.0
+
+    def test_whole_suite_round_trips(self, region_suite):
+        for region in region_suite:
+            text = print_module(region.module)
+            reparsed = parse_module(text)
+            assert_valid(reparsed)
+            assert print_module(reparsed) == text
+
+    def test_module_clone_is_independent(self, dot_module):
+        clone = dot_module.clone()
+        assert clone is not dot_module
+        clone_fn = clone.functions[0]
+        original_fn = dot_module.functions[0]
+        assert clone_fn is not original_fn
+        # Mutating the clone must not affect the original.
+        clone_fn.blocks[0].instructions.clear()
+        assert len(original_fn.blocks[0].instructions) == 1
+
+    def test_globals_round_trip(self):
+        text = """
+@counter = global f64 0.0:f64
+
+define void @touch(f64* %p) {
+entry:
+  %v = load f64 @counter
+  store f64 %v, %p
+  ret
+}
+"""
+        module = parse_module(text)
+        assert module.get_global("counter") is not None
+        out = print_module(module)
+        module2 = parse_module(out)
+        assert module2.get_global("counter").value_type == F64
+
+    def test_declare_round_trip(self):
+        text = "declare f64 @sqrt(f64 %x)"
+        module = parse_module(text)
+        fn = module.get_function("sqrt")
+        assert fn.is_declaration
+        assert print_module(module).strip().endswith("declare f64 @sqrt(f64 %x)")
+
+
+class TestParserErrors:
+    def test_undefined_value(self):
+        with pytest.raises(ParseError):
+            parse_function(
+                "define void @f() {\nentry:\n  store f64 %ghost, %ghost\n  ret\n}"
+            )
+
+    def test_unknown_block(self):
+        with pytest.raises(ParseError):
+            parse_function("define void @f() {\nentry:\n  br ^nowhere\n}")
+
+    def test_unterminated_function(self):
+        with pytest.raises(ParseError):
+            parse_module("define void @f() {\nentry:\n  ret\n")
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse_function("define void @f() {\nentry:\n  launch %x\n}")
+
+    def test_forward_reference_through_phi_is_allowed(self):
+        text = """
+define i64 @count(i64 %n) {
+entry:
+  br ^loop
+loop:
+  %i = phi i64 [0:i64, ^entry], [%inext, ^loop]
+  %inext = add i64 %i, 1:i64
+  %cond = icmp slt %inext, %n
+  condbr %cond, ^loop, ^done
+done:
+  ret %inext
+}
+"""
+        fn = parse_function(text)
+        assert_valid(fn)
+        assert run_function(fn, [5]) == 5

@@ -1,0 +1,115 @@
+"""Tests for the IR type system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import (
+    BOOL,
+    F32,
+    F64,
+    I32,
+    I64,
+    VOID,
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    array_of,
+    parse_type,
+    pointer_to,
+)
+
+
+class TestTypeIdentity:
+    def test_int_types_are_interned(self):
+        assert IntType(32) is IntType(32)
+        assert IntType(64) is I64
+
+    def test_float_types_are_interned(self):
+        assert FloatType(64) is F64
+        assert FloatType(32) is F32
+
+    def test_void_singleton(self):
+        assert VOID.is_void
+        assert VOID == parse_type("void")
+
+    def test_int_equality_by_width(self):
+        assert IntType(32) == I32
+        assert IntType(32) != I64
+
+    def test_pointer_equality_is_structural(self):
+        assert pointer_to(F64) == PointerType(F64)
+        assert pointer_to(F64) != pointer_to(F32)
+
+    def test_array_equality(self):
+        assert array_of(F64, 8) == ArrayType(F64, 8)
+        assert array_of(F64, 8) != array_of(F64, 16)
+
+    def test_function_type_equality(self):
+        a = FunctionType(F64, [I64, pointer_to(F64)])
+        b = FunctionType(F64, [I64, pointer_to(F64)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestPredicates:
+    def test_bool_is_one_bit_int(self):
+        assert BOOL.is_int
+        assert BOOL.is_bool
+        assert not I64.is_bool
+
+    def test_numeric_predicate(self):
+        assert I64.is_numeric
+        assert F64.is_numeric
+        assert not VOID.is_numeric
+        assert not pointer_to(F64).is_numeric
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            FloatType(16)
+        with pytest.raises(ValueError):
+            ArrayType(F64, -1)
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("i1", BOOL),
+            ("i64", I64),
+            ("f64", F64),
+            ("f64*", pointer_to(F64)),
+            ("f64**", pointer_to(pointer_to(F64))),
+            ("[8 x f64]", array_of(F64, 8)),
+            ("[4 x i32]*", pointer_to(array_of(I32, 4))),
+            ("void", VOID),
+        ],
+    )
+    def test_round_trip(self, text, expected):
+        parsed = parse_type(text)
+        assert parsed == expected
+        assert parse_type(repr(parsed)) == expected
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_type("banana")
+
+
+class TestIntWrap:
+    @given(st.integers(min_value=-(2 ** 70), max_value=2 ** 70))
+    def test_wrap_stays_in_range(self, value):
+        ty = IntType(32)
+        wrapped = ty.wrap(value)
+        assert ty.min_value <= wrapped <= ty.max_value
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_wrap_is_identity_in_range(self, value):
+        assert IntType(32).wrap(value) == value
+
+    @given(st.integers(), st.integers(min_value=2, max_value=64))
+    def test_wrap_idempotent(self, value, bits):
+        ty = IntType(bits)
+        assert ty.wrap(ty.wrap(value)) == ty.wrap(value)

@@ -1,0 +1,175 @@
+"""Tests for the classic-ML substrate: decision trees, GA, CV, scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    GAConfig,
+    MinMaxScaler,
+    ReducedTreeClassifier,
+    StandardScaler,
+    SubsetGeneticAlgorithm,
+    fold_of_groups,
+    grouped_kfold,
+    kfold_indices,
+    select_features_ga,
+    train_validation_split,
+)
+
+
+class TestDecisionTree:
+    def test_fits_simple_threshold(self):
+        rng = np.random.default_rng(0)
+        features = rng.random((200, 3))
+        labels = (features[:, 1] > 0.5).astype(int)
+        tree = DecisionTreeClassifier(random_state=0).fit(features, labels)
+        assert tree.score(features, labels) > 0.98
+        assert tree.feature_importances(3).argmax() == 1
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        features = rng.random((300, 2))
+        labels = (features[:, 0] > 0.5).astype(int) + 2 * (features[:, 1] > 0.5).astype(int)
+        tree = DecisionTreeClassifier(random_state=0).fit(features, labels)
+        assert tree.score(features, labels) > 0.95
+        proba = tree.predict_proba(features[:5])
+        assert proba.shape == (5, 4)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_max_depth_limits_growth(self):
+        rng = np.random.default_rng(2)
+        features = rng.random((200, 5))
+        labels = rng.integers(0, 4, 200)
+        shallow = DecisionTreeClassifier(max_depth=2, random_state=0).fit(features, labels)
+        deep = DecisionTreeClassifier(random_state=0).fit(features, labels)
+        assert shallow.depth() <= 2
+        assert deep.node_count() >= shallow.node_count()
+
+    def test_single_class_dataset(self):
+        features = np.random.default_rng(0).random((10, 2))
+        labels = np.zeros(10, dtype=int)
+        tree = DecisionTreeClassifier().fit(features, labels)
+        assert (tree.predict(features) == 0).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((3,)), np.zeros(3))
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((3, 2)), np.zeros(4))
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_predictions_are_known_labels(self, n):
+        rng = np.random.default_rng(n)
+        features = rng.random((n, 3))
+        labels = rng.integers(0, 3, n)
+        tree = DecisionTreeClassifier(random_state=0).fit(features, labels)
+        predictions = tree.predict(rng.random((7, 3)))
+        assert set(predictions.tolist()) <= set(labels.tolist())
+
+
+class TestGeneticAlgorithm:
+    def test_finds_informative_subset(self):
+        target = {1, 4, 7}
+
+        def fitness(subset):
+            return len(set(subset) & target)
+
+        ga = SubsetGeneticAlgorithm(
+            10, 3, fitness, GAConfig(population_size=40, generations=10, seed=0)
+        )
+        best, score = ga.run()
+        assert score == 3
+        assert set(best) == target
+        assert ga.evaluations > 0
+
+    def test_subset_size_invariant(self):
+        ga = SubsetGeneticAlgorithm(
+            20, 5, lambda s: 0.0, GAConfig(population_size=10, generations=2, seed=1)
+        )
+        best, _ = ga.run()
+        assert len(best) == 5
+        assert len(set(best)) == 5
+
+    def test_subset_size_cannot_exceed_universe(self):
+        with pytest.raises(ValueError):
+            SubsetGeneticAlgorithm(3, 5, lambda s: 0.0)
+
+    def test_feature_selection_recovers_signal(self):
+        rng = np.random.default_rng(0)
+        informative = rng.random((150, 2))
+        noise = rng.random((150, 8))
+        features = np.concatenate([informative, noise], axis=1)
+        labels = (informative[:, 0] + informative[:, 1] > 1.0).astype(int)
+        result = select_features_ga(
+            features,
+            labels,
+            subset_size=2,
+            folds=3,
+            ga_config=GAConfig(population_size=30, generations=6, seed=0),
+        )
+        assert result.fitness > 0.75
+        reduced = ReducedTreeClassifier(result.selected).fit(features, labels)
+        assert reduced.score(features, labels) > 0.8
+
+
+class TestCrossValidation:
+    def test_kfold_partitions_everything(self):
+        seen = []
+        for train, test in kfold_indices(23, 5, seed=0):
+            seen.extend(test.tolist())
+            assert set(train.tolist()).isdisjoint(test.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_grouped_kfold_keeps_groups_together(self):
+        groups = [f"g{i // 4}" for i in range(40)]  # 10 groups of 4 samples
+        folds = grouped_kfold(groups, folds=5, seed=0)
+        for train, test in folds:
+            test_groups = {groups[i] for i in test}
+            train_groups = {groups[i] for i in train}
+            assert test_groups.isdisjoint(train_groups)
+
+    def test_fold_of_groups_consistent(self):
+        groups = [f"r{i}" for i in range(30)]
+        mapping = fold_of_groups(groups, folds=10, seed=3)
+        assert set(mapping.values()) <= set(range(10))
+        assert fold_of_groups(groups, folds=10, seed=3) == mapping
+
+    def test_train_validation_split(self):
+        train, val = train_validation_split(50, validation_fraction=0.2, seed=0)
+        assert len(val) == 10
+        assert set(train.tolist()).isdisjoint(val.tolist())
+        assert len(train) + len(val) == 50
+
+    @given(st.integers(min_value=4, max_value=200), st.integers(min_value=2, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_kfold_never_loses_samples(self, n, k):
+        k = min(k, n)
+        total = sum(len(test) for _, test in kfold_indices(n, k, seed=1))
+        assert total == n
+
+
+class TestScalers:
+    def test_standard_scaler(self):
+        rng = np.random.default_rng(0)
+        data = rng.random((100, 3)) * 10 + 5
+        scaler = StandardScaler()
+        scaled = scaler.fit_transform(data)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_minmax_scaler(self):
+        data = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        scaled = MinMaxScaler().fit_transform(data)
+        assert scaled.min() == 0.0 and scaled.max() == 1.0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_constant_feature_handled(self):
+        data = np.ones((5, 2))
+        scaled = StandardScaler().fit_transform(data)
+        assert np.isfinite(scaled).all()

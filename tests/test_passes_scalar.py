@@ -1,0 +1,297 @@
+"""Tests for the scalar optimization passes."""
+
+import pytest
+
+from repro.ir import (
+    F64,
+    I64,
+    BasicBlock,
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    assert_valid,
+    const_float,
+    const_int,
+    parse_function,
+    pointer_to,
+    run_function,
+)
+from repro.passes import PassManager, available_passes, create_pass, run_passes
+from repro.passes.constfold import fold_binary, fold_icmp
+from repro.passes.cse import expression_key
+from repro.passes.instcombine import simplify
+from repro.ir.values import ConstantInt
+from repro.ir.instructions import BinaryOp
+
+
+def build_redundant_function():
+    """Function with dead code, foldable constants and duplicate expressions."""
+    module = Module("redundant")
+    fn = Function("f", FunctionType(F64, [F64]), ["x"], module)
+    block = BasicBlock("entry", fn)
+    b = IRBuilder(block)
+    c = b.add(const_int(2), const_int(3), "c")            # foldable
+    dead = b.mul(c, const_int(7), "dead")                  # dead after fold
+    a1 = b.fmul(fn.arguments[0], const_float(2.0), "a1")
+    a2 = b.fmul(fn.arguments[0], const_float(2.0), "a2")   # duplicate of a1
+    total = b.fadd(a1, a2, "total")
+    plus_zero = b.fadd(total, const_float(0.0), "pz")      # instcombine target
+    b.ret(plus_zero)
+    return module, fn
+
+
+class TestRegistry:
+    def test_all_expected_passes_registered(self):
+        names = available_passes()
+        for expected in (
+            "dce",
+            "constfold",
+            "constprop",
+            "cse",
+            "gvn",
+            "instcombine",
+            "reassociate",
+            "simplifycfg",
+            "licm",
+            "loop-unroll",
+            "inline",
+            "mem2reg",
+            "dse",
+            "globalopt",
+            "deadargelim",
+            "deadfunc",
+            "unreachable-block-elim",
+        ):
+            assert expected in names
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(KeyError):
+            create_pass("does-not-exist")
+
+    def test_pass_manager_statistics(self):
+        module, _ = build_redundant_function()
+        pm = PassManager(["constfold", "dce"], verify_each=True)
+        pm.run(module)
+        assert pm.statistics.executed == ["constfold", "dce"]
+
+
+class TestConstantFolding:
+    def test_fold_binary_int(self):
+        assert fold_binary("add", const_int(2), const_int(3), I64).value == 5
+        assert fold_binary("mul", const_int(4), const_int(5), I64).value == 20
+        assert fold_binary("sdiv", const_int(7), const_int(0), I64) is None
+
+    def test_fold_binary_float(self):
+        assert fold_binary("fadd", const_float(1.5), const_float(2.5), F64).value == 4.0
+
+    def test_fold_icmp(self):
+        assert fold_icmp("slt", const_int(1), const_int(2)).value == 1
+        assert fold_icmp("eq", const_int(3), const_int(4)).value == 0
+
+    def test_constfold_pass_replaces_uses(self):
+        module, fn = build_redundant_function()
+        run_passes(module, ["constfold", "dce"], verify_each=True)
+        names = {inst.name for inst in fn.instructions()}
+        assert "c" not in names          # folded and removed
+        assert "dead" not in names       # dead after folding
+
+    def test_constprop_collapses_redundant_phi(self):
+        fn = parse_function(
+            """
+define i64 @f(i1 %c) {
+entry:
+  condbr %c, ^a, ^b
+a:
+  br ^merge
+b:
+  br ^merge
+merge:
+  %p = phi i64 [7:i64, ^a], [7:i64, ^b]
+  ret %p
+}
+"""
+        )
+        module = fn.parent
+        run_passes(module, ["constprop"], verify_each=True)
+        assert not fn.block_named("merge").phis()
+
+
+class TestInstCombine:
+    def test_simplify_identities(self):
+        x = const_int(11)
+        assert simplify(BinaryOp("add", x, const_int(0))) is x
+        assert simplify(BinaryOp("mul", x, const_int(1))) is x
+        zero = simplify(BinaryOp("sub", x, x))
+        assert isinstance(zero, ConstantInt) and zero.value == 0
+
+    def test_instcombine_pass(self):
+        module, fn = build_redundant_function()
+        run_passes(module, ["instcombine", "dce"], verify_each=True)
+        names = {inst.name for inst in fn.instructions()}
+        assert "pz" not in names   # x + 0.0 simplified away
+
+    def test_semantics_preserved(self):
+        module, fn = build_redundant_function()
+        before = run_function(fn, [1.5])
+        run_passes(module, ["instcombine", "constfold", "cse", "dce"], verify_each=True)
+        after = run_function(fn, [1.5])
+        assert before == pytest.approx(after)
+
+    def test_reassociate_moves_constants_right(self):
+        module = Module("m")
+        fn = Function("f", FunctionType(I64, [I64]), ["x"], module)
+        block = BasicBlock("entry", fn)
+        b = IRBuilder(block)
+        v = b.add(const_int(3), fn.arguments[0], "v")
+        b.ret(v)
+        run_passes(module, ["reassociate"], verify_each=True)
+        assert v.lhs is fn.arguments[0]
+        assert isinstance(v.rhs, ConstantInt)
+
+
+class TestCSE:
+    def test_expression_key_commutative(self):
+        x, y = const_int(3), const_int(4)
+        a = BinaryOp("add", x, y)
+        b = BinaryOp("add", y, x)
+        assert expression_key(a) == expression_key(b)
+
+    def test_local_cse_removes_duplicates(self):
+        module, fn = build_redundant_function()
+        before_count = fn.instruction_count()
+        run_passes(module, ["cse"], verify_each=True)
+        assert fn.instruction_count() == before_count - 1
+        assert run_function(fn, [2.0]) == pytest.approx(8.0)
+
+    def test_gvn_across_blocks(self):
+        fn = parse_function(
+            """
+define i64 @f(i64 %x, i1 %c) {
+entry:
+  %a = mul i64 %x, %x
+  condbr %c, ^left, ^right
+left:
+  %b = mul i64 %x, %x
+  ret %b
+right:
+  ret %a
+}
+"""
+        )
+        module = fn.parent
+        run_passes(module, ["gvn"], verify_each=True)
+        names = {inst.name for inst in fn.instructions()}
+        assert "b" not in names
+
+    def test_gvn_does_not_merge_across_siblings(self):
+        fn = parse_function(
+            """
+define i64 @f(i64 %x, i1 %c) {
+entry:
+  condbr %c, ^left, ^right
+left:
+  %a = mul i64 %x, %x
+  ret %a
+right:
+  %b = mul i64 %x, %x
+  ret %b
+}
+"""
+        )
+        module = fn.parent
+        run_passes(module, ["gvn"], verify_each=True)
+        names = {inst.name for inst in fn.instructions()}
+        assert {"a", "b"} <= names
+
+
+class TestMemoryPasses:
+    def test_store_load_forwarding(self):
+        fn = parse_function(
+            """
+define f64 @f(f64 %x) {
+entry:
+  %slot = alloca f64
+  store f64 %x, %slot
+  %v = load f64 %slot
+  %twice = fadd f64 %v, %v
+  ret %twice
+}
+"""
+        )
+        module = fn.parent
+        run_passes(module, ["mem2reg", "dce"], verify_each=True)
+        opcodes = [inst.opcode for inst in fn.instructions()]
+        assert "load" not in opcodes
+        assert run_function(fn, [2.5]) == pytest.approx(5.0)
+
+    def test_forwarding_blocked_by_call(self):
+        fn = parse_function(
+            """
+define f64 @f(f64 %x, f64* %p) {
+entry:
+  store f64 %x, %p
+  call void @kmpc_barrier()
+  %v = load f64 %p
+  ret %v
+}
+"""
+        )
+        module = fn.parent
+        run_passes(module, ["mem2reg"], verify_each=True)
+        opcodes = [inst.opcode for inst in fn.instructions()]
+        assert "load" in opcodes  # the call may have changed memory
+
+    def test_dead_store_elimination(self):
+        fn = parse_function(
+            """
+define void @f(f64* %p) {
+entry:
+  store f64 1.0:f64, %p
+  store f64 2.0:f64, %p
+  ret
+}
+"""
+        )
+        module = fn.parent
+        run_passes(module, ["dse"], verify_each=True)
+        stores = [inst for inst in fn.instructions() if inst.opcode == "store"]
+        assert len(stores) == 1
+        assert stores[0].value.value == 2.0
+
+
+class TestModulePasses:
+    def test_globalopt_marks_constants(self, dot_module):
+        from repro.ir.values import GlobalVariable
+
+        gv = GlobalVariable(F64, "gshared", const_float(1.0))
+        dot_module.add_global(gv)
+        run_passes(dot_module, ["globalopt"])
+        assert gv.is_constant_global
+
+    def test_deadargelim_annotates(self):
+        fn = parse_function(
+            """
+define f64 @f(f64 %used, f64 %unused) {
+entry:
+  ret %used
+}
+"""
+        )
+        module = fn.parent
+        run_passes(module, ["deadargelim"])
+        assert "deadarg_unused" in fn.attributes
+        assert "deadarg_used" not in fn.attributes
+
+    def test_deadfunc_removes_uncalled_internal(self):
+        module = Module("m")
+        dead = Function("never", FunctionType(F64, []), [], module)
+        dead.attributes.add("internal")
+        block = BasicBlock("entry", dead)
+        IRBuilder(block).ret(const_float(0.0))
+        keep = Function("keep", FunctionType(F64, []), [], module)
+        block2 = BasicBlock("entry", keep)
+        IRBuilder(block2).ret(const_float(1.0))
+        run_passes(module, ["deadfunc"])
+        assert module.get_function("never") is None
+        assert module.get_function("keep") is not None

@@ -1,0 +1,124 @@
+"""End-to-end integration tests of the reproduction pipeline and experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig3_region_errors,
+    fig4_fold_errors,
+    fig5_flag_sequence_speedups,
+    fig7_label_counts,
+    fig9_hybrid_per_region,
+    fig10_input_size_losses,
+    fig11_flag_selection_strategies,
+    fig12_per_call_behaviour,
+    headline_claims,
+)
+from repro.workloads import build_suite
+
+
+class TestPipelineBuild:
+    def test_build_artifacts(self, tiny_pipeline):
+        assert len(tiny_pipeline.regions) == 18
+        assert "skylake" in tiny_pipeline.machine_data
+        assert tiny_pipeline.augmented is not None
+        # one default + three sampled sequences per region
+        assert len(tiny_pipeline.augmented.samples) == 18 * 4
+        assert len(tiny_pipeline.sequence_names()) == 4
+
+    def test_label_space_cached(self, tiny_pipeline):
+        a = tiny_pipeline.label_space("skylake")
+        b = tiny_pipeline.label_space("skylake")
+        assert a is b
+        assert a.num_labels <= 6
+
+
+class TestEvaluation:
+    def test_summary_covers_every_region(self, tiny_pipeline, tiny_evaluation):
+        summary = tiny_evaluation.summary
+        evaluated = {o.region for o in summary.outcomes}
+        assert evaluated == set(tiny_pipeline.region_names())
+
+    def test_speedups_are_bounded_by_full_exploration(self, tiny_evaluation):
+        for outcome in tiny_evaluation.summary.outcomes:
+            assert outcome.static_speedup <= outcome.full_exploration_speedup + 1e-9
+            assert outcome.dynamic_speedup <= outcome.full_exploration_speedup + 1e-9
+            assert outcome.hybrid_speedup <= outcome.full_exploration_speedup + 1e-9
+
+    def test_errors_in_unit_range(self, tiny_evaluation):
+        for outcome in tiny_evaluation.summary.outcomes:
+            assert 0.0 <= outcome.static_error <= 1.0
+            assert 0.0 <= outcome.dynamic_error <= 1.0
+
+    def test_dynamic_model_beats_or_matches_static(self, tiny_evaluation):
+        summary = tiny_evaluation.summary
+        # the dynamic baseline sees the actual execution behaviour, so on
+        # average it should not lose to the purely static model
+        assert summary.dynamic_speedup >= summary.static_speedup - 0.05
+
+    def test_fold_artifacts_consistent(self, tiny_evaluation):
+        for fold in tiny_evaluation.folds:
+            assert set(fold.static_predictions) == set(fold.validation_regions)
+            assert set(fold.dynamic_predictions) == set(fold.validation_regions)
+            assert fold.explored_sequence in fold.sequence_scores
+
+    def test_per_fold_errors(self, tiny_evaluation):
+        per_fold = tiny_evaluation.summary.per_fold_errors("static")
+        assert len(per_fold) == len(tiny_evaluation.folds)
+        assert all(0.0 <= v <= 1.0 for v in per_fold.values())
+
+
+class TestExperimentDrivers:
+    def test_fig3_rows(self, tiny_evaluation):
+        rows = fig3_region_errors(tiny_evaluation)
+        assert len(rows) == len(tiny_evaluation.summary.outcomes)
+        assert rows[0]["static_error"] >= rows[-1]["static_error"]
+
+    def test_fig4_series(self, tiny_evaluation):
+        series = fig4_fold_errors(tiny_evaluation)
+        assert set(series) == {"static", "dynamic"}
+
+    def test_fig5_series(self, tiny_pipeline, tiny_evaluation):
+        speedups = fig5_flag_sequence_speedups(tiny_pipeline, tiny_evaluation)
+        assert "__explored__" in speedups
+        assert len(speedups) >= len(tiny_pipeline.sequence_names())
+
+    def test_fig7_counts(self, tiny_evaluation):
+        counts = fig7_label_counts(tiny_evaluation)
+        total = sum(counts["oracle"])
+        assert total == len(tiny_evaluation.summary.outcomes)
+        assert sum(counts["correct"]) <= sum(counts["predicted"])
+
+    def test_fig9_rows(self, tiny_evaluation):
+        rows = fig9_hybrid_per_region(tiny_evaluation)
+        assert {"region", "dynamic_speedup", "hybrid_speedup", "full_exploration", "profiled"} <= set(rows[0])
+
+    def test_fig10_input_sizes(self):
+        regions = build_suite(families=["lulesh"], limit=4)
+        rows = fig10_input_size_losses(regions, max_regions=4)
+        assert len(rows) == 4
+        for row in rows:
+            assert row["speedup_size1_native"] + 1e-9 >= row["speedup_size2_config"]
+            assert row["loss"] >= -1e-9
+
+    def test_fig11_strategies(self, tiny_pipeline, tiny_evaluation):
+        strategies = fig11_flag_selection_strategies(tiny_pipeline, tiny_evaluation)
+        assert set(strategies) == {
+            "explored_flag_seq",
+            "overall_flag_seq",
+            "predicted_flag_seq",
+            "oracle_flag_seq",
+        }
+        assert strategies["oracle_flag_seq"] + 1e-9 >= strategies["explored_flag_seq"]
+
+    def test_fig12_series(self, tiny_evaluation):
+        series = fig12_per_call_behaviour(tiny_evaluation, num_regions=2)
+        assert len(series) >= 2
+        for values in series.values():
+            assert all(v > 0 for v in values)
+
+    def test_headline_claims(self, tiny_evaluation):
+        claims = headline_claims(tiny_evaluation)
+        assert claims["dynamic_speedup"] >= 1.0
+        assert 0.0 <= claims["profiled_fraction"] <= 1.0
+        assert claims["full_exploration_speedup"] >= claims["hybrid_speedup"] - 1e-9

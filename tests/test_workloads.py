@@ -1,0 +1,159 @@
+"""Tests for the benchmark-region suite (specs, IR generation, profiles)."""
+
+import pytest
+
+from repro.graphs import build_graph
+from repro.ir import assert_valid, pointer_to, F64, I64
+from repro.numasim import NumaPrefetchSimulator, default_configuration, skylake
+from repro.workloads import (
+    KernelSpec,
+    Pattern,
+    SIZE_1,
+    SIZE_2,
+    all_specs,
+    build_suite,
+    derive_profile,
+    generate_region_module,
+    profile_for_size,
+    region_by_name,
+    suite_summary,
+)
+
+
+class TestSpecs:
+    def test_57_unique_regions(self):
+        specs = all_specs()
+        assert len(specs) == 57
+        assert len({s.name for s in specs}) == 57
+
+    def test_family_counts_match_paper_suites(self):
+        specs = all_specs()
+        families = {}
+        for spec in specs:
+            families[spec.family] = families.get(spec.family, 0) + 1
+        assert families["clomp"] == 11
+        assert families["lulesh"] == 8
+        assert families["nas"] >= 18
+        assert families["rodinia"] >= 18
+
+    def test_expected_paper_regions_present(self):
+        names = {s.name for s in all_specs()}
+        for expected in ("mg residual", "kmeans", "is rank", "lulesh 2104", "clomp 1056", "b+tree 86"):
+            assert expected in names
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSpec(name="bad", family="nas", pattern="teleport")
+        with pytest.raises(ValueError):
+            KernelSpec(name="bad", family="nas", num_arrays=0)
+
+
+class TestIRGeneration:
+    @pytest.mark.parametrize("pattern", [
+        Pattern.STREAMING,
+        Pattern.STENCIL,
+        Pattern.REDUCTION,
+        Pattern.GATHER,
+        Pattern.SCATTER,
+        Pattern.POINTER_CHASE,
+        Pattern.BRANCHY,
+        Pattern.INNER_LOOP,
+        Pattern.COMPUTE,
+    ])
+    def test_every_pattern_generates_valid_ir(self, pattern):
+        spec = KernelSpec(
+            name=f"probe {pattern}",
+            family="nas",
+            pattern=pattern,
+            uses_atomics=pattern in (Pattern.SCATTER, Pattern.REDUCTION),
+            inner_trip=4,
+        )
+        module = generate_region_module(spec)
+        assert_valid(module)
+        region = module.get_function(spec.region_function_name)
+        assert region is not None
+        assert region.is_omp_outlined
+        graph = build_graph(module)
+        assert graph.validate() == []
+
+    def test_suite_modules_are_valid(self, region_suite):
+        for region in region_suite:
+            assert_valid(region.module)
+            assert region.module.get_function(region.function_name) is not None
+
+    def test_atomics_visible_in_ir(self, region_suite):
+        is_rank = region_by_name(region_suite, "is rank")
+        opcodes = {i.opcode for i in is_rank.module.get_function(is_rank.function_name).instructions()}
+        assert "atomicrmw" in opcodes
+
+    def test_openmp_runtime_calls_present(self, region_suite):
+        region = region_suite[0]
+        callees = {
+            i.callee_name
+            for i in region.module.get_function(region.function_name).instructions()
+            if i.opcode == "call"
+        }
+        assert "omp_get_thread_num" in callees
+        assert "omp_get_num_threads" in callees
+
+    def test_suite_summary(self, region_suite):
+        summary = suite_summary(region_suite)
+        assert summary["regions"] == 57
+        assert summary["families"] == 4
+        assert summary["instructions_mean"] > 10
+
+
+class TestProfiles:
+    def test_profile_matches_pattern(self):
+        gather = derive_profile(KernelSpec(name="g", family="nas", pattern=Pattern.GATHER))
+        stream = derive_profile(KernelSpec(name="s", family="nas", pattern=Pattern.STREAMING))
+        assert gather.irregular_fraction > stream.irregular_fraction
+        assert stream.sequential_fraction > gather.sequential_fraction
+
+    def test_atomics_reflected(self):
+        spec = KernelSpec(name="sc", family="nas", pattern=Pattern.SCATTER, uses_atomics=True)
+        assert derive_profile(spec).atomics_per_iter == 1.0
+
+    def test_sqrt_increases_flops(self):
+        base = KernelSpec(name="a", family="nas", pattern=Pattern.STREAMING, flop_chain=2)
+        with_sqrt = KernelSpec(name="b", family="nas", pattern=Pattern.STREAMING, flop_chain=2, uses_sqrt=True)
+        assert derive_profile(with_sqrt).flops_per_iter > derive_profile(base).flops_per_iter
+
+    def test_overrides_applied(self):
+        spec = KernelSpec(
+            name="o", family="nas", pattern=Pattern.STREAMING,
+            profile_overrides={"shared_fraction": 0.77},
+        )
+        assert derive_profile(spec).shared_fraction == 0.77
+
+    def test_input_scaling(self, region_suite):
+        region = region_by_name(region_suite, "mg residual")
+        size1 = region.profile_at(SIZE_1)
+        size2 = region.profile_at(SIZE_2)
+        assert size2.footprint_mb > size1.footprint_mb
+        assert size2.iterations > size1.iterations
+        with pytest.raises(KeyError):
+            profile_for_size(region.profile, region.family, "size-99")
+
+    def test_profiles_simulate(self, region_suite):
+        machine = skylake()
+        simulator = NumaPrefetchSimulator(machine)
+        config = default_configuration(machine)
+        for region in region_suite[::7]:
+            result = simulator.simulate(region.profile, config)
+            assert result.time_seconds > 0
+
+
+class TestSuiteFilters:
+    def test_family_filter(self):
+        clomp_only = build_suite(families=["clomp"])
+        assert len(clomp_only) == 11
+        assert all(r.family == "clomp" for r in clomp_only)
+
+    def test_limit(self):
+        limited = build_suite(limit=5)
+        assert len(limited) == 5
+
+    def test_region_by_name_missing(self, region_suite):
+        with pytest.raises(KeyError):
+            region_by_name(region_suite, "nonexistent kernel")
