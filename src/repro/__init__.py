@@ -13,6 +13,8 @@ The package is organised as a set of substrates plus the paper's pipeline:
 - :mod:`repro.core` — dataset construction, static/dynamic/hybrid models,
   flag selection, cross-architecture evaluation.
 - :mod:`repro.experiments` — drivers regenerating every figure of the paper.
+- :mod:`repro.serving` — online inference: artefact registry, micro-batched
+  prediction service, embedding cache and telemetry.
 """
 
 __version__ = "1.0.0"
@@ -27,4 +29,5 @@ __all__ = [
     "workloads",
     "core",
     "experiments",
+    "serving",
 ]

@@ -12,7 +12,7 @@ the dynamic model while profiling only ~30% of regions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -99,6 +99,39 @@ class HybridStaticDynamicClassifier:
     @property
     def selected_dimensions(self) -> Optional[Tuple[int, ...]]:
         return self._selected
+
+    # --------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot of the fitted classifier.
+
+        Used by the serving registry to persist the hybrid decision alongside
+        the static model's weights.
+        """
+        if self._classifier is None:
+            raise RuntimeError("to_dict called before fit")
+        if isinstance(self._classifier, ReducedTreeClassifier):
+            classifier = {"kind": "reduced", "data": self._classifier.to_dict()}
+        else:
+            classifier = {"kind": "tree", "data": self._classifier.to_dict()}
+        return {
+            "config": asdict(self.config),
+            "selected": None if self._selected is None else list(self._selected),
+            "classifier": classifier,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HybridStaticDynamicClassifier":
+        hybrid = cls(HybridModelConfig(**data["config"]))
+        selected = data.get("selected")
+        hybrid._selected = None if selected is None else tuple(int(i) for i in selected)
+        payload = data["classifier"]
+        if payload["kind"] == "reduced":
+            hybrid._classifier = ReducedTreeClassifier.from_dict(payload["data"])
+        elif payload["kind"] == "tree":
+            hybrid._classifier = DecisionTreeClassifier.from_dict(payload["data"])
+        else:
+            raise ValueError(f"unknown classifier kind {payload['kind']!r}")
+        return hybrid
 
     def accuracy(self, graph_vectors: np.ndarray, static_errors: np.ndarray) -> float:
         labels = (np.asarray(static_errors) > self.config.error_threshold).astype(np.int64)

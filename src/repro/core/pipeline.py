@@ -84,6 +84,7 @@ class FoldArtifacts:
     hybrid_predictions: Dict[str, int]
     train_static_errors: Dict[str, float]
     hybrid_decision_accuracy: float
+    hybrid_classifier: Optional[HybridStaticDynamicClassifier] = None
 
 
 @dataclass
@@ -271,6 +272,7 @@ class ReproPipeline:
         validation_vector_samples = self._region_samples(validation_regions, explored_sequence)
         hybrid_decisions: Dict[str, bool] = {}
         hybrid_accuracy = 0.0
+        hybrid: Optional[HybridStaticDynamicClassifier] = None
         if train_vector_samples and validation_vector_samples:
             train_vectors = predictor.graph_vectors(train_vector_samples)
             errors = np.array(
@@ -299,6 +301,7 @@ class ReproPipeline:
                     (decisions.astype(bool) == true_needs).mean()
                 ) if true_needs.size else 0.0
             except ValueError:
+                hybrid = None
                 hybrid_decisions = {region: False for region in validation_regions}
 
         hybrid_predictions = combine_predictions(
@@ -318,9 +321,17 @@ class ReproPipeline:
             hybrid_predictions=hybrid_predictions,
             train_static_errors=train_static_errors,
             hybrid_decision_accuracy=hybrid_accuracy,
+            hybrid_classifier=hybrid,
         )
 
-    def _region_samples(self, region_names: Sequence[str], sequence_name: str):
+    def region_samples(self, region_names: Sequence[str], sequence_name: str):
+        """One augmented sample per region under ``sequence_name``.
+
+        The deployment-time handle on servable graphs: the returned samples'
+        ``.graph`` attributes are exactly what a
+        :class:`~repro.serving.service.PredictionService` accepts.
+        """
+        self.build()
         assert self.augmented is not None
         samples = []
         for name in region_names:
@@ -332,6 +343,9 @@ class ReproPipeline:
             if candidates:
                 samples.append(candidates[0])
         return samples
+
+    # Backwards-compatible alias (pre-serving internal name).
+    _region_samples = region_samples
 
     # --------------------------------------------------------------- records
     def _record_outcomes(
@@ -375,6 +389,50 @@ class ReproPipeline:
                 outcome.hybrid_speedup = timing.speedup_of(config)
                 outcome.profiled_by_hybrid = artifacts.hybrid_decisions.get(region, False)
             summary.outcomes.append(outcome)
+
+    # ----------------------------------------------------------------- export
+    def export_artifacts(
+        self,
+        evaluation: MachineEvaluation,
+        root: str,
+        name: Optional[str] = None,
+        folds: Optional[Sequence[int]] = None,
+    ) -> List["object"]:
+        """Persist fold predictors into a serving registry under ``root``.
+
+        Each exported fold becomes one model name (``<name>-fold<k>``) so a
+        deployment can pin a fold or ensemble over all of them; the label
+        space and (where trained) the hybrid classifier ride along so a
+        reloaded :class:`~repro.serving.service.PredictionService` can map
+        labels back to concrete NUMA/prefetcher configurations.  Returns the
+        :class:`~repro.serving.registry.ArtifactRef` of every saved version.
+        """
+        # Imported lazily: ``repro.serving`` depends on this module.
+        from ..serving.registry import ArtifactRegistry
+
+        registry = ArtifactRegistry(root)
+        base = name or f"{evaluation.machine_name}-static"
+        wanted = None if folds is None else set(folds)
+        refs: List[object] = []
+        for fold in evaluation.folds:
+            if wanted is not None and fold.fold not in wanted:
+                continue
+            ref = registry.save(
+                name=f"{base}-fold{fold.fold}",
+                predictor=fold.predictor,
+                label_space=evaluation.label_space,
+                hybrid=fold.hybrid_classifier,
+                metadata={
+                    "machine": evaluation.machine_name,
+                    "fold": fold.fold,
+                    "explored_sequence": fold.explored_sequence,
+                    "num_labels": evaluation.label_space.num_labels,
+                    "train_regions": list(fold.train_regions),
+                    "validation_regions": list(fold.validation_regions),
+                },
+            )
+            refs.append(ref)
+        return refs
 
     # ---------------------------------------------------------------- studies
     def flag_sequence_speedups(self, evaluation: MachineEvaluation) -> Dict[str, float]:

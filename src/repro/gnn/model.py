@@ -9,7 +9,8 @@ model and the flag-prediction model consume it as their feature vector.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -96,6 +97,43 @@ class StaticRGCNModel:
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         self.store.load_state_dict(state)
+
+    # ---------------------------------------------------------- persistence
+    #: reserved npz entry holding the JSON-encoded :class:`ModelConfig`.
+    CONFIG_KEY = "__model_config__"
+
+    def save_npz(self, path) -> None:
+        """Serialise weights *and* hyper-parameters to one ``.npz`` file.
+
+        The config rides along as a JSON byte array under
+        :data:`CONFIG_KEY`, so :meth:`load_npz` can rebuild the architecture
+        without any side-channel.  Weights stay float64 end to end, making
+        the round trip bit-identical.
+        """
+        arrays = self.state_dict()
+        if self.CONFIG_KEY in arrays:
+            raise ValueError(f"parameter name {self.CONFIG_KEY!r} is reserved")
+        config_json = json.dumps(asdict(self.config), sort_keys=True)
+        arrays[self.CONFIG_KEY] = np.frombuffer(
+            config_json.encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+
+    @classmethod
+    def load_npz(cls, path) -> "StaticRGCNModel":
+        """Rebuild a model saved with :meth:`save_npz` (exact weights)."""
+        with np.load(path) as data:
+            if cls.CONFIG_KEY not in data:
+                raise ValueError(f"{path!r} was not written by save_npz")
+            config_dict = json.loads(bytes(data[cls.CONFIG_KEY].tobytes()).decode("utf-8"))
+            config_dict["relations"] = tuple(config_dict["relations"])
+            state = {
+                name: data[name] for name in data.files if name != cls.CONFIG_KEY
+            }
+        model = cls(ModelConfig(**config_dict))
+        model.load_state_dict(state)
+        model.eval()
+        return model
 
     # --------------------------------------------------------------- forward
     def forward(self, batch: GraphBatch) -> Tuple[np.ndarray, np.ndarray]:

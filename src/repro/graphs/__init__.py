@@ -3,6 +3,7 @@
 from .batching import GraphBatch, collate, iterate_minibatches
 from .builder import GraphBuilder, build_graph, instruction_token, value_token
 from .features import EncodedGraph, GraphEncoder, graph_statistics
+from .fingerprint import FINGERPRINT_VERSION, fingerprint_many, graph_fingerprint
 from .graph import (
     FLOW_CALL,
     FLOW_CONTROL,
@@ -31,6 +32,9 @@ __all__ = [
     "EncodedGraph",
     "GraphEncoder",
     "graph_statistics",
+    "FINGERPRINT_VERSION",
+    "fingerprint_many",
+    "graph_fingerprint",
     "FLOW_CALL",
     "FLOW_CONTROL",
     "FLOW_DATA",

@@ -7,7 +7,7 @@ each node back to its graph for the pooling layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -16,7 +16,7 @@ from .features import EncodedGraph
 from .graph import RELATIONS
 
 
-@dataclass
+@dataclass(eq=False)  # identity equality: comparing ndarray fields is meaningless
 class GraphBatch:
     """A batch of encoded graphs merged into one disjoint union."""
 
@@ -27,7 +27,13 @@ class GraphBatch:
     graph_index: np.ndarray      # (total_nodes,) graph id per node
     labels: np.ndarray           # (num_graphs,) int labels (-1 when absent)
     names: List[str]
-    _adjacency_cache: Optional[Dict[str, object]] = None
+    # Kept out of __repr__ so printing a batch does not dump sparse matrices.
+    _adjacency_cache: Optional[Dict[str, object]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: number of times the normalised adjacency was actually built; repeated
+    #: forward/backward passes on the same batch must keep this at 1.
+    adjacency_builds: int = field(default=0, repr=False, compare=False)
 
     @property
     def num_graphs(self) -> int:
@@ -42,7 +48,8 @@ class GraphBatch:
 
         Message passing then becomes ``Â_r @ X @ W_r``; the matrices are built
         once per batch and cached because every RGCN layer (and the backward
-        pass) reuses them.
+        pass) reuses them — as does every repeated ``forward`` call on the
+        same batch, e.g. when a served batch is evaluated more than once.
         """
         if self._adjacency_cache is not None:
             return self._adjacency_cache
@@ -51,7 +58,7 @@ class GraphBatch:
         n = self.num_nodes
         cache: Dict[str, object] = {}
         for rel, edges in self.relations.items():
-            if edges.size == 0:
+            if edges is None or edges.size == 0 or n == 0:
                 cache[rel] = None
                 continue
             src, dst = edges[0], edges[1]
@@ -63,13 +70,56 @@ class GraphBatch:
             matrix = sparse.csr_matrix((values, (dst, src)), shape=(n, n))
             cache[rel] = matrix
         self._adjacency_cache = cache
+        self.adjacency_builds += 1
         return cache
+
+    def invalidate_adjacency_cache(self) -> None:
+        """Drop the cached adjacency (only needed if edges are mutated)."""
+        self._adjacency_cache = None
+
+
+def _readonly_view(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+def _collate_one(graph: EncodedGraph) -> GraphBatch:
+    """Batch-of-one fast path: no concatenation, no index offsetting.
+
+    The serving layer collates a lot of single-graph batches (cache misses
+    arriving one at a time), where the generic path's per-relation
+    concatenates dominate.  Node/edge arrays are shared with the encoded
+    graph as read-only views — the generic path hands out private copies,
+    so mutating a size-1 batch must fail loudly rather than silently
+    corrupt the source graph (and its fingerprint).
+    """
+    relations: Dict[str, np.ndarray] = {}
+    for rel in RELATIONS:
+        arr = graph.relations.get(rel)
+        if arr is None or arr.size == 0:
+            relations[rel] = np.zeros((2, 0), dtype=np.int64)
+        else:
+            relations[rel] = _readonly_view(arr)
+    return GraphBatch(
+        token_ids=_readonly_view(graph.token_ids),
+        kind_ids=_readonly_view(graph.kind_ids),
+        extra_features=_readonly_view(graph.extra_features),
+        relations=relations,
+        graph_index=np.zeros(graph.num_nodes, dtype=np.int64),
+        labels=np.asarray(
+            [-1 if graph.label is None else int(graph.label)], dtype=np.int64
+        ),
+        names=[graph.name],
+    )
 
 
 def collate(graphs: Sequence[EncodedGraph]) -> GraphBatch:
     """Merge ``graphs`` into one :class:`GraphBatch`."""
     if not graphs:
         raise ValueError("cannot collate an empty list of graphs")
+    if len(graphs) == 1:
+        return _collate_one(graphs[0])
     token_parts: List[np.ndarray] = []
     kind_parts: List[np.ndarray] = []
     extra_parts: List[np.ndarray] = []

@@ -1,0 +1,66 @@
+"""Stable content fingerprints for encoded program graphs.
+
+The serving layer caches expensive per-graph work (encoding, RGCN forward
+passes) keyed on a canonical hash of the *encoded* graph.  Two encodings of
+the same region under the same flag sequence must therefore hash
+identically — across processes and across vocabulary reloads — while any
+change to the node tokens, auxiliary features or edge structure must change
+the hash.
+
+The fingerprint covers exactly the arrays the model consumes (token ids,
+kind ids, extra features, per-relation edge lists); it deliberately ignores
+the graph ``name``, ``label`` and free-form ``metadata``, so the same code
+region compiled twice maps onto one cache entry regardless of how it was
+tagged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable, List
+
+import numpy as np
+
+from .features import EncodedGraph
+
+#: bump when the hashed byte layout changes so stale caches cannot collide
+#: with fingerprints produced by a newer encoding.
+FINGERPRINT_VERSION = 1
+
+_HEADER = b"repro.graphs.fingerprint.v%d" % FINGERPRINT_VERSION
+
+
+def _hash_array(hasher: "hashlib._Hash", array: np.ndarray, dtype: type) -> None:
+    canonical = np.ascontiguousarray(array, dtype=dtype)
+    hasher.update(struct.pack("<B", canonical.ndim))
+    for dim in canonical.shape:
+        hasher.update(struct.pack("<q", dim))
+    hasher.update(canonical.tobytes())
+
+
+def graph_fingerprint(graph: EncodedGraph) -> str:
+    """Canonical SHA-256 hex digest of an :class:`EncodedGraph`'s content."""
+    hasher = hashlib.sha256()
+    hasher.update(_HEADER)
+    _hash_array(hasher, graph.token_ids, np.int64)
+    _hash_array(hasher, graph.kind_ids, np.int64)
+    _hash_array(hasher, graph.extra_features, np.float64)
+    for relation in sorted(graph.relations):
+        edges = graph.relations[relation]
+        if edges is None or edges.size == 0:
+            # Normalise the many spellings of "no edges" ((2, 0) arrays,
+            # empty arrays, missing dict entries) by hashing nothing at all:
+            # a graph whose relation is absent and one whose relation is
+            # present-but-empty feed the model identically, so they must
+            # share a fingerprint.
+            continue
+        hasher.update(relation.encode("utf-8"))
+        hasher.update(b"\x01")
+        _hash_array(hasher, edges, np.int64)
+    return hasher.hexdigest()
+
+
+def fingerprint_many(graphs: Iterable[EncodedGraph]) -> List[str]:
+    """Fingerprints of several graphs, in order."""
+    return [graph_fingerprint(graph) for graph in graphs]

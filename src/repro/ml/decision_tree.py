@@ -29,6 +29,32 @@ class _TreeNode:
     def is_leaf(self) -> bool:
         return self.left is None
 
+    # ------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        data: dict = {
+            "prediction": int(self.prediction),
+            "probabilities": [float(p) for p in self.probabilities],
+        }
+        if not self.is_leaf:
+            data["feature"] = int(self.feature)
+            data["threshold"] = float(self.threshold)
+            data["left"] = self.left.to_dict()
+            data["right"] = self.right.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_TreeNode":
+        node = cls(
+            prediction=int(data["prediction"]),
+            probabilities=np.asarray(data["probabilities"], dtype=np.float64),
+        )
+        if "left" in data:
+            node.feature = int(data["feature"])
+            node.threshold = float(data["threshold"])
+            node.left = cls.from_dict(data["left"])
+            node.right = cls.from_dict(data["right"])
+        return node
+
 
 def _gini(counts: np.ndarray) -> float:
     total = counts.sum()
@@ -167,6 +193,33 @@ class DecisionTreeClassifier:
         predictions = self.predict(features)
         labels = np.asarray(labels, dtype=np.int64)
         return float((predictions == labels).mean()) if labels.size else 0.0
+
+    # --------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot of the fitted tree (for registries)."""
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "random_state": self.random_state,
+            "num_classes": self._num_classes,
+            "root": None if self._root is None else self._root.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecisionTreeClassifier":
+        tree = cls(
+            max_depth=data.get("max_depth"),
+            min_samples_split=data.get("min_samples_split", 2),
+            min_samples_leaf=data.get("min_samples_leaf", 1),
+            max_features=data.get("max_features"),
+            random_state=data.get("random_state", 0),
+        )
+        tree._num_classes = int(data.get("num_classes", 0))
+        root = data.get("root")
+        tree._root = None if root is None else _TreeNode.from_dict(root)
+        return tree
 
     # --------------------------------------------------------------- inspect
     def depth(self) -> int:

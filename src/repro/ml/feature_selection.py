@@ -107,3 +107,13 @@ class ReducedTreeClassifier:
 
     def score(self, features: np.ndarray, labels: np.ndarray) -> float:
         return self.tree.score(np.asarray(features)[:, list(self.selected)], labels)
+
+    # --------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        return {"selected": list(self.selected), "tree": self.tree.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReducedTreeClassifier":
+        classifier = cls(tuple(int(i) for i in data["selected"]))
+        classifier.tree = DecisionTreeClassifier.from_dict(data["tree"])
+        return classifier

@@ -1,0 +1,53 @@
+"""Online inference serving: artefact registry, micro-batched prediction
+service, embedding cache and telemetry.
+
+The offline pipeline (:mod:`repro.core`) trains predictors; this package
+deploys them.  ``ReproPipeline.export_artifacts`` writes each fold's
+predictor into an :class:`ArtifactRegistry`; a :class:`PredictionService`
+reloads it (integrity-checked) and answers region → configuration queries
+with micro-batching and fingerprint-keyed caching.
+"""
+
+from .batcher import MicroBatcher
+from .cache import CacheEntry, EmbeddingCache
+from .registry import (
+    ArtifactError,
+    ArtifactIntegrityError,
+    ArtifactNotFoundError,
+    ArtifactRef,
+    ArtifactRegistry,
+    LoadedArtifact,
+)
+from .serialization import (
+    configuration_from_dict,
+    configuration_to_dict,
+    label_space_from_dict,
+    label_space_to_dict,
+    vocabulary_from_dict,
+    vocabulary_to_dict,
+)
+from .service import PredictionResult, PredictionService, Request, ServiceConfig
+from .stats import ServingStats
+
+__all__ = [
+    "MicroBatcher",
+    "CacheEntry",
+    "EmbeddingCache",
+    "ArtifactError",
+    "ArtifactIntegrityError",
+    "ArtifactNotFoundError",
+    "ArtifactRef",
+    "ArtifactRegistry",
+    "LoadedArtifact",
+    "configuration_from_dict",
+    "configuration_to_dict",
+    "label_space_from_dict",
+    "label_space_to_dict",
+    "vocabulary_from_dict",
+    "vocabulary_to_dict",
+    "PredictionResult",
+    "PredictionService",
+    "Request",
+    "ServiceConfig",
+    "ServingStats",
+]

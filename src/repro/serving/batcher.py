@@ -1,0 +1,148 @@
+"""Micro-batching request queue.
+
+The RGCN forward pass amortises extremely well over a batch (one big
+block-diagonal matmul instead of many small ones), so the async front-end
+of the prediction service does not run requests one by one.  Instead a
+background thread collects requests until either ``max_batch_size`` are
+pending or the oldest request has waited ``max_wait_s``, then runs the
+whole group through a single runner call — the classic latency/throughput
+micro-batching trade-off of online inference servers.
+
+Requests submitted before :meth:`MicroBatcher.start` simply queue up; this
+makes batch formation deterministic in tests (enqueue N, start, observe one
+batch of N).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+
+class MicroBatcher:
+    """Groups submitted items and hands them to ``runner`` in batches.
+
+    ``runner`` receives a list of items and must return one result per item,
+    in order.  Each :meth:`submit` returns a :class:`concurrent.futures.Future`
+    resolved with the corresponding result (or the runner's exception).
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[List[Any]], Sequence[Any]],
+        max_batch_size: int = 32,
+        max_wait_s: float = 0.002,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self._runner = runner
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self._queue: List[Tuple[Any, Future]] = []
+        self._condition = threading.Condition()
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "MicroBatcher":
+        with self._condition:
+            if self._closed:
+                raise RuntimeError("cannot start a closed MicroBatcher")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._loop, name="repro-micro-batcher", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting work; drain what is already queued, then exit.
+
+        If the worker thread is running it keeps draining even past a
+        ``timeout`` on the join — queued futures are only failed when the
+        batcher was never started, because then nothing will ever serve
+        them.
+        """
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            return
+        with self._condition:
+            pending, self._queue = self._queue, []
+        for _, future in pending:
+            if future.set_running_or_notify_cancel():
+                future.set_exception(RuntimeError("MicroBatcher closed before start"))
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- frontend
+    def submit(self, item: Any) -> Future:
+        future: Future = Future()
+        with self._condition:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self._queue.append((item, future))
+            self._condition.notify_all()
+        return future
+
+    @property
+    def pending(self) -> int:
+        with self._condition:
+            return len(self._queue)
+
+    # ------------------------------------------------------------- internals
+    def _take_batch(self) -> Optional[List[Tuple[Any, Future]]]:
+        """Block until a batch is ready (or the batcher is drained+closed)."""
+        with self._condition:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._condition.wait()
+            deadline = time.monotonic() + self.max_wait_s
+            while len(self._queue) < self.max_batch_size and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._condition.wait(timeout=remaining)
+            batch = self._queue[: self.max_batch_size]
+            del self._queue[: self.max_batch_size]
+            return batch
+
+    def _loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            # Drop futures cancelled while queued; a cancelled future would
+            # raise InvalidStateError on set_result and kill this thread.
+            live = [
+                (item, future)
+                for item, future in batch
+                if future.set_running_or_notify_cancel()
+            ]
+            if not live:
+                continue
+            items = [item for item, _ in live]
+            try:
+                results = self._runner(items)
+                if len(results) != len(items):
+                    raise RuntimeError(
+                        f"runner returned {len(results)} results for {len(items)} items"
+                    )
+            except Exception as exc:  # propagate to every waiter in the batch
+                for _, future in live:
+                    future.set_exception(exc)
+                continue
+            for (_, future), result in zip(live, results):
+                future.set_result(result)

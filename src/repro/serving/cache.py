@@ -1,0 +1,94 @@
+"""Thread-safe LRU cache for per-graph inference results.
+
+The RGCN forward pass is the expensive part of serving; repeated requests
+for the same code region (the common case for a deployed predictor — hot
+loops get queried on every scheduling decision) should pay it once.
+Entries are keyed on the canonical graph fingerprint
+(:func:`repro.graphs.fingerprint.graph_fingerprint`), so any two requests
+with identical encoded content share an entry no matter how they were
+constructed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Cached outputs of one RGCN forward pass for one graph."""
+
+    logits: np.ndarray
+    graph_vector: np.ndarray
+
+
+class EmbeddingCache:
+    """LRU cache mapping graph fingerprints to :class:`CacheEntry` values."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def get(self, fingerprint: str) -> Optional[CacheEntry]:
+        """Look up a fingerprint, promoting it to most-recently-used."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            return entry
+
+    def put(self, fingerprint: str, logits: np.ndarray, graph_vector: np.ndarray) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used."""
+        entry = CacheEntry(
+            logits=np.array(logits, dtype=np.float64, copy=True),
+            graph_vector=np.array(graph_vector, dtype=np.float64, copy=True),
+        )
+        with self._lock:
+            self._entries[fingerprint] = entry
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": float(size),
+            "capacity": float(self.capacity),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "hit_rate": self.hit_rate,
+        }

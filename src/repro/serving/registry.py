@@ -1,0 +1,298 @@
+"""Versioned on-disk registry for trained predictors.
+
+Layout (one directory per model name, one sub-directory per version)::
+
+    <root>/
+        <name>/
+            v0001/
+                manifest.json     name, version, configs, checksums
+                weights.npz       RGCN weights + ModelConfig (save_npz format)
+                vocabulary.json   node-token vocabulary of the encoder
+                label_space.json  machine + reduced configuration set (optional)
+                hybrid.json       fitted hybrid classifier (optional)
+            v0002/
+                ...
+
+Versions are immutable once written: ``save`` stages the artefact in a
+temporary directory and atomically renames it into place, and every file's
+SHA-256 is recorded in the manifest so ``load``/``verify`` detect torn or
+tampered artefacts before any weight is deserialised.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.hybrid_model import HybridStaticDynamicClassifier
+from ..core.labeling import LabelSpace
+from ..core.static_model import StaticConfigurationPredictor, StaticModelConfig
+from ..gnn.model import StaticRGCNModel
+from ..graphs.features import GraphEncoder
+from .serialization import (
+    hybrid_from_dict,
+    hybrid_to_dict,
+    label_space_from_dict,
+    label_space_to_dict,
+    static_config_from_dict,
+    static_config_to_dict,
+    vocabulary_from_dict,
+    vocabulary_to_dict,
+)
+
+MANIFEST_FILE = "manifest.json"
+WEIGHTS_FILE = "weights.npz"
+VOCABULARY_FILE = "vocabulary.json"
+LABEL_SPACE_FILE = "label_space.json"
+HYBRID_FILE = "hybrid.json"
+
+#: bump when the on-disk layout changes incompatibly.
+REGISTRY_FORMAT_VERSION = 1
+
+_VERSION_PATTERN = re.compile(r"v\d{4,}")
+
+
+class ArtifactError(RuntimeError):
+    """Base class for registry failures."""
+
+
+class ArtifactNotFoundError(ArtifactError):
+    """The requested model name/version does not exist."""
+
+
+class ArtifactIntegrityError(ArtifactError):
+    """A stored file is missing or does not match its recorded checksum."""
+
+
+@dataclass(frozen=True)
+class ArtifactRef:
+    """Address of one stored artefact version."""
+
+    name: str
+    version: str
+    path: str
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.version}"
+
+
+@dataclass
+class LoadedArtifact:
+    """A fully deserialised artefact, ready to serve."""
+
+    ref: ArtifactRef
+    manifest: Dict[str, object]
+    model: StaticRGCNModel
+    encoder: GraphEncoder
+    static_config: StaticModelConfig
+    num_labels: int
+    label_space: Optional[LabelSpace] = None
+    hybrid: Optional[HybridStaticDynamicClassifier] = None
+
+    def build_predictor(self) -> StaticConfigurationPredictor:
+        """Reconstruct a :class:`StaticConfigurationPredictor` around the
+        stored weights (identical predictions to the exported instance)."""
+        predictor = StaticConfigurationPredictor(
+            num_labels=self.num_labels, encoder=self.encoder, config=self.static_config
+        )
+        predictor.model.load_state_dict(self.model.state_dict())
+        predictor.model.eval()
+        return predictor
+
+
+def _sha256(path: str) -> str:
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def _write_json(path: str, payload: Dict[str, object]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _read_json(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class ArtifactRegistry:
+    """Stores and retrieves versioned predictor artefacts under ``root``."""
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------ discovery
+    def names(self) -> List[str]:
+        return sorted(
+            entry
+            for entry in os.listdir(self.root)
+            if os.path.isdir(os.path.join(self.root, entry))
+        )
+
+    def versions(self, name: str) -> List[str]:
+        model_dir = os.path.join(self.root, name)
+        if not os.path.isdir(model_dir):
+            return []
+        # Only complete versions count: a well-formed "vNNNN" name (torn
+        # "*.staging" directories are invisible) with a manifest inside.
+        # Sorted numerically so v10000 orders after v9999.
+        found = [
+            entry
+            for entry in os.listdir(model_dir)
+            if _VERSION_PATTERN.fullmatch(entry)
+            and os.path.isfile(os.path.join(model_dir, entry, MANIFEST_FILE))
+        ]
+        return sorted(found, key=lambda version: int(version[1:]))
+
+    def latest_version(self, name: str) -> Optional[str]:
+        versions = self.versions(name)
+        return versions[-1] if versions else None
+
+    def exists(self, name: str, version: Optional[str] = None) -> bool:
+        if version is None:
+            return bool(self.versions(name))
+        return version in self.versions(name)
+
+    # ----------------------------------------------------------------- save
+    def save(
+        self,
+        name: str,
+        predictor: StaticConfigurationPredictor,
+        label_space: Optional[LabelSpace] = None,
+        hybrid: Optional[HybridStaticDynamicClassifier] = None,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> ArtifactRef:
+        """Persist one predictor as the next version of ``name``."""
+        if not name or "/" in name or "\\" in name or name.startswith("."):
+            raise ValueError(f"invalid artifact name {name!r}")
+        version = self._next_version(name)
+        final_dir = os.path.join(self.root, name, version)
+        # Unique staging suffix so two writers never stage in the same
+        # directory.  (Version allocation itself is still last-writer-wins:
+        # the registry assumes one writer per model name.)
+        staging_dir = f"{final_dir}.staging-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        os.makedirs(staging_dir)
+        try:
+            predictor.model.save_npz(os.path.join(staging_dir, WEIGHTS_FILE))
+            _write_json(
+                os.path.join(staging_dir, VOCABULARY_FILE),
+                vocabulary_to_dict(predictor.encoder.vocabulary),
+            )
+            if label_space is not None:
+                _write_json(
+                    os.path.join(staging_dir, LABEL_SPACE_FILE),
+                    label_space_to_dict(label_space),
+                )
+            if hybrid is not None:
+                _write_json(
+                    os.path.join(staging_dir, HYBRID_FILE), hybrid_to_dict(hybrid)
+                )
+            checksums = {
+                entry: _sha256(os.path.join(staging_dir, entry))
+                for entry in sorted(os.listdir(staging_dir))
+            }
+            manifest = {
+                "format_version": REGISTRY_FORMAT_VERSION,
+                "name": name,
+                "version": version,
+                "created_unix": time.time(),
+                "num_labels": predictor.num_labels,
+                "static_config": static_config_to_dict(predictor.config),
+                "metadata": dict(metadata or {}),
+                "files": checksums,
+            }
+            _write_json(os.path.join(staging_dir, MANIFEST_FILE), manifest)
+            os.replace(staging_dir, final_dir)
+        except Exception:
+            shutil.rmtree(staging_dir, ignore_errors=True)
+            raise
+        return ArtifactRef(name=name, version=version, path=final_dir)
+
+    def _next_version(self, name: str) -> str:
+        versions = self.versions(name)
+        if not versions:
+            return "v0001"
+        highest = int(versions[-1][1:])
+        return f"v{highest + 1:04d}"
+
+    # ----------------------------------------------------------------- load
+    def _resolve(self, name: str, version: Optional[str]) -> ArtifactRef:
+        # Same validation as save(): registry names/versions are path
+        # components, so reject separators and dot-prefixes (traversal), and
+        # only well-formed "vNNNN" versions — never a torn staging directory.
+        if not name or "/" in name or "\\" in name or name.startswith("."):
+            raise ArtifactNotFoundError(f"invalid artifact name {name!r}")
+        if version is not None and not _VERSION_PATTERN.fullmatch(version):
+            raise ArtifactNotFoundError(f"invalid version {version!r} for {name!r}")
+        resolved = version or self.latest_version(name)
+        if resolved is None:
+            raise ArtifactNotFoundError(f"no versions of {name!r} in {self.root}")
+        path = os.path.join(self.root, name, resolved)
+        if not os.path.isfile(os.path.join(path, MANIFEST_FILE)):
+            raise ArtifactNotFoundError(f"artifact {name}@{resolved} not found")
+        return ArtifactRef(name=name, version=resolved, path=path)
+
+    def _verify_manifest(self, ref: ArtifactRef) -> Dict[str, object]:
+        """Check every stored file against its checksum; return the manifest."""
+        manifest = _read_json(os.path.join(ref.path, MANIFEST_FILE))
+        for entry, expected in manifest.get("files", {}).items():
+            path = os.path.join(ref.path, entry)
+            if not os.path.isfile(path):
+                raise ArtifactIntegrityError(f"{ref}: missing file {entry!r}")
+            actual = _sha256(path)
+            if actual != expected:
+                raise ArtifactIntegrityError(
+                    f"{ref}: checksum mismatch for {entry!r} "
+                    f"(expected {expected[:12]}…, got {actual[:12]}…)"
+                )
+        return manifest
+
+    def verify(self, name: str, version: Optional[str] = None) -> ArtifactRef:
+        """Check every stored file against its manifest checksum."""
+        ref = self._resolve(name, version)
+        self._verify_manifest(ref)
+        return ref
+
+    def load(
+        self, name: str, version: Optional[str] = None, verify: bool = True
+    ) -> LoadedArtifact:
+        """Deserialise one artefact version (the latest by default)."""
+        ref = self._resolve(name, version)
+        if verify:
+            manifest = self._verify_manifest(ref)
+        else:
+            manifest = _read_json(os.path.join(ref.path, MANIFEST_FILE))
+        model = StaticRGCNModel.load_npz(os.path.join(ref.path, WEIGHTS_FILE))
+        encoder = GraphEncoder(
+            vocabulary_from_dict(_read_json(os.path.join(ref.path, VOCABULARY_FILE)))
+        )
+        label_space = None
+        label_space_path = os.path.join(ref.path, LABEL_SPACE_FILE)
+        if os.path.isfile(label_space_path):
+            label_space = label_space_from_dict(_read_json(label_space_path))
+        hybrid = None
+        hybrid_path = os.path.join(ref.path, HYBRID_FILE)
+        if os.path.isfile(hybrid_path):
+            hybrid = hybrid_from_dict(_read_json(hybrid_path))
+        return LoadedArtifact(
+            ref=ref,
+            manifest=manifest,
+            model=model,
+            encoder=encoder,
+            static_config=static_config_from_dict(dict(manifest["static_config"])),
+            num_labels=int(manifest["num_labels"]),
+            label_space=label_space,
+            hybrid=hybrid,
+        )

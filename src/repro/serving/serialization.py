@@ -1,0 +1,90 @@
+"""JSON round-trips for the deployable artefacts.
+
+Everything the registry writes besides the weight arrays is JSON: the
+vocabulary, the reduced label space (machine name + configurations), the
+static model hyper-parameters and the hybrid classifier.  Keeping these
+human-readable makes artefact directories debuggable with ``cat`` and keeps
+the integrity story simple (one checksum per file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Dict, List
+
+from ..core.hybrid_model import HybridStaticDynamicClassifier
+from ..core.labeling import LabelSpace
+from ..core.static_model import StaticModelConfig
+from ..graphs.vocabulary import Vocabulary
+from ..numasim.configuration import Configuration
+from ..numasim.prefetchers import PrefetcherSetting
+
+# --------------------------------------------------------------- vocabulary
+
+
+def vocabulary_to_dict(vocabulary: Vocabulary) -> Dict[str, object]:
+    return {"tokens": vocabulary.tokens}
+
+
+def vocabulary_from_dict(data: Dict[str, object]) -> Vocabulary:
+    return Vocabulary(list(data["tokens"]))
+
+
+# ------------------------------------------------------------ configurations
+
+
+def configuration_to_dict(configuration: Configuration) -> Dict[str, object]:
+    return {
+        "threads": configuration.threads,
+        "nodes": configuration.nodes,
+        "thread_mapping": configuration.thread_mapping,
+        "page_mapping": configuration.page_mapping,
+        "prefetcher_mask": configuration.prefetchers.mask,
+    }
+
+
+def configuration_from_dict(data: Dict[str, object]) -> Configuration:
+    return Configuration(
+        threads=int(data["threads"]),
+        nodes=int(data["nodes"]),
+        thread_mapping=str(data["thread_mapping"]),
+        page_mapping=str(data["page_mapping"]),
+        prefetchers=PrefetcherSetting.from_mask(int(data["prefetcher_mask"])),
+    )
+
+
+def label_space_to_dict(label_space: LabelSpace) -> Dict[str, object]:
+    return {
+        "machine_name": label_space.machine_name,
+        "configurations": [
+            configuration_to_dict(cfg) for cfg in label_space.configurations
+        ],
+    }
+
+
+def label_space_from_dict(data: Dict[str, object]) -> LabelSpace:
+    configurations: List[Configuration] = [
+        configuration_from_dict(entry) for entry in data["configurations"]
+    ]
+    return LabelSpace(
+        configurations=configurations, machine_name=str(data["machine_name"])
+    )
+
+
+# ------------------------------------------------------------------- models
+
+
+def static_config_to_dict(config: StaticModelConfig) -> Dict[str, object]:
+    return asdict(config)
+
+
+def static_config_from_dict(data: Dict[str, object]) -> StaticModelConfig:
+    return StaticModelConfig(**data)
+
+
+def hybrid_to_dict(hybrid: HybridStaticDynamicClassifier) -> Dict[str, object]:
+    return hybrid.to_dict()
+
+
+def hybrid_from_dict(data: Dict[str, object]) -> HybridStaticDynamicClassifier:
+    return HybridStaticDynamicClassifier.from_dict(data)

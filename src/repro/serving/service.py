@@ -1,0 +1,296 @@
+"""Online prediction service over a trained static RGCN predictor.
+
+Turns the offline one-shot pipeline into a request-serving layer:
+
+* **sync** — :meth:`PredictionService.predict` / :meth:`predict_many`
+  answer immediately, batching all cache misses of a call into as few RGCN
+  forward passes as possible;
+* **async** — :meth:`start` spins up a :class:`MicroBatcher` thread;
+  :meth:`submit` enqueues a request and returns a future, and concurrent
+  requests are coalesced into micro-batches (up to ``max_batch_size``
+  requests or ``max_wait_s`` of queueing, whichever comes first);
+* **cache** — results are keyed on the canonical graph fingerprint, so
+  repeated regions skip the RGCN forward pass and replay the cached
+  logits/graph vector.  (Encoding and fingerprinting are still paid per
+  request — the fingerprint *is* the cache key; submit pre-encoded
+  :class:`EncodedGraph` requests to amortise encoding too.)
+
+Requests may be pre-encoded (:class:`EncodedGraph`) or raw
+(:class:`ProgramGraph`, encoded on arrival with the service's vocabulary).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.hybrid_model import HybridStaticDynamicClassifier
+from ..core.labeling import LabelSpace
+from ..gnn.losses import softmax
+from ..gnn.model import StaticRGCNModel
+from ..graphs.batching import collate
+from ..graphs.features import EncodedGraph, GraphEncoder
+from ..graphs.fingerprint import graph_fingerprint
+from ..graphs.graph import ProgramGraph
+from ..numasim.configuration import Configuration
+from .batcher import MicroBatcher
+from .cache import EmbeddingCache
+from .registry import ArtifactRegistry, LoadedArtifact
+from .stats import ServingStats
+
+#: a serving request: an already-encoded graph or a raw program graph.
+Request = Union[EncodedGraph, ProgramGraph]
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of :class:`PredictionService`."""
+
+    max_batch_size: int = 32
+    max_wait_s: float = 0.002
+    cache_capacity: int = 1024
+    enable_cache: bool = True
+    latency_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1")
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
+
+
+@dataclass
+class PredictionResult:
+    """Everything the service knows about one answered request."""
+
+    name: str
+    fingerprint: str
+    label: int
+    probabilities: np.ndarray
+    graph_vector: np.ndarray
+    configuration: Optional[Configuration]
+    needs_profiling: Optional[bool]
+    cache_hit: bool
+    latency_s: float
+
+
+class PredictionService:
+    """Serves configuration predictions from a trained model."""
+
+    def __init__(
+        self,
+        model: StaticRGCNModel,
+        encoder: GraphEncoder,
+        label_space: Optional[LabelSpace] = None,
+        hybrid: Optional[HybridStaticDynamicClassifier] = None,
+        config: Optional[ServiceConfig] = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.model = model
+        self.model.eval()
+        self.encoder = encoder
+        self.label_space = label_space
+        self.hybrid = hybrid
+        self.stats = ServingStats(latency_window=self.config.latency_window)
+        self.cache: Optional[EmbeddingCache] = (
+            EmbeddingCache(self.config.cache_capacity)
+            if self.config.enable_cache
+            else None
+        )
+        # The NumPy model caches activations layer-by-layer during forward,
+        # so at most one forward may run at a time.
+        self._forward_lock = threading.Lock()
+        self._batcher_lock = threading.Lock()
+        self._batcher: Optional[MicroBatcher] = None
+        self._auto_start = False
+
+    # --------------------------------------------------------- constructors
+    @classmethod
+    def from_artifact(
+        cls, artifact: LoadedArtifact, config: Optional[ServiceConfig] = None
+    ) -> "PredictionService":
+        """Build a service around a registry artefact."""
+        return cls(
+            model=artifact.model,
+            encoder=artifact.encoder,
+            label_space=artifact.label_space,
+            hybrid=artifact.hybrid,
+            config=config,
+        )
+
+    @classmethod
+    def from_registry(
+        cls,
+        root: str,
+        name: str,
+        version: Optional[str] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> "PredictionService":
+        """Load (and integrity-check) an artefact, then serve it."""
+        artifact = ArtifactRegistry(root).load(name, version)
+        return cls.from_artifact(artifact, config=config)
+
+    # ---------------------------------------------------------- sync paths
+    def predict(self, request: Request) -> PredictionResult:
+        """Answer one request (batch-of-one on a cache miss)."""
+        return self.predict_many([request])[0]
+
+    def predict_many(self, requests: Sequence[Request]) -> List[PredictionResult]:
+        """Answer several requests with as few forward passes as possible.
+
+        Cache misses are grouped into batches of up to ``max_batch_size``
+        graphs; hits replay cached logits without touching the model.
+        """
+        start = time.perf_counter()
+        encoded = [self._encode(request) for request in requests]
+        fingerprints = [graph_fingerprint(graph) for graph in encoded]
+
+        rows: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(encoded)
+        hit_flags = [False] * len(encoded)
+        pending: List[int] = []
+        seen_pending = {}
+        for i, fingerprint in enumerate(fingerprints):
+            if fingerprint in seen_pending:
+                # Duplicate within one call: compute once, share the row
+                # (checked first so duplicates don't inflate cache misses).
+                seen_pending[fingerprint].append(i)
+                continue
+            entry = self.cache.get(fingerprint) if self.cache is not None else None
+            if entry is not None:
+                rows[i] = (entry.logits, entry.graph_vector)
+                hit_flags[i] = True
+            else:
+                seen_pending[fingerprint] = [i]
+                pending.append(i)
+        lookup_latency = time.perf_counter() - start
+
+        for offset in range(0, len(pending), self.config.max_batch_size):
+            chunk = pending[offset : offset + self.config.max_batch_size]
+            batch = collate([encoded[i] for i in chunk])
+            with self._forward_lock:
+                logits, vectors = self.model.forward(batch)
+            self.stats.record_batch(len(chunk))
+            for j, i in enumerate(chunk):
+                fingerprint = fingerprints[i]
+                for duplicate in seen_pending[fingerprint]:
+                    rows[duplicate] = (logits[j], vectors[j])
+                if self.cache is not None:
+                    self.cache.put(fingerprint, logits[j], vectors[j])
+
+        total_latency = time.perf_counter() - start
+        results: List[PredictionResult] = []
+        for i, graph in enumerate(encoded):
+            row = rows[i]
+            assert row is not None  # every index is a hit, pending or duplicate
+            # Cache hits were answered by the lookup phase alone; only
+            # misses paid for the forward passes.  Recording them apart
+            # keeps the latency percentiles honest about the cache.
+            latency = lookup_latency if hit_flags[i] else total_latency
+            results.append(
+                self._build_result(graph, fingerprints[i], row, hit_flags[i], latency)
+            )
+            self.stats.record_request(latency, hit_flags[i])
+        return results
+
+    # ---------------------------------------------------------- async path
+    def _ensure_batcher_locked(self) -> MicroBatcher:
+        """Create the batcher if absent; caller must hold ``_batcher_lock``."""
+        if self._batcher is None:
+            self._batcher = MicroBatcher(
+                self.predict_many,
+                max_batch_size=self.config.max_batch_size,
+                max_wait_s=self.config.max_wait_s,
+            )
+        return self._batcher
+
+    def start(self) -> "PredictionService":
+        """Start the micro-batching thread behind :meth:`submit`."""
+        with self._batcher_lock:
+            self._auto_start = True
+            self._ensure_batcher_locked().start()
+        return self
+
+    def submit(self, request: Request) -> Future:
+        """Enqueue one request; resolves to a :class:`PredictionResult`.
+
+        Requests submitted before the first :meth:`start` queue up and are
+        answered — typically as one batch — once the service starts; once a
+        service has been started, later submits (including after a
+        :meth:`stop`) restart the batcher on demand.  Invalid requests are
+        rejected here, before they can poison a whole micro-batch.
+        """
+        encoded = self._encode(request)
+        # Enqueue under the lock so a concurrent stop() cannot close the
+        # batcher between the lookup and the submit.
+        with self._batcher_lock:
+            batcher = self._ensure_batcher_locked()
+            if self._auto_start:
+                batcher.start()
+            return batcher.submit(encoded)
+
+    def stop(self) -> None:
+        """Drain queued requests and stop the micro-batching thread."""
+        with self._batcher_lock:
+            batcher, self._batcher = self._batcher, None
+        if batcher is not None:
+            batcher.close()
+
+    def __enter__(self) -> "PredictionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------ internals
+    def _encode(self, request: Request) -> EncodedGraph:
+        if isinstance(request, EncodedGraph):
+            return request
+        if isinstance(request, ProgramGraph):
+            return self.encoder.encode(request)
+        raise TypeError(
+            f"requests must be EncodedGraph or ProgramGraph, got {type(request).__name__}"
+        )
+
+    def _build_result(
+        self,
+        graph: EncodedGraph,
+        fingerprint: str,
+        row: Tuple[np.ndarray, np.ndarray],
+        cache_hit: bool,
+        latency_s: float,
+    ) -> PredictionResult:
+        logits, vector = row
+        label = int(np.argmax(logits))
+        probabilities = softmax(logits[None, :], axis=1)[0]
+        configuration = (
+            self.label_space.configuration_of(label)
+            if self.label_space is not None and label < self.label_space.num_labels
+            else None
+        )
+        needs_profiling = (
+            bool(self.hybrid.needs_dynamic(vector[None, :])[0])
+            if self.hybrid is not None
+            else None
+        )
+        return PredictionResult(
+            name=graph.name,
+            fingerprint=fingerprint,
+            label=label,
+            probabilities=probabilities,
+            # Copy: on a cache hit ``vector`` aliases the shared cache entry,
+            # and callers may mutate their result freely.
+            graph_vector=np.array(vector, dtype=np.float64, copy=True),
+            configuration=configuration,
+            needs_profiling=needs_profiling,
+            cache_hit=cache_hit,
+            latency_s=latency_s,
+        )

@@ -1,0 +1,102 @@
+"""Serving telemetry: request counters, batch-size histogram, latency
+percentiles and queries-per-second.
+
+One :class:`ServingStats` instance is owned by each
+:class:`~repro.serving.service.PredictionService`; every front-end (sync,
+batched, async) funnels through the same recorder, so a single
+:meth:`snapshot` describes the whole service.  Latencies are kept in a
+bounded window so a long-running service reports *recent* percentiles
+rather than lifetime averages.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict
+
+import numpy as np
+
+
+class ServingStats:
+    """Aggregated counters for a prediction service."""
+
+    def __init__(self, latency_window: int = 4096):
+        if latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self.total_requests = 0
+        self.cache_hits = 0
+        self.total_batches = 0
+        self.batched_graphs = 0
+        self.batch_histogram: Dict[int, int] = {}
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------- recording
+    def record_request(self, latency_s: float, cache_hit: bool) -> None:
+        with self._lock:
+            self.total_requests += 1
+            if cache_hit:
+                self.cache_hits += 1
+            self._latencies.append(float(latency_s))
+
+    def record_batch(self, size: int) -> None:
+        """One model forward over ``size`` graphs (cache misses only)."""
+        with self._lock:
+            self.total_batches += 1
+            self.batched_graphs += size
+            self.batch_histogram[size] = self.batch_histogram.get(size, 0) + 1
+
+    # ------------------------------------------------------------- derived
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started
+
+    @property
+    def cache_hit_rate(self) -> float:
+        with self._lock:
+            total = self.total_requests
+            hits = self.cache_hits
+        return hits / total if total else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            batches = self.total_batches
+            graphs = self.batched_graphs
+        return graphs / batches if batches else 0.0
+
+    def qps(self) -> float:
+        """Lifetime queries per second."""
+        elapsed = self.uptime_s
+        with self._lock:
+            total = self.total_requests
+        return total / elapsed if elapsed > 0 else 0.0
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile (seconds) over the recent window."""
+        with self._lock:
+            if not self._latencies:
+                return 0.0
+            values = np.asarray(self._latencies, dtype=np.float64)
+        return float(np.percentile(values, percentile))
+
+    # -------------------------------------------------------------- export
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-friendly view of every metric."""
+        with self._lock:
+            histogram = dict(sorted(self.batch_histogram.items()))
+        return {
+            "uptime_s": self.uptime_s,
+            "total_requests": self.total_requests,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "total_batches": self.total_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_histogram": histogram,
+            "qps": self.qps(),
+            "latency_p50_s": self.latency_percentile(50.0),
+            "latency_p95_s": self.latency_percentile(95.0),
+        }

@@ -8,8 +8,11 @@ from repro.graphs import (
     FLOW_CALL,
     FLOW_CONTROL,
     FLOW_DATA,
+    EncodedGraph,
     GraphBuilder,
     GraphEncoder,
+    fingerprint_many,
+    graph_fingerprint,
     NODE_KIND_CONSTANT,
     NODE_KIND_INSTRUCTION,
     NODE_KIND_VARIABLE,
@@ -174,3 +177,228 @@ class TestBatching:
         for batch in iterate_minibatches(graphs, batch_size, shuffle=True, seed=1):
             seen += batch.num_graphs
         assert seen == len(graphs)
+
+
+def _zero_node_graph(name: str = "empty") -> EncodedGraph:
+    return EncodedGraph(
+        name=name,
+        token_ids=np.zeros(0, dtype=np.int64),
+        kind_ids=np.zeros(0, dtype=np.int64),
+        extra_features=np.zeros((0, GraphEncoder.NUM_EXTRA_FEATURES)),
+        relations={},
+    )
+
+
+class TestBatchingEdgeCases:
+    def test_adjacency_cache_hit_across_repeated_calls(self, dot_module):
+        encoded = GraphEncoder().encode(build_graph(dot_module))
+        batch = collate([encoded, encoded])
+        first = batch.normalized_adjacency()
+        second = batch.normalized_adjacency()
+        third = batch.normalized_adjacency()
+        # Same object every time, and the sparse matrices were built exactly once.
+        assert first is second is third
+        assert batch.adjacency_builds == 1
+
+    def test_adjacency_cache_hit_across_model_forwards(self, dot_module):
+        from repro.gnn import ModelConfig, StaticRGCNModel
+
+        encoder = GraphEncoder()
+        encoded = encoder.encode(build_graph(dot_module))
+        batch = collate([encoded])
+        model = StaticRGCNModel(
+            ModelConfig(
+                vocabulary_size=len(encoder.vocabulary),
+                num_classes=2,
+                hidden_dim=4,
+                graph_vector_dim=4,
+                num_rgcn_layers=2,
+                num_extra_features=GraphEncoder.NUM_EXTRA_FEATURES,
+            )
+        )
+        model.eval()
+        logits_a, _ = model.forward(batch)
+        logits_b, _ = model.forward(batch)
+        assert np.array_equal(logits_a, logits_b)
+        assert batch.adjacency_builds == 1
+
+    def test_invalidate_adjacency_cache_rebuilds(self, dot_module):
+        encoded = GraphEncoder().encode(build_graph(dot_module))
+        batch = collate([encoded])
+        batch.normalized_adjacency()
+        batch.invalidate_adjacency_cache()
+        batch.normalized_adjacency()
+        assert batch.adjacency_builds == 2
+
+    def test_single_graph_fast_path_matches_generic(self, dot_module):
+        encoded = GraphEncoder().encode(build_graph(dot_module), label=3)
+        single = collate([encoded])
+        # Compare against the generic path's layout via a two-graph batch's
+        # first block: identical node arrays and un-offset edges.
+        double = collate([encoded, encoded])
+        assert single.num_graphs == 1
+        assert single.names == [encoded.name]
+        assert single.labels.tolist() == [3]
+        assert np.array_equal(single.token_ids, encoded.token_ids)
+        assert np.array_equal(single.graph_index, np.zeros(encoded.num_nodes, dtype=np.int64))
+        for rel in RELATIONS:
+            n_single = single.relations[rel].shape[1]
+            assert single.relations[rel].shape[0] == 2
+            # First half of the doubled batch's edges equals the single batch.
+            assert np.array_equal(
+                double.relations[rel][:, :n_single], single.relations[rel]
+            )
+
+    def test_single_graph_forward_equals_batched_row(self, dot_module):
+        from repro.gnn import ModelConfig, StaticRGCNModel
+
+        encoder = GraphEncoder()
+        encoded = encoder.encode(build_graph(dot_module))
+        model = StaticRGCNModel(
+            ModelConfig(
+                vocabulary_size=len(encoder.vocabulary),
+                num_classes=3,
+                hidden_dim=6,
+                graph_vector_dim=6,
+                num_rgcn_layers=1,
+                num_extra_features=GraphEncoder.NUM_EXTRA_FEATURES,
+            )
+        )
+        model.eval()
+        single_logits, _ = model.forward(collate([encoded]))
+        batched_logits, _ = model.forward(collate([encoded, encoded]))
+        assert np.allclose(single_logits[0], batched_logits[0])
+        assert np.allclose(single_logits[0], batched_logits[1])
+
+    def test_single_graph_fast_path_shares_read_only(self, dot_module):
+        encoded = GraphEncoder().encode(build_graph(dot_module))
+        single = collate([encoded])
+        # Shared views must refuse in-place writes so the source encoded
+        # graph (and its fingerprint) cannot be corrupted through the batch.
+        with pytest.raises(ValueError):
+            single.token_ids[0] = 0
+        with pytest.raises(ValueError):
+            single.extra_features[0, 0] = 1.0
+        # ... while the source graph itself stays writable.
+        encoded.token_ids[0] = encoded.token_ids[0]
+
+    def test_zero_node_graph_in_batch(self, dot_module):
+        encoded = GraphEncoder().encode(build_graph(dot_module))
+        batch = collate([_zero_node_graph(), encoded])
+        assert batch.num_graphs == 2
+        assert batch.num_nodes == encoded.num_nodes
+        adjacency = batch.normalized_adjacency()
+        assert set(adjacency) == set(RELATIONS)
+
+    def test_single_zero_node_graph(self):
+        batch = collate([_zero_node_graph()])
+        assert batch.num_graphs == 1
+        assert batch.num_nodes == 0
+        # Zero-edge (indeed zero-node) relations must not crash: every
+        # relation normalises to "no adjacency".
+        adjacency = batch.normalized_adjacency()
+        assert all(matrix is None for matrix in adjacency.values())
+
+    def test_zero_edge_relations_normalize_to_none(self):
+        graph = EncodedGraph(
+            name="edgeless",
+            token_ids=np.array([1, 2], dtype=np.int64),
+            kind_ids=np.zeros(2, dtype=np.int64),
+            extra_features=np.zeros((2, GraphEncoder.NUM_EXTRA_FEATURES)),
+            relations={rel: np.zeros((2, 0), dtype=np.int64) for rel in RELATIONS},
+        )
+        batch = collate([graph])
+        adjacency = batch.normalized_adjacency()
+        assert all(matrix is None for matrix in adjacency.values())
+
+    def test_collate_empty_raises_value_error(self):
+        with pytest.raises(ValueError, match="empty"):
+            collate([])
+
+    def test_iterate_minibatches_empty_dataset_yields_nothing(self):
+        assert list(iterate_minibatches([], batch_size=4, shuffle=False)) == []
+
+    def test_batch_repr_and_eq_are_safe(self, dot_module):
+        encoded = GraphEncoder().encode(build_graph(dot_module))
+        batch_a = collate([encoded])
+        batch_b = collate([encoded, encoded])
+        batch_a.normalized_adjacency()
+        # repr must not dump the adjacency cache; eq on differently sized
+        # batches must not raise a broadcast error (identity semantics).
+        assert "_adjacency_cache" not in repr(batch_a)
+        assert (batch_a == batch_b) is False
+        assert (batch_a == batch_a) is True
+
+
+class TestFingerprint:
+    def test_same_region_encoded_twice_is_identical(self, small_suite):
+        builder = GraphBuilder()
+        region = small_suite[0]
+        encoded_a = GraphEncoder().encode(builder.build_module(region.module))
+        encoded_b = GraphEncoder().encode(builder.build_module(region.module))
+        assert graph_fingerprint(encoded_a) == graph_fingerprint(encoded_b)
+
+    def test_stable_across_vocabulary_reload(self, small_suite):
+        builder = GraphBuilder()
+        region = small_suite[1]
+        # Two independent encoders (fresh vocabulary objects) must agree.
+        encoder_a, encoder_b = GraphEncoder(), GraphEncoder()
+        assert encoder_a.vocabulary is not encoder_b.vocabulary
+        fp_a = graph_fingerprint(encoder_a.encode(builder.build_module(region.module)))
+        fp_b = graph_fingerprint(encoder_b.encode(builder.build_module(region.module)))
+        assert fp_a == fp_b
+
+    def test_distinct_regions_do_not_collide(self, small_suite):
+        builder = GraphBuilder()
+        encoder = GraphEncoder()
+        encoded = [
+            encoder.encode(builder.build_module(region.module))
+            for region in small_suite
+        ]
+        fingerprints = fingerprint_many(encoded)
+        assert len(set(fingerprints)) == len(small_suite)
+
+    def test_missing_and_empty_relations_hash_identically(self):
+        base = dict(
+            token_ids=np.array([1, 2], dtype=np.int64),
+            kind_ids=np.zeros(2, dtype=np.int64),
+            extra_features=np.zeros((2, GraphEncoder.NUM_EXTRA_FEATURES)),
+        )
+        absent = EncodedGraph(name="a", relations={}, **base)
+        empty = EncodedGraph(
+            name="b",
+            relations={rel: np.zeros((2, 0), dtype=np.int64) for rel in RELATIONS},
+            **base,
+        )
+        # Both feed the model identically, so they must share a fingerprint.
+        assert graph_fingerprint(absent) == graph_fingerprint(empty)
+
+    def test_label_and_metadata_do_not_affect_fingerprint(self, dot_module):
+        encoder = GraphEncoder()
+        encoded_a = encoder.encode(build_graph(dot_module))
+        encoded_b = encoder.encode(build_graph(dot_module), label=5)
+        encoded_b.metadata = {"anything": "else"}
+        encoded_b.name = "renamed"
+        assert graph_fingerprint(encoded_a) == graph_fingerprint(encoded_b)
+
+    def test_structure_changes_change_fingerprint(self, dot_module):
+        encoder = GraphEncoder()
+        encoded = encoder.encode(build_graph(dot_module))
+        baseline = graph_fingerprint(encoded)
+        mutated_tokens = EncodedGraph(
+            name=encoded.name,
+            token_ids=encoded.token_ids.copy(),
+            kind_ids=encoded.kind_ids,
+            extra_features=encoded.extra_features,
+            relations=encoded.relations,
+        )
+        mutated_tokens.token_ids[0] += 1
+        assert graph_fingerprint(mutated_tokens) != baseline
+        mutated_edges = EncodedGraph(
+            name=encoded.name,
+            token_ids=encoded.token_ids,
+            kind_ids=encoded.kind_ids,
+            extra_features=encoded.extra_features,
+            relations={**encoded.relations, "control": np.zeros((2, 0), dtype=np.int64)},
+        )
+        assert graph_fingerprint(mutated_edges) != baseline

@@ -1,0 +1,492 @@
+"""Tests for the online serving subsystem: registry, cache, batcher, service."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HybridModelConfig,
+    HybridStaticDynamicClassifier,
+    StaticConfigurationPredictor,
+    StaticModelConfig,
+)
+from repro.graphs import GraphBuilder, GraphEncoder, graph_fingerprint
+from repro.serving import (
+    ArtifactIntegrityError,
+    ArtifactNotFoundError,
+    ArtifactRegistry,
+    EmbeddingCache,
+    MicroBatcher,
+    PredictionService,
+    ServiceConfig,
+    ServingStats,
+    configuration_from_dict,
+    configuration_to_dict,
+    label_space_from_dict,
+    label_space_to_dict,
+)
+
+NUM_LABELS = 4
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    """A small (untrained — weights are deterministic) predictor."""
+    return StaticConfigurationPredictor(
+        num_labels=NUM_LABELS,
+        encoder=GraphEncoder(),
+        config=StaticModelConfig(
+            hidden_dim=8, graph_vector_dim=8, num_rgcn_layers=1, epochs=1, seed=3
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted_hybrid():
+    rng = np.random.default_rng(0)
+    vectors = rng.normal(size=(24, 8))
+    errors = rng.uniform(0.0, 0.5, size=24)
+    hybrid = HybridStaticDynamicClassifier(HybridModelConfig(use_ga_selection=False))
+    hybrid.fit(vectors, errors)
+    return hybrid
+
+
+@pytest.fixture(scope="module")
+def sample_graphs(small_suite):
+    builder = GraphBuilder()
+    encoder = GraphEncoder()
+    return [encoder.encode(builder.build_module(region.module)) for region in small_suite]
+
+
+@pytest.fixture(scope="module")
+def label_space(tiny_evaluation):
+    return tiny_evaluation.label_space
+
+
+# ---------------------------------------------------------------- registry
+
+
+class TestSerialization:
+    def test_configuration_round_trip(self, label_space):
+        for configuration in label_space.configurations:
+            data = configuration_to_dict(configuration)
+            assert configuration_from_dict(data) == configuration
+
+    def test_label_space_round_trip(self, label_space):
+        restored = label_space_from_dict(label_space_to_dict(label_space))
+        assert restored.machine_name == label_space.machine_name
+        assert restored.configurations == label_space.configurations
+        assert restored.num_labels == label_space.num_labels
+
+    def test_hybrid_round_trip(self, fitted_hybrid):
+        restored = HybridStaticDynamicClassifier.from_dict(fitted_hybrid.to_dict())
+        rng = np.random.default_rng(7)
+        probes = rng.normal(size=(40, 8))
+        assert np.array_equal(
+            restored.needs_dynamic(probes), fitted_hybrid.needs_dynamic(probes)
+        )
+        assert restored.config == fitted_hybrid.config
+        assert restored.selected_dimensions == fitted_hybrid.selected_dimensions
+
+
+class TestArtifactRegistry:
+    def test_save_load_round_trip(self, tmp_path, predictor, sample_graphs, fitted_hybrid):
+        registry = ArtifactRegistry(tmp_path)
+        ref = registry.save("model", predictor, hybrid=fitted_hybrid)
+        assert ref.version == "v0001"
+
+        artifact = registry.load("model")
+        rebuilt = artifact.build_predictor()
+        original = predictor.predict_label_for_graphs(sample_graphs)
+        restored = rebuilt.predict_label_for_graphs(sample_graphs)
+        assert np.array_equal(original, restored)
+        assert artifact.hybrid is not None
+        assert artifact.num_labels == NUM_LABELS
+        # Vocabulary round-trips exactly.
+        assert artifact.encoder.vocabulary.tokens == predictor.encoder.vocabulary.tokens
+
+    def test_versioning_monotonic(self, tmp_path, predictor):
+        registry = ArtifactRegistry(tmp_path)
+        first = registry.save("model", predictor)
+        second = registry.save("model", predictor)
+        assert (first.version, second.version) == ("v0001", "v0002")
+        assert registry.versions("model") == ["v0001", "v0002"]
+        assert registry.latest_version("model") == "v0002"
+        assert registry.names() == ["model"]
+        assert registry.load("model").ref.version == "v0002"
+        assert registry.load("model", "v0001").ref.version == "v0001"
+
+    def test_missing_artifact_raises(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        with pytest.raises(ArtifactNotFoundError):
+            registry.load("nope")
+        with pytest.raises(ArtifactNotFoundError):
+            registry.load("nope", "v0001")
+
+    def test_load_rejects_traversal_and_staging_versions(self, tmp_path, predictor):
+        registry = ArtifactRegistry(tmp_path)
+        ref = registry.save("model", predictor)
+        # Name/version are path components: separators, dot-prefixes and
+        # non-"vNNNN" versions (e.g. a torn staging dir) must not resolve.
+        for name in ("../model", "a/b", "a\\b", ".hidden", ""):
+            with pytest.raises(ArtifactNotFoundError):
+                registry.load(name)
+        for version in ("../v0001", f"{ref.version}.staging-1-aa", "latest"):
+            with pytest.raises(ArtifactNotFoundError):
+                registry.load("model", version)
+
+    def test_checksum_mismatch_detected(self, tmp_path, predictor):
+        registry = ArtifactRegistry(tmp_path)
+        ref = registry.save("model", predictor)
+        vocab_path = tmp_path / "model" / ref.version / "vocabulary.json"
+        vocab_path.write_text(vocab_path.read_text() + "\n")
+        with pytest.raises(ArtifactIntegrityError, match="checksum"):
+            registry.load("model")
+        # Unverified loads still work (explicit opt-out).
+        assert registry.load("model", verify=False) is not None
+
+    def test_missing_file_detected(self, tmp_path, predictor, fitted_hybrid):
+        registry = ArtifactRegistry(tmp_path)
+        ref = registry.save("model", predictor, hybrid=fitted_hybrid)
+        (tmp_path / "model" / ref.version / "hybrid.json").unlink()
+        with pytest.raises(ArtifactIntegrityError, match="missing"):
+            registry.verify("model")
+
+    def test_invalid_name_rejected(self, tmp_path, predictor):
+        registry = ArtifactRegistry(tmp_path)
+        for bad in ("", ".hidden", "a/b", "a\\b"):
+            with pytest.raises(ValueError):
+                registry.save(bad, predictor)
+
+    def test_torn_staging_dir_is_invisible(self, tmp_path, predictor):
+        registry = ArtifactRegistry(tmp_path)
+        registry.save("model", predictor)
+        # Simulate a save killed between writing the manifest and the atomic
+        # rename: a complete-looking "*.staging" directory is left behind.
+        staging = tmp_path / "model" / "v0002.staging"
+        staging.mkdir()
+        (staging / "manifest.json").write_text("{}")
+        assert registry.versions("model") == ["v0001"]
+        assert registry.save("model", predictor).version == "v0002"
+
+    def test_versions_sort_numerically_past_v9999(self, tmp_path, predictor):
+        registry = ArtifactRegistry(tmp_path)
+        for version in ("v9999", "v10000"):
+            directory = tmp_path / "model" / version
+            directory.mkdir(parents=True)
+            (directory / "manifest.json").write_text("{}")
+        assert registry.versions("model") == ["v9999", "v10000"]
+        assert registry.latest_version("model") == "v10000"
+        assert registry.save("model", predictor).version == "v10001"
+
+
+# ----------------------------------------------------------------- caching
+
+
+class TestEmbeddingCache:
+    def test_lru_eviction_order(self):
+        cache = EmbeddingCache(capacity=2)
+        for key in ("a", "b"):
+            cache.put(key, np.zeros(2), np.zeros(3))
+        assert cache.get("a") is not None  # promotes "a"
+        cache.put("c", np.ones(2), np.ones(3))  # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_entries_are_isolated_copies(self):
+        cache = EmbeddingCache(capacity=4)
+        logits = np.array([1.0, 2.0])
+        cache.put("k", logits, np.zeros(2))
+        logits[0] = 99.0
+        entry = cache.get("k")
+        assert entry.logits[0] == 1.0
+
+    def test_stats(self):
+        cache = EmbeddingCache(capacity=4)
+        cache.put("k", np.zeros(1), np.zeros(1))
+        cache.get("k")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["hits"] == 1.0
+        assert stats["misses"] == 1.0
+        assert stats["hit_rate"] == 0.5
+
+
+class TestServingStats:
+    def test_counters_and_percentiles(self):
+        stats = ServingStats(latency_window=16)
+        for latency in (0.01, 0.02, 0.03, 0.04):
+            stats.record_request(latency, cache_hit=latency > 0.02)
+        stats.record_batch(2)
+        stats.record_batch(2)
+        snapshot = stats.snapshot()
+        assert snapshot["total_requests"] == 4
+        assert snapshot["cache_hits"] == 2
+        assert snapshot["cache_hit_rate"] == 0.5
+        assert snapshot["batch_histogram"] == {2: 2}
+        assert snapshot["mean_batch_size"] == 2.0
+        assert 0.01 <= snapshot["latency_p50_s"] <= 0.04
+        assert snapshot["latency_p95_s"] >= snapshot["latency_p50_s"]
+        assert snapshot["qps"] > 0
+
+
+# ----------------------------------------------------------------- batcher
+
+
+class TestMicroBatcher:
+    def test_batches_respect_max_size_and_order(self):
+        batches = []
+
+        def runner(items):
+            batches.append(len(items))
+            return [item * 10 for item in items]
+
+        batcher = MicroBatcher(runner, max_batch_size=4, max_wait_s=0.01)
+        futures = [batcher.submit(i) for i in range(10)]
+        with batcher:
+            results = [future.result(timeout=5) for future in futures]
+        assert results == [i * 10 for i in range(10)]
+        assert batches[0] == 4  # pre-start queue drains in full batches
+        assert sum(batches) == 10
+        assert all(size <= 4 for size in batches)
+
+    def test_runner_exception_propagates(self):
+        def runner(items):
+            raise RuntimeError("boom")
+
+        with MicroBatcher(runner, max_batch_size=2, max_wait_s=0.001) as batcher:
+            future = batcher.submit(1)
+            with pytest.raises(RuntimeError, match="boom"):
+                future.result(timeout=5)
+
+    def test_submit_after_close_rejected(self):
+        batcher = MicroBatcher(lambda items: items, max_batch_size=2)
+        batcher.start()
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.submit(1)
+
+    def test_close_without_start_fails_queued_futures(self):
+        batcher = MicroBatcher(lambda items: items, max_batch_size=2)
+        future = batcher.submit(1)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="before start"):
+            future.result(timeout=5)
+
+    def test_started_close_drains_queue(self):
+        import time as time_module
+
+        def slow_runner(items):
+            time_module.sleep(0.02)
+            return items
+
+        batcher = MicroBatcher(slow_runner, max_batch_size=1, max_wait_s=0.0)
+        futures = [batcher.submit(i) for i in range(4)]
+        batcher.start()
+        # Even with a join timeout shorter than the drain, queued futures
+        # must be served by the live worker, not failed spuriously.
+        batcher.close(timeout=0.01)
+        assert [future.result(timeout=5) for future in futures] == [0, 1, 2, 3]
+
+    def test_cancelled_future_does_not_kill_the_batcher(self):
+        batcher = MicroBatcher(lambda items: [i * 10 for i in items], max_batch_size=4)
+        doomed = batcher.submit(1)
+        assert doomed.cancel()  # cancelled while queued, before start
+        survivor = batcher.submit(2)
+        with batcher:
+            # The thread must skip the cancelled future and keep serving.
+            assert survivor.result(timeout=5) == 20
+            late = batcher.submit(3)
+            assert late.result(timeout=5) == 30
+
+    def test_result_count_mismatch_is_an_error(self):
+        with MicroBatcher(lambda items: [], max_batch_size=2, max_wait_s=0.001) as batcher:
+            future = batcher.submit(1)
+            with pytest.raises(RuntimeError, match="results"):
+                future.result(timeout=5)
+
+
+# ----------------------------------------------------------------- service
+
+
+def make_service(predictor, **overrides):
+    defaults = dict(max_batch_size=32, max_wait_s=0.02, cache_capacity=64)
+    defaults.update(overrides)
+    return PredictionService(
+        model=predictor.model,
+        encoder=predictor.encoder,
+        config=ServiceConfig(**defaults),
+    )
+
+
+class TestPredictionService:
+    def test_service_config_validates_knobs(self):
+        for bad in (
+            dict(max_batch_size=0),
+            dict(max_batch_size=-1),
+            dict(max_wait_s=-0.1),
+            dict(cache_capacity=0),
+            dict(latency_window=0),
+        ):
+            with pytest.raises(ValueError):
+                ServiceConfig(**bad)
+
+    def test_micro_batched_identical_to_per_request(self, predictor, sample_graphs):
+        service = make_service(predictor, enable_cache=False)
+        batched = service.predict_many(sample_graphs)
+        singles = [service.predict(graph) for graph in sample_graphs]
+        for one, many in zip(singles, batched):
+            assert one.label == many.label
+            assert np.allclose(one.probabilities, many.probabilities)
+            assert np.allclose(one.graph_vector, many.graph_vector)
+            assert one.fingerprint == many.fingerprint
+
+    def test_cache_hit_on_repeat(self, predictor, sample_graphs):
+        service = make_service(predictor)
+        first = service.predict(sample_graphs[0])
+        second = service.predict(sample_graphs[0])
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.label == first.label
+        assert np.array_equal(second.probabilities, first.probabilities)
+        assert np.array_equal(second.graph_vector, first.graph_vector)
+        assert service.cache.hits == 1
+        assert service.stats.cache_hit_rate == 0.5
+        # The hit did not trigger another forward pass.
+        assert service.stats.total_batches == 1
+
+    def test_duplicates_within_one_call_share_one_forward(self, predictor, sample_graphs):
+        service = make_service(predictor, enable_cache=False)
+        graph = sample_graphs[0]
+        results = service.predict_many([graph, graph, graph])
+        assert service.stats.total_batches == 1
+        assert service.stats.batch_histogram == {1: 1}
+        assert len({result.label for result in results}) == 1
+        assert np.array_equal(results[0].probabilities, results[2].probabilities)
+
+    def test_duplicates_do_not_inflate_cache_misses(self, predictor, sample_graphs):
+        service = make_service(predictor)
+        graph = sample_graphs[0]
+        service.predict_many([graph, graph, graph])
+        # One real miss; the two duplicates piggyback on the pending forward.
+        assert service.cache.misses == 1
+        assert service.predict(graph).cache_hit
+        assert service.cache.hit_rate == 0.5
+
+    def test_chunks_respect_max_batch_size(self, predictor, sample_graphs):
+        service = make_service(predictor, enable_cache=False, max_batch_size=5)
+        service.predict_many(sample_graphs)  # 12 distinct graphs -> 5 + 5 + 2
+        assert service.stats.total_batches == 3
+        assert service.stats.batch_histogram == {5: 2, 2: 1}
+
+    def test_accepts_raw_program_graph(self, predictor, small_suite):
+        service = make_service(predictor)
+        program_graph = GraphBuilder().build_module(small_suite[0].module)
+        encoded = predictor.encoder.encode(program_graph)
+        result = service.predict(program_graph)
+        assert result.fingerprint == graph_fingerprint(encoded)
+
+    def test_rejects_unknown_request_type(self, predictor):
+        service = make_service(predictor)
+        with pytest.raises(TypeError):
+            service.predict("not a graph")
+
+    def test_no_label_space_means_no_configuration(self, predictor, sample_graphs):
+        service = make_service(predictor)
+        result = service.predict(sample_graphs[0])
+        assert result.configuration is None
+        assert result.needs_profiling is None
+
+    def test_hybrid_and_label_space_attached(
+        self, predictor, sample_graphs, label_space, fitted_hybrid
+    ):
+        service = PredictionService(
+            model=predictor.model,
+            encoder=predictor.encoder,
+            label_space=label_space,
+            hybrid=fitted_hybrid,
+        )
+        result = service.predict(sample_graphs[0])
+        assert result.configuration == label_space.configuration_of(result.label)
+        assert isinstance(result.needs_profiling, bool)
+
+    def test_submit_rejects_bad_type_before_batching(self, predictor, sample_graphs):
+        # Invalid requests must fail at submit time instead of poisoning a
+        # whole micro-batch of valid concurrent requests.
+        service = make_service(predictor)
+        with pytest.raises(TypeError):
+            service.submit("not a graph")
+        future = service.submit(sample_graphs[0])
+        with service:
+            assert future.result(timeout=10).name == sample_graphs[0].name
+
+    def test_submit_after_stop_restarts_batcher(self, predictor, sample_graphs):
+        service = make_service(predictor)
+        with service:
+            service.submit(sample_graphs[0]).result(timeout=10)
+        # After stop(), a started service transparently restarts on demand
+        # rather than queueing into a batcher that never runs.
+        future = service.submit(sample_graphs[1])
+        assert future.result(timeout=10).label == service.predict(sample_graphs[1]).label
+        service.stop()
+
+    def test_async_submit_matches_sync_and_batches(self, predictor, sample_graphs):
+        sync_service = make_service(predictor, enable_cache=False)
+        expected = [result.label for result in sync_service.predict_many(sample_graphs)]
+
+        service = make_service(predictor, enable_cache=False, max_wait_s=0.05)
+        futures = [service.submit(graph) for graph in sample_graphs]
+        with service:
+            results = [future.result(timeout=10) for future in futures]
+        assert [result.label for result in results] == expected
+        # The pre-start queue was answered in one micro-batch.
+        assert service.stats.total_batches == 1
+        assert service.stats.batch_histogram == {len(sample_graphs): 1}
+
+
+# -------------------------------------------------------------- end-to-end
+
+
+class TestEndToEnd:
+    def test_train_export_reload_serve(self, tiny_pipeline, tiny_evaluation, tmp_path):
+        """Acceptance: train -> export -> reload -> identical predictions."""
+        refs = tiny_pipeline.export_artifacts(tiny_evaluation, tmp_path, name="e2e")
+        assert len(refs) == len(tiny_evaluation.folds)
+        registry = ArtifactRegistry(tmp_path)
+
+        for fold, ref in zip(tiny_evaluation.folds, refs):
+            registry.verify(ref.name)
+            samples = tiny_pipeline.region_samples(
+                fold.validation_regions, fold.explored_sequence
+            )
+            graphs = [sample.graph for sample in samples]
+            if not graphs:
+                continue
+            in_memory = fold.predictor.predict_label_for_graphs(graphs)
+
+            service = PredictionService.from_registry(tmp_path, ref.name)
+            served = service.predict_many(graphs)
+            assert np.array_equal(in_memory, np.array([r.label for r in served]))
+            # Per-request path agrees with the micro-batched path.
+            service.cache.clear()
+            singles = [service.predict(graph) for graph in graphs]
+            assert [r.label for r in singles] == [r.label for r in served]
+            # The exported label space maps labels onto real configurations.
+            for result in served:
+                expected = tiny_evaluation.label_space.configuration_of(result.label)
+                assert result.configuration == expected
+
+    def test_exported_metadata_describes_fold(self, tiny_pipeline, tiny_evaluation, tmp_path):
+        refs = tiny_pipeline.export_artifacts(
+            tiny_evaluation, tmp_path, name="meta", folds=[tiny_evaluation.folds[0].fold]
+        )
+        assert len(refs) == 1
+        artifact = ArtifactRegistry(tmp_path).load(refs[0].name)
+        metadata = artifact.manifest["metadata"]
+        fold = tiny_evaluation.folds[0]
+        assert metadata["machine"] == tiny_evaluation.machine_name
+        assert metadata["fold"] == fold.fold
+        assert metadata["explored_sequence"] == fold.explored_sequence
+        assert set(metadata["validation_regions"]) == set(fold.validation_regions)
