@@ -413,10 +413,18 @@ class ReproPipeline:
         registry = ArtifactRegistry(root)
         base = name or f"{evaluation.machine_name}-static"
         wanted = None if folds is None else set(folds)
+        exported = [
+            fold
+            for fold in evaluation.folds
+            if wanted is None or fold.fold in wanted
+        ]
+        # Membership covers every fold of the evaluation — not just this
+        # call's subset — so incremental/subset exports under one base name
+        # all record the same full roster and any one manifest answers
+        # "is the deployed ensemble complete?" consistently.
+        member_names = [f"{base}-fold{fold.fold}" for fold in evaluation.folds]
         refs: List[object] = []
-        for fold in evaluation.folds:
-            if wanted is not None and fold.fold not in wanted:
-                continue
+        for fold in exported:
             ref = registry.save(
                 name=f"{base}-fold{fold.fold}",
                 predictor=fold.predictor,
@@ -429,6 +437,11 @@ class ReproPipeline:
                     "num_labels": evaluation.label_space.num_labels,
                     "train_regions": list(fold.train_regions),
                     "validation_regions": list(fold.validation_regions),
+                    "ensemble": {
+                        "base": base,
+                        "num_members": len(member_names),
+                        "member_names": member_names,
+                    },
                 },
             )
             refs.append(ref)

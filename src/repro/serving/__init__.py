@@ -5,11 +5,22 @@ The offline pipeline (:mod:`repro.core`) trains predictors; this package
 deploys them.  ``ReproPipeline.export_artifacts`` writes each fold's
 predictor into an :class:`ArtifactRegistry`; a :class:`PredictionService`
 reloads it (integrity-checked) and answers region → configuration queries
-with micro-batching and fingerprint-keyed caching.
+with micro-batching and fingerprint-keyed caching.  An
+:class:`EnsemblePredictionService` serves *all* exported folds of a base
+name behind one endpoint (mean-softmax or majority-vote combination), the
+registry supports retention (``gc``/``pin``), and caches persist
+(``EmbeddingCache.dump``/``load``) so restarted servers start hot.
 """
 
 from .batcher import MicroBatcher
 from .cache import CacheEntry, EmbeddingCache
+from .ensemble import (
+    EnsembleConfig,
+    EnsemblePredictionResult,
+    EnsemblePredictionService,
+    combine_majority_vote,
+    combine_mean_softmax,
+)
 from .registry import (
     ArtifactError,
     ArtifactIntegrityError,
@@ -33,6 +44,11 @@ __all__ = [
     "MicroBatcher",
     "CacheEntry",
     "EmbeddingCache",
+    "EnsembleConfig",
+    "EnsemblePredictionResult",
+    "EnsemblePredictionService",
+    "combine_majority_vote",
+    "combine_mean_softmax",
     "ArtifactError",
     "ArtifactIntegrityError",
     "ArtifactNotFoundError",

@@ -7,16 +7,26 @@ Entries are keyed on the canonical graph fingerprint
 (:func:`repro.graphs.fingerprint.graph_fingerprint`), so any two requests
 with identical encoded content share an entry no matter how they were
 constructed.
+
+The table can also be persisted (:meth:`EmbeddingCache.dump`) and reloaded
+(:meth:`EmbeddingCache.load`), so a restarted server starts hot instead of
+re-paying a forward pass per region on its first burst.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import threading
+import uuid
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+#: reserved npz entry holding the JSON-encoded fingerprint index of a dump.
+_INDEX_KEY = "__fingerprints__"
 
 
 @dataclass(frozen=True)
@@ -73,22 +83,95 @@ class EmbeddingCache:
                 self.evictions += 1
 
     def clear(self) -> None:
+        """Drop every entry *and* reset the hit/miss/eviction counters.
+
+        A cleared cache reports a fresh ``hit_rate`` — counters surviving a
+        clear would describe a population of entries that no longer exists.
+        """
         with self._lock:
             self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            hits = self.hits
+            misses = self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
     def stats(self) -> Dict[str, float]:
+        # One locked copy of every counter: a stats() taken mid-burst must
+        # be internally consistent (hit_rate computed from the same reads).
         with self._lock:
             size = len(self._entries)
+            hits = self.hits
+            misses = self.misses
+            evictions = self.evictions
+        total = hits + misses
         return {
             "size": float(size),
             "capacity": float(self.capacity),
-            "hits": float(self.hits),
-            "misses": float(self.misses),
-            "evictions": float(self.evictions),
-            "hit_rate": self.hit_rate,
+            "hits": float(hits),
+            "misses": float(misses),
+            "evictions": float(evictions),
+            "hit_rate": hits / total if total else 0.0,
         }
+
+    # ------------------------------------------------------------ persistence
+    def _snapshot(self) -> List[Tuple[str, CacheEntry]]:
+        """Entries in LRU order (least recently used first), under the lock."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def dump(self, path: str) -> int:
+        """Persist the fingerprint → (logits, graph_vector) table to ``path``.
+
+        Arrays stay float64 end to end, so a dumped-then-loaded entry replays
+        bit-identical logits.  The write is atomic (temp file + rename): a
+        crashed dump never leaves a torn warm-up file behind.  Returns the
+        number of entries written.
+        """
+        entries = self._snapshot()
+        arrays: Dict[str, np.ndarray] = {
+            _INDEX_KEY: np.frombuffer(
+                json.dumps([fingerprint for fingerprint, _ in entries]).encode("utf-8"),
+                dtype=np.uint8,
+            )
+        }
+        for i, (_, entry) in enumerate(entries):
+            arrays[f"logits_{i}"] = entry.logits
+            arrays[f"vector_{i}"] = entry.graph_vector
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        tmp_path = os.path.join(directory, f".cache-dump-{uuid.uuid4().hex[:8]}.tmp")
+        try:
+            with open(tmp_path, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp_path, path)
+        except Exception:
+            if os.path.exists(tmp_path):
+                os.remove(tmp_path)
+            raise
+        return len(entries)
+
+    def load(self, path: str) -> int:
+        """Warm the cache from a :meth:`dump` file; returns entries loaded.
+
+        Entries are inserted least-recently-used first, so the loaded cache
+        has the same eviction order the dumped one had.  Loading into a
+        smaller cache simply evicts the oldest entries on the way in.
+        """
+        with np.load(path) as data:
+            if _INDEX_KEY not in data:
+                raise ValueError(f"{path!r} was not written by EmbeddingCache.dump")
+            fingerprints = json.loads(bytes(data[_INDEX_KEY].tobytes()).decode("utf-8"))
+            loaded = [
+                (fingerprint, data[f"logits_{i}"], data[f"vector_{i}"])
+                for i, fingerprint in enumerate(fingerprints)
+            ]
+        for fingerprint, logits, vector in loaded:
+            self.put(fingerprint, logits, vector)
+        return len(loaded)

@@ -1,0 +1,345 @@
+"""Multi-fold ensemble serving behind one endpoint.
+
+The paper's evaluation trains one predictor per cross-validation fold, and
+``ReproPipeline.export_artifacts`` writes all of them into the registry as
+``<name>-fold<k>``.  Deploying a single fold throws the rest away;
+:class:`EnsemblePredictionService` loads every fold of a base name
+(discovered via :meth:`ArtifactRegistry.fold_groups`) and answers each
+request by combining the per-fold probabilities:
+
+* ``mean-softmax`` — average the per-fold softmax distributions and take
+  the argmax (soft voting; the default);
+* ``majority-vote`` — each fold votes its argmax label, the most-voted
+  label wins (ties broken by the higher mean-softmax probability, then the
+  lower label index — fully deterministic).
+
+Results carry the per-fold labels and an agreement score, so callers can
+treat fold disagreement as a confidence signal (regions the folds disagree
+on are exactly the ones the hybrid model routes to dynamic profiling).
+
+All folds share one :class:`EmbeddingCache` keyed on
+``(model_version_set, fingerprint)``: one cache instance can back several
+ensembles (or survive a membership change) without ever replaying logits
+produced by a different set of model versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gnn.losses import softmax
+from ..graphs.features import EncodedGraph
+from ..numasim.configuration import Configuration
+from .cache import EmbeddingCache
+from .registry import ArtifactNotFoundError, ArtifactRegistry, LoadedArtifact
+from .serialization import label_space_to_dict
+from .service import ServingFrontend, validate_frontend_knobs
+from .stats import ServingStats
+
+#: supported per-fold probability combination strategies.
+STRATEGIES = ("mean-softmax", "majority-vote")
+
+
+@dataclass
+class EnsembleConfig:
+    """Knobs of :class:`EnsemblePredictionService`."""
+
+    strategy: str = "mean-softmax"
+    max_batch_size: int = 32
+    max_wait_s: float = 0.002
+    cache_capacity: int = 1024
+    enable_cache: bool = True
+    latency_window: int = 4096
+    #: optional path to an ``EmbeddingCache.dump`` file loaded at
+    #: construction (if it exists), so a restarted ensemble starts hot.
+    warmup_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; expected one of {STRATEGIES}"
+            )
+        validate_frontend_knobs(self)
+
+
+@dataclass
+class EnsemblePredictionResult:
+    """Everything the ensemble knows about one answered request."""
+
+    name: str
+    fingerprint: str
+    label: int
+    probabilities: np.ndarray
+    graph_vector: np.ndarray
+    configuration: Optional[Configuration]
+    needs_profiling: Optional[bool]
+    per_fold_labels: Dict[int, int]
+    agreement: float
+    unanimous: bool
+    cache_hit: bool
+    latency_s: float
+
+
+# ------------------------------------------------------------- combination
+
+
+def combine_mean_softmax(stacked_logits: np.ndarray) -> Tuple[int, np.ndarray]:
+    """Soft voting: ``(winning label, mean per-fold softmax)``.
+
+    ``stacked_logits`` has shape ``(num_folds, num_labels)``.
+    """
+    probabilities = softmax(stacked_logits, axis=1).mean(axis=0)
+    return int(np.argmax(probabilities)), probabilities
+
+
+def combine_majority_vote(stacked_logits: np.ndarray) -> Tuple[int, np.ndarray]:
+    """Hard voting: ``(winning label, per-label vote shares)``.
+
+    Ties are broken by the higher mean-softmax probability among the tied
+    labels; an exact probability tie falls back to the lower label index
+    (``np.argmax`` keeps the first maximum), so the outcome is fully
+    deterministic.
+    """
+    num_folds, num_labels = stacked_logits.shape
+    fold_labels = np.argmax(stacked_logits, axis=1)
+    counts = np.bincount(fold_labels, minlength=num_labels)
+    shares = counts.astype(np.float64) / num_folds
+    tied = np.flatnonzero(counts == counts.max())
+    if len(tied) == 1:
+        return int(tied[0]), shares
+    mean_probabilities = softmax(stacked_logits, axis=1).mean(axis=0)
+    winner = tied[int(np.argmax(mean_probabilities[tied]))]
+    return int(winner), shares
+
+
+_COMBINERS = {
+    "mean-softmax": combine_mean_softmax,
+    "majority-vote": combine_majority_vote,
+}
+
+
+# ----------------------------------------------------------------- service
+
+
+class EnsemblePredictionService(ServingFrontend):
+    """Serves combined predictions from several fold predictors.
+
+    ``members`` maps fold index → loaded artefact.  Every member must share
+    the encoder vocabulary, head size and (where present) label space —
+    violations raise :class:`ValueError` at construction, not at prediction
+    time.
+    """
+
+    def __init__(
+        self,
+        members: Mapping[int, LoadedArtifact],
+        config: Optional[EnsembleConfig] = None,
+        cache: Optional[EmbeddingCache] = None,
+    ):
+        if not members:
+            raise ValueError("an ensemble needs at least one member")
+        self.config = config or EnsembleConfig()
+        self._members: Dict[int, LoadedArtifact] = dict(sorted(members.items()))
+        self._fold_indices: List[int] = list(self._members)
+        for artifact in self._members.values():
+            artifact.model.eval()
+
+        first = next(iter(self._members.values()))
+        tokens = first.encoder.vocabulary.tokens
+        num_classes = first.model.config.num_classes
+        for fold, artifact in self._members.items():
+            if artifact.encoder.vocabulary.tokens != tokens:
+                raise ValueError(
+                    f"fold {fold} ({artifact.ref}) was trained with a different "
+                    f"vocabulary; ensemble members must share one encoder"
+                )
+            if artifact.model.config.num_classes != num_classes:
+                raise ValueError(
+                    f"fold {fold} ({artifact.ref}) emits "
+                    f"{artifact.model.config.num_classes} labels, others emit "
+                    f"{num_classes}; ensemble members must share a label space"
+                )
+        self.encoder = first.encoder
+        self.num_labels = num_classes
+
+        label_spaces = [a.label_space for a in self._members.values() if a.label_space]
+        self.label_space = label_spaces[0] if label_spaces else None
+        for space in label_spaces[1:]:
+            # Deep equality: two spaces of the same size can still map one
+            # label index onto different configurations (the reduction is
+            # data-dependent), and combining those would be silently wrong.
+            if label_space_to_dict(space) != label_space_to_dict(self.label_space):
+                raise ValueError("ensemble members carry conflicting label spaces")
+        if self.label_space is not None and self.label_space.num_labels != num_classes:
+            raise ValueError(
+                f"model heads emit {num_classes} labels but the label space "
+                f"defines {self.label_space.num_labels} configurations"
+            )
+
+        # The cache key is prefixed with a digest of the exact member
+        # versions, so one shared cache never replays logits produced by a
+        # different model set.
+        version_set = sorted(str(a.ref) for a in self._members.values())
+        self.version_set_id = hashlib.sha256(
+            "|".join(version_set).encode("utf-8")
+        ).hexdigest()[:16]
+
+        self.stats = ServingStats(latency_window=self.config.latency_window)
+        if cache is not None:
+            self.cache: Optional[EmbeddingCache] = cache
+        elif self.config.enable_cache:
+            self.cache = EmbeddingCache(self.config.cache_capacity)
+        else:
+            self.cache = None
+        if (
+            self.cache is not None
+            and self.config.warmup_path
+            and os.path.isfile(self.config.warmup_path)
+        ):
+            self.cache.load(self.config.warmup_path)
+
+        self._combine = _COMBINERS[self.config.strategy]
+        # Member models cache activations layer-by-layer during forward, so
+        # at most one (multi-fold) forward sweep may run at a time.
+        self._forward_lock = threading.Lock()
+        super().__init__()
+
+    # --------------------------------------------------------- constructors
+    @classmethod
+    def from_registry(
+        cls,
+        root: str,
+        base: str,
+        config: Optional[EnsembleConfig] = None,
+        folds: Optional[Sequence[int]] = None,
+        verify: bool = True,
+        cache: Optional[EmbeddingCache] = None,
+    ) -> "EnsemblePredictionService":
+        """Discover and load every ``<base>-fold<k>`` artefact under ``root``.
+
+        ``folds`` restricts membership to a subset of fold indices; each
+        member is the *latest* version of its model name.
+        """
+        registry = ArtifactRegistry(root)
+        member_names = registry.fold_members(base)
+        if folds is not None:
+            wanted = set(folds)
+            missing = wanted - set(member_names)
+            if missing:
+                raise ArtifactNotFoundError(
+                    f"no exported fold(s) {sorted(missing)} for base {base!r} in {root}"
+                )
+            member_names = {k: v for k, v in member_names.items() if k in wanted}
+        if not member_names:
+            raise ArtifactNotFoundError(
+                f"no '<base>-fold<k>' artefacts for base {base!r} in {root}"
+            )
+        members = {
+            fold: registry.load(name, verify=verify)
+            for fold, name in member_names.items()
+        }
+        return cls(members, config=config, cache=cache)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_members(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> Dict[int, LoadedArtifact]:
+        return dict(self._members)
+
+    # -------------------------------------------------------------- export
+    def snapshot(self) -> Dict[str, object]:
+        """Serving stats plus ensemble composition, JSON-friendly."""
+        snapshot = self.stats.snapshot()
+        snapshot["strategy"] = self.config.strategy
+        snapshot["num_members"] = self.num_members
+        snapshot["members"] = [str(a.ref) for a in self._members.values()]
+        if self.cache is not None:
+            snapshot["cache"] = self.cache.stats()
+        return snapshot
+
+    # ------------------------------------------------------------ internals
+    def _cache_key(self, fingerprint: str) -> str:
+        return f"{self.version_set_id}:{fingerprint}"
+
+    def _forward_batch(self, batch, size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One forward sweep per member; rows are the per-fold stacks.
+
+        Returns arrays of shape ``(size, num_folds, ...)`` so row ``j`` is
+        the ``(num_folds, num_labels)`` / ``(num_folds, vector_dim)`` stack
+        for graph ``j`` — one cache entry replays every member at once.
+        """
+        per_fold_logits: List[np.ndarray] = []
+        per_fold_vectors: List[np.ndarray] = []
+        with self._forward_lock:
+            for artifact in self._members.values():
+                logits, vectors = artifact.model.forward(batch)
+                per_fold_logits.append(logits)
+                per_fold_vectors.append(vectors)
+        for _ in self._members:
+            self.stats.record_batch(size)
+        return (
+            np.stack(per_fold_logits, axis=1),  # (B, F, L)
+            np.stack(per_fold_vectors, axis=1),  # (B, F, D)
+        )
+
+    def _build_result(
+        self,
+        graph: EncodedGraph,
+        fingerprint: str,
+        row: Tuple[np.ndarray, np.ndarray],
+        cache_hit: bool,
+        latency_s: float,
+    ) -> EnsemblePredictionResult:
+        stacked_logits, stacked_vectors = row
+        label, probabilities = self._combine(stacked_logits)
+        fold_argmax = np.argmax(stacked_logits, axis=1)
+        per_fold_labels = {
+            fold: int(fold_argmax[idx]) for idx, fold in enumerate(self._fold_indices)
+        }
+        agreement = float(np.mean(fold_argmax == label))
+        configuration = (
+            self.label_space.configuration_of(label)
+            if self.label_space is not None
+            else None
+        )
+        needs_profiling = self._needs_profiling(stacked_vectors)
+        return EnsemblePredictionResult(
+            name=graph.name,
+            fingerprint=fingerprint,
+            label=label,
+            probabilities=np.array(probabilities, dtype=np.float64, copy=True),
+            # Mean across folds; copied so callers can mutate freely even on
+            # a cache hit (the stacked row aliases the shared cache entry).
+            graph_vector=np.array(
+                stacked_vectors.mean(axis=0), dtype=np.float64, copy=True
+            ),
+            configuration=configuration,
+            needs_profiling=needs_profiling,
+            per_fold_labels=per_fold_labels,
+            agreement=agreement,
+            unanimous=bool(np.all(fold_argmax == fold_argmax[0])),
+            cache_hit=cache_hit,
+            latency_s=latency_s,
+        )
+
+    def _needs_profiling(self, stacked_vectors: np.ndarray) -> Optional[bool]:
+        """Majority vote of the members' hybrid classifiers (None if none)."""
+        votes: List[bool] = []
+        for idx, artifact in enumerate(self._members.values()):
+            if artifact.hybrid is None:
+                continue
+            votes.append(bool(artifact.hybrid.needs_dynamic(stacked_vectors[idx][None, :])[0]))
+        if not votes:
+            return None
+        # Ties fall to True: when the folds are split, profiling is the
+        # conservative answer (same spirit as the hybrid model's threshold).
+        return sum(votes) * 2 >= len(votes)

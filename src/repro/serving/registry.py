@@ -21,6 +21,7 @@ tampered artefacts before any weight is deserialised.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -52,11 +53,19 @@ WEIGHTS_FILE = "weights.npz"
 VOCABULARY_FILE = "vocabulary.json"
 LABEL_SPACE_FILE = "label_space.json"
 HYBRID_FILE = "hybrid.json"
+#: marker file excluding a version from garbage collection (not part of the
+#: checksummed payload — pinning does not invalidate an artefact).
+PIN_FILE = "PINNED"
 
 #: bump when the on-disk layout changes incompatibly.
 REGISTRY_FORMAT_VERSION = 1
 
+#: how many times ``save`` re-allocates a version after losing the rename
+#: race to a concurrent writer before giving up.
+SAVE_ALLOCATION_RETRIES = 64
+
 _VERSION_PATTERN = re.compile(r"v\d{4,}")
+_FOLD_NAME_PATTERN = re.compile(r"(?P<base>.+)-fold(?P<fold>\d+)")
 
 
 class ArtifactError(RuntimeError):
@@ -165,6 +174,28 @@ class ArtifactRegistry:
             return bool(self.versions(name))
         return version in self.versions(name)
 
+    def fold_groups(self) -> Dict[str, Dict[int, str]]:
+        """Group ``<base>-fold<k>`` model names by base name.
+
+        ``ReproPipeline.export_artifacts`` writes one model name per
+        cross-validation fold; this maps each ensemble base name to
+        ``{fold_index: model_name}`` so a deployment can discover every
+        member of an exported ensemble without knowing the fold count.
+        Names without a ``-fold<k>`` suffix are not ensemble members and do
+        not appear.
+        """
+        groups: Dict[str, Dict[int, str]] = {}
+        for name in self.names():
+            match = _FOLD_NAME_PATTERN.fullmatch(name)
+            if match is None or not self.versions(name):
+                continue
+            groups.setdefault(match.group("base"), {})[int(match.group("fold"))] = name
+        return {base: dict(sorted(folds.items())) for base, folds in sorted(groups.items())}
+
+    def fold_members(self, base: str) -> Dict[int, str]:
+        """``{fold_index: model_name}`` for one ensemble base name."""
+        return self.fold_groups().get(base, {})
+
     # ----------------------------------------------------------------- save
     def save(
         self,
@@ -174,15 +205,22 @@ class ArtifactRegistry:
         hybrid: Optional[HybridStaticDynamicClassifier] = None,
         metadata: Optional[Dict[str, object]] = None,
     ) -> ArtifactRef:
-        """Persist one predictor as the next version of ``name``."""
+        """Persist one predictor as the next version of ``name``.
+
+        Safe under concurrent writers: the artefact is staged in a unique
+        temporary directory, and if another writer claims the computed
+        version first (the atomic rename fails because the target exists),
+        the version is re-allocated and the rename retried — the loser gets
+        the next free number instead of crashing with ``ENOTEMPTY``.
+        """
         if not name or "/" in name or "\\" in name or name.startswith("."):
             raise ValueError(f"invalid artifact name {name!r}")
-        version = self._next_version(name)
-        final_dir = os.path.join(self.root, name, version)
+        model_dir = os.path.join(self.root, name)
         # Unique staging suffix so two writers never stage in the same
-        # directory.  (Version allocation itself is still last-writer-wins:
-        # the registry assumes one writer per model name.)
-        staging_dir = f"{final_dir}.staging-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        # directory.
+        staging_dir = os.path.join(
+            model_dir, f"vstaging-{os.getpid()}-{uuid.uuid4().hex[:8]}.staging"
+        )
         os.makedirs(staging_dir)
         try:
             predictor.model.save_npz(os.path.join(staging_dir, WEIGHTS_FILE))
@@ -199,26 +237,47 @@ class ArtifactRegistry:
                 _write_json(
                     os.path.join(staging_dir, HYBRID_FILE), hybrid_to_dict(hybrid)
                 )
+            # Payload checksums are version-independent; only the manifest is
+            # rewritten when a rename collision forces a new version number.
             checksums = {
                 entry: _sha256(os.path.join(staging_dir, entry))
                 for entry in sorted(os.listdir(staging_dir))
             }
-            manifest = {
-                "format_version": REGISTRY_FORMAT_VERSION,
-                "name": name,
-                "version": version,
-                "created_unix": time.time(),
-                "num_labels": predictor.num_labels,
-                "static_config": static_config_to_dict(predictor.config),
-                "metadata": dict(metadata or {}),
-                "files": checksums,
-            }
-            _write_json(os.path.join(staging_dir, MANIFEST_FILE), manifest)
-            os.replace(staging_dir, final_dir)
+            for _ in range(SAVE_ALLOCATION_RETRIES):
+                version = self._next_version(name)
+                final_dir = os.path.join(model_dir, version)
+                manifest = {
+                    "format_version": REGISTRY_FORMAT_VERSION,
+                    "name": name,
+                    "version": version,
+                    "created_unix": time.time(),
+                    "num_labels": predictor.num_labels,
+                    "static_config": static_config_to_dict(predictor.config),
+                    "metadata": dict(metadata or {}),
+                    "files": checksums,
+                }
+                _write_json(os.path.join(staging_dir, MANIFEST_FILE), manifest)
+                try:
+                    os.replace(staging_dir, final_dir)
+                except OSError as exc:
+                    # A concurrent writer won the race to this version: the
+                    # rename target exists and is a non-empty directory.
+                    # (Anything else — e.g. ENOTDIR from a stray *file*
+                    # squatting on the version path — is not a race and
+                    # would fail identically on every retry, so it
+                    # propagates.)
+                    if exc.errno in (errno.ENOTEMPTY, errno.EEXIST):
+                        continue
+                    raise
+                return ArtifactRef(name=name, version=version, path=final_dir)
+            raise ArtifactError(
+                f"could not allocate a version for {name!r} after "
+                f"{SAVE_ALLOCATION_RETRIES} attempts (registry under heavy "
+                f"concurrent writes?)"
+            )
         except Exception:
             shutil.rmtree(staging_dir, ignore_errors=True)
             raise
-        return ArtifactRef(name=name, version=version, path=final_dir)
 
     def _next_version(self, name: str) -> str:
         versions = self.versions(name)
@@ -226,6 +285,61 @@ class ArtifactRegistry:
             return "v0001"
         highest = int(versions[-1][1:])
         return f"v{highest + 1:04d}"
+
+    # ------------------------------------------------------------- retention
+    def pin(self, name: str, version: str) -> None:
+        """Exclude one version from :meth:`gc` (e.g. a rollback target)."""
+        ref = self._resolve(name, version)
+        with open(os.path.join(ref.path, PIN_FILE), "w", encoding="utf-8") as handle:
+            handle.write(f"pinned at {time.time()}\n")
+
+    def unpin(self, name: str, version: str) -> None:
+        """Make a pinned version eligible for :meth:`gc` again."""
+        ref = self._resolve(name, version)
+        pin_path = os.path.join(ref.path, PIN_FILE)
+        if os.path.isfile(pin_path):
+            os.remove(pin_path)
+
+    def is_pinned(self, name: str, version: str) -> bool:
+        ref = self._resolve(name, version)
+        return os.path.isfile(os.path.join(ref.path, PIN_FILE))
+
+    def pinned_versions(self, name: str) -> List[str]:
+        return [
+            version
+            for version in self.versions(name)
+            if os.path.isfile(os.path.join(self.root, name, version, PIN_FILE))
+        ]
+
+    def gc(self, name: str, keep_last: int = 1, dry_run: bool = False) -> List[str]:
+        """Delete old versions of ``name``, keeping the newest ``keep_last``.
+
+        Never deletes the latest version (``keep_last`` must be >= 1) or any
+        pinned version.  With ``dry_run=True`` nothing is removed; the
+        return value lists the versions that were (or would be) deleted,
+        oldest first.  Deletion drops the manifest first, so a crash
+        mid-removal leaves an invisible torn directory rather than a
+        loadable half-artefact.
+        """
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1 (the latest version is never deleted)")
+        if not name or "/" in name or "\\" in name or name.startswith("."):
+            raise ValueError(f"invalid artifact name {name!r}")
+        versions = self.versions(name)
+        doomed = [
+            version
+            for version in versions[: max(0, len(versions) - keep_last)]
+            if not os.path.isfile(os.path.join(self.root, name, version, PIN_FILE))
+        ]
+        if dry_run:
+            return doomed
+        for version in doomed:
+            path = os.path.join(self.root, name, version)
+            manifest_path = os.path.join(path, MANIFEST_FILE)
+            if os.path.isfile(manifest_path):
+                os.remove(manifest_path)
+            shutil.rmtree(path, ignore_errors=True)
+        return doomed
 
     # ----------------------------------------------------------------- load
     def _resolve(self, name: str, version: Optional[str]) -> ArtifactRef:

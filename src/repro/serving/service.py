@@ -21,11 +21,13 @@ Requests may be pre-encoded (:class:`EncodedGraph`) or raw
 
 from __future__ import annotations
 
+import hashlib
+import os
 import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -56,16 +58,34 @@ class ServiceConfig:
     cache_capacity: int = 1024
     enable_cache: bool = True
     latency_window: int = 4096
+    #: optional path to an ``EmbeddingCache.dump`` file loaded at
+    #: construction (if it exists), so a restarted service starts hot.
+    warmup_path: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.max_batch_size < 1:
-            raise ValueError("max_batch_size must be >= 1")
-        if self.max_wait_s < 0:
-            raise ValueError("max_wait_s must be >= 0")
-        if self.cache_capacity < 1:
-            raise ValueError("cache_capacity must be >= 1")
-        if self.latency_window < 1:
-            raise ValueError("latency_window must be >= 1")
+        validate_frontend_knobs(self)
+
+
+def _model_digest(model: StaticRGCNModel) -> str:
+    """Digest of the exact weights, used to namespace cache keys."""
+    hasher = hashlib.sha256()
+    for name, array in sorted(model.state_dict().items()):
+        hasher.update(name.encode("utf-8"))
+        hasher.update(np.ascontiguousarray(array).tobytes())
+    return hasher.hexdigest()[:16]
+
+
+def validate_frontend_knobs(config) -> None:
+    """Range checks shared by :class:`ServiceConfig` and the ensemble's
+    :class:`~repro.serving.ensemble.EnsembleConfig` (identical knobs)."""
+    if config.max_batch_size < 1:
+        raise ValueError("max_batch_size must be >= 1")
+    if config.max_wait_s < 0:
+        raise ValueError("max_wait_s must be >= 0")
+    if config.cache_capacity < 1:
+        raise ValueError("cache_capacity must be >= 1")
+    if config.latency_window < 1:
+        raise ValueError("latency_window must be >= 1")
 
 
 @dataclass
@@ -83,7 +103,190 @@ class PredictionResult:
     latency_s: float
 
 
-class PredictionService:
+class ServingFrontend:
+    """Shared plumbing of the serving front-ends.
+
+    Subclasses provide ``encoder``, ``cache``, a ``config`` carrying
+    ``max_batch_size``/``max_wait_s`` and the batch entry point
+    :meth:`predict_many`; this base contributes request
+    encoding/validation, the on-demand micro-batcher lifecycle behind
+    :meth:`submit`, and cache persistence for warm restarts — one
+    implementation for both the single-fold and the ensemble service.
+    """
+
+    encoder: GraphEncoder
+    cache: Optional[EmbeddingCache]
+    stats: ServingStats
+
+    def __init__(self) -> None:
+        self._batcher_lock = threading.Lock()
+        self._batcher: Optional[MicroBatcher] = None
+        self._auto_start = False
+
+    # ----------------------------------------------------------- sync paths
+    def predict(self, request: Request):
+        """Answer one request (batch-of-one on a cache miss)."""
+        return self.predict_many([request])[0]
+
+    def predict_many(self, requests: Sequence[Request]) -> List[object]:
+        """Answer several requests with as few forward passes as possible.
+
+        Cache misses are grouped into batches of up to ``max_batch_size``
+        graphs and handed to the subclass's :meth:`_forward_batch`; hits
+        (and in-call duplicates) replay cached rows without touching any
+        model.
+        """
+        start = time.perf_counter()
+        encoded = [self._encode(request) for request in requests]
+        fingerprints = [graph_fingerprint(graph) for graph in encoded]
+
+        rows: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(encoded)
+        hit_flags = [False] * len(encoded)
+        pending: List[int] = []
+        seen_pending: Dict[str, List[int]] = {}
+        for i, fingerprint in enumerate(fingerprints):
+            if fingerprint in seen_pending:
+                # Duplicate within one call: compute once, share the row
+                # (checked first so duplicates don't inflate cache misses).
+                seen_pending[fingerprint].append(i)
+                continue
+            entry = (
+                self.cache.get(self._cache_key(fingerprint))
+                if self.cache is not None
+                else None
+            )
+            if entry is not None:
+                rows[i] = (entry.logits, entry.graph_vector)
+                hit_flags[i] = True
+            else:
+                seen_pending[fingerprint] = [i]
+                pending.append(i)
+        lookup_latency = time.perf_counter() - start
+
+        for offset in range(0, len(pending), self.config.max_batch_size):
+            chunk = pending[offset : offset + self.config.max_batch_size]
+            batch = collate([encoded[i] for i in chunk])
+            logits_rows, vector_rows = self._forward_batch(batch, len(chunk))
+            for j, i in enumerate(chunk):
+                fingerprint = fingerprints[i]
+                row = (logits_rows[j], vector_rows[j])
+                for duplicate in seen_pending[fingerprint]:
+                    rows[duplicate] = row
+                if self.cache is not None:
+                    self.cache.put(self._cache_key(fingerprint), row[0], row[1])
+
+        total_latency = time.perf_counter() - start
+        results: List[object] = []
+        for i, graph in enumerate(encoded):
+            row = rows[i]
+            assert row is not None  # every index is a hit, pending or duplicate
+            # Cache hits were answered by the lookup phase alone; only
+            # misses paid for the forward passes.  Recording them apart
+            # keeps the latency percentiles honest about the cache.
+            latency = lookup_latency if hit_flags[i] else total_latency
+            results.append(
+                self._build_result(graph, fingerprints[i], row, hit_flags[i], latency)
+            )
+            self.stats.record_request(latency, hit_flags[i])
+        return results
+
+    # ------------------------------------------------------ subclass hooks
+    def _cache_key(self, fingerprint: str) -> str:
+        """Cache key for one fingerprint (subclasses add a model digest)."""
+        raise NotImplementedError
+
+    def _forward_batch(self, batch, size: int):
+        """Run the model(s) over one collated batch of ``size`` graphs.
+
+        Returns ``(logits_rows, vector_rows)``, each indexable by position
+        within the batch; one row becomes one cache entry.
+        """
+        raise NotImplementedError
+
+    def _build_result(self, graph, fingerprint, row, cache_hit, latency_s):
+        """Turn one cached-or-computed row into the service's result type."""
+        raise NotImplementedError
+
+    # ---------------------------------------------------------- async path
+    def _ensure_batcher_locked(self) -> MicroBatcher:
+        """Create the batcher if absent; caller must hold ``_batcher_lock``."""
+        if self._batcher is None:
+            self._batcher = MicroBatcher(
+                self.predict_many,
+                max_batch_size=self.config.max_batch_size,
+                max_wait_s=self.config.max_wait_s,
+            )
+        return self._batcher
+
+    def start(self) -> "ServingFrontend":
+        """Start the micro-batching thread behind :meth:`submit`."""
+        with self._batcher_lock:
+            self._auto_start = True
+            self._ensure_batcher_locked().start()
+        return self
+
+    def submit(self, request: Request) -> Future:
+        """Enqueue one request; resolves to one :meth:`predict_many` result.
+
+        Requests submitted before the first :meth:`start` queue up and are
+        answered — typically as one batch — once the service starts; once a
+        service has been started, later submits (including after a
+        :meth:`stop`) restart the batcher on demand.  Invalid requests are
+        rejected here, before they can poison a whole micro-batch.
+        """
+        encoded = self._encode(request)
+        # Enqueue under the lock so a concurrent stop() cannot close the
+        # batcher between the lookup and the submit.
+        with self._batcher_lock:
+            batcher = self._ensure_batcher_locked()
+            if self._auto_start:
+                batcher.start()
+            return batcher.submit(encoded)
+
+    def stop(self) -> None:
+        """Drain queued requests and stop the micro-batching thread."""
+        with self._batcher_lock:
+            batcher, self._batcher = self._batcher, None
+        if batcher is not None:
+            batcher.close()
+
+    def __enter__(self) -> "ServingFrontend":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- warm-up
+    def dump_cache(self, path: str) -> int:
+        """Persist the embedding cache for a future warm start."""
+        if self.cache is None:
+            raise RuntimeError("cache is disabled; nothing to dump")
+        return self.cache.dump(path)
+
+    def warm_up(self, path: str) -> int:
+        """Load a previously dumped cache; returns entries loaded.
+
+        Entries whose keys don't belong to this service (e.g. an ensemble
+        dump from a different model-version set) load but never match, so
+        a mismatched warm-up file degrades to a cold start, not to wrong
+        answers.
+        """
+        if self.cache is None:
+            raise RuntimeError("cache is disabled; cannot warm up")
+        return self.cache.load(path)
+
+    # ------------------------------------------------------------ internals
+    def _encode(self, request: Request) -> EncodedGraph:
+        if isinstance(request, EncodedGraph):
+            return request
+        if isinstance(request, ProgramGraph):
+            return self.encoder.encode(request)
+        raise TypeError(
+            f"requests must be EncodedGraph or ProgramGraph, got {type(request).__name__}"
+        )
+
+
+class PredictionService(ServingFrontend):
     """Serves configuration predictions from a trained model."""
 
     def __init__(
@@ -98,6 +301,16 @@ class PredictionService:
         self.model = model
         self.model.eval()
         self.encoder = encoder
+        if label_space is not None and model.config.num_classes != label_space.num_labels:
+            # Caught here, not at prediction time: a mismatched head would
+            # otherwise emit labels with no configuration (or never emit the
+            # tail of the label space) and every result would silently carry
+            # ``configuration=None``.
+            raise ValueError(
+                f"model head emits {model.config.num_classes} labels but the "
+                f"label space defines {label_space.num_labels} configurations; "
+                f"the service cannot map predictions onto configurations"
+            )
         self.label_space = label_space
         self.hybrid = hybrid
         self.stats = ServingStats(latency_window=self.config.latency_window)
@@ -106,12 +319,20 @@ class PredictionService:
             if self.config.enable_cache
             else None
         )
+        if (
+            self.cache is not None
+            and self.config.warmup_path
+            and os.path.isfile(self.config.warmup_path)
+        ):
+            self.cache.load(self.config.warmup_path)
+        # Cache keys carry a digest of the exact weights, so a warm-up file
+        # dumped by a *different* model version never replays stale logits
+        # — it simply never matches, degrading to a cold start.
+        self.model_id = _model_digest(model)
         # The NumPy model caches activations layer-by-layer during forward,
         # so at most one forward may run at a time.
         self._forward_lock = threading.Lock()
-        self._batcher_lock = threading.Lock()
-        self._batcher: Optional[MicroBatcher] = None
-        self._auto_start = False
+        super().__init__()
 
     # --------------------------------------------------------- constructors
     @classmethod
@@ -139,126 +360,17 @@ class PredictionService:
         artifact = ArtifactRegistry(root).load(name, version)
         return cls.from_artifact(artifact, config=config)
 
-    # ---------------------------------------------------------- sync paths
-    def predict(self, request: Request) -> PredictionResult:
-        """Answer one request (batch-of-one on a cache miss)."""
-        return self.predict_many([request])[0]
-
-    def predict_many(self, requests: Sequence[Request]) -> List[PredictionResult]:
-        """Answer several requests with as few forward passes as possible.
-
-        Cache misses are grouped into batches of up to ``max_batch_size``
-        graphs; hits replay cached logits without touching the model.
-        """
-        start = time.perf_counter()
-        encoded = [self._encode(request) for request in requests]
-        fingerprints = [graph_fingerprint(graph) for graph in encoded]
-
-        rows: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(encoded)
-        hit_flags = [False] * len(encoded)
-        pending: List[int] = []
-        seen_pending = {}
-        for i, fingerprint in enumerate(fingerprints):
-            if fingerprint in seen_pending:
-                # Duplicate within one call: compute once, share the row
-                # (checked first so duplicates don't inflate cache misses).
-                seen_pending[fingerprint].append(i)
-                continue
-            entry = self.cache.get(fingerprint) if self.cache is not None else None
-            if entry is not None:
-                rows[i] = (entry.logits, entry.graph_vector)
-                hit_flags[i] = True
-            else:
-                seen_pending[fingerprint] = [i]
-                pending.append(i)
-        lookup_latency = time.perf_counter() - start
-
-        for offset in range(0, len(pending), self.config.max_batch_size):
-            chunk = pending[offset : offset + self.config.max_batch_size]
-            batch = collate([encoded[i] for i in chunk])
-            with self._forward_lock:
-                logits, vectors = self.model.forward(batch)
-            self.stats.record_batch(len(chunk))
-            for j, i in enumerate(chunk):
-                fingerprint = fingerprints[i]
-                for duplicate in seen_pending[fingerprint]:
-                    rows[duplicate] = (logits[j], vectors[j])
-                if self.cache is not None:
-                    self.cache.put(fingerprint, logits[j], vectors[j])
-
-        total_latency = time.perf_counter() - start
-        results: List[PredictionResult] = []
-        for i, graph in enumerate(encoded):
-            row = rows[i]
-            assert row is not None  # every index is a hit, pending or duplicate
-            # Cache hits were answered by the lookup phase alone; only
-            # misses paid for the forward passes.  Recording them apart
-            # keeps the latency percentiles honest about the cache.
-            latency = lookup_latency if hit_flags[i] else total_latency
-            results.append(
-                self._build_result(graph, fingerprints[i], row, hit_flags[i], latency)
-            )
-            self.stats.record_request(latency, hit_flags[i])
-        return results
-
-    # ---------------------------------------------------------- async path
-    def _ensure_batcher_locked(self) -> MicroBatcher:
-        """Create the batcher if absent; caller must hold ``_batcher_lock``."""
-        if self._batcher is None:
-            self._batcher = MicroBatcher(
-                self.predict_many,
-                max_batch_size=self.config.max_batch_size,
-                max_wait_s=self.config.max_wait_s,
-            )
-        return self._batcher
-
-    def start(self) -> "PredictionService":
-        """Start the micro-batching thread behind :meth:`submit`."""
-        with self._batcher_lock:
-            self._auto_start = True
-            self._ensure_batcher_locked().start()
-        return self
-
-    def submit(self, request: Request) -> Future:
-        """Enqueue one request; resolves to a :class:`PredictionResult`.
-
-        Requests submitted before the first :meth:`start` queue up and are
-        answered — typically as one batch — once the service starts; once a
-        service has been started, later submits (including after a
-        :meth:`stop`) restart the batcher on demand.  Invalid requests are
-        rejected here, before they can poison a whole micro-batch.
-        """
-        encoded = self._encode(request)
-        # Enqueue under the lock so a concurrent stop() cannot close the
-        # batcher between the lookup and the submit.
-        with self._batcher_lock:
-            batcher = self._ensure_batcher_locked()
-            if self._auto_start:
-                batcher.start()
-            return batcher.submit(encoded)
-
-    def stop(self) -> None:
-        """Drain queued requests and stop the micro-batching thread."""
-        with self._batcher_lock:
-            batcher, self._batcher = self._batcher, None
-        if batcher is not None:
-            batcher.close()
-
-    def __enter__(self) -> "PredictionService":
-        return self.start()
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
-
     # ------------------------------------------------------------ internals
-    def _encode(self, request: Request) -> EncodedGraph:
-        if isinstance(request, EncodedGraph):
-            return request
-        if isinstance(request, ProgramGraph):
-            return self.encoder.encode(request)
-        raise TypeError(
-            f"requests must be EncodedGraph or ProgramGraph, got {type(request).__name__}"
-        )
+    def _cache_key(self, fingerprint: str) -> str:
+        return f"{self.model_id}:{fingerprint}"
+
+    def _forward_batch(
+        self, batch, size: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        with self._forward_lock:
+            logits, vectors = self.model.forward(batch)
+        self.stats.record_batch(size)
+        return logits, vectors
 
     def _build_result(
         self,
@@ -271,9 +383,11 @@ class PredictionService:
         logits, vector = row
         label = int(np.argmax(logits))
         probabilities = softmax(logits[None, :], axis=1)[0]
+        # Construction validated head size == label-space size, so every
+        # emitted label maps onto a real configuration.
         configuration = (
             self.label_space.configuration_of(label)
-            if self.label_space is not None and label < self.label_space.num_labels
+            if self.label_space is not None
             else None
         )
         needs_profiling = (

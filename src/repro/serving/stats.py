@@ -85,18 +85,39 @@ class ServingStats:
 
     # -------------------------------------------------------------- export
     def snapshot(self) -> Dict[str, object]:
-        """One JSON-friendly view of every metric."""
+        """One JSON-friendly view of every metric.
+
+        Every counter is copied under a single lock acquisition, so a
+        snapshot taken mid-burst is internally consistent — ``cache_hits``
+        can never exceed ``total_requests``, and derived rates are computed
+        from the same reads they describe (the property accessors each lock
+        separately, which is fine for one value but torn across several).
+        """
         with self._lock:
+            total_requests = self.total_requests
+            cache_hits = self.cache_hits
+            total_batches = self.total_batches
+            batched_graphs = self.batched_graphs
             histogram = dict(sorted(self.batch_histogram.items()))
+            latencies = (
+                np.asarray(self._latencies, dtype=np.float64)
+                if self._latencies
+                else None
+            )
+        elapsed = self.uptime_s
         return {
-            "uptime_s": self.uptime_s,
-            "total_requests": self.total_requests,
-            "cache_hits": self.cache_hits,
-            "cache_hit_rate": self.cache_hit_rate,
-            "total_batches": self.total_batches,
-            "mean_batch_size": self.mean_batch_size,
+            "uptime_s": elapsed,
+            "total_requests": total_requests,
+            "cache_hits": cache_hits,
+            "cache_hit_rate": cache_hits / total_requests if total_requests else 0.0,
+            "total_batches": total_batches,
+            "mean_batch_size": batched_graphs / total_batches if total_batches else 0.0,
             "batch_histogram": histogram,
-            "qps": self.qps(),
-            "latency_p50_s": self.latency_percentile(50.0),
-            "latency_p95_s": self.latency_percentile(95.0),
+            "qps": total_requests / elapsed if elapsed > 0 else 0.0,
+            "latency_p50_s": (
+                float(np.percentile(latencies, 50.0)) if latencies is not None else 0.0
+            ),
+            "latency_p95_s": (
+                float(np.percentile(latencies, 95.0)) if latencies is not None else 0.0
+            ),
         }

@@ -1,5 +1,7 @@
 """Tests for the online serving subsystem: registry, cache, batcher, service."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -15,10 +17,14 @@ from repro.serving import (
     ArtifactNotFoundError,
     ArtifactRegistry,
     EmbeddingCache,
+    EnsembleConfig,
+    EnsemblePredictionService,
     MicroBatcher,
     PredictionService,
     ServiceConfig,
     ServingStats,
+    combine_majority_vote,
+    combine_mean_softmax,
     configuration_from_dict,
     configuration_to_dict,
     label_space_from_dict,
@@ -28,16 +34,24 @@ from repro.serving import (
 NUM_LABELS = 4
 
 
-@pytest.fixture(scope="module")
-def predictor():
+def small_predictor(num_labels=NUM_LABELS, seed=3, graph_vector_dim=8):
     """A small (untrained — weights are deterministic) predictor."""
     return StaticConfigurationPredictor(
-        num_labels=NUM_LABELS,
+        num_labels=num_labels,
         encoder=GraphEncoder(),
         config=StaticModelConfig(
-            hidden_dim=8, graph_vector_dim=8, num_rgcn_layers=1, epochs=1, seed=3
+            hidden_dim=8,
+            graph_vector_dim=graph_vector_dim,
+            num_rgcn_layers=1,
+            epochs=1,
+            seed=seed,
         ),
     )
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return small_predictor()
 
 
 @pytest.fixture(scope="module")
@@ -178,6 +192,124 @@ class TestArtifactRegistry:
         assert registry.latest_version("model") == "v10000"
         assert registry.save("model", predictor).version == "v10001"
 
+    def test_save_retries_version_allocation_on_collision(self, tmp_path, predictor):
+        # Regression: two concurrent writers both compute v0002; the loser's
+        # os.replace used to die with ENOTEMPTY.  Simulate losing the race by
+        # letting a competitor claim the computed version mid-save.
+        registry = ArtifactRegistry(tmp_path)
+        registry.save("model", predictor)
+        competitor = ArtifactRegistry(tmp_path)
+        real_next_version = registry._next_version
+        raced = []
+
+        def racing_next_version(name):
+            version = real_next_version(name)
+            if not raced:
+                raced.append(version)
+                competitor.save("model", predictor)  # steals this version
+            return version
+
+        registry._next_version = racing_next_version
+        ref = registry.save("model", predictor)
+        assert raced == ["v0002"]
+        assert ref.version == "v0003"
+        assert registry.versions("model") == ["v0001", "v0002", "v0003"]
+        # The retried artefact's manifest records the version it really got,
+        # and its checksums still verify.
+        loaded = registry.load("model", "v0003")
+        assert loaded.manifest["version"] == "v0003"
+
+    def test_concurrent_saves_allocate_unique_versions(self, tmp_path, predictor):
+        errors = []
+        refs = []
+        barrier = threading.Barrier(4)
+
+        def writer():
+            try:
+                barrier.wait(timeout=10)
+                refs.append(ArtifactRegistry(tmp_path).save("model", predictor))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        versions = sorted(ref.version for ref in refs)
+        assert len(set(versions)) == 4
+        assert ArtifactRegistry(tmp_path).versions("model") == versions
+        for version in versions:
+            ArtifactRegistry(tmp_path).verify("model", version)
+
+    def test_fold_groups_discovery(self, tmp_path, predictor):
+        registry = ArtifactRegistry(tmp_path)
+        for name in ("demo-fold0", "demo-fold1", "demo-fold10", "other-fold2", "solo"):
+            registry.save(name, predictor)
+        groups = registry.fold_groups()
+        assert set(groups) == {"demo", "other"}
+        assert list(groups["demo"]) == [0, 1, 10]  # numeric, not lexicographic
+        assert groups["demo"][10] == "demo-fold10"
+        assert registry.fold_members("other") == {2: "other-fold2"}
+        assert registry.fold_members("missing") == {}
+
+
+class TestRegistryRetention:
+    def test_gc_keeps_newest_versions(self, tmp_path, predictor):
+        registry = ArtifactRegistry(tmp_path)
+        for _ in range(4):
+            registry.save("model", predictor)
+        removed = registry.gc("model", keep_last=2)
+        assert removed == ["v0001", "v0002"]
+        assert registry.versions("model") == ["v0003", "v0004"]
+        assert registry.load("model").ref.version == "v0004"
+
+    def test_gc_never_deletes_the_latest(self, tmp_path, predictor):
+        registry = ArtifactRegistry(tmp_path)
+        ref = registry.save("model", predictor)
+        assert registry.gc("model", keep_last=1) == []
+        assert registry.versions("model") == [ref.version]
+        with pytest.raises(ValueError, match="keep_last"):
+            registry.gc("model", keep_last=0)
+
+    def test_gc_dry_run_deletes_nothing(self, tmp_path, predictor):
+        registry = ArtifactRegistry(tmp_path)
+        for _ in range(3):
+            registry.save("model", predictor)
+        doomed = registry.gc("model", keep_last=1, dry_run=True)
+        assert doomed == ["v0001", "v0002"]
+        assert registry.versions("model") == ["v0001", "v0002", "v0003"]
+
+    def test_gc_spares_pinned_versions(self, tmp_path, predictor):
+        registry = ArtifactRegistry(tmp_path)
+        for _ in range(3):
+            registry.save("model", predictor)
+        registry.pin("model", "v0001")
+        assert registry.is_pinned("model", "v0001")
+        assert registry.pinned_versions("model") == ["v0001"]
+        assert registry.gc("model", keep_last=1) == ["v0002"]
+        assert registry.versions("model") == ["v0001", "v0003"]
+        # Pinning is a retention marker, not a payload change.
+        registry.verify("model", "v0001")
+        registry.unpin("model", "v0001")
+        assert registry.gc("model", keep_last=1) == ["v0001"]
+        assert registry.versions("model") == ["v0003"]
+
+    def test_gc_unknown_name(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        assert registry.gc("nope", keep_last=1) == []
+        with pytest.raises(ValueError):
+            registry.gc("../evil", keep_last=1)
+
+    def test_pin_validates_target(self, tmp_path, predictor):
+        registry = ArtifactRegistry(tmp_path)
+        registry.save("model", predictor)
+        with pytest.raises(ArtifactNotFoundError):
+            registry.pin("model", "v0099")
+        with pytest.raises(ArtifactNotFoundError):
+            registry.pin("nope", "v0001")
+
 
 # ----------------------------------------------------------------- caching
 
@@ -213,6 +345,67 @@ class TestEmbeddingCache:
         assert stats["misses"] == 1.0
         assert stats["hit_rate"] == 0.5
 
+    def test_clear_resets_counters(self):
+        cache = EmbeddingCache(capacity=2)
+        for key in ("a", "b", "c"):  # evicts "a"
+            cache.put(key, np.zeros(1), np.zeros(1))
+        cache.get("b")
+        cache.get("gone")
+        cache.clear()
+        # A cleared cache must not report the dead population's hit rate.
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
+        assert cache.hit_rate == 0.0
+        stats = cache.stats()
+        assert stats["hits"] == stats["misses"] == stats["evictions"] == 0.0
+        assert stats["hit_rate"] == 0.0
+        cache.get("anything")
+        assert cache.hit_rate == 0.0
+        cache.put("x", np.zeros(1), np.zeros(1))
+        cache.get("x")
+        assert cache.hit_rate == 0.5
+
+    def test_dump_load_round_trip_bit_identical(self, tmp_path):
+        cache = EmbeddingCache(capacity=4)
+        cache.put("first", np.array([0.1, 0.2, 0.3]), np.array([1.0, -1.0]))
+        cache.put("second", np.array([9.0, -9.0, 0.5]), np.array([0.25, 0.75]))
+        cache.get("first")  # promote: "second" is now least recently used
+        path = str(tmp_path / "cache.npz")
+        assert cache.dump(path) == 2
+
+        restored = EmbeddingCache(capacity=4)
+        assert restored.load(path) == 2
+        entry = restored.get("first")
+        assert np.array_equal(entry.logits, np.array([0.1, 0.2, 0.3]))
+        assert np.array_equal(entry.graph_vector, np.array([1.0, -1.0]))
+        assert "second" in restored
+
+    def test_load_preserves_lru_order(self, tmp_path):
+        cache = EmbeddingCache(capacity=4)
+        cache.put("old", np.zeros(1), np.zeros(1))
+        cache.put("new", np.ones(1), np.ones(1))
+        cache.get("old")  # "new" becomes the eviction candidate
+        path = str(tmp_path / "cache.npz")
+        cache.dump(path)
+
+        tiny = EmbeddingCache(capacity=1)
+        tiny.load(path)
+        assert "old" in tiny
+        assert tiny.evictions == 1
+
+    def test_load_rejects_foreign_file(self, tmp_path):
+        path = str(tmp_path / "not-a-dump.npz")
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ValueError, match="dump"):
+            EmbeddingCache(capacity=4).load(path)
+
+    def test_dump_empty_cache(self, tmp_path):
+        path = str(tmp_path / "empty.npz")
+        assert EmbeddingCache(capacity=4).dump(path) == 0
+        fresh = EmbeddingCache(capacity=4)
+        assert fresh.load(path) == 0
+        assert len(fresh) == 0
+
 
 class TestServingStats:
     def test_counters_and_percentiles(self):
@@ -230,6 +423,33 @@ class TestServingStats:
         assert 0.01 <= snapshot["latency_p50_s"] <= 0.04
         assert snapshot["latency_p95_s"] >= snapshot["latency_p50_s"]
         assert snapshot["qps"] > 0
+
+    def test_snapshot_is_internally_consistent_mid_burst(self):
+        # Every recorded request is a cache hit, so in any *consistent* view
+        # hits == requests; a snapshot whose counters are read at different
+        # times (the old unlocked reads) could observe hits > requests.
+        stats = ServingStats()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                stats.record_request(0.0001, cache_hit=True)
+                stats.record_batch(2)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(300):
+                snapshot = stats.snapshot()
+                assert snapshot["cache_hits"] == snapshot["total_requests"]
+                total = snapshot["total_requests"]
+                assert snapshot["cache_hit_rate"] == (1.0 if total else 0.0)
+                assert snapshot["total_batches"] * 2 == sum(
+                    size * count for size, count in snapshot["batch_histogram"].items()
+                )
+        finally:
+            stop.set()
+            thread.join(timeout=10)
 
 
 # ----------------------------------------------------------------- batcher
@@ -306,6 +526,59 @@ class TestMicroBatcher:
             future = batcher.submit(1)
             with pytest.raises(RuntimeError, match="results"):
                 future.result(timeout=5)
+
+    def test_close_while_batch_mid_flight_serves_everything(self):
+        # close() arriving while the runner is inside a batch must neither
+        # drop that batch nor the requests queued behind it.
+        started = threading.Event()
+        release = threading.Event()
+
+        def runner(items):
+            started.set()
+            release.wait(timeout=10)
+            return items
+
+        batcher = MicroBatcher(runner, max_batch_size=1, max_wait_s=0.0)
+        batcher.start()
+        in_flight = batcher.submit("in-flight")
+        assert started.wait(timeout=10)
+        queued = batcher.submit("queued")
+        closer = threading.Thread(target=batcher.close)
+        closer.start()
+        release.set()
+        assert in_flight.result(timeout=10) == "in-flight"
+        assert queued.result(timeout=10) == "queued"
+        closer.join(timeout=10)
+        assert not closer.is_alive()
+        with pytest.raises(RuntimeError):
+            batcher.submit("too late")
+
+    def test_cancelled_future_in_mixed_batch_is_skipped(self):
+        batches = []
+
+        def runner(items):
+            batches.append(list(items))
+            return [item * 10 for item in items]
+
+        batcher = MicroBatcher(runner, max_batch_size=4)
+        keep_first = batcher.submit(1)
+        doomed = batcher.submit(2)
+        keep_second = batcher.submit(3)
+        assert doomed.cancel()
+        with batcher:
+            # The live neighbours of a cancelled future still get answers,
+            # mapped to the right items.
+            assert keep_first.result(timeout=5) == 10
+            assert keep_second.result(timeout=5) == 30
+        assert all(2 not in batch for batch in batches)
+        assert doomed.cancelled()
+
+    def test_restart_after_close_is_rejected(self):
+        batcher = MicroBatcher(lambda items: items, max_batch_size=2)
+        with batcher:
+            pass
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.start()
 
 
 # ----------------------------------------------------------------- service
@@ -400,17 +673,73 @@ class TestPredictionService:
         assert result.needs_profiling is None
 
     def test_hybrid_and_label_space_attached(
-        self, predictor, sample_graphs, label_space, fitted_hybrid
+        self, sample_graphs, label_space, fitted_hybrid
     ):
+        matched = small_predictor(num_labels=label_space.num_labels)
         service = PredictionService(
-            model=predictor.model,
-            encoder=predictor.encoder,
+            model=matched.model,
+            encoder=matched.encoder,
             label_space=label_space,
             hybrid=fitted_hybrid,
         )
         result = service.predict(sample_graphs[0])
         assert result.configuration == label_space.configuration_of(result.label)
         assert isinstance(result.needs_profiling, bool)
+
+    def test_mismatched_label_space_rejected_at_construction(self, label_space):
+        # A head that emits more labels than the label space defines would
+        # silently answer ``configuration=None``; it must fail loudly here.
+        mismatched = small_predictor(num_labels=label_space.num_labels + 1)
+        with pytest.raises(ValueError, match="label space"):
+            PredictionService(
+                model=mismatched.model,
+                encoder=mismatched.encoder,
+                label_space=label_space,
+            )
+
+    def test_cache_dump_and_warm_up_round_trip(self, predictor, sample_graphs, tmp_path):
+        service = make_service(predictor)
+        cold = service.predict_many(sample_graphs)
+        path = str(tmp_path / "warm.npz")
+        assert service.dump_cache(path) == len(service.cache)
+
+        warmed = make_service(predictor, warmup_path=path)
+        first = warmed.predict(sample_graphs[0])
+        # The very first request after a restart is already a hit ...
+        assert first.cache_hit
+        assert first.label == cold[0].label
+        assert np.array_equal(first.probabilities, cold[0].probabilities)
+        # ... and the explicit method does the same for a running service.
+        fresh = make_service(predictor)
+        assert fresh.warm_up(path) == len(sample_graphs)
+        assert fresh.predict(sample_graphs[1]).cache_hit
+
+    def test_missing_warmup_path_is_a_cold_start(self, predictor, sample_graphs, tmp_path):
+        service = make_service(predictor, warmup_path=str(tmp_path / "absent.npz"))
+        assert not service.predict(sample_graphs[0]).cache_hit
+
+    def test_warm_up_from_a_different_model_stays_cold(
+        self, predictor, sample_graphs, tmp_path
+    ):
+        # Cache keys carry a weights digest: a dump from an old model
+        # version must never replay its (stale) logits through a new one.
+        old_service = make_service(predictor)
+        old_results = old_service.predict_many(sample_graphs)
+        path = str(tmp_path / "old-model.npz")
+        old_service.dump_cache(path)
+
+        retrained = small_predictor(seed=99)
+        new_service = make_service(retrained, warmup_path=path)
+        result = new_service.predict(sample_graphs[0])
+        assert not result.cache_hit
+        assert not np.array_equal(result.probabilities, old_results[0].probabilities)
+
+    def test_warm_up_requires_cache(self, predictor, tmp_path):
+        service = make_service(predictor, enable_cache=False)
+        with pytest.raises(RuntimeError, match="cache"):
+            service.dump_cache(str(tmp_path / "warm.npz"))
+        with pytest.raises(RuntimeError, match="cache"):
+            service.warm_up(str(tmp_path / "warm.npz"))
 
     def test_submit_rejects_bad_type_before_batching(self, predictor, sample_graphs):
         # Invalid requests must fail at submit time instead of poisoning a
@@ -432,6 +761,17 @@ class TestPredictionService:
         assert future.result(timeout=10).label == service.predict(sample_graphs[1]).label
         service.stop()
 
+    def test_repeated_stop_restart_cycles(self, predictor, sample_graphs):
+        # Each stop() closes a MicroBatcher for good; the service must hand
+        # every later submit a fresh one, any number of times.
+        service = make_service(predictor)
+        expected = service.predict(sample_graphs[0]).label
+        service.start()
+        for _ in range(3):
+            future = service.submit(sample_graphs[0])
+            assert future.result(timeout=10).label == expected
+            service.stop()
+
     def test_async_submit_matches_sync_and_batches(self, predictor, sample_graphs):
         sync_service = make_service(predictor, enable_cache=False)
         expected = [result.label for result in sync_service.predict_many(sample_graphs)]
@@ -444,6 +784,212 @@ class TestPredictionService:
         # The pre-start queue was answered in one micro-batch.
         assert service.stats.total_batches == 1
         assert service.stats.batch_histogram == {len(sample_graphs): 1}
+
+
+# ---------------------------------------------------------------- ensemble
+
+
+class TestCombinationStrategies:
+    def test_mean_softmax_takes_argmax_of_mean(self):
+        stacked = np.array([[10.0, 0.0, 0.0], [10.0, 0.0, 0.0], [0.0, 10.0, 0.0]])
+        label, probabilities = combine_mean_softmax(stacked)
+        assert label == 0
+        assert probabilities.shape == (3,)
+        assert abs(probabilities.sum() - 1.0) < 1e-12
+        assert probabilities[0] > probabilities[1] > probabilities[2]
+
+    def test_majority_vote_counts_fold_argmaxes(self):
+        stacked = np.array([[10.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        label, shares = combine_majority_vote(stacked)
+        assert label == 0
+        assert np.allclose(shares, [2 / 3, 1 / 3])
+
+    def test_majority_vote_tie_breaks_on_mean_probability(self):
+        # One vote each, but fold 0 is far more confident about label 1.
+        stacked = np.array([[0.0, 5.0], [4.0, 0.0]])
+        label, shares = combine_majority_vote(stacked)
+        assert label == 1
+        assert np.allclose(shares, [0.5, 0.5])
+
+    def test_majority_vote_exact_tie_falls_to_lower_label(self):
+        stacked = np.array([[0.0, 10.0], [10.0, 0.0]])
+        label, _ = combine_majority_vote(stacked)
+        assert label == 0
+
+    def test_config_validates_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            EnsembleConfig(strategy="median")
+        for bad in (
+            dict(max_batch_size=0),
+            dict(max_wait_s=-1.0),
+            dict(cache_capacity=0),
+            dict(latency_window=0),
+        ):
+            with pytest.raises(ValueError):
+                EnsembleConfig(**bad)
+
+
+@pytest.fixture(scope="module")
+def exported_ensemble(tiny_pipeline, tiny_evaluation, tmp_path_factory):
+    """All tiny-evaluation folds exported under one ensemble base name."""
+    root = str(tmp_path_factory.mktemp("ensemble-registry"))
+    refs = tiny_pipeline.export_artifacts(tiny_evaluation, root, name="ens")
+    return root, refs
+
+
+class TestEnsemblePredictionService:
+    def test_discovers_every_exported_fold(self, exported_ensemble, tiny_evaluation):
+        root, refs = exported_ensemble
+        assert len(refs) >= 3
+        registry = ArtifactRegistry(root)
+        members = registry.fold_members("ens")
+        assert sorted(members) == sorted(fold.fold for fold in tiny_evaluation.folds)
+        service = EnsemblePredictionService.from_registry(root, "ens")
+        assert service.num_members == len(refs)
+
+    def test_deterministic_under_both_strategies(self, exported_ensemble, sample_graphs):
+        root, _ = exported_ensemble
+        for strategy in ("mean-softmax", "majority-vote"):
+            config = EnsembleConfig(strategy=strategy)
+            first = EnsemblePredictionService.from_registry(root, "ens", config=config)
+            second = EnsemblePredictionService.from_registry(root, "ens", config=config)
+            results_a = first.predict_many(sample_graphs)
+            results_b = second.predict_many(sample_graphs)
+            assert [r.label for r in results_a] == [r.label for r in results_b]
+            for a, b in zip(results_a, results_b):
+                assert np.array_equal(a.probabilities, b.probabilities)
+                assert a.per_fold_labels == b.per_fold_labels
+            # Re-answering through the same (now cache-hot) service agrees too.
+            replay = first.predict_many(sample_graphs)
+            assert [r.label for r in replay] == [r.label for r in results_a]
+            assert all(r.cache_hit for r in replay)
+
+    def test_results_report_fold_agreement(self, exported_ensemble, sample_graphs):
+        root, refs = exported_ensemble
+        service = EnsemblePredictionService.from_registry(root, "ens")
+        for result in service.predict_many(sample_graphs):
+            assert set(result.per_fold_labels) == set(service.members)
+            votes = sum(
+                1 for label in result.per_fold_labels.values() if label == result.label
+            )
+            assert result.agreement == pytest.approx(votes / len(refs))
+            assert 0.0 <= result.agreement <= 1.0
+            assert result.unanimous == (
+                len(set(result.per_fold_labels.values())) == 1
+            )
+            assert abs(result.probabilities.sum() - 1.0) < 1e-9
+
+    def test_majority_label_has_plurality(self, exported_ensemble, sample_graphs):
+        root, _ = exported_ensemble
+        service = EnsemblePredictionService.from_registry(
+            root, "ens", config=EnsembleConfig(strategy="majority-vote")
+        )
+        for result in service.predict_many(sample_graphs):
+            counts = {}
+            for label in result.per_fold_labels.values():
+                counts[label] = counts.get(label, 0) + 1
+            assert counts[result.label] == max(counts.values())
+
+    def test_configuration_and_profiling_mapping(
+        self, exported_ensemble, sample_graphs, tiny_evaluation
+    ):
+        root, _ = exported_ensemble
+        service = EnsemblePredictionService.from_registry(root, "ens")
+        result = service.predict(sample_graphs[0])
+        expected = tiny_evaluation.label_space.configuration_of(result.label)
+        assert result.configuration == expected
+        assert isinstance(result.needs_profiling, bool)
+
+    def test_shared_cache_is_keyed_by_version_set(self, exported_ensemble, sample_graphs):
+        root, _ = exported_ensemble
+        shared = EmbeddingCache(capacity=64)
+        full = EnsemblePredictionService.from_registry(root, "ens", cache=shared)
+        members = sorted(ArtifactRegistry(root).fold_members("ens"))
+        subset = EnsemblePredictionService.from_registry(
+            root, "ens", folds=members[:2], cache=shared
+        )
+        assert not full.predict(sample_graphs[0]).cache_hit
+        # Same request, same shared cache — but a different model-version
+        # set must never replay the other ensemble's logits.
+        assert not subset.predict(sample_graphs[0]).cache_hit
+        assert full.predict(sample_graphs[0]).cache_hit
+        assert subset.predict(sample_graphs[0]).cache_hit
+
+    def test_subset_selection_and_missing_folds(self, exported_ensemble):
+        root, _ = exported_ensemble
+        members = sorted(ArtifactRegistry(root).fold_members("ens"))
+        service = EnsemblePredictionService.from_registry(root, "ens", folds=members[:1])
+        assert service.num_members == 1
+        with pytest.raises(ArtifactNotFoundError):
+            EnsemblePredictionService.from_registry(root, "ens", folds=[99])
+        with pytest.raises(ArtifactNotFoundError):
+            EnsemblePredictionService.from_registry(root, "no-such-base")
+
+    def test_warm_start_round_trip(self, exported_ensemble, sample_graphs, tmp_path):
+        root, _ = exported_ensemble
+        cold = EnsemblePredictionService.from_registry(root, "ens")
+        cold_results = cold.predict_many(sample_graphs)
+        path = str(tmp_path / "ensemble-warm.npz")
+        assert cold.dump_cache(path) == len(sample_graphs)
+
+        warmed = EnsemblePredictionService.from_registry(
+            root, "ens", config=EnsembleConfig(warmup_path=path)
+        )
+        first = warmed.predict(sample_graphs[0])
+        assert first.cache_hit
+        assert first.label == cold_results[0].label
+        assert np.array_equal(first.probabilities, cold_results[0].probabilities)
+        assert first.per_fold_labels == cold_results[0].per_fold_labels
+
+    def test_async_submit_matches_sync(self, exported_ensemble, sample_graphs):
+        root, _ = exported_ensemble
+        sync = EnsemblePredictionService.from_registry(root, "ens")
+        expected = [result.label for result in sync.predict_many(sample_graphs)]
+        service = EnsemblePredictionService.from_registry(root, "ens")
+        futures = [service.submit(graph) for graph in sample_graphs]
+        with service:
+            results = [future.result(timeout=30) for future in futures]
+        assert [result.label for result in results] == expected
+
+    def test_snapshot_describes_the_ensemble(self, exported_ensemble, sample_graphs):
+        root, refs = exported_ensemble
+        service = EnsemblePredictionService.from_registry(root, "ens")
+        service.predict_many(sample_graphs)
+        snapshot = service.snapshot()
+        assert snapshot["strategy"] == "mean-softmax"
+        assert snapshot["num_members"] == len(refs)
+        assert len(snapshot["members"]) == len(refs)
+        assert snapshot["total_requests"] == len(sample_graphs)
+        # One forward per member per chunk.
+        assert snapshot["total_batches"] == len(refs)
+        assert snapshot["cache"]["size"] == float(len(sample_graphs))
+
+    def test_mismatched_members_rejected(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        registry.save("bad-fold0", small_predictor(num_labels=4))
+        registry.save("bad-fold1", small_predictor(num_labels=5))
+        with pytest.raises(ValueError, match="label"):
+            EnsemblePredictionService.from_registry(str(tmp_path), "bad")
+
+    def test_conflicting_label_spaces_rejected(self, tmp_path, label_space):
+        from repro.core import LabelSpace
+
+        # Same size, same machine — but label index i means a different
+        # configuration. Combining these would be silently wrong.
+        permuted = LabelSpace(
+            configurations=list(reversed(label_space.configurations)),
+            machine_name=label_space.machine_name,
+        )
+        registry = ArtifactRegistry(tmp_path)
+        matched = small_predictor(num_labels=label_space.num_labels)
+        registry.save("twist-fold0", matched, label_space=label_space)
+        registry.save("twist-fold1", matched, label_space=permuted)
+        with pytest.raises(ValueError, match="conflicting label spaces"):
+            EnsemblePredictionService.from_registry(str(tmp_path), "twist")
+
+    def test_empty_membership_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            EnsemblePredictionService({})
 
 
 # -------------------------------------------------------------- end-to-end
@@ -490,3 +1036,24 @@ class TestEndToEnd:
         assert metadata["fold"] == fold.fold
         assert metadata["explored_sequence"] == fold.explored_sequence
         assert set(metadata["validation_regions"]) == set(fold.validation_regions)
+
+    def test_exported_metadata_describes_ensemble_membership(
+        self, tiny_pipeline, tiny_evaluation, tmp_path
+    ):
+        refs = tiny_pipeline.export_artifacts(tiny_evaluation, tmp_path, name="memb")
+        registry = ArtifactRegistry(tmp_path)
+        expected_names = [f"memb-fold{fold.fold}" for fold in tiny_evaluation.folds]
+        for ref in refs:
+            ensemble_meta = registry.load(ref.name).manifest["metadata"]["ensemble"]
+            assert ensemble_meta["base"] == "memb"
+            assert ensemble_meta["num_members"] == len(tiny_evaluation.folds)
+            assert ensemble_meta["member_names"] == expected_names
+        # A subset export still records the *full* roster, so incremental
+        # exports under one base name never disagree about membership.
+        only_first = tiny_pipeline.export_artifacts(
+            tiny_evaluation, tmp_path, name="memb", folds=[tiny_evaluation.folds[0].fold]
+        )
+        assert len(only_first) == 1
+        subset_meta = registry.load(only_first[0].name).manifest["metadata"]["ensemble"]
+        assert subset_meta["member_names"] == expected_names
+        assert subset_meta["num_members"] == len(tiny_evaluation.folds)
