@@ -17,8 +17,10 @@ longer, higher-fidelity run:
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+import time
 
 import pytest
 
@@ -35,6 +37,88 @@ def _int_env(name: str, default: int) -> int:
         return int(os.environ.get(name, default))
     except ValueError:
         return default
+
+
+# ------------------------------------------------------ benchmark recording
+#
+# Every benchmark session appends its headline numbers (single / batched /
+# ensemble / HTTP QPS, cache and warm-start speedups — whatever the tests
+# put into ``benchmark.extra_info``) to BENCH_serving.json at the repo
+# root, so the performance trajectory of the serving layer accumulates
+# across commits and CI can diff consecutive records.  Note that the
+# default tier-1 invocation collects ``benchmarks/`` too, so a full local
+# run extends the tracked trajectory — commit the new record with your
+# change, or set ``REPRO_BENCH_RECORD`` to another path (or to the empty
+# string to disable recording) for scratch runs.
+
+_DEFAULT_RECORD_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_serving.json"
+)
+
+
+def _record_path() -> str:
+    return os.environ.get("REPRO_BENCH_RECORD", _DEFAULT_RECORD_PATH)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append one trajectory record built from ``benchmark.extra_info``."""
+    path = _record_path()
+    if not path:
+        return
+    benchmark_session = getattr(session.config, "_benchmarksession", None)
+    if benchmark_session is None:
+        return
+    per_test = {}
+    for bench in benchmark_session.benchmarks:
+        extra = dict(getattr(bench, "extra_info", None) or {})
+        if extra:
+            per_test[bench.name] = extra
+    if not per_test:
+        return
+
+    path = os.path.abspath(path)
+    # Serialise concurrent sessions on a sidecar lock: the read-modify-write
+    # below would otherwise drop one session's record.  (flock is advisory
+    # and POSIX-only; where unavailable, recording proceeds unlocked.)
+    lock_handle = None
+    try:
+        import fcntl
+
+        lock_handle = open(f"{path}.lock", "w")
+        fcntl.flock(lock_handle, fcntl.LOCK_EX)
+    except (ImportError, OSError):
+        lock_handle = None
+    try:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                history = json.load(handle)
+            if not isinstance(history, list):
+                history = []
+        except (FileNotFoundError, ValueError):
+            history = []
+        history.append(
+            {
+                "recorded_unix": time.time(),
+                "exit_status": int(exitstatus),
+                "knobs": {
+                    "sequences": _int_env("REPRO_BENCH_SEQUENCES", 8),
+                    "folds": _int_env("REPRO_BENCH_FOLDS", 5),
+                    "epochs": _int_env("REPRO_BENCH_EPOCHS", 20),
+                },
+                "benchmarks": dict(sorted(per_test.items())),
+            }
+        )
+        # Atomic replace (write + rename): a crashed run never truncates the
+        # accumulated trajectory.
+        tmp_path = f"{path}.tmp-{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(history, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    finally:
+        if lock_handle is not None:
+            lock_handle.close()
+    print(f"\nbenchmark record appended to {path} ({len(history)} run(s) recorded)")
 
 
 @pytest.fixture(scope="session")

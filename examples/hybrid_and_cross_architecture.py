@@ -5,18 +5,25 @@ cross-architecture transfer of a trained model (Figure 8).
 Run with:  python examples/hybrid_and_cross_architecture.py
 """
 
+import os
+
 from repro.core import HybridModelConfig, PipelineConfig, ReproPipeline, StaticModelConfig
 from repro.experiments import fig8_cross_architecture, fig9_hybrid_per_region, headline_claims
+
+#: REPRO_EXAMPLE_FAST=1 shrinks the training run (used by the CI smoke test).
+FAST = os.environ.get("REPRO_EXAMPLE_FAST") == "1"
 
 
 def main() -> None:
     config = PipelineConfig(
         machines=("skylake", "sandy-bridge"),
-        region_limit=30,
-        num_flag_sequences=4,
+        region_limit=10 if FAST else 30,
+        num_flag_sequences=2 if FAST else 4,
         num_labels=8,
-        folds=4,
-        static_model=StaticModelConfig(hidden_dim=32, graph_vector_dim=32, epochs=10),
+        folds=2 if FAST else 4,
+        static_model=StaticModelConfig(
+            hidden_dim=32, graph_vector_dim=32, epochs=2 if FAST else 10
+        ),
         hybrid=HybridModelConfig(use_ga_selection=False),
     )
     pipeline = ReproPipeline(config).build()

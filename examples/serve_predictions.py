@@ -9,10 +9,14 @@ the end.
 Run with:  python examples/serve_predictions.py
 """
 
+import os
 import tempfile
 
 from repro.core import HybridModelConfig, PipelineConfig, ReproPipeline, StaticModelConfig
 from repro.serving import ArtifactRegistry, PredictionService, ServiceConfig
+
+#: REPRO_EXAMPLE_FAST=1 shrinks the training run (used by the CI smoke test).
+FAST = os.environ.get("REPRO_EXAMPLE_FAST") == "1"
 
 
 def main() -> None:
@@ -20,12 +24,15 @@ def main() -> None:
     config = PipelineConfig(
         machines=("skylake",),
         families=["clomp", "lulesh"],
-        region_limit=12,
-        num_flag_sequences=3,
+        region_limit=6 if FAST else 12,
+        num_flag_sequences=2 if FAST else 3,
         num_labels=6,
-        folds=3,
+        folds=2 if FAST else 3,
         static_model=StaticModelConfig(
-            hidden_dim=16, graph_vector_dim=16, num_rgcn_layers=1, epochs=4
+            hidden_dim=16,
+            graph_vector_dim=16,
+            num_rgcn_layers=1,
+            epochs=1 if FAST else 4,
         ),
         hybrid=HybridModelConfig(use_ga_selection=False),
     )

@@ -4,6 +4,8 @@ NUMA/prefetcher configuration for held-out regions (the paper's core loop).
 Run with:  python examples/train_static_model.py
 """
 
+import os
+
 import numpy as np
 
 from repro.core import Augmenter, MachineDataset, select_label_space
@@ -12,10 +14,15 @@ from repro.graphs import GraphEncoder
 from repro.numasim import skylake
 from repro.workloads import build_suite
 
+#: REPRO_EXAMPLE_FAST=1 shrinks the training run (used by the CI smoke test).
+FAST = os.environ.get("REPRO_EXAMPLE_FAST") == "1"
+
 
 def main() -> None:
     # Dataset: 24 regions, timings simulated on the Skylake-like machine.
-    regions = build_suite(families=["clomp", "lulesh", "rodinia"], limit=24)
+    regions = build_suite(
+        families=["clomp", "lulesh", "rodinia"], limit=8 if FAST else 24
+    )
     dataset = MachineDataset(skylake(), regions)
     label_space = select_label_space(dataset, num_labels=6)
     labels = label_space.labels_for(dataset)
@@ -23,7 +30,9 @@ def main() -> None:
 
     # Augment with compiler flag sequences and encode graphs.
     encoder = GraphEncoder()
-    augmented = Augmenter(num_sequences=6, seed=0, encoder=encoder).augment(regions)
+    augmented = Augmenter(
+        num_sequences=2 if FAST else 6, seed=0, encoder=encoder
+    ).augment(regions)
     augmented.assign_labels(labels)
 
     # Hold out every fourth region for validation.
@@ -34,7 +43,9 @@ def main() -> None:
     predictor = StaticConfigurationPredictor(
         num_labels=label_space.num_labels,
         encoder=encoder,
-        config=StaticModelConfig(hidden_dim=32, graph_vector_dim=32, epochs=15),
+        config=StaticModelConfig(
+            hidden_dim=32, graph_vector_dim=32, epochs=2 if FAST else 15
+        ),
     )
     predictor.fit(train_samples)
 

@@ -10,10 +10,17 @@ with micro-batching and fingerprint-keyed caching.  An
 name behind one endpoint (mean-softmax or majority-vote combination), the
 registry supports retention (``gc``/``pin``), and caches persist
 (``EmbeddingCache.dump``/``load``) so restarted servers start hot.
+
+The wire protocol lives in :mod:`repro.serving.http`: a stdlib JSON/HTTP
+front-end (``POST /v1/predict``, ``GET /healthz``, ``GET /metrics``) over
+either service, with a :class:`CheckpointDaemon` dumping the cache on an
+interval so a crashed server restarts warm.  ``python -m repro.serving``
+(or the ``repro-serve`` console script) serves a registry artifact from
+the command line.
 """
 
 from .batcher import MicroBatcher
-from .cache import CacheEntry, EmbeddingCache
+from .cache import CacheEntry, CheckpointDaemon, EmbeddingCache
 from .ensemble import (
     EnsembleConfig,
     EnsemblePredictionResult,
@@ -29,11 +36,23 @@ from .registry import (
     ArtifactRegistry,
     LoadedArtifact,
 )
+from .http import (
+    PredictionHTTPServer,
+    RequestError,
+    ServingApp,
+    error_payload,
+    result_to_dict,
+)
 from .serialization import (
+    GRAPH_SCHEMA_VERSION,
+    SerializationError,
     configuration_from_dict,
     configuration_to_dict,
     label_space_from_dict,
     label_space_to_dict,
+    program_graph_from_dict,
+    program_graph_from_json,
+    program_graph_to_dict,
     vocabulary_from_dict,
     vocabulary_to_dict,
 )
@@ -43,7 +62,18 @@ from .stats import ServingStats
 __all__ = [
     "MicroBatcher",
     "CacheEntry",
+    "CheckpointDaemon",
     "EmbeddingCache",
+    "PredictionHTTPServer",
+    "RequestError",
+    "ServingApp",
+    "error_payload",
+    "result_to_dict",
+    "GRAPH_SCHEMA_VERSION",
+    "SerializationError",
+    "program_graph_from_dict",
+    "program_graph_from_json",
+    "program_graph_to_dict",
     "EnsembleConfig",
     "EnsemblePredictionResult",
     "EnsemblePredictionService",

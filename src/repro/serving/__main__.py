@@ -1,0 +1,146 @@
+"""Command-line HTTP serving entry point.
+
+Serve the latest version of one artifact::
+
+    python -m repro.serving --root /path/to/registry --name skylake-demo-fold0
+
+Serve every exported fold of a base name as an ensemble, with background
+cache checkpointing every 30 seconds (the checkpoint file doubles as the
+warm-up file on the next start, so a crashed or restarted server answers
+its first burst from cache)::
+
+    python -m repro.serving --root /path/to/registry --ensemble skylake-demo \
+        --port 8080 --checkpoint-path /var/tmp/repro-cache.npz \
+        --checkpoint-interval 30
+
+The installed console script ``repro-serve`` is an alias for this module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .cache import CheckpointDaemon
+from .ensemble import EnsembleConfig, EnsemblePredictionService, STRATEGIES
+from .http import (
+    DEFAULT_MAX_BODY_BYTES,
+    DEFAULT_REQUEST_TIMEOUT_S,
+    PredictionHTTPServer,
+)
+from .registry import ArtifactError
+from .service import PredictionService, ServiceConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve a trained predictor (or fold ensemble) over JSON/HTTP.",
+    )
+    parser.add_argument("--root", required=True, help="artifact registry root directory")
+    what = parser.add_mutually_exclusive_group(required=True)
+    what.add_argument("--name", help="serve one artifact name (latest version)")
+    what.add_argument(
+        "--ensemble", metavar="BASE", help="serve every '<BASE>-fold<k>' artifact"
+    )
+    parser.add_argument("--version", help="pin a version (only with --name)")
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="mean-softmax",
+        help="ensemble combination strategy (only with --ensemble)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--max-batch-size", type=int, default=32)
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0, help="micro-batching window"
+    )
+    parser.add_argument("--cache-capacity", type=int, default=1024)
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the embedding cache"
+    )
+    parser.add_argument(
+        "--checkpoint-path",
+        help="dump the cache here on an interval and on shutdown; also used "
+        "as the warm-up file at startup if it exists",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=30.0, metavar="SECONDS"
+    )
+    parser.add_argument(
+        "--warmup-path",
+        help="explicit warm-up file (defaults to --checkpoint-path)",
+    )
+    parser.add_argument(
+        "--request-timeout", type=float, default=DEFAULT_REQUEST_TIMEOUT_S
+    )
+    parser.add_argument("--max-body-bytes", type=int, default=DEFAULT_MAX_BODY_BYTES)
+    parser.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request"
+    )
+    return parser
+
+
+def build_service(args: argparse.Namespace):
+    warmup = args.warmup_path or args.checkpoint_path
+    common = dict(
+        max_batch_size=args.max_batch_size,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        cache_capacity=args.cache_capacity,
+        enable_cache=not args.no_cache,
+        warmup_path=warmup,
+    )
+    if args.ensemble:
+        return EnsemblePredictionService.from_registry(
+            args.root,
+            args.ensemble,
+            config=EnsembleConfig(strategy=args.strategy, **common),
+        )
+    return PredictionService.from_registry(
+        args.root, args.name, version=args.version, config=ServiceConfig(**common)
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.version and not args.name:
+        parser.error("--version requires --name")
+    if args.no_cache and (args.warmup_path or args.checkpoint_path):
+        print(
+            "error: --warmup-path/--checkpoint-path require the cache "
+            "(drop --no-cache)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        service = build_service(args)
+    except (ArtifactError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    checkpoint = None
+    if args.checkpoint_path:
+        checkpoint = CheckpointDaemon(
+            service.cache, args.checkpoint_path, interval_s=args.checkpoint_interval
+        )
+
+    server = PredictionHTTPServer(
+        service,
+        host=args.host,
+        port=args.port,
+        checkpoint=checkpoint,
+        request_timeout_s=args.request_timeout,
+        max_body_bytes=args.max_body_bytes,
+        quiet=not args.verbose,
+    )
+    serving = service.describe()
+    print(f"serving {serving} on {server.url}", flush=True)
+    server.run()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

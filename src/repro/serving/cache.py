@@ -11,6 +11,10 @@ constructed.
 The table can also be persisted (:meth:`EmbeddingCache.dump`) and reloaded
 (:meth:`EmbeddingCache.load`), so a restarted server starts hot instead of
 re-paying a forward pass per region on its first burst.
+:class:`CheckpointDaemon` automates the dump side: a background thread
+writes the cache to a fixed path on an interval (and on graceful stop),
+skipping rounds where nothing changed, so a crashed server restarts warm
+from its last checkpoint instead of cold.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import uuid
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -49,6 +54,14 @@ class EmbeddingCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: monotonic count of content changes (puts and clears, not reads);
+        #: lets a checkpointer skip dumping a cache that has not changed.
+        self._mutations = 0
+
+    @property
+    def mutation_count(self) -> int:
+        with self._lock:
+            return self._mutations
 
     def __len__(self) -> int:
         with self._lock:
@@ -78,6 +91,7 @@ class EmbeddingCache:
         with self._lock:
             self._entries[fingerprint] = entry
             self._entries.move_to_end(fingerprint)
+            self._mutations += 1
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
@@ -93,6 +107,7 @@ class EmbeddingCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self._mutations += 1
 
     @property
     def hit_rate(self) -> float:
@@ -175,3 +190,115 @@ class EmbeddingCache:
         for fingerprint, logits, vector in loaded:
             self.put(fingerprint, logits, vector)
         return len(loaded)
+
+
+class CheckpointDaemon:
+    """Background cache-dump checkpointing.
+
+    Periodically persists an :class:`EmbeddingCache` to ``path`` via
+    :meth:`EmbeddingCache.dump` (already atomic: temp file + rename, so a
+    crash mid-checkpoint never leaves a torn file), and once more on
+    graceful :meth:`stop`.  Rounds where the cache has not changed since the
+    last checkpoint are skipped — an idle server does not rewrite an
+    identical file every interval.  A failing dump (disk full, permissions)
+    is recorded in :meth:`stats` and retried next round instead of killing
+    the thread.
+    """
+
+    def __init__(self, cache: EmbeddingCache, path: str, interval_s: float = 30.0):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self.cache = cache
+        self.path = str(path)
+        self.interval_s = float(interval_s)
+        self._wake = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        # Guards checkpoint bookkeeping; dumps themselves serialise on it too
+        # so a stop()-triggered final dump cannot interleave with a timer one.
+        # A never-mutated (empty) cache counts as clean: an idle server must
+        # not overwrite a previous run's warm checkpoint with an empty dump.
+        self._dumped_mutations = 0
+        self.checkpoints = 0
+        self.skipped = 0
+        self.failures = 0
+        self.last_error: Optional[str] = None
+        self.last_checkpoint_unix: Optional[float] = None
+        self.last_entries: Optional[int] = None
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "CheckpointDaemon":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._wake.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-cache-checkpoint", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final_checkpoint: bool = True) -> None:
+        """Stop the timer thread; by default write one last checkpoint."""
+        thread = self._thread
+        self._wake.set()
+        if thread is not None:
+            thread.join()
+            self._thread = None
+        if final_checkpoint:
+            self.checkpoint_now()
+
+    def __enter__(self) -> "CheckpointDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ---------------------------------------------------------- checkpoints
+    def checkpoint_now(self, force: bool = False) -> Optional[int]:
+        """Dump the cache if it changed since the last checkpoint.
+
+        Returns the number of entries written, or ``None`` when the dump was
+        skipped (unchanged cache) or failed (error recorded, not raised).
+        """
+        with self._lock:
+            mutations = self.cache.mutation_count
+            if not force and mutations == self._dumped_mutations:
+                self.skipped += 1
+                return None
+            try:
+                entries = self.cache.dump(self.path)
+            except Exception as exc:  # keep ticking; surface via stats()
+                self.failures += 1
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                return None
+            self._dumped_mutations = mutations
+            self.checkpoints += 1
+            self.last_error = None
+            self.last_checkpoint_unix = time.time()
+            self.last_entries = entries
+            return entries
+
+    def _loop(self) -> None:
+        while not self._wake.wait(timeout=self.interval_s):
+            self.checkpoint_now()
+
+    # -------------------------------------------------------------- export
+    def stats(self) -> Dict[str, object]:
+        """JSON-friendly checkpoint telemetry (rendered by ``/metrics``)."""
+        with self._lock:
+            return {
+                "path": self.path,
+                "interval_s": self.interval_s,
+                "running": self.running,
+                "checkpoints": self.checkpoints,
+                "skipped": self.skipped,
+                "failures": self.failures,
+                "last_error": self.last_error,
+                "last_checkpoint_unix": self.last_checkpoint_unix,
+                "last_entries": self.last_entries,
+            }

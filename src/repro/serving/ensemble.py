@@ -26,7 +26,6 @@ produced by a different set of model versions.
 from __future__ import annotations
 
 import hashlib
-import os
 import threading
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -197,12 +196,7 @@ class EnsemblePredictionService(ServingFrontend):
             self.cache = EmbeddingCache(self.config.cache_capacity)
         else:
             self.cache = None
-        if (
-            self.cache is not None
-            and self.config.warmup_path
-            and os.path.isfile(self.config.warmup_path)
-        ):
-            self.cache.load(self.config.warmup_path)
+        self._best_effort_warm_up(self.cache, self.config.warmup_path)
 
         self._combine = _COMBINERS[self.config.strategy]
         # Member models cache activations layer-by-layer during forward, so
@@ -258,13 +252,21 @@ class EnsemblePredictionService(ServingFrontend):
     # -------------------------------------------------------------- export
     def snapshot(self) -> Dict[str, object]:
         """Serving stats plus ensemble composition, JSON-friendly."""
-        snapshot = self.stats.snapshot()
+        snapshot = super().snapshot()
         snapshot["strategy"] = self.config.strategy
         snapshot["num_members"] = self.num_members
         snapshot["members"] = [str(a.ref) for a in self._members.values()]
-        if self.cache is not None:
-            snapshot["cache"] = self.cache.stats()
         return snapshot
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "service": "ensemble",
+            "strategy": self.config.strategy,
+            "members": [str(a.ref) for a in self._members.values()],
+            "version_set_id": self.version_set_id,
+            "num_labels": self.num_labels,
+            "has_label_space": self.label_space is not None,
+        }
 
     # ------------------------------------------------------------ internals
     def _cache_key(self, fingerprint: str) -> str:

@@ -1,0 +1,440 @@
+"""JSON-over-HTTP wire protocol for the prediction services.
+
+The serving layer (:mod:`repro.serving.service`, :mod:`repro.serving.ensemble`)
+is in-process only; this module puts either front-end behind a stdlib
+HTTP server (``http.server.ThreadingHTTPServer`` — no third-party web
+framework) so any process that can speak JSON can query a deployed
+predictor:
+
+* ``POST /v1/predict`` — body ``{"graph": {...}}`` (one wire-encoded
+  :class:`~repro.graphs.graph.ProgramGraph`) or ``{"graphs": [{...}, ...]}``
+  (a batch).  Single-graph requests are routed through the service's
+  micro-batcher, so concurrent HTTP clients coalesce into shared RGCN
+  forward passes exactly like in-process ``submit`` callers; batch bodies
+  go straight to ``predict_many``.  Responses carry label, probabilities,
+  configuration and cache/latency telemetry per graph (plus per-fold
+  labels and agreement for ensembles).
+* ``GET /healthz`` — liveness plus identity: which artifact/members are
+  served and whether the cache is warm.
+* ``GET /metrics`` — ``ServingStats.snapshot()`` + cache + checkpoint
+  telemetry as one JSON document.
+
+Malformed requests (invalid JSON, unknown fields, structurally invalid
+graphs, unsupported schema versions) are mapped onto structured 4xx
+responses — ``{"error": {"status": ..., "code": ..., "message": ...}}`` —
+never opaque 500s; only a genuine server-side failure produces a 500.
+
+:class:`ServingApp` holds the transport-independent routing/validation
+logic (testable without opening a socket); :class:`PredictionHTTPServer`
+binds it to a threading HTTP server and manages the service's batcher and
+an optional :class:`~repro.serving.cache.CheckpointDaemon` lifecycle.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from .cache import CheckpointDaemon
+from .ensemble import EnsemblePredictionResult
+from .serialization import (
+    SerializationError,
+    configuration_to_dict,
+    program_graph_from_dict,
+)
+from .service import ServingFrontend
+
+#: requests larger than this are rejected with 413 before being parsed.
+DEFAULT_MAX_BODY_BYTES = 8 << 20  # 8 MiB
+
+#: how long one /v1/predict request may wait on the micro-batcher.
+DEFAULT_REQUEST_TIMEOUT_S = 30.0
+
+
+def error_payload(status: int, code: str, message: str) -> Dict[str, object]:
+    """The uniform error body every non-2xx response carries."""
+    return {"error": {"status": status, "code": code, "message": message}}
+
+
+class RequestError(Exception):
+    """A client-side problem, mapped onto one structured 4xx response."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def payload(self) -> Dict[str, object]:
+        return error_payload(self.status, self.code, self.message)
+
+
+def result_to_dict(result) -> Dict[str, object]:
+    """Wire encoding of a prediction result (single-fold or ensemble)."""
+    payload: Dict[str, object] = {
+        "name": result.name,
+        "fingerprint": result.fingerprint,
+        "label": int(result.label),
+        "probabilities": [float(p) for p in result.probabilities],
+        "configuration": (
+            configuration_to_dict(result.configuration)
+            if result.configuration is not None
+            else None
+        ),
+        "needs_profiling": (
+            bool(result.needs_profiling) if result.needs_profiling is not None else None
+        ),
+        "cache_hit": bool(result.cache_hit),
+        "latency_s": float(result.latency_s),
+    }
+    if isinstance(result, EnsemblePredictionResult):
+        payload["per_fold_labels"] = {
+            str(fold): int(label) for fold, label in result.per_fold_labels.items()
+        }
+        payload["agreement"] = float(result.agreement)
+        payload["unanimous"] = bool(result.unanimous)
+    return payload
+
+
+class ServingApp:
+    """Transport-independent request router over one serving front-end.
+
+    ``handle(method, path, body)`` returns ``(status, payload)`` and never
+    raises for client mistakes — every validation failure is a structured
+    4xx payload.  The HTTP handler below is a thin byte shuffler around it,
+    which keeps the whole protocol unit-testable without sockets.
+    """
+
+    def __init__(
+        self,
+        service: ServingFrontend,
+        checkpoint: Optional[CheckpointDaemon] = None,
+        request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+    ):
+        if request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be > 0")
+        self.service = service
+        self.checkpoint = checkpoint
+        self.request_timeout_s = float(request_timeout_s)
+        self._started = False
+        self._started_monotonic = time.monotonic()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "ServingApp":
+        """Start the service's micro-batcher and the checkpoint daemon."""
+        self.service.start()
+        if self.checkpoint is not None:
+            self.checkpoint.start()
+        self._started = True
+        self._started_monotonic = time.monotonic()
+        return self
+
+    def stop(self) -> None:
+        """Drain the batcher, then stop the daemon (final checkpoint last,
+        so results computed during the drain make it into the file)."""
+        self._started = False
+        self.service.stop()
+        if self.checkpoint is not None:
+            self.checkpoint.stop()
+
+    # -------------------------------------------------------------- routing
+    def handle(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, Dict[str, object]]:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        routes = {
+            "/healthz": ("GET", self.healthz),
+            "/metrics": ("GET", self.metrics),
+            "/v1/predict": ("POST", None),
+        }
+        if path not in routes:
+            return 404, error_payload(404, "not-found", f"unknown path {path!r}")
+        expected_method, view = routes[path]
+        if method != expected_method:
+            return 405, error_payload(
+                405,
+                "method-not-allowed",
+                f"{path} only accepts {expected_method}, got {method}",
+            )
+        try:
+            if view is not None:
+                return 200, view()
+            return 200, self.predict(body)
+        except RequestError as exc:
+            return exc.status, exc.payload()
+        except Exception as exc:  # a genuine server-side failure
+            return 500, error_payload(500, "internal", f"{type(exc).__name__}: {exc}")
+
+    # --------------------------------------------------------------- views
+    def healthz(self) -> Dict[str, object]:
+        cache = self.service.cache
+        return {
+            "status": "ok",
+            "uptime_s": time.monotonic() - self._started_monotonic,
+            "serving": self.service.describe(),
+            "cache": {
+                "enabled": cache is not None,
+                "entries": len(cache) if cache is not None else 0,
+                "warm": bool(cache is not None and len(cache) > 0),
+            },
+            "checkpoint": (
+                self.checkpoint.stats() if self.checkpoint is not None else None
+            ),
+        }
+
+    def metrics(self) -> Dict[str, object]:
+        return {
+            "stats": self.service.snapshot(),
+            "checkpoint": (
+                self.checkpoint.stats() if self.checkpoint is not None else None
+            ),
+        }
+
+    def predict(self, body: Optional[bytes]) -> Dict[str, object]:
+        payload = self._parse_body(body)
+        if "graph" in payload:
+            graph = self._decode_graph(payload["graph"], "graph")
+            # Through the micro-batcher: concurrent HTTP handler threads
+            # coalesce into shared forward passes.  Fall back to the sync
+            # path when the app (hence the batcher) was never started.
+            if self._started:
+                future = self.service.submit(graph)
+                try:
+                    result = future.result(timeout=self.request_timeout_s)
+                except FutureTimeoutError:
+                    future.cancel()
+                    raise RequestError(
+                        504,
+                        "timeout",
+                        f"prediction did not complete within {self.request_timeout_s}s",
+                    ) from None
+            else:
+                result = self.service.predict_many([graph])[0]
+            return {"result": result_to_dict(result)}
+
+        entries = payload["graphs"]
+        if not isinstance(entries, list):
+            raise RequestError(
+                400, "invalid-request", "'graphs' must be a list of graph objects"
+            )
+        graphs = [
+            self._decode_graph(entry, f"graphs[{i}]") for i, entry in enumerate(entries)
+        ]
+        results = self.service.predict_many(graphs)
+        return {
+            "results": [result_to_dict(result) for result in results],
+            "count": len(results),
+        }
+
+    # ------------------------------------------------------------ internals
+    def _parse_body(self, body: Optional[bytes]) -> Dict[str, object]:
+        if not body:
+            raise RequestError(400, "invalid-request", "request body is empty")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(400, "invalid-json", f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise RequestError(
+                400, "invalid-request", "request body must be a JSON object"
+            )
+        unknown = sorted(set(payload) - {"graph", "graphs"})
+        if unknown:
+            raise RequestError(
+                400,
+                "invalid-request",
+                f"unknown field(s) {unknown}; expected 'graph' or 'graphs'",
+            )
+        if ("graph" in payload) == ("graphs" in payload):
+            raise RequestError(
+                400,
+                "invalid-request",
+                "provide exactly one of 'graph' (single) or 'graphs' (batch)",
+            )
+        return payload
+
+    def _decode_graph(self, data: object, what: str):
+        try:
+            return program_graph_from_dict(data)
+        except SerializationError as exc:
+            raise RequestError(400, "invalid-graph", f"{what}: {exc}") from exc
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Byte-level glue between ``http.server`` and :class:`ServingApp`."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"  # keep-alive; we always send Content-Length
+    disable_nagle_algorithm = True  # small JSON responses, don't buffer them
+    # Blocked reads (slow-loris bodies, idle keep-alive connections) time
+    # out instead of pinning a handler thread forever; this also bounds how
+    # long close() can wait on an in-flight connection.
+    timeout = 30.0
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        # GET bodies are never read; leaving one on a keep-alive socket
+        # would desync the next request, so close after answering.
+        length = self.headers.get("Content-Length")
+        if length is not None and length.strip() not in ("", "0"):
+            self.close_connection = True
+        status, payload = self.server.app.handle("GET", self.path)
+        self._respond(status, payload)
+
+    def do_POST(self) -> None:  # noqa: N802
+        body, failure = self._read_body()
+        if failure is not None:
+            # The body was never read off the socket; on a keep-alive
+            # connection it would be parsed as the next request line, so
+            # this connection must close after the error response.
+            self.close_connection = True
+            self._respond(failure[0], failure[1])
+            return
+        status, payload = self.server.app.handle("POST", self.path, body)
+        self._respond(status, payload)
+
+    # ------------------------------------------------------------ internals
+    def _read_body(
+        self,
+    ) -> Tuple[Optional[bytes], Optional[Tuple[int, Dict[str, object]]]]:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            return None, (
+                411,
+                error_payload(411, "length-required", "Content-Length is required"),
+            )
+        try:
+            length = int(length_header)
+        except ValueError:
+            length = -1
+        if length < 0:
+            return None, (
+                400,
+                error_payload(
+                    400, "invalid-request", f"bad Content-Length {length_header!r}"
+                ),
+            )
+        limit = self.server.max_body_bytes
+        if length > limit:
+            return None, (
+                413,
+                error_payload(
+                    413,
+                    "payload-too-large",
+                    f"body of {length} bytes exceeds the {limit}-byte limit",
+                ),
+            )
+        return self.rfile.read(length), None
+
+    def _respond(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+
+class PredictionHTTPServer(ThreadingHTTPServer):
+    """A :class:`ServingApp` bound to a threading HTTP server.
+
+    ``start()`` brings up the whole stack — micro-batcher, checkpoint
+    daemon, accept loop in a background thread — and ``close()`` tears it
+    down in reverse order, writing a final cache checkpoint on the way so
+    the next process can start warm.  ``port=0`` binds an ephemeral port
+    (read it back from :attr:`port`), which is what the tests use.
+
+    Handler threads are non-daemon on purpose: ``server_close()`` joins
+    them (``block_on_close``), so by the time the batcher is drained and
+    the final checkpoint is written no request is still in flight.  The
+    handler's socket ``timeout`` bounds how long that join can take.
+    """
+
+    # ThreadingHTTPServer defaults this to True, which would skip the join.
+    daemon_threads = False
+
+    def __init__(
+        self,
+        service: ServingFrontend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        checkpoint: Optional[CheckpointDaemon] = None,
+        request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        quiet: bool = True,
+    ):
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+        self.app = ServingApp(
+            service, checkpoint=checkpoint, request_timeout_s=request_timeout_s
+        )
+        self.max_body_bytes = int(max_body_bytes)
+        self.quiet = quiet
+        self._serve_thread: Optional[threading.Thread] = None
+        self._closed = False
+        super().__init__((host, port), _RequestHandler)
+
+    # ------------------------------------------------------------ addressing
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "PredictionHTTPServer":
+        """Serve in a background thread (batcher + daemon started first)."""
+        if self._closed:
+            raise RuntimeError("cannot restart a closed PredictionHTTPServer")
+        if self._serve_thread is None:
+            self.app.start()
+            self._serve_thread = threading.Thread(
+                target=self.serve_forever, name="repro-http-serve", daemon=True
+            )
+            self._serve_thread.start()
+        return self
+
+    def run(self) -> None:
+        """Serve in the foreground until interrupted (the CLI entry point)."""
+        self.app.start()
+        try:
+            self.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop accepting, then stop the daemon (final checkpoint) and batcher."""
+        if self._closed:
+            return
+        self._closed = True
+        thread, self._serve_thread = self._serve_thread, None
+        if thread is not None:
+            # shutdown() blocks until serve_forever exits, so only call it
+            # when the accept loop actually ran.
+            self.shutdown()
+            thread.join()
+        self.server_close()
+        self.app.stop()
+
+    def __enter__(self) -> "PredictionHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,23 +1,90 @@
-"""JSON round-trips for the deployable artefacts.
+"""JSON round-trips for the deployable artefacts and the wire protocol.
 
 Everything the registry writes besides the weight arrays is JSON: the
 vocabulary, the reduced label space (machine name + configurations), the
 static model hyper-parameters and the hybrid classifier.  Keeping these
 human-readable makes artefact directories debuggable with ``cat`` and keeps
 the integrity story simple (one checksum per file).
+
+The same module defines the **wire format** the HTTP front-end
+(:mod:`repro.serving.http`) speaks: a versioned JSON encoding of
+:class:`~repro.graphs.graph.ProgramGraph` (``program_graph_to_dict`` /
+``program_graph_from_dict``).  Decoding is strict — malformed payloads
+raise :class:`SerializationError` with a message naming the offending
+field, which the HTTP layer maps onto structured 4xx responses instead of
+opaque 500s.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict
 from typing import Dict, List
 
 from ..core.hybrid_model import HybridStaticDynamicClassifier
 from ..core.labeling import LabelSpace
 from ..core.static_model import StaticModelConfig
+from ..graphs.graph import FLOWS, NODE_KINDS, ProgramGraph
 from ..graphs.vocabulary import Vocabulary
 from ..numasim.configuration import Configuration
 from ..numasim.prefetchers import PrefetcherSetting
+
+#: bump when the JSON graph encoding changes incompatibly.
+GRAPH_SCHEMA_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """A JSON payload does not decode into the expected object.
+
+    Raised with a human-readable message naming the offending field, so
+    transport layers can surface it verbatim (the HTTP front-end turns it
+    into a structured 400 response).
+    """
+
+
+def _require(data: Dict[str, object], key: str, what: str) -> object:
+    if not isinstance(data, dict):
+        raise SerializationError(f"{what} must be a JSON object, got {type(data).__name__}")
+    if key not in data:
+        raise SerializationError(f"{what} is missing required field {key!r}")
+    return data[key]
+
+
+def _require_int(data: Dict[str, object], key: str, what: str) -> int:
+    value = _require(data, key, what)
+    # bool is an int subclass, but "threads": true is a client bug.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SerializationError(
+            f"{what} field {key!r} must be an integer, got {type(value).__name__}"
+        )
+    return value
+
+
+def _require_str(data: Dict[str, object], key: str, what: str) -> str:
+    value = _require(data, key, what)
+    if not isinstance(value, str):
+        raise SerializationError(
+            f"{what} field {key!r} must be a string, got {type(value).__name__}"
+        )
+    return value
+
+
+def _optional_str(data: Dict[str, object], key: str, what: str) -> str:
+    value = data.get(key, "")
+    if not isinstance(value, str):
+        raise SerializationError(
+            f"{what} field {key!r} must be a string, got {type(value).__name__}"
+        )
+    return value
+
+
+def _reject_unknown(data: Dict[str, object], allowed: tuple, what: str) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise SerializationError(
+            f"{what} carries unknown field(s) {unknown}; expected only {sorted(allowed)}"
+        )
+
 
 # --------------------------------------------------------------- vocabulary
 
@@ -27,7 +94,12 @@ def vocabulary_to_dict(vocabulary: Vocabulary) -> Dict[str, object]:
 
 
 def vocabulary_from_dict(data: Dict[str, object]) -> Vocabulary:
-    return Vocabulary(list(data["tokens"]))
+    tokens = _require(data, "tokens", "vocabulary")
+    if not isinstance(tokens, (list, tuple)) or not all(
+        isinstance(token, str) for token in tokens
+    ):
+        raise SerializationError("vocabulary field 'tokens' must be a list of strings")
+    return Vocabulary(list(tokens))
 
 
 # ------------------------------------------------------------ configurations
@@ -45,11 +117,13 @@ def configuration_to_dict(configuration: Configuration) -> Dict[str, object]:
 
 def configuration_from_dict(data: Dict[str, object]) -> Configuration:
     return Configuration(
-        threads=int(data["threads"]),
-        nodes=int(data["nodes"]),
-        thread_mapping=str(data["thread_mapping"]),
-        page_mapping=str(data["page_mapping"]),
-        prefetchers=PrefetcherSetting.from_mask(int(data["prefetcher_mask"])),
+        threads=_require_int(data, "threads", "configuration"),
+        nodes=_require_int(data, "nodes", "configuration"),
+        thread_mapping=_require_str(data, "thread_mapping", "configuration"),
+        page_mapping=_require_str(data, "page_mapping", "configuration"),
+        prefetchers=PrefetcherSetting.from_mask(
+            _require_int(data, "prefetcher_mask", "configuration")
+        ),
     )
 
 
@@ -63,12 +137,152 @@ def label_space_to_dict(label_space: LabelSpace) -> Dict[str, object]:
 
 
 def label_space_from_dict(data: Dict[str, object]) -> LabelSpace:
+    entries = _require(data, "configurations", "label space")
+    if not isinstance(entries, list):
+        raise SerializationError("label space field 'configurations' must be a list")
     configurations: List[Configuration] = [
-        configuration_from_dict(entry) for entry in data["configurations"]
+        configuration_from_dict(entry) for entry in entries
     ]
     return LabelSpace(
-        configurations=configurations, machine_name=str(data["machine_name"])
+        configurations=configurations,
+        machine_name=_require_str(data, "machine_name", "label space"),
     )
+
+
+# ------------------------------------------------------------ program graphs
+
+_GRAPH_FIELDS = ("schema_version", "name", "nodes", "edges", "metadata")
+_NODE_FIELDS = ("kind", "text", "function", "block", "features")
+_EDGE_FIELDS = ("source", "target", "flow", "position")
+
+
+def program_graph_to_dict(graph: ProgramGraph) -> Dict[str, object]:
+    """Wire encoding of a :class:`ProgramGraph` (JSON-friendly, versioned).
+
+    Node ids are implicit (list position), matching the invariant
+    ``graph.nodes[i].id == i`` that :meth:`ProgramGraph.add_node` maintains.
+    """
+    return {
+        "schema_version": GRAPH_SCHEMA_VERSION,
+        "name": graph.name,
+        "nodes": [
+            {
+                "kind": node.kind,
+                "text": node.text,
+                "function": node.function,
+                "block": node.block,
+                "features": {key: float(value) for key, value in node.features.items()},
+            }
+            for node in graph.nodes
+        ],
+        "edges": [
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "flow": edge.flow,
+                "position": edge.position,
+            }
+            for edge in graph.edges
+        ],
+        "metadata": dict(graph.metadata),
+    }
+
+
+def program_graph_from_dict(data: Dict[str, object]) -> ProgramGraph:
+    """Decode (and strictly validate) one wire-encoded program graph.
+
+    Every structural violation — unknown schema version, unknown or missing
+    fields, a node kind / edge flow outside the ProGraML sets, an edge
+    endpoint out of range — raises :class:`SerializationError` naming the
+    problem, never a bare ``KeyError``/``TypeError``.
+    """
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"graph must be a JSON object, got {type(data).__name__}"
+        )
+    _reject_unknown(data, _GRAPH_FIELDS, "graph")
+    version = _require_int(data, "schema_version", "graph")
+    if version != GRAPH_SCHEMA_VERSION:
+        raise SerializationError(
+            f"unsupported graph schema_version {version}; this server speaks "
+            f"version {GRAPH_SCHEMA_VERSION}"
+        )
+    graph = ProgramGraph(_require_str(data, "name", "graph"))
+
+    nodes = _require(data, "nodes", "graph")
+    if not isinstance(nodes, list):
+        raise SerializationError("graph field 'nodes' must be a list")
+    for i, entry in enumerate(nodes):
+        what = f"node[{i}]"
+        if not isinstance(entry, dict):
+            raise SerializationError(f"{what} must be a JSON object")
+        _reject_unknown(entry, _NODE_FIELDS, what)
+        kind = _require_str(entry, "kind", what)
+        if kind not in NODE_KINDS:
+            raise SerializationError(
+                f"{what} has unknown kind {kind!r}; expected one of {list(NODE_KINDS)}"
+            )
+        features = entry.get("features", {})
+        if not isinstance(features, dict):
+            raise SerializationError(f"{what} field 'features' must be an object")
+        numeric: Dict[str, float] = {}
+        for key, value in features.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SerializationError(
+                    f"{what} feature {key!r} must be a number, got {type(value).__name__}"
+                )
+            numeric[str(key)] = float(value)
+        node = graph.add_node(
+            kind,
+            _require_str(entry, "text", what),
+            function=_optional_str(entry, "function", what),
+            block=_optional_str(entry, "block", what),
+        )
+        # Assigned after construction, not splatted as keyword arguments: a
+        # feature named "kind"/"text"/"function"/"block" is legal wire data
+        # and must not collide with add_node's parameters.
+        node.features.update(numeric)
+
+    edges = _require(data, "edges", "graph")
+    if not isinstance(edges, list):
+        raise SerializationError("graph field 'edges' must be a list")
+    for i, entry in enumerate(edges):
+        what = f"edge[{i}]"
+        if not isinstance(entry, dict):
+            raise SerializationError(f"{what} must be a JSON object")
+        _reject_unknown(entry, _EDGE_FIELDS, what)
+        source = _require_int(entry, "source", what)
+        target = _require_int(entry, "target", what)
+        flow = _require_str(entry, "flow", what)
+        if flow not in FLOWS:
+            raise SerializationError(
+                f"{what} has unknown flow {flow!r}; expected one of {list(FLOWS)}"
+            )
+        position = entry.get("position", 0)
+        if isinstance(position, bool) or not isinstance(position, int):
+            raise SerializationError(f"{what} field 'position' must be an integer")
+        for end, value in (("source", source), ("target", target)):
+            if not 0 <= value < graph.num_nodes:
+                raise SerializationError(
+                    f"{what} {end} {value} is out of range for {graph.num_nodes} node(s)"
+                )
+        graph.add_edge(graph.nodes[source], graph.nodes[target], flow, position=position)
+
+    metadata = data.get("metadata", {})
+    if not isinstance(metadata, dict):
+        raise SerializationError("graph field 'metadata' must be an object")
+    graph.metadata = dict(metadata)
+    return graph
+
+
+def program_graph_from_json(text: str) -> ProgramGraph:
+    """Decode a JSON string (e.g. one HTTP body); truncated or otherwise
+    invalid JSON raises :class:`SerializationError`, not ``JSONDecodeError``."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return program_graph_from_dict(data)
 
 
 # ------------------------------------------------------------------- models

@@ -42,7 +42,7 @@ from ..graphs.graph import ProgramGraph
 from ..numasim.configuration import Configuration
 from .batcher import MicroBatcher
 from .cache import EmbeddingCache
-from .registry import ArtifactRegistry, LoadedArtifact
+from .registry import ArtifactRef, ArtifactRegistry, LoadedArtifact
 from .stats import ServingStats
 
 #: a serving request: an already-encoded graph or a raw program graph.
@@ -256,6 +256,22 @@ class ServingFrontend:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
+    # -------------------------------------------------------------- export
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-friendly view of the service: stats + cache (if any).
+
+        Subclasses extend this with their identity fields; the HTTP
+        front-end renders it verbatim under ``GET /metrics``.
+        """
+        snapshot = self.stats.snapshot()
+        if self.cache is not None:
+            snapshot["cache"] = self.cache.stats()
+        return snapshot
+
+    def describe(self) -> Dict[str, object]:
+        """Identity of what is being served (rendered by ``GET /healthz``)."""
+        raise NotImplementedError
+
     # ------------------------------------------------------------- warm-up
     def dump_cache(self, path: str) -> int:
         """Persist the embedding cache for a future warm start."""
@@ -274,6 +290,23 @@ class ServingFrontend:
         if self.cache is None:
             raise RuntimeError("cache is disabled; cannot warm up")
         return self.cache.load(path)
+
+    @staticmethod
+    def _best_effort_warm_up(cache: Optional[EmbeddingCache], path: Optional[str]) -> int:
+        """Constructor-time warm-up: never fails the service.
+
+        A missing, truncated or foreign warm-up file (e.g. a checkpoint torn
+        by a crashed disk, or a path another tool wrote to) degrades to a
+        cold start — a server must be able to boot past its own stale state.
+        Explicit :meth:`warm_up` calls still raise, so operators probing a
+        specific file get the real error.
+        """
+        if cache is None or not path or not os.path.isfile(path):
+            return 0
+        try:
+            return cache.load(path)
+        except Exception:
+            return 0
 
     # ------------------------------------------------------------ internals
     def _encode(self, request: Request) -> EncodedGraph:
@@ -319,16 +352,14 @@ class PredictionService(ServingFrontend):
             if self.config.enable_cache
             else None
         )
-        if (
-            self.cache is not None
-            and self.config.warmup_path
-            and os.path.isfile(self.config.warmup_path)
-        ):
-            self.cache.load(self.config.warmup_path)
+        self._best_effort_warm_up(self.cache, self.config.warmup_path)
         # Cache keys carry a digest of the exact weights, so a warm-up file
         # dumped by a *different* model version never replays stale logits
         # — it simply never matches, degrading to a cold start.
         self.model_id = _model_digest(model)
+        #: registry address of the served artefact; ``None`` when the service
+        #: wraps a bare in-memory model (set by :meth:`from_artifact`).
+        self.artifact_ref: Optional[ArtifactRef] = None
         # The NumPy model caches activations layer-by-layer during forward,
         # so at most one forward may run at a time.
         self._forward_lock = threading.Lock()
@@ -340,13 +371,15 @@ class PredictionService(ServingFrontend):
         cls, artifact: LoadedArtifact, config: Optional[ServiceConfig] = None
     ) -> "PredictionService":
         """Build a service around a registry artefact."""
-        return cls(
+        service = cls(
             model=artifact.model,
             encoder=artifact.encoder,
             label_space=artifact.label_space,
             hybrid=artifact.hybrid,
             config=config,
         )
+        service.artifact_ref = artifact.ref
+        return service
 
     @classmethod
     def from_registry(
@@ -359,6 +392,23 @@ class PredictionService(ServingFrontend):
         """Load (and integrity-check) an artefact, then serve it."""
         artifact = ArtifactRegistry(root).load(name, version)
         return cls.from_artifact(artifact, config=config)
+
+    # -------------------------------------------------------------- export
+    def describe(self) -> Dict[str, object]:
+        return {
+            "service": "single",
+            "artifact": str(self.artifact_ref) if self.artifact_ref else None,
+            "model_id": self.model_id,
+            "num_labels": self.model.config.num_classes,
+            "has_label_space": self.label_space is not None,
+            "has_hybrid": self.hybrid is not None,
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        snapshot = super().snapshot()
+        snapshot["artifact"] = str(self.artifact_ref) if self.artifact_ref else None
+        snapshot["model_id"] = self.model_id
+        return snapshot
 
     # ------------------------------------------------------------ internals
     def _cache_key(self, fingerprint: str) -> str:

@@ -1,0 +1,69 @@
+"""Syntax/shape validation of the GitHub Actions workflow.
+
+An ``act``-style dry run needs Docker; this is the equivalent static
+check — the YAML must parse and carry the structure Actions requires
+(jobs with ``runs-on`` and ``steps``, triggers on pushes and PRs, and the
+tier-1 / benchmark-smoke commands this repo's ROADMAP promises).
+"""
+
+import os
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    ".github",
+    "workflows",
+    "ci.yml",
+)
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    with open(WORKFLOW, "r", encoding="utf-8") as handle:
+        return yaml.safe_load(handle)
+
+
+def test_workflow_parses_with_required_top_level_keys(workflow):
+    assert isinstance(workflow, dict)
+    # PyYAML reads the bare `on:` key as boolean True (YAML 1.1).
+    triggers = workflow.get("on", workflow.get(True))
+    assert triggers is not None, "workflow must declare triggers"
+    assert "push" in triggers and "pull_request" in triggers
+    assert "jobs" in workflow
+
+
+def test_every_job_is_runnable(workflow):
+    jobs = workflow["jobs"]
+    assert set(jobs) == {"tests", "bench-smoke"}
+    for name, job in jobs.items():
+        assert "runs-on" in job, name
+        steps = job["steps"]
+        assert isinstance(steps, list) and steps, name
+        for step in steps:
+            assert "uses" in step or "run" in step, (name, step)
+
+
+def test_tier1_job_runs_pytest(workflow):
+    runs = [s.get("run", "") for s in workflow["jobs"]["tests"]["steps"]]
+    assert any("pytest tests" in run for run in runs)
+    assert any("pip install" in run for run in runs)
+
+
+def test_bench_job_is_scaled_down(workflow):
+    job = workflow["jobs"]["bench-smoke"]
+    env = job["env"]
+    assert {"REPRO_BENCH_SEQUENCES", "REPRO_BENCH_FOLDS", "REPRO_BENCH_EPOCHS"} <= set(env)
+    runs = [s.get("run", "") for s in job["steps"]]
+    assert any("pytest benchmarks" in run for run in runs)
+
+
+def test_jobs_use_pip_caching(workflow):
+    for name, job in workflow["jobs"].items():
+        setup_steps = [
+            s for s in job["steps"] if "setup-python" in str(s.get("uses", ""))
+        ]
+        assert setup_steps, f"{name} must set up python"
+        assert setup_steps[0]["with"].get("cache") == "pip", name

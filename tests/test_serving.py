@@ -21,6 +21,7 @@ from repro.serving import (
     EnsemblePredictionService,
     MicroBatcher,
     PredictionService,
+    SerializationError,
     ServiceConfig,
     ServingStats,
     combine_majority_vote,
@@ -29,6 +30,7 @@ from repro.serving import (
     configuration_to_dict,
     label_space_from_dict,
     label_space_to_dict,
+    vocabulary_from_dict,
 )
 
 NUM_LABELS = 4
@@ -100,6 +102,62 @@ class TestSerialization:
         )
         assert restored.config == fitted_hybrid.config
         assert restored.selected_dimensions == fitted_hybrid.selected_dimensions
+
+
+class TestSerializationErrors:
+    """Malformed artefact JSON fails with a named field, not a KeyError."""
+
+    def test_configuration_missing_field(self, label_space):
+        data = configuration_to_dict(label_space.configurations[0])
+        del data["threads"]
+        with pytest.raises(SerializationError, match="threads"):
+            configuration_from_dict(data)
+
+    def test_configuration_wrong_type(self, label_space):
+        data = configuration_to_dict(label_space.configurations[0])
+        data["nodes"] = "two"
+        with pytest.raises(SerializationError, match="nodes"):
+            configuration_from_dict(data)
+
+    def test_configuration_bool_is_not_an_int(self, label_space):
+        data = configuration_to_dict(label_space.configurations[0])
+        data["threads"] = True
+        with pytest.raises(SerializationError, match="threads"):
+            configuration_from_dict(data)
+
+    def test_configuration_non_object(self):
+        with pytest.raises(SerializationError, match="JSON object"):
+            configuration_from_dict(["not", "a", "dict"])
+
+    def test_label_space_configurations_must_be_a_list(self, label_space):
+        data = label_space_to_dict(label_space)
+        data["configurations"] = {"oops": 1}
+        with pytest.raises(SerializationError, match="list"):
+            label_space_from_dict(data)
+
+    def test_label_space_missing_machine_name(self, label_space):
+        data = label_space_to_dict(label_space)
+        del data["machine_name"]
+        with pytest.raises(SerializationError, match="machine_name"):
+            label_space_from_dict(data)
+
+    def test_label_space_broken_entry_names_the_field(self, label_space):
+        data = label_space_to_dict(label_space)
+        data["configurations"][0] = {"threads": 2}
+        with pytest.raises(SerializationError, match="missing required field"):
+            label_space_from_dict(data)
+
+    def test_vocabulary_missing_tokens(self):
+        with pytest.raises(SerializationError, match="tokens"):
+            vocabulary_from_dict({})
+
+    def test_vocabulary_tokens_wrong_shape(self):
+        with pytest.raises(SerializationError, match="list of strings"):
+            vocabulary_from_dict({"tokens": [1, 2, 3]})
+
+    def test_serialization_error_is_a_value_error(self):
+        # Callers that predate the structured errors catch ValueError.
+        assert issubclass(SerializationError, ValueError)
 
 
 class TestArtifactRegistry:
