@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 import sys
 import time
 
@@ -41,27 +42,64 @@ def _int_env(name: str, default: int) -> int:
 
 # ------------------------------------------------------ benchmark recording
 #
-# Every benchmark session appends its headline numbers (single / batched /
+# A benchmark session can append its headline numbers (single / batched /
 # ensemble / HTTP QPS, cache and warm-start speedups — whatever the tests
 # put into ``benchmark.extra_info``) to BENCH_serving.json at the repo
 # root, so the performance trajectory of the serving layer accumulates
-# across commits and CI can diff consecutive records.  Note that the
-# default tier-1 invocation collects ``benchmarks/`` too, so a full local
-# run extends the tracked trajectory — commit the new record with your
-# change, or set ``REPRO_BENCH_RECORD`` to another path (or to the empty
-# string to disable recording) for scratch runs.
+# across commits and CI can diff consecutive records.
+#
+# Recording is **opt-in**: it only happens when ``REPRO_BENCH_RECORD`` is
+# explicitly set (to ``1`` for the default path, or to an alternate path),
+# or when running under CI (``CI`` is set, as on GitHub Actions).  The
+# default tier-1 invocation collects ``benchmarks/`` too, and a plain
+# local run must not dirty the worktree as a side effect.  Setting
+# ``REPRO_BENCH_RECORD=`` (empty) disables recording even in CI.
+#
+# One record per commit: each record carries the ``git_commit`` it was
+# measured at, and appending replaces any earlier record for the same
+# commit — re-running benchmarks refreshes that commit's entry instead of
+# duplicating it.
 
 _DEFAULT_RECORD_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_serving.json"
 )
 
 
-def _record_path() -> str:
-    return os.environ.get("REPRO_BENCH_RECORD", _DEFAULT_RECORD_PATH)
+def _record_path():
+    explicit = os.environ.get("REPRO_BENCH_RECORD")
+    if explicit is not None:
+        if not explicit:
+            return None  # explicitly disabled
+        if explicit == "1":
+            return _DEFAULT_RECORD_PATH
+        return explicit
+    if os.environ.get("CI"):
+        return _DEFAULT_RECORD_PATH
+    return None
+
+
+def _git_commit():
+    """Current HEAD (full sha), or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Append one trajectory record built from ``benchmark.extra_info``."""
+    """Append one trajectory record built from ``benchmark.extra_info``.
+
+    No-op unless recording is opted in (see module docstring); one
+    canonical record is kept per ``git_commit``.
+    """
     path = _record_path()
     if not path:
         return
@@ -96,9 +134,19 @@ def pytest_sessionfinish(session, exitstatus):
                 history = []
         except (FileNotFoundError, ValueError):
             history = []
+        commit = _git_commit()
+        if commit is not None:
+            # One canonical record per commit: a re-run replaces the
+            # commit's earlier record instead of appending a duplicate.
+            history = [
+                record
+                for record in history
+                if record.get("git_commit") != commit
+            ]
         history.append(
             {
                 "recorded_unix": time.time(),
+                "git_commit": commit,
                 "exit_status": int(exitstatus),
                 "knobs": {
                     "sequences": _int_env("REPRO_BENCH_SEQUENCES", 8),

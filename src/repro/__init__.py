@@ -7,6 +7,8 @@ The package is organised as a set of substrates plus the paper's pipeline:
 - :mod:`repro.passes` — compiler transformations and flag-sequence sampling.
 - :mod:`repro.graphs` — ProGraML-style program graphs.
 - :mod:`repro.gnn` — NumPy graph neural network (RGCN) stack.
+- :mod:`repro.engine` — stateless inference engine: execution plans and
+  fold-stacked forward passes (one planned sweep per ensemble).
 - :mod:`repro.ml` — decision trees, genetic feature selection, cross validation.
 - :mod:`repro.numasim` — NUMA + hardware-prefetcher machine simulator.
 - :mod:`repro.workloads` — synthetic OpenMP-region benchmark suite.
@@ -24,6 +26,7 @@ __all__ = [
     "passes",
     "graphs",
     "gnn",
+    "engine",
     "ml",
     "numasim",
     "workloads",

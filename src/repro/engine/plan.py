@@ -1,0 +1,115 @@
+"""Execution plans: everything a forward pass needs, computed once.
+
+An :class:`ExecutionPlan` is the immutable, shareable description of one
+collated micro-batch: the node feature arrays, the per-relation normalised
+adjacency in CSR form (``scipy.sparse.csr_matrix`` — ``indptr`` /
+``indices`` / ``data`` arrays per relation, ``None`` for relations with no
+edges) and the segment structure the pooling readout needs
+(``graph_index``, per-graph node counts and their zero-clamped divisor).
+
+Lifecycle — **build → share → discard**:
+
+* *build* — :meth:`ExecutionPlan.from_batch` is called once per
+  micro-batch (the serving layer does this inside ``_forward_batch``).
+  Adjacency construction goes through the batch's own cache
+  (:meth:`~repro.graphs.batching.GraphBatch.normalized_adjacency`), so a
+  batch that is also consumed by the training path never builds twice.
+* *share* — the plan is handed to every consumer of the batch: each RGCN
+  layer of each fold, the pooling readout, and the
+  :class:`~repro.engine.stacked.StackedFoldModel`'s one-pass-for-all-folds
+  sweep.  Plans carry no mutable state, so any number of threads may
+  evaluate against one plan concurrently.
+* *discard* — the plan dies with the micro-batch; nothing in the engine
+  retains it.  (Result rows live on in the embedding cache, keyed by
+  fingerprint — the plan itself is never cached across batches.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..graphs.batching import GraphBatch, build_normalized_adjacency
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+@dataclass(frozen=True, eq=False)
+class ExecutionPlan:
+    """Immutable per-batch inputs shared by every inference consumer."""
+
+    num_nodes: int
+    num_graphs: int
+    #: ``(num_nodes,)`` vocabulary indices (read-only view).
+    token_ids: np.ndarray = field(repr=False)
+    #: ``(num_nodes, k)`` auxiliary node features (read-only view).
+    extra_features: np.ndarray = field(repr=False)
+    #: relation name -> normalised CSR adjacency ``Â_r`` (or ``None`` when
+    #: the relation has no edges in this batch).
+    adjacency: Mapping[str, object] = field(repr=False)
+    #: ``(num_nodes,)`` graph id per node — the pooling segments.
+    graph_index: np.ndarray = field(repr=False)
+    #: ``(num_graphs,)`` nodes per graph (raw segment sizes; may be 0).
+    segment_counts: np.ndarray = field(repr=False)
+    #: ``(num_graphs,)`` float64 pooling divisor: ``segment_counts`` with
+    #: zero-node graphs clamped to 1, exactly as ``GlobalPool.forward``
+    #: computes it — sharing the array keeps mean pooling bit-identical.
+    pool_counts: np.ndarray = field(repr=False)
+
+    @classmethod
+    def from_batch(cls, batch: GraphBatch) -> "ExecutionPlan":
+        """Build the plan for one collated batch (adjacency built at most
+        once per batch, via the batch's cache)."""
+        counts = np.bincount(
+            batch.graph_index, minlength=batch.num_graphs
+        ).astype(np.int64)
+        pool_counts = counts.astype(np.float64)
+        pool_counts[pool_counts == 0] = 1.0
+        pool_counts.flags.writeable = False
+        return cls(
+            num_nodes=batch.num_nodes,
+            num_graphs=batch.num_graphs,
+            token_ids=_readonly(batch.token_ids),
+            extra_features=_readonly(batch.extra_features),
+            adjacency=batch.normalized_adjacency(),
+            graph_index=_readonly(batch.graph_index),
+            segment_counts=_readonly(counts),
+            pool_counts=pool_counts,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        token_ids: np.ndarray,
+        extra_features: np.ndarray,
+        relations: Mapping[str, np.ndarray],
+        graph_index: np.ndarray,
+        num_graphs: int,
+    ) -> "ExecutionPlan":
+        """Build a plan without a :class:`GraphBatch` (no adjacency cache)."""
+        num_nodes = int(token_ids.shape[0])
+        counts = np.bincount(graph_index, minlength=num_graphs).astype(np.int64)
+        pool_counts = counts.astype(np.float64)
+        pool_counts[pool_counts == 0] = 1.0
+        pool_counts.flags.writeable = False
+        return cls(
+            num_nodes=num_nodes,
+            num_graphs=num_graphs,
+            token_ids=_readonly(np.asarray(token_ids)),
+            extra_features=_readonly(np.asarray(extra_features)),
+            adjacency=build_normalized_adjacency(dict(relations), num_nodes),
+            graph_index=_readonly(np.asarray(graph_index)),
+            segment_counts=_readonly(counts),
+            pool_counts=pool_counts,
+        )
+
+
+def build_plan(batch: GraphBatch) -> ExecutionPlan:
+    """Convenience alias for :meth:`ExecutionPlan.from_batch`."""
+    return ExecutionPlan.from_batch(batch)

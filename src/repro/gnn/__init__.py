@@ -18,7 +18,7 @@ from .metrics import (
 from .model import ModelConfig, StaticRGCNModel
 from .optim import SGD, Adam, Optimizer, clip_gradients
 from .parameters import Parameter, ParameterStore, glorot_uniform, normal_init
-from .pooling import GlobalPool
+from .pooling import GlobalPool, pool_segments
 from .rgcn import RGCNLayer
 from .trainer import Trainer, TrainerConfig, build_model_and_trainer
 
@@ -49,6 +49,7 @@ __all__ = [
     "glorot_uniform",
     "normal_init",
     "GlobalPool",
+    "pool_segments",
     "RGCNLayer",
     "Trainer",
     "TrainerConfig",

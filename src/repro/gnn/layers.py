@@ -11,12 +11,23 @@ from .parameters import ParameterStore, glorot_uniform, normal_init
 
 class Layer:
     """Base class: layers cache what they need in ``forward`` and release it
-    in ``backward``; parameters live in a shared :class:`ParameterStore`."""
+    in ``backward``; parameters live in a shared :class:`ParameterStore`.
+
+    Every layer additionally exposes ``infer``, a *pure* evaluation-mode
+    forward: it computes exactly the same values as ``forward`` (bit for
+    bit) but never touches the per-layer activation caches, so concurrent
+    ``infer`` calls on one layer are safe and an ``infer`` interleaved with
+    a training step cannot corrupt the pending backward pass.  The
+    inference engine (:mod:`repro.engine`) only ever calls ``infer``.
+    """
 
     def forward(self, *args, **kwargs):
         raise NotImplementedError
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def infer(self, *args, **kwargs):
         raise NotImplementedError
 
 
@@ -38,6 +49,9 @@ class Linear(Layer):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._input = x
+        return self.infer(x)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
         y = x @ self.weight.value
         if self.bias is not None:
             y = y + self.bias.value
@@ -71,6 +85,9 @@ class Embedding(Layer):
 
     def forward(self, indices: np.ndarray) -> np.ndarray:
         self._indices = indices
+        return self.infer(indices)
+
+    def infer(self, indices: np.ndarray) -> np.ndarray:
         return self.weight.value[indices]
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -89,6 +106,11 @@ class ReLU(Layer):
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._mask = x > 0.0
         return x * self._mask
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        # Same expression as forward (not np.maximum), so signed zeros and
+        # every downstream bit pattern match the training path exactly.
+        return x * (x > 0.0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         assert self._mask is not None, "backward called before forward"
@@ -116,6 +138,11 @@ class Dropout(Layer):
         self._mask = (self.rng.random(x.shape) < keep) / keep
         return x * self._mask
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        # Inference is evaluation-mode by definition: inverted dropout is
+        # the identity, regardless of the layer's ``training`` flag.
+        return x
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             return grad_output
@@ -139,6 +166,13 @@ class LayerNorm(Layer):
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean) * inv_std
         self._cache = (x_hat, inv_std)
+        return x_hat * self.gamma.value + self.beta.value
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
         return x_hat * self.gamma.value + self.beta.value
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -153,6 +153,32 @@ class StaticRGCNModel:
         self._cache = {"num_nodes": batch.num_nodes}
         return logits, graph_vectors
 
+    # ----------------------------------------------------------------- infer
+    def infer(self, plan) -> Tuple[np.ndarray, np.ndarray]:
+        """Stateless evaluation-mode forward over an
+        :class:`~repro.engine.ExecutionPlan`.
+
+        Returns ``(logits, graph_vectors)`` with exactly the values an
+        ``eval()``-mode :meth:`forward` would produce on the plan's source
+        batch (bit for bit), but without touching ``self._cache`` or any
+        layer's activation cache: concurrent ``infer`` calls are safe, and
+        an ``infer`` between a training ``forward`` and its ``backward``
+        leaves the pending gradients intact.  Dropout is the identity here
+        regardless of the ``training`` flag — inference is eval-mode by
+        definition.
+        """
+        x = self.embedding.infer(plan.token_ids)
+        x = x + self.extra_proj.infer(plan.extra_features)
+        for rgcn, act in zip(self.rgcn_layers, self.activations):
+            x = rgcn.infer(x, plan.adjacency)
+            x = act.infer(x)
+        pooled = self.pool.infer(x, plan)
+        projected = self.pool_proj.infer(pooled)
+        ff = self.ff2.infer(self.ff_act.infer(self.ff1.infer(projected)))
+        graph_vectors = self.norm.infer(projected + ff)
+        logits = self.classifier.infer(graph_vectors)
+        return logits, graph_vectors
+
     # -------------------------------------------------------------- backward
     def backward(self, grad_logits: np.ndarray, grad_graph_vectors: Optional[np.ndarray] = None) -> None:
         """Backpropagate from the classifier logits (and optionally from an

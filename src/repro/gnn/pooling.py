@@ -9,6 +9,33 @@ import numpy as np
 from .layers import Layer
 
 
+def pool_segments(
+    x: np.ndarray,
+    graph_index: np.ndarray,
+    num_graphs: int,
+    counts: np.ndarray,
+    mode: str,
+) -> np.ndarray:
+    """The one segment-readout kernel every pooling path shares.
+
+    ``counts`` is the zero-clamped float64 divisor (only used by
+    ``"mean"``).  The ``np.add.at``/``np.maximum.at`` accumulation order is
+    the bit-parity contract between the training forward, the engine's
+    single-fold ``infer`` and the fold-stacked sweep — change it here or
+    nowhere.
+    """
+    pooled = np.zeros((num_graphs, x.shape[1]))
+    if mode in ("mean", "sum"):
+        np.add.at(pooled, graph_index, x)
+        if mode == "mean":
+            pooled = pooled / counts[:, None]
+    else:  # max
+        pooled.fill(-np.inf)
+        np.maximum.at(pooled, graph_index, x)
+        pooled[np.isneginf(pooled)] = 0.0
+    return pooled
+
+
 class GlobalPool(Layer):
     """Pool node embeddings into one vector per graph.
 
@@ -23,22 +50,26 @@ class GlobalPool(Layer):
         self._cache = None
 
     def forward(self, x: np.ndarray, graph_index: np.ndarray, num_graphs: int) -> np.ndarray:
-        dim = x.shape[1]
-        pooled = np.zeros((num_graphs, dim))
         counts = np.bincount(graph_index, minlength=num_graphs).astype(np.float64)
         counts[counts == 0] = 1.0
+        pooled = pool_segments(x, graph_index, num_graphs, counts, self.mode)
         if self.mode in ("mean", "sum"):
-            np.add.at(pooled, graph_index, x)
-            if self.mode == "mean":
-                pooled = pooled / counts[:, None]
             self._cache = (graph_index, counts, x.shape, None)
-        else:  # max
-            pooled.fill(-np.inf)
-            np.maximum.at(pooled, graph_index, x)
-            pooled[np.isneginf(pooled)] = 0.0
+        else:
             argmax_mask = x == pooled[graph_index]
             self._cache = (graph_index, counts, x.shape, argmax_mask)
         return pooled
+
+    # ------------------------------------------------------------------ infer
+    def infer(self, x: np.ndarray, plan) -> np.ndarray:
+        """Pure readout over a plan's segments: same values as
+        :meth:`forward` (bit for bit — the shared :func:`pool_segments`
+        kernel), no backward cache.  ``plan`` is an
+        :class:`~repro.engine.ExecutionPlan` (duck-typed: ``graph_index``,
+        ``num_graphs`` and the zero-clamped ``pool_counts`` divisor)."""
+        return pool_segments(
+            x, plan.graph_index, plan.num_graphs, plan.pool_counts, self.mode
+        )
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         assert self._cache is not None, "backward called before forward"

@@ -68,6 +68,23 @@ class RGCNLayer(Layer):
         self._cache = (x, adjacency, propagated)
         return out
 
+    # ------------------------------------------------------------------ infer
+    def infer(self, x: np.ndarray, adjacency: Dict[str, object]) -> np.ndarray:
+        """Pure forward: same values as :meth:`forward` (bit for bit), no
+        activation cache — safe to call concurrently and between a training
+        ``forward`` and its ``backward``.  ``adjacency`` is the mapping held
+        by an :class:`~repro.engine.ExecutionPlan` (or produced by
+        ``GraphBatch.normalized_adjacency``)."""
+        out = x @ self.self_weight.value
+        for rel in self.relations:
+            matrix = adjacency.get(rel)
+            if matrix is None:
+                continue
+            out += (matrix @ x) @ self.relation_weights[rel].value
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
     # ------------------------------------------------------------------ bwd
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         assert self._cache is not None, "backward called before forward"

@@ -1,6 +1,11 @@
 """ProGraML-style program graphs: construction, encoding and batching."""
 
-from .batching import GraphBatch, collate, iterate_minibatches
+from .batching import (
+    GraphBatch,
+    build_normalized_adjacency,
+    collate,
+    iterate_minibatches,
+)
 from .builder import GraphBuilder, build_graph, instruction_token, value_token
 from .features import EncodedGraph, GraphEncoder, graph_statistics
 from .fingerprint import FINGERPRINT_VERSION, fingerprint_many, graph_fingerprint
@@ -23,6 +28,7 @@ from .vocabulary import KNOWN_EXTERNALS, UNKNOWN_TOKEN, Vocabulary, default_voca
 
 __all__ = [
     "GraphBatch",
+    "build_normalized_adjacency",
     "collate",
     "iterate_minibatches",
     "GraphBuilder",

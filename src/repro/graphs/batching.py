@@ -16,6 +16,40 @@ from .features import EncodedGraph
 from .graph import RELATIONS
 
 
+def build_normalized_adjacency(
+    relations: Dict[str, np.ndarray], num_nodes: int
+) -> Dict[str, object]:
+    """Per-relation sparse matrices ``Â_r`` with ``Â_r[dst, src] = 1/c_dst``.
+
+    Message passing then becomes ``Â_r @ X @ W_r``.  This is the single
+    canonical constructor of the normalised adjacency: the training path
+    reaches it through :meth:`GraphBatch.normalized_adjacency` (cached per
+    batch) and the inference engine through
+    :meth:`repro.engine.ExecutionPlan.from_batch` — both consume the exact
+    same matrices, which is what makes engine/legacy parity bit-for-bit.
+
+    Relations with no edges (or an empty batch) map to ``None`` so
+    consumers can skip the matmul entirely.
+    """
+    from scipy import sparse
+
+    adjacency: Dict[str, object] = {}
+    for rel, edges in relations.items():
+        if edges is None or edges.size == 0 or num_nodes == 0:
+            adjacency[rel] = None
+            continue
+        src, dst = edges[0], edges[1]
+        degree = np.bincount(dst, minlength=num_nodes).astype(np.float64)
+        inv_degree = np.zeros(num_nodes)
+        nonzero = degree > 0
+        inv_degree[nonzero] = 1.0 / degree[nonzero]
+        values = inv_degree[dst]
+        adjacency[rel] = sparse.csr_matrix(
+            (values, (dst, src)), shape=(num_nodes, num_nodes)
+        )
+    return adjacency
+
+
 @dataclass(eq=False)  # identity equality: comparing ndarray fields is meaningless
 class GraphBatch:
     """A batch of encoded graphs merged into one disjoint union."""
@@ -44,34 +78,21 @@ class GraphBatch:
         return int(self.token_ids.shape[0])
 
     def normalized_adjacency(self) -> Dict[str, object]:
-        """Per-relation sparse matrices ``Â_r`` with ``Â_r[dst, src] = 1/c_dst``.
+        """Cached :func:`build_normalized_adjacency` over this batch's edges.
 
-        Message passing then becomes ``Â_r @ X @ W_r``; the matrices are built
-        once per batch and cached because every RGCN layer (and the backward
-        pass) reuses them — as does every repeated ``forward`` call on the
-        same batch, e.g. when a served batch is evaluated more than once.
+        The matrices are built once per batch and cached because every RGCN
+        layer (and the backward pass) reuses them — as does every repeated
+        ``forward`` call on the same batch, and the inference engine's
+        :class:`~repro.engine.ExecutionPlan`, which wraps this same cache so
+        one micro-batch never pays for two builds.
         """
         if self._adjacency_cache is not None:
             return self._adjacency_cache
-        from scipy import sparse
-
-        n = self.num_nodes
-        cache: Dict[str, object] = {}
-        for rel, edges in self.relations.items():
-            if edges is None or edges.size == 0 or n == 0:
-                cache[rel] = None
-                continue
-            src, dst = edges[0], edges[1]
-            degree = np.bincount(dst, minlength=n).astype(np.float64)
-            inv_degree = np.zeros(n)
-            nonzero = degree > 0
-            inv_degree[nonzero] = 1.0 / degree[nonzero]
-            values = inv_degree[dst]
-            matrix = sparse.csr_matrix((values, (dst, src)), shape=(n, n))
-            cache[rel] = matrix
-        self._adjacency_cache = cache
+        self._adjacency_cache = build_normalized_adjacency(
+            self.relations, self.num_nodes
+        )
         self.adjacency_builds += 1
-        return cache
+        return self._adjacency_cache
 
     def invalidate_adjacency_cache(self) -> None:
         """Drop the cached adjacency (only needed if edges are mutated)."""

@@ -17,6 +17,12 @@ either service, with a :class:`CheckpointDaemon` dumping the cache on an
 interval so a crashed server restarts warm.  ``python -m repro.serving``
 (or the ``repro-serve`` console script) serves a registry artifact from
 the command line.
+
+All forward passes run through the stateless inference engine
+(:mod:`repro.engine`): one immutable :class:`~repro.engine.ExecutionPlan`
+per micro-batch, evaluated without locks (inference is reentrant, so
+concurrent micro-batches overlap) and — for ensembles — fanned to every
+fold in a single fold-stacked sweep rather than one forward per member.
 """
 
 from .batcher import MicroBatcher

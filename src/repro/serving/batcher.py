@@ -11,6 +11,15 @@ micro-batching trade-off of online inference servers.
 Requests submitted before :meth:`MicroBatcher.start` simply queue up; this
 makes batch formation deterministic in tests (enqueue N, start, observe one
 batch of N).
+
+The batcher is ensemble-aware: ``fanout`` declares how many fold models
+each batch fans out to (the runner builds one
+:class:`~repro.engine.ExecutionPlan` per batch and evaluates every fold
+against it, so a batch of B items costs one plan + one fold-stacked sweep,
+not ``B x fanout`` forwards), and because the engine's inference path is
+stateless/reentrant, ``workers > 1`` drains the queue with several threads
+whose forward passes genuinely overlap — there is no forward lock left to
+serialise them.
 """
 
 from __future__ import annotations
@@ -34,35 +43,53 @@ class MicroBatcher:
         runner: Callable[[List[Any]], Sequence[Any]],
         max_batch_size: int = 32,
         max_wait_s: float = 0.002,
+        workers: int = 1,
+        fanout: int = 1,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_wait_s < 0:
             raise ValueError("max_wait_s must be >= 0")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
         self._runner = runner
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
+        #: worker threads draining the queue concurrently.  Safe above any
+        #: reentrant runner (the engine's stateless inference path); keep at
+        #: 1 for strictly deterministic batch formation.
+        self.workers = workers
+        #: fold fan-out of each dispatched batch (ensemble member count) —
+        #: purely descriptive, surfaced via :meth:`telemetry`.
+        self.fanout = fanout
         self._queue: List[Tuple[Any, Future]] = []
         self._condition = threading.Condition()
         self._closed = False
-        self._thread: Optional[threading.Thread] = None
+        self._threads: List[threading.Thread] = []
+        self._batches_dispatched = 0
+        self._items_dispatched = 0
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "MicroBatcher":
         with self._condition:
             if self._closed:
                 raise RuntimeError("cannot start a closed MicroBatcher")
-            if self._thread is None:
-                self._thread = threading.Thread(
-                    target=self._loop, name="repro-micro-batcher", daemon=True
+            while len(self._threads) < self.workers:
+                thread = threading.Thread(
+                    target=self._loop,
+                    name=f"repro-micro-batcher-{len(self._threads)}",
+                    daemon=True,
                 )
-                self._thread.start()
+                self._threads.append(thread)
+                thread.start()
         return self
 
     def close(self, timeout: Optional[float] = None) -> None:
         """Stop accepting work; drain what is already queued, then exit.
 
-        If the worker thread is running it keeps draining even past a
+        If worker threads are running they keep draining even past a
         ``timeout`` on the join — queued futures are only failed when the
         batcher was never started, because then nothing will ever serve
         them.
@@ -70,9 +97,16 @@ class MicroBatcher:
         with self._condition:
             self._closed = True
             self._condition.notify_all()
-            thread = self._thread
-        if thread is not None:
-            thread.join(timeout)
+            threads = list(self._threads)
+        if threads:
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
+            for thread in threads:
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                thread.join(remaining)
             return
         with self._condition:
             pending, self._queue = self._queue, []
@@ -101,23 +135,48 @@ class MicroBatcher:
         with self._condition:
             return len(self._queue)
 
+    def telemetry(self) -> dict:
+        """Scheduling counters: batches/items dispatched, fold fan-out.
+
+        These are scheduling facts only; whether the fan-out actually ran
+        as one stacked sweep (vs the per-fold fallback) is the service's
+        business — see ``ServingStats.snapshot()['engine']``.
+        """
+        with self._condition:
+            batches = self._batches_dispatched
+            items = self._items_dispatched
+        return {
+            "workers": self.workers,
+            "fanout": self.fanout,
+            "batches_dispatched": batches,
+            "items_dispatched": items,
+        }
+
     # ------------------------------------------------------------- internals
     def _take_batch(self) -> Optional[List[Tuple[Any, Future]]]:
         """Block until a batch is ready (or the batcher is drained+closed)."""
         with self._condition:
-            while not self._queue:
-                if self._closed:
-                    return None
-                self._condition.wait()
-            deadline = time.monotonic() + self.max_wait_s
-            while len(self._queue) < self.max_batch_size and not self._closed:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break
-                self._condition.wait(timeout=remaining)
-            batch = self._queue[: self.max_batch_size]
-            del self._queue[: self.max_batch_size]
-            return batch
+            while True:
+                while not self._queue:
+                    if self._closed:
+                        return None
+                    self._condition.wait()
+                deadline = time.monotonic() + self.max_wait_s
+                while len(self._queue) < self.max_batch_size and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._condition.wait(timeout=remaining)
+                batch = self._queue[: self.max_batch_size]
+                if not batch:
+                    # Another worker drained the queue while this one waited
+                    # out the batching window — go back to sleeping instead
+                    # of dispatching (and counting) a phantom empty batch.
+                    continue
+                del self._queue[: self.max_batch_size]
+                self._batches_dispatched += 1
+                self._items_dispatched += len(batch)
+                return batch
 
     def _loop(self) -> None:
         while True:

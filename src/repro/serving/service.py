@@ -33,6 +33,7 @@ import numpy as np
 
 from ..core.hybrid_model import HybridStaticDynamicClassifier
 from ..core.labeling import LabelSpace
+from ..engine import build_plan
 from ..gnn.losses import softmax
 from ..gnn.model import StaticRGCNModel
 from ..graphs.batching import collate
@@ -58,6 +59,10 @@ class ServiceConfig:
     cache_capacity: int = 1024
     enable_cache: bool = True
     latency_window: int = 4096
+    #: worker threads draining the micro-batch queue.  Inference is
+    #: stateless (no forward lock), so workers > 1 genuinely overlap
+    #: forward passes; 1 keeps batch formation deterministic.
+    batcher_workers: int = 1
     #: optional path to an ``EmbeddingCache.dump`` file loaded at
     #: construction (if it exists), so a restarted service starts hot.
     warmup_path: Optional[str] = None
@@ -86,6 +91,8 @@ def validate_frontend_knobs(config) -> None:
         raise ValueError("cache_capacity must be >= 1")
     if config.latency_window < 1:
         raise ValueError("latency_window must be >= 1")
+    if config.batcher_workers < 1:
+        raise ValueError("batcher_workers must be >= 1")
 
 
 @dataclass
@@ -176,18 +183,19 @@ class ServingFrontend:
                     self.cache.put(self._cache_key(fingerprint), row[0], row[1])
 
         total_latency = time.perf_counter() - start
-        results: List[object] = []
-        for i, graph in enumerate(encoded):
-            row = rows[i]
+        for row in rows:
             assert row is not None  # every index is a hit, pending or duplicate
-            # Cache hits were answered by the lookup phase alone; only
-            # misses paid for the forward passes.  Recording them apart
-            # keeps the latency percentiles honest about the cache.
-            latency = lookup_latency if hit_flags[i] else total_latency
-            results.append(
-                self._build_result(graph, fingerprints[i], row, hit_flags[i], latency)
-            )
-            self.stats.record_request(latency, hit_flags[i])
+        # Cache hits were answered by the lookup phase alone; only misses
+        # paid for the forward passes.  Recording them apart keeps the
+        # latency percentiles honest about the cache.
+        latencies = [
+            lookup_latency if hit else total_latency for hit in hit_flags
+        ]
+        results = self._build_results(
+            encoded, fingerprints, rows, hit_flags, latencies
+        )
+        for latency, hit in zip(latencies, hit_flags):
+            self.stats.record_request(latency, hit)
         return results
 
     # ------------------------------------------------------ subclass hooks
@@ -195,17 +203,40 @@ class ServingFrontend:
         """Cache key for one fingerprint (subclasses add a model digest)."""
         raise NotImplementedError
 
-    def _forward_batch(self, batch, size: int):
-        """Run the model(s) over one collated batch of ``size`` graphs.
+    def _fold_fanout(self) -> int:
+        """How many fold models each execution plan fans out to."""
+        return 1
 
-        Returns ``(logits_rows, vector_rows)``, each indexable by position
-        within the batch; one row becomes one cache entry.
+    def _forward_batch(self, batch, size: int):
+        """Run the engine over one collated batch of ``size`` graphs.
+
+        Implementations build one :class:`~repro.engine.ExecutionPlan` per
+        batch and evaluate it statelessly — no locks: concurrent calls
+        (overlapping micro-batches, parallel ``predict_many`` callers)
+        are safe by construction.  Returns ``(logits_rows, vector_rows)``,
+        each indexable by position within the batch; one row becomes one
+        cache entry.
         """
         raise NotImplementedError
 
     def _build_result(self, graph, fingerprint, row, cache_hit, latency_s):
         """Turn one cached-or-computed row into the service's result type."""
         raise NotImplementedError
+
+    def _build_results(self, graphs, fingerprints, rows, hit_flags, latencies):
+        """Turn one call's rows into results; default is the per-item loop.
+
+        Subclasses may override to batch the row post-processing (the
+        ensemble vectorises its probability combination across the whole
+        call) — overrides must stay element-wise equivalent to
+        :meth:`_build_result`.
+        """
+        return [
+            self._build_result(graph, fingerprint, row, hit, latency)
+            for graph, fingerprint, row, hit, latency in zip(
+                graphs, fingerprints, rows, hit_flags, latencies
+            )
+        ]
 
     # ---------------------------------------------------------- async path
     def _ensure_batcher_locked(self) -> MicroBatcher:
@@ -215,6 +246,8 @@ class ServingFrontend:
                 self.predict_many,
                 max_batch_size=self.config.max_batch_size,
                 max_wait_s=self.config.max_wait_s,
+                workers=getattr(self.config, "batcher_workers", 1),
+                fanout=self._fold_fanout(),
             )
         return self._batcher
 
@@ -266,6 +299,9 @@ class ServingFrontend:
         snapshot = self.stats.snapshot()
         if self.cache is not None:
             snapshot["cache"] = self.cache.stats()
+        with self._batcher_lock:
+            batcher = self._batcher
+        snapshot["batcher"] = batcher.telemetry() if batcher is not None else None
         return snapshot
 
     def describe(self) -> Dict[str, object]:
@@ -360,9 +396,9 @@ class PredictionService(ServingFrontend):
         #: registry address of the served artefact; ``None`` when the service
         #: wraps a bare in-memory model (set by :meth:`from_artifact`).
         self.artifact_ref: Optional[ArtifactRef] = None
-        # The NumPy model caches activations layer-by-layer during forward,
-        # so at most one forward may run at a time.
-        self._forward_lock = threading.Lock()
+        # No forward lock: inference runs through the stateless engine path
+        # (``StaticRGCNModel.infer``), which never touches the training-time
+        # activation caches, so concurrent micro-batches simply overlap.
         super().__init__()
 
     # --------------------------------------------------------- constructors
@@ -417,8 +453,8 @@ class PredictionService(ServingFrontend):
     def _forward_batch(
         self, batch, size: int
     ) -> Tuple[np.ndarray, np.ndarray]:
-        with self._forward_lock:
-            logits, vectors = self.model.forward(batch)
+        plan = build_plan(batch)
+        logits, vectors = self.model.infer(plan)
         self.stats.record_batch(size)
         return logits, vectors
 

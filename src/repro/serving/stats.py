@@ -32,6 +32,12 @@ class ServingStats:
         self.total_batches = 0
         self.batched_graphs = 0
         self.batch_histogram: Dict[int, int] = {}
+        # Engine telemetry: one ExecutionPlan per forward batch, fanned to
+        # ``folds`` members (1 for a single-fold service); ``stacked``
+        # forwards ran all folds in one StackedFoldModel sweep.
+        self.plans_built = 0
+        self.stacked_forwards = 0
+        self.fanned_folds = 0
         self._latencies: Deque[float] = deque(maxlen=latency_window)
 
     # ------------------------------------------------------------- recording
@@ -42,12 +48,21 @@ class ServingStats:
                 self.cache_hits += 1
             self._latencies.append(float(latency_s))
 
-    def record_batch(self, size: int) -> None:
-        """One model forward over ``size`` graphs (cache misses only)."""
+    def record_batch(self, size: int, folds: int = 1, stacked: bool = False) -> None:
+        """One engine forward over ``size`` graphs (cache misses only).
+
+        ``folds`` is the fold fan-out of the batch's execution plan — how
+        many ensemble members the one plan served; ``stacked`` marks a
+        single fold-stacked sweep (vs per-fold fallback loops).
+        """
         with self._lock:
             self.total_batches += 1
             self.batched_graphs += size
             self.batch_histogram[size] = self.batch_histogram.get(size, 0) + 1
+            self.plans_built += 1
+            self.fanned_folds += folds
+            if stacked:
+                self.stacked_forwards += 1
 
     # ------------------------------------------------------------- derived
     @property
@@ -98,6 +113,9 @@ class ServingStats:
             cache_hits = self.cache_hits
             total_batches = self.total_batches
             batched_graphs = self.batched_graphs
+            plans_built = self.plans_built
+            stacked_forwards = self.stacked_forwards
+            fanned_folds = self.fanned_folds
             histogram = dict(sorted(self.batch_histogram.items()))
             latencies = (
                 np.asarray(self._latencies, dtype=np.float64)
@@ -113,6 +131,14 @@ class ServingStats:
             "total_batches": total_batches,
             "mean_batch_size": batched_graphs / total_batches if total_batches else 0.0,
             "batch_histogram": histogram,
+            "engine": {
+                "plans_built": plans_built,
+                "stacked_forwards": stacked_forwards,
+                "fanned_folds": fanned_folds,
+                "mean_fold_fanout": (
+                    fanned_folds / plans_built if plans_built else 0.0
+                ),
+            },
             "qps": total_requests / elapsed if elapsed > 0 else 0.0,
             "latency_p50_s": (
                 float(np.percentile(latencies, 50.0)) if latencies is not None else 0.0

@@ -639,6 +639,65 @@ class TestMicroBatcher:
             batcher.start()
 
 
+class TestMicroBatcherScheduling:
+    def test_workers_and_fanout_validated(self):
+        with pytest.raises(ValueError, match="workers"):
+            MicroBatcher(lambda items: items, workers=0)
+        with pytest.raises(ValueError, match="fanout"):
+            MicroBatcher(lambda items: items, fanout=0)
+
+    def test_multiple_workers_drain_concurrently(self):
+        """With a reentrant runner, two workers genuinely overlap batches —
+        the second batch completes while the first is still in flight."""
+        import time as _time
+
+        in_flight = []
+        overlap_seen = threading.Event()
+        lock = threading.Lock()
+
+        def runner(items):
+            with lock:
+                in_flight.append(1)
+                if len(in_flight) > 1:
+                    overlap_seen.set()
+            _time.sleep(0.05)
+            with lock:
+                in_flight.pop()
+            return [item * 2 for item in items]
+
+        with MicroBatcher(runner, max_batch_size=1, max_wait_s=0.0, workers=2) as batcher:
+            futures = [batcher.submit(i) for i in range(6)]
+            results = [future.result(timeout=10) for future in futures]
+        assert results == [0, 2, 4, 6, 8, 10]
+        assert overlap_seen.is_set()
+
+    def test_telemetry_reports_fanout_and_dispatches(self):
+        batcher = MicroBatcher(lambda items: items, max_batch_size=4, fanout=5)
+        telemetry = batcher.telemetry()
+        assert telemetry["fanout"] == 5
+        assert telemetry["batches_dispatched"] == 0
+        with batcher:
+            futures = [batcher.submit(i) for i in range(4)]
+            [future.result(timeout=10) for future in futures]
+            telemetry = batcher.telemetry()
+        assert telemetry["batches_dispatched"] >= 1
+        assert telemetry["items_dispatched"] == 4
+
+    def test_multi_worker_close_drains_everything(self):
+        processed = []
+
+        def runner(items):
+            processed.extend(items)
+            return items
+
+        batcher = MicroBatcher(runner, max_batch_size=2, workers=3).start()
+        futures = [batcher.submit(i) for i in range(20)]
+        batcher.close()
+        for future in futures:
+            assert future.done()
+        assert sorted(processed) == list(range(20))
+
+
 # ----------------------------------------------------------------- service
 
 
@@ -660,6 +719,7 @@ class TestPredictionService:
             dict(max_wait_s=-0.1),
             dict(cache_capacity=0),
             dict(latency_window=0),
+            dict(batcher_workers=0),
         ):
             with pytest.raises(ValueError):
                 ServiceConfig(**bad)
@@ -844,6 +904,79 @@ class TestPredictionService:
         assert service.stats.batch_histogram == {len(sample_graphs): 1}
 
 
+class TestLockFreeConcurrency:
+    """Inference is stateless (no forward locks) — concurrent callers must
+    get exactly the answers a sequential caller gets."""
+
+    def test_two_threads_predict_many_simultaneously(self, predictor, sample_graphs):
+        service = make_service(predictor, enable_cache=False)
+        expected = service.predict_many(sample_graphs)
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def worker():
+            try:
+                barrier.wait(timeout=5)
+                for _ in range(5):
+                    results = service.predict_many(sample_graphs)
+                    for got, want in zip(results, expected):
+                        assert got.label == want.label
+                        assert np.array_equal(got.probabilities, want.probabilities)
+                        assert np.array_equal(got.graph_vector, want.graph_vector)
+            except Exception as exc:  # propagate to the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+
+    def test_two_threads_on_one_ensemble(self, exported_ensemble, sample_graphs):
+        root, _ = exported_ensemble
+        service = EnsemblePredictionService.from_registry(
+            root, "ens", config=EnsembleConfig(enable_cache=False)
+        )
+        expected = service.predict_many(sample_graphs)
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def worker():
+            try:
+                barrier.wait(timeout=5)
+                for _ in range(3):
+                    results = service.predict_many(sample_graphs)
+                    for got, want in zip(results, expected):
+                        assert got.label == want.label
+                        assert got.per_fold_labels == want.per_fold_labels
+                        assert np.array_equal(got.probabilities, want.probabilities)
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+
+    def test_services_carry_no_forward_lock(self, predictor):
+        # The attribute is gone, not just unused: nothing in the serving
+        # layer may serialise engine forwards again.
+        service = make_service(predictor)
+        assert not hasattr(service, "_forward_lock")
+
+    def test_multi_worker_batcher_end_to_end(self, predictor, sample_graphs):
+        sync = make_service(predictor, enable_cache=False)
+        expected = [result.label for result in sync.predict_many(sample_graphs)]
+        service = make_service(predictor, enable_cache=False, batcher_workers=2)
+        futures = [service.submit(graph) for graph in sample_graphs]
+        with service:
+            results = [future.result(timeout=30) for future in futures]
+        assert [result.label for result in results] == expected
+
+
 # ---------------------------------------------------------------- ensemble
 
 
@@ -1018,9 +1151,41 @@ class TestEnsemblePredictionService:
         assert snapshot["num_members"] == len(refs)
         assert len(snapshot["members"]) == len(refs)
         assert snapshot["total_requests"] == len(sample_graphs)
-        # One forward per member per chunk.
-        assert snapshot["total_batches"] == len(refs)
+        # One fold-stacked engine sweep answers every member per chunk.
+        assert snapshot["total_batches"] == 1
+        assert snapshot["fold_stacked"] is True
+        engine = snapshot["engine"]
+        assert engine["plans_built"] == 1
+        assert engine["stacked_forwards"] == 1
+        assert engine["fanned_folds"] == len(refs)
+        assert engine["mean_fold_fanout"] == float(len(refs))
         assert snapshot["cache"]["size"] == float(len(sample_graphs))
+
+    def test_heterogeneous_members_fall_back_to_per_fold_engine(
+        self, tmp_path, sample_graphs
+    ):
+        """Members that share vocabulary and head size but differ in an
+        architecture knob cannot stack; the ensemble must still serve them
+        (per-fold engine loop over the shared plan), just without the
+        fold-stacked fast path."""
+        registry = ArtifactRegistry(tmp_path)
+        registry.save("mixed-fold0", small_predictor(seed=1))
+        wider = StaticConfigurationPredictor(
+            num_labels=NUM_LABELS,
+            encoder=GraphEncoder(),
+            config=StaticModelConfig(
+                hidden_dim=12, graph_vector_dim=8, num_rgcn_layers=1, epochs=1, seed=2
+            ),
+        )
+        registry.save("mixed-fold1", wider)
+        service = EnsemblePredictionService.from_registry(str(tmp_path), "mixed")
+        assert service._stacked is None
+        assert service.describe()["fold_stacked"] is False
+        result = service.predict(sample_graphs[0])
+        assert len(result.per_fold_labels) == 2
+        snapshot = service.snapshot()
+        assert snapshot["engine"]["stacked_forwards"] == 0
+        assert snapshot["engine"]["fanned_folds"] == 2
 
     def test_mismatched_members_rejected(self, tmp_path):
         registry = ArtifactRegistry(tmp_path)
