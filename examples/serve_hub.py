@@ -1,0 +1,182 @@
+"""Model-hub quickstart: two named deployments in one server + a
+zero-downtime alias flip.
+
+Trains a small cross-validated pipeline, exports its folds into a registry
+twice (two versions of every artifact), then serves from ONE process:
+
+* ``numa``     — a single-fold model, pinned to v0001;
+* ``ens``      — the full fold ensemble (latest versions, soft voting);
+* ``prod``     — an alias, initially pointing at ``numa``.
+
+Everything shares one embedding cache (keys are namespaced per model) and
+one micro-batch worker pool.  The demo queries both models over HTTP by
+name, then performs the production version swap: load the v0002 artifact
+as a new deployment, atomically flip ``prod`` onto it, and unload the old
+one — all over the admin API, with the server up the whole time.
+
+Run with:  python examples/serve_hub.py
+
+The same hub can be started from the command line against any registry
+(``repro-serve`` is the installed alias)::
+
+    python -m repro.serving --root /tmp/registry \
+        --model numa=skylake-demo-fold0@v0001 \
+        --model ens=ensemble:skylake-demo \
+        --alias prod=numa --port 8080
+
+and driven with nothing but ``curl``::
+
+    # what is deployed? (per-model health, aliases, default)
+    curl -s http://127.0.0.1:8080/v1/models
+
+    # query one model by name (or through the 'prod' alias)
+    curl -s -X POST http://127.0.0.1:8080/v1/models/ens/predict \
+        -H 'Content-Type: application/json' \
+        -d '{"graph": {"schema_version": 1, "name": "region", "metadata": {},
+             "nodes": [{"kind": "instruction", "text": "br", "function": "f",
+                        "block": "entry", "features": {}}],
+             "edges": []}}'
+
+    # one model's serving stats; /metrics has a section per model
+    curl -s http://127.0.0.1:8080/v1/models/ens/metrics
+
+    # runtime mutation: deploy v0002, flip prod onto it, drop the old one
+    curl -s -X POST http://127.0.0.1:8080/v1/models/numa-v2/load \
+        -d '{"artifact": "skylake-demo-fold0", "version": "v0002"}'
+    curl -s -X POST http://127.0.0.1:8080/v1/models/prod/alias \
+        -d '{"target": "numa-v2"}'
+    curl -s -X POST http://127.0.0.1:8080/v1/models/numa/unload
+"""
+
+import json
+import os
+import tempfile
+import urllib.request
+
+from repro.core import HybridModelConfig, PipelineConfig, ReproPipeline, StaticModelConfig
+from repro.graphs import GraphBuilder
+from repro.serving import (
+    DeploymentSpec,
+    ModelHub,
+    PredictionHTTPServer,
+    program_graph_to_dict,
+)
+from repro.workloads import build_suite
+
+#: REPRO_EXAMPLE_FAST=1 shrinks the training run (used by the CI smoke test).
+FAST = os.environ.get("REPRO_EXAMPLE_FAST") == "1"
+
+
+def post_json(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url) as response:
+        return json.loads(response.read())
+
+
+def main() -> None:
+    # 1. Train a deliberately small pipeline and export every fold twice —
+    #    v0001 and v0002 of each artifact (a second export stands in for a
+    #    retrained release).
+    config = PipelineConfig(
+        machines=("skylake",),
+        families=["clomp", "lulesh"],
+        region_limit=6 if FAST else 12,
+        num_flag_sequences=2 if FAST else 3,
+        num_labels=6,
+        folds=2 if FAST else 3,
+        static_model=StaticModelConfig(
+            hidden_dim=16,
+            graph_vector_dim=16,
+            num_rgcn_layers=1,
+            epochs=1 if FAST else 4,
+        ),
+        hybrid=HybridModelConfig(use_ga_selection=False),
+    )
+    pipeline = ReproPipeline(config).build()
+    evaluation = pipeline.evaluate("skylake")
+
+    with tempfile.TemporaryDirectory(prefix="repro-hub-") as root:
+        refs = pipeline.export_artifacts(evaluation, root, name="skylake-demo")
+        pipeline.export_artifacts(evaluation, root, name="skylake-demo")  # v0002
+        fold0 = refs[0].name
+
+        # 2. One hub, two declarative deployments, one alias.  The hub owns
+        #    the shared cache and the batcher worker pool.
+        hub = ModelHub(root, cache_capacity=2048, pool_workers=2)
+        hub.load(DeploymentSpec(name="numa", artifact=fold0, version="v0001"))
+        hub.load(DeploymentSpec(name="ens", fold_group="skylake-demo"))
+        hub.alias("prod", "numa")
+
+        # Raw ProgramGraphs, exactly what a remote client would wire-encode.
+        builder = GraphBuilder()
+        regions = build_suite(families=["clomp", "lulesh"], limit=6 if FAST else 12)
+        graphs = [builder.build_module(region.module) for region in regions]
+        wire_graphs = [program_graph_to_dict(graph) for graph in graphs]
+
+        with PredictionHTTPServer(hub) as server:
+            print(f"hub serving on {server.url}")
+            listing = get_json(server.url + "/v1/models")
+            print(
+                f"deployed: {sorted(listing['models'])}, "
+                f"aliases: {listing['aliases']}, default: {listing['default']}"
+            )
+
+            # 3. Query both models by name; single requests ride each
+            #    deployment's micro-batch queue on the shared worker pool.
+            single = post_json(
+                server.url + "/v1/models/numa/predict", {"graphs": wire_graphs}
+            )
+            combined = post_json(
+                server.url + "/v1/models/ens/predict", {"graph": wire_graphs[0]}
+            )
+            print(f"numa labels: {[r['label'] for r in single['results']]}")
+            print(
+                f"ens answer: label={combined['result']['label']} "
+                f"agreement={combined['result']['agreement']:.2f} "
+                f"per-fold={combined['result']['per_fold_labels']}"
+            )
+            via_alias = post_json(
+                server.url + "/v1/models/prod/predict", {"graph": wire_graphs[0]}
+            )
+            assert via_alias["result"]["label"] == single["results"][0]["label"]
+
+            # 4. Zero-downtime version swap over the admin API: load v0002
+            #    under a new name, flip 'prod' atomically, unload v0001.
+            loaded = post_json(
+                server.url + "/v1/models/numa-v2/load",
+                {"artifact": fold0, "version": "v0002"},
+            )
+            print(f"loaded {loaded['loaded']} -> {loaded['model']['serving']['artifact']}")
+            post_json(server.url + "/v1/models/prod/alias", {"target": "numa-v2"})
+            flipped = post_json(
+                server.url + "/v1/models/prod/predict", {"graph": wire_graphs[0]}
+            )
+            print(f"prod now answers from numa-v2: label={flipped['result']['label']}")
+            post_json(server.url + "/v1/models/numa/unload", {})
+            listing = get_json(server.url + "/v1/models")
+            assert sorted(listing["models"]) == ["ens", "numa-v2"]
+            print(f"after swap: {sorted(listing['models'])}")
+
+            # 5. Telemetry: per-model sections + hub-level aggregate.
+            metrics = get_json(server.url + "/metrics")
+            aggregate = metrics["hub"]["aggregate"]
+            print(
+                f"metrics: {aggregate['total_requests']} requests over "
+                f"{aggregate['models']} models, shared cache "
+                f"{metrics['hub']['cache']['size']:.0f} entries, pool dispatched "
+                f"{metrics['hub']['pool']['batches_dispatched']} batches"
+            )
+
+
+if __name__ == "__main__":
+    main()

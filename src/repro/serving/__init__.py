@@ -11,12 +11,24 @@ name behind one endpoint (mean-softmax or majority-vote combination), the
 registry supports retention (``gc``/``pin``), and caches persist
 (``EmbeddingCache.dump``/``load``) so restarted servers start hot.
 
+Deployment is declarative: a :class:`DeploymentSpec` names a deployment
+and points it at an artifact (version-pinned or latest) or a fold group,
+and a :class:`ModelHub` serves many named deployments from one process —
+one shared :class:`EmbeddingCache`/:class:`CheckpointDaemon`, one
+:class:`BatcherWorkerPool` draining every deployment's micro-batch queue,
+runtime ``load``/``unload``/``reload``, and atomic alias flips
+(``prod → v0003``) for zero-downtime version swaps.  Both serving
+front-ends implement the one :class:`Predictor` protocol the hub routes
+over.
+
 The wire protocol lives in :mod:`repro.serving.http`: a stdlib JSON/HTTP
-front-end (``POST /v1/predict``, ``GET /healthz``, ``GET /metrics``) over
-either service, with a :class:`CheckpointDaemon` dumping the cache on an
-interval so a crashed server restarts warm.  ``python -m repro.serving``
-(or the ``repro-serve`` console script) serves a registry artifact from
-the command line.
+front-end over the hub (``POST /v1/models/<name>/predict``,
+``GET /v1/models``, per-model metrics, admin load/unload/alias routes —
+plus the legacy ``POST /v1/predict``, ``GET /healthz``, ``GET /metrics``),
+with a :class:`CheckpointDaemon` dumping the cache on an interval so a
+crashed server restarts warm.  ``python -m repro.serving`` (or the
+``repro-serve`` console script) serves registry artifacts from the
+command line — one model or many (``--model``, repeatable).
 
 All forward passes run through the stateless inference engine
 (:mod:`repro.engine`): one immutable :class:`~repro.engine.ExecutionPlan`
@@ -25,8 +37,22 @@ concurrent micro-batches overlap) and — for ensembles — fanned to every
 fold in a single fold-stacked sweep rather than one forward per member.
 """
 
-from .batcher import MicroBatcher
+from .batcher import BatcherWorkerPool, MicroBatcher, PooledBatcher
 from .cache import CacheEntry, CheckpointDaemon, EmbeddingCache
+from .deployment import (
+    DeploymentSpec,
+    DeploymentSpecError,
+    Predictor,
+    deployment_spec_from_dict,
+    deployment_spec_to_dict,
+)
+from .hub import (
+    Deployment,
+    DeploymentExistsError,
+    DeploymentNotFoundError,
+    HubError,
+    ModelHub,
+)
 from .ensemble import (
     EnsembleConfig,
     EnsemblePredictionResult,
@@ -67,9 +93,21 @@ from .stats import ServingStats
 
 __all__ = [
     "MicroBatcher",
+    "BatcherWorkerPool",
+    "PooledBatcher",
     "CacheEntry",
     "CheckpointDaemon",
     "EmbeddingCache",
+    "DeploymentSpec",
+    "DeploymentSpecError",
+    "Predictor",
+    "deployment_spec_from_dict",
+    "deployment_spec_to_dict",
+    "Deployment",
+    "DeploymentExistsError",
+    "DeploymentNotFoundError",
+    "HubError",
+    "ModelHub",
     "PredictionHTTPServer",
     "RequestError",
     "ServingApp",

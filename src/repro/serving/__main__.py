@@ -1,6 +1,8 @@
-"""Command-line HTTP serving entry point.
+"""Command-line HTTP serving entry point (a thin shim over the model hub).
 
-Serve the latest version of one artifact::
+Serve the latest version of one artifact (the legacy single-model form —
+it builds a one-deployment hub under the hood, so ``POST /v1/predict``
+and the named route ``POST /v1/models/<name>/predict`` both work)::
 
     python -m repro.serving --root /path/to/registry --name skylake-demo-fold0
 
@@ -13,6 +15,17 @@ its first burst from cache)::
         --port 8080 --checkpoint-path /var/tmp/repro-cache.npz \
         --checkpoint-interval 30
 
+Serve several named models from one process — ``--model`` is repeatable
+and takes ``NAME=ARTIFACT[@VERSION]`` for a single model or
+``NAME=ensemble:BASE[:STRATEGY]`` for a fold ensemble; ``--alias`` maps a
+stable public name onto one of them (flip it at runtime via
+``POST /v1/models/<alias>/alias``)::
+
+    python -m repro.serving --root /path/to/registry \
+        --model numa=skylake-demo-fold0@v0001 \
+        --model ens=ensemble:skylake-demo:majority-vote \
+        --alias prod=ens --default numa
+
 The installed console script ``repro-serve`` is an alias for this module.
 """
 
@@ -20,29 +33,51 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from .cache import CheckpointDaemon
-from .ensemble import EnsembleConfig, EnsemblePredictionService, STRATEGIES
+from .deployment import DeploymentSpec, DeploymentSpecError
+from .ensemble import STRATEGIES
 from .http import (
     DEFAULT_MAX_BODY_BYTES,
     DEFAULT_REQUEST_TIMEOUT_S,
     PredictionHTTPServer,
 )
+from .hub import HubError, ModelHub
 from .registry import ArtifactError
-from .service import PredictionService, ServiceConfig
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
-        description="Serve a trained predictor (or fold ensemble) over JSON/HTTP.",
+        description="Serve trained predictors (single models, fold ensembles, "
+        "or several named deployments at once) over JSON/HTTP.",
     )
     parser.add_argument("--root", required=True, help="artifact registry root directory")
-    what = parser.add_mutually_exclusive_group(required=True)
+    what = parser.add_mutually_exclusive_group(required=False)
     what.add_argument("--name", help="serve one artifact name (latest version)")
     what.add_argument(
         "--ensemble", metavar="BASE", help="serve every '<BASE>-fold<k>' artifact"
+    )
+    parser.add_argument(
+        "--model",
+        action="append",
+        default=[],
+        metavar="NAME=TARGET",
+        help="deploy TARGET under NAME (repeatable); TARGET is "
+        "'ARTIFACT[@VERSION]' or 'ensemble:BASE[:STRATEGY]'",
+    )
+    parser.add_argument(
+        "--alias",
+        action="append",
+        default=[],
+        metavar="ALIAS=NAME",
+        help="point a stable public name at one deployment (repeatable)",
+    )
+    parser.add_argument(
+        "--default",
+        metavar="NAME",
+        help="deployment answering the unnamed legacy route POST /v1/predict "
+        "(defaults to the first deployment)",
     )
     parser.add_argument("--version", help="pin a version (only with --name)")
     parser.add_argument(
@@ -62,9 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the embedding cache"
     )
     parser.add_argument(
+        "--pool-workers",
+        type=int,
+        default=2,
+        help="worker threads of the shared batcher pool draining every "
+        "deployment's micro-batch queue",
+    )
+    parser.add_argument(
         "--checkpoint-path",
-        help="dump the cache here on an interval and on shutdown; also used "
-        "as the warm-up file at startup if it exists",
+        help="dump the (shared) cache here on an interval and on shutdown; "
+        "also used as the warm-up file at startup if it exists",
     )
     parser.add_argument(
         "--checkpoint-interval", type=float, default=30.0, metavar="SECONDS"
@@ -83,24 +125,97 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def build_service(args: argparse.Namespace):
-    warmup = args.warmup_path or args.checkpoint_path
+def _parse_model_arg(entry: str, args: argparse.Namespace) -> DeploymentSpec:
+    """One ``NAME=TARGET`` CLI entry → a DeploymentSpec."""
+    name, separator, target = entry.partition("=")
+    if not separator or not name or not target:
+        raise DeploymentSpecError(
+            f"--model takes NAME=TARGET, got {entry!r}"
+        )
     common = dict(
         max_batch_size=args.max_batch_size,
         max_wait_s=args.max_wait_ms / 1000.0,
         cache_capacity=args.cache_capacity,
         enable_cache=not args.no_cache,
-        warmup_path=warmup,
     )
-    if args.ensemble:
-        return EnsemblePredictionService.from_registry(
-            args.root,
-            args.ensemble,
-            config=EnsembleConfig(strategy=args.strategy, **common),
+    if target.startswith("ensemble:"):
+        rest = target[len("ensemble:"):]
+        base, separator, strategy = rest.partition(":")
+        if not base:
+            raise DeploymentSpecError(
+                f"--model {entry!r}: ensemble target needs a base name "
+                f"('NAME=ensemble:BASE[:STRATEGY]')"
+            )
+        return DeploymentSpec(
+            name=name,
+            fold_group=base,
+            strategy=strategy if separator else "mean-softmax",
+            **common,
         )
-    return PredictionService.from_registry(
-        args.root, args.name, version=args.version, config=ServiceConfig(**common)
+    artifact, separator, version = target.partition("@")
+    return DeploymentSpec(
+        name=name,
+        artifact=artifact,
+        version=version if separator else None,
+        **common,
     )
+
+
+def build_specs(args: argparse.Namespace) -> List[DeploymentSpec]:
+    """Every deployment the CLI asked for (legacy flags become one spec)."""
+    specs = [_parse_model_arg(entry, args) for entry in args.model]
+    common = dict(
+        max_batch_size=args.max_batch_size,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        cache_capacity=args.cache_capacity,
+        enable_cache=not args.no_cache,
+    )
+    if args.name:
+        specs.append(
+            DeploymentSpec(
+                name=args.name, artifact=args.name, version=args.version, **common
+            )
+        )
+    if args.ensemble:
+        specs.append(
+            DeploymentSpec(
+                name=args.ensemble,
+                fold_group=args.ensemble,
+                strategy=args.strategy,
+                **common,
+            )
+        )
+    return specs
+
+
+def _parse_aliases(entries: Sequence[str]) -> List[Tuple[str, str]]:
+    aliases = []
+    for entry in entries:
+        alias, separator, target = entry.partition("=")
+        if not separator or not alias or not target:
+            raise DeploymentSpecError(f"--alias takes ALIAS=NAME, got {entry!r}")
+        aliases.append((alias, target))
+    return aliases
+
+
+def build_hub(args: argparse.Namespace) -> ModelHub:
+    """Resolve every spec and assemble the hub (shared cache + daemon)."""
+    hub = ModelHub(
+        args.root,
+        cache_capacity=max(args.cache_capacity, 1),
+        enable_cache=not args.no_cache,
+        warmup_path=args.warmup_path or args.checkpoint_path,
+        checkpoint_path=args.checkpoint_path,
+        checkpoint_interval_s=args.checkpoint_interval,
+        pool_workers=args.pool_workers,
+    )
+    for spec in build_specs(args):
+        hub.load(spec)
+    for alias, target in _parse_aliases(args.alias):
+        hub.alias(alias, target)
+    if args.default:
+        hub.set_default(args.default)
+    return hub
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -108,6 +223,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.version and not args.name:
         parser.error("--version requires --name")
+    if not (args.name or args.ensemble or args.model):
+        parser.error("nothing to serve: pass --name, --ensemble, or --model")
     if args.no_cache and (args.warmup_path or args.checkpoint_path):
         print(
             "error: --warmup-path/--checkpoint-path require the cache "
@@ -116,28 +233,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
     try:
-        service = build_service(args)
-    except (ArtifactError, ValueError) as exc:
+        hub = build_hub(args)
+    except (ArtifactError, HubError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    checkpoint = None
-    if args.checkpoint_path:
-        checkpoint = CheckpointDaemon(
-            service.cache, args.checkpoint_path, interval_s=args.checkpoint_interval
-        )
-
     server = PredictionHTTPServer(
-        service,
+        hub,
         host=args.host,
         port=args.port,
-        checkpoint=checkpoint,
         request_timeout_s=args.request_timeout,
         max_body_bytes=args.max_body_bytes,
         quiet=not args.verbose,
     )
-    serving = service.describe()
-    print(f"serving {serving} on {server.url}", flush=True)
+    names = ", ".join(hub.names())
+    aliases = hub.aliases()
+    alias_note = (
+        " (aliases: " + ", ".join(f"{a}→{t}" for a, t in sorted(aliases.items())) + ")"
+        if aliases
+        else ""
+    )
+    print(f"serving {len(hub)} model(s) [{names}]{alias_note} on {server.url}", flush=True)
     server.run()
     return 0
 

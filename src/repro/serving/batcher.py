@@ -20,6 +20,13 @@ not ``B x fanout`` forwards), and because the engine's inference path is
 stateless/reentrant, ``workers > 1`` drains the queue with several threads
 whose forward passes genuinely overlap — there is no forward lock left to
 serialise them.
+
+For multi-model serving, :class:`BatcherWorkerPool` multiplexes the same
+micro-batching policy over *many* queues with one shared set of worker
+threads: every deployment of a :class:`~repro.serving.hub.ModelHub` gets
+its own :class:`PooledBatcher` (same surface as :class:`MicroBatcher`),
+but a hub with twenty mostly-idle models pays for one thread pool, not
+twenty.
 """
 
 from __future__ import annotations
@@ -183,25 +190,339 @@ class MicroBatcher:
             batch = self._take_batch()
             if batch is None:
                 return
-            # Drop futures cancelled while queued; a cancelled future would
-            # raise InvalidStateError on set_result and kill this thread.
-            live = [
-                (item, future)
-                for item, future in batch
-                if future.set_running_or_notify_cancel()
-            ]
-            if not live:
-                continue
-            items = [item for item, _ in live]
-            try:
-                results = self._runner(items)
-                if len(results) != len(items):
+            _run_batch(self._runner, batch)
+
+
+def _run_batch(
+    runner: Callable[[List[Any]], Sequence[Any]],
+    batch: Sequence[Tuple[Any, Future]],
+) -> None:
+    """Run one dispatched batch and resolve its futures (shared by the
+    single-queue :class:`MicroBatcher` and the pooled variant below)."""
+    # Drop futures cancelled while queued; a cancelled future would
+    # raise InvalidStateError on set_result and kill the worker thread.
+    live = [
+        (item, future)
+        for item, future in batch
+        if future.set_running_or_notify_cancel()
+    ]
+    if not live:
+        return
+    items = [item for item, _ in live]
+    try:
+        results = runner(items)
+        if len(results) != len(items):
+            raise RuntimeError(
+                f"runner returned {len(results)} results for {len(items)} items"
+            )
+    except Exception as exc:  # propagate to every waiter in the batch
+        for _, future in live:
+            future.set_exception(exc)
+        return
+    for (_, future), result in zip(live, results):
+        future.set_result(result)
+
+
+class BatcherWorkerPool:
+    """One shared set of worker threads draining many micro-batch queues.
+
+    A :class:`~repro.serving.hub.ModelHub` serves many named deployments
+    from one process; giving each its own :class:`MicroBatcher` thread set
+    would scale threads with model count even though most models are idle
+    most of the time.  The pool inverts that: deployments register
+    lightweight :class:`PooledBatcher` queues (created via
+    :meth:`batcher_factory`, signature-compatible with
+    :class:`MicroBatcher`), and ``workers`` shared threads apply the same
+    batching policy — dispatch a queue when it holds ``max_batch_size``
+    items or its oldest item has waited ``max_wait_s`` — across all of
+    them, oldest-work-first.
+
+    The pool never runs two batches of one queue's items out of order
+    (items are popped FIFO under the shared lock), but batches of
+    *different* queues run concurrently, which is safe because every
+    runner is the stateless engine path.
+    """
+
+    def __init__(self, workers: int = 2):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        # One lock for the pool *and* every member queue: scheduling looks
+        # at all queues at once, so finer locking would buy contention, not
+        # parallelism (the expensive part — the runner — runs unlocked).
+        self._condition = threading.Condition()
+        self._members: List["PooledBatcher"] = []
+        self._threads: List[threading.Thread] = []
+        self._closed = False
+        self._batches_dispatched = 0
+        self._items_dispatched = 0
+
+    # ------------------------------------------------------------- factory
+    def batcher_factory(
+        self,
+        runner: Callable[[List[Any]], Sequence[Any]],
+        max_batch_size: int = 32,
+        max_wait_s: float = 0.002,
+        workers: int = 1,  # noqa: ARG002 - pool-level; kept for signature parity
+        fanout: int = 1,
+    ) -> "PooledBatcher":
+        """Drop-in replacement for the :class:`MicroBatcher` constructor.
+
+        ``workers`` is accepted for signature compatibility but ignored:
+        worker threads belong to the pool, not to any one queue.
+        """
+        return PooledBatcher(
+            self, runner, max_batch_size=max_batch_size, max_wait_s=max_wait_s, fanout=fanout
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def register(self, member: "PooledBatcher") -> None:
+        with self._condition:
+            if self._closed:
+                # A fully-closed pool reopens on the next registration, so
+                # a stopped hub can start again (and post-stop submits keep
+                # the restart-on-demand contract of ServingFrontend.submit).
+                # Mid-close — old workers still draining — is a genuine
+                # lifecycle error and stays one.
+                if any(thread.is_alive() for thread in self._threads):
                     raise RuntimeError(
-                        f"runner returned {len(results)} results for {len(items)} items"
+                        "cannot register while the BatcherWorkerPool is closing"
                     )
-            except Exception as exc:  # propagate to every waiter in the batch
-                for _, future in live:
-                    future.set_exception(exc)
-                continue
-            for (_, future), result in zip(live, results):
-                future.set_result(result)
+                self._closed = False
+                self._threads = []
+            if member not in self._members:
+                self._members.append(member)
+            while len(self._threads) < self.workers:
+                thread = threading.Thread(
+                    target=self._loop,
+                    name=f"repro-hub-batcher-{len(self._threads)}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+            self._condition.notify_all()
+
+    def unregister(self, member: "PooledBatcher") -> None:
+        with self._condition:
+            if member in self._members:
+                self._members.remove(member)
+            self._condition.notify_all()
+
+    def close(self) -> None:
+        """Close every member queue (draining it), then stop the threads."""
+        with self._condition:
+            members = list(self._members)
+        for member in members:
+            member.close()
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join()
+
+    def __enter__(self) -> "BatcherWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- telemetry
+    def telemetry(self) -> dict:
+        with self._condition:
+            return {
+                "workers": self.workers,
+                "members": len(self._members),
+                "batches_dispatched": self._batches_dispatched,
+                "items_dispatched": self._items_dispatched,
+            }
+
+    # ------------------------------------------------------------- internals
+    def _take(self) -> Optional[Tuple["PooledBatcher", List[Tuple[Any, Future]]]]:
+        """Pick the next dispatchable (member, batch); block until one exists.
+
+        Returns ``None`` when the pool is closed and every queue is empty.
+        """
+        with self._condition:
+            while True:
+                now = time.monotonic()
+                best: Optional[Tuple[float, "PooledBatcher"]] = None
+                next_deadline: Optional[float] = None
+                draining = False
+                for member in self._members:
+                    enqueued = member._oldest_enqueue_time()
+                    if enqueued is None:
+                        continue
+                    draining = True
+                    ready = member._dispatchable(now)
+                    if ready:
+                        # Oldest head item first: global FIFO across models.
+                        if best is None or enqueued < best[0]:
+                            best = (enqueued, member)
+                    else:
+                        deadline = enqueued + member.max_wait_s
+                        if next_deadline is None or deadline < next_deadline:
+                            next_deadline = deadline
+                if best is not None:
+                    member = best[1]
+                    batch = member._pop_batch_locked()
+                    self._batches_dispatched += 1
+                    self._items_dispatched += len(batch)
+                    return member, batch
+                if self._closed and not draining:
+                    return None
+                timeout = (
+                    None if next_deadline is None else max(0.0, next_deadline - now)
+                )
+                self._condition.wait(timeout=timeout)
+
+    def _loop(self) -> None:
+        while True:
+            task = self._take()
+            if task is None:
+                return
+            member, batch = task
+            try:
+                _run_batch(member._runner, batch)
+            finally:
+                with self._condition:
+                    member._in_flight -= 1
+                    self._condition.notify_all()
+
+
+class PooledBatcher:
+    """One deployment's micro-batch queue, drained by a shared pool.
+
+    Same surface as :class:`MicroBatcher` (``start``/``submit``/``close``/
+    ``pending``/``telemetry``), so :class:`~repro.serving.service.ServingFrontend`
+    uses either interchangeably; the difference is purely who owns the
+    worker threads.  Items submitted before :meth:`start` queue up and are
+    only dispatched once started, preserving MicroBatcher's deterministic
+    enqueue-then-start batch formation.
+    """
+
+    def __init__(
+        self,
+        pool: BatcherWorkerPool,
+        runner: Callable[[List[Any]], Sequence[Any]],
+        max_batch_size: int = 32,
+        max_wait_s: float = 0.002,
+        fanout: int = 1,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self._pool = pool
+        self._runner = runner
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self.fanout = fanout
+        self._queue: List[Tuple[Any, Future, float]] = []
+        self._started = False
+        self._closed = False
+        self._in_flight = 0
+        self._batches_dispatched = 0
+        self._items_dispatched = 0
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "PooledBatcher":
+        with self._pool._condition:
+            if self._closed:
+                raise RuntimeError("cannot start a closed PooledBatcher")
+            self._started = True
+        self._pool.register(self)
+        return self
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting work; drain what is already queued, then detach.
+
+        A started queue is drained by the pool's workers (closing makes it
+        immediately dispatchable, skipping the batching window); a queue
+        that was never started fails its pending futures, because nothing
+        will ever serve them.
+        """
+        condition = self._pool._condition
+        with condition:
+            self._closed = True
+            if not self._started:
+                pending, self._queue = self._queue, []
+                for _, future, _ in pending:
+                    if future.set_running_or_notify_cancel():
+                        future.set_exception(
+                            RuntimeError("PooledBatcher closed before start")
+                        )
+            else:
+                condition.notify_all()
+                deadline = None if timeout is None else time.monotonic() + timeout
+                while self._queue or self._in_flight:
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        break
+                    condition.wait(timeout=remaining)
+            drained = not self._queue and not self._in_flight
+        if drained:
+            self._pool.unregister(self)
+        # A timed-out close leaves the member registered: the pool keeps
+        # draining a closed queue, so the leftover futures still resolve
+        # (mirroring MicroBatcher, whose workers keep draining past a
+        # timed-out join) instead of hanging unreachable forever.
+
+    def __enter__(self) -> "PooledBatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- frontend
+    def submit(self, item: Any) -> Future:
+        future: Future = Future()
+        with self._pool._condition:
+            if self._closed:
+                raise RuntimeError("PooledBatcher is closed")
+            self._queue.append((item, future, time.monotonic()))
+            self._pool._condition.notify_all()
+        return future
+
+    @property
+    def pending(self) -> int:
+        with self._pool._condition:
+            return len(self._queue)
+
+    def telemetry(self) -> dict:
+        with self._pool._condition:
+            return {
+                "workers": self._pool.workers,
+                "fanout": self.fanout,
+                "batches_dispatched": self._batches_dispatched,
+                "items_dispatched": self._items_dispatched,
+                "pooled": True,
+            }
+
+    # ------------------------------------------------------------- internals
+    # All three helpers are called by the pool with its condition held.
+    def _oldest_enqueue_time(self) -> Optional[float]:
+        return self._queue[0][2] if self._queue else None
+
+    def _dispatchable(self, now: float) -> bool:
+        if not self._queue:
+            return False
+        if self._closed:
+            return True  # draining: skip the batching window
+        if not self._started:
+            return False  # pre-start submits wait for start()
+        if len(self._queue) >= self.max_batch_size:
+            return True
+        return now >= self._queue[0][2] + self.max_wait_s
+
+    def _pop_batch_locked(self) -> List[Tuple[Any, Future]]:
+        batch = [(item, future) for item, future, _ in self._queue[: self.max_batch_size]]
+        del self._queue[: self.max_batch_size]
+        self._batches_dispatched += 1
+        self._items_dispatched += len(batch)
+        self._in_flight += 1
+        return batch

@@ -71,6 +71,17 @@ class EmbeddingCache:
         with self._lock:
             return fingerprint in self._entries
 
+    def namespace_size(self, prefix: str) -> int:
+        """Number of entries whose key starts with ``prefix``.
+
+        Services namespace their keys with a model/version-set digest
+        (``ServingFrontend.cache_namespace()``), so when many deployments
+        share one cache — the hub's layout — this reports one model's
+        share of the table (its per-model "warmth") without exposing keys.
+        """
+        with self._lock:
+            return sum(1 for key in self._entries if key.startswith(prefix))
+
     def get(self, fingerprint: str) -> Optional[CacheEntry]:
         """Look up a fingerprint, promoting it to most-recently-used."""
         with self._lock:

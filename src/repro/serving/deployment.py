@@ -1,0 +1,253 @@
+"""Declarative deployment specs and the predictor interface they produce.
+
+Before the hub, deploying a model meant picking one of two near-duplicate
+front-end classes (:class:`~repro.serving.service.PredictionService` vs
+:class:`~repro.serving.ensemble.EnsemblePredictionService`) and one of two
+near-duplicate config dataclasses (``ServiceConfig`` vs ``EnsembleConfig``)
+— the *what* (which artefact, which version, which combination policy) was
+tangled up with the *how* (which Python class to instantiate).
+
+:class:`DeploymentSpec` separates them: one declarative record names the
+deployment, points it at a registry artefact (``artifact`` + optional
+``version`` pin) **or** a fold group (``fold_group`` + combination
+``strategy``), and carries the batcher/cache/warm-up knobs.  The
+:class:`~repro.serving.hub.ModelHub` resolves a spec against an
+:class:`~repro.serving.registry.ArtifactRegistry` and builds the right
+service behind the :class:`Predictor` protocol — single-fold and ensemble
+serving become two implementations of one interface instead of two parallel
+API surfaces.
+
+Specs have a strict wire codec (:func:`deployment_spec_to_dict` /
+:func:`deployment_spec_from_dict`), so the same record configures a
+deployment from Python, from the ``repro-serve`` command line, or over the
+hub's HTTP admin endpoint (``POST /v1/models/<name>/load``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from .ensemble import STRATEGIES, EnsembleConfig
+from .service import ServiceConfig, validate_frontend_knobs
+
+#: deployment names become URL path segments (``/v1/models/<name>/...``):
+#: one segment, no separators, no dots leading (path traversal), URL-safe.
+_DEPLOYMENT_NAME_PATTERN = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,127}")
+
+#: version pins accepted by a spec: a concrete registry version or "latest".
+_VERSION_PIN_PATTERN = re.compile(r"v\d{4,}")
+
+
+class DeploymentSpecError(ValueError):
+    """A structurally invalid deployment spec (bad name, target, or knob)."""
+
+
+def validate_deployment_name(name: str) -> str:
+    """Check one deployment/alias name (they share a URL namespace)."""
+    if not isinstance(name, str) or not _DEPLOYMENT_NAME_PATTERN.fullmatch(name):
+        raise DeploymentSpecError(
+            f"invalid deployment name {name!r}: must be one URL path "
+            f"segment of [A-Za-z0-9._-], not starting with '.' or '-'"
+        )
+    return name
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """What the hub (and the HTTP layer) require of a deployed model.
+
+    Both serving front-ends — :class:`~repro.serving.service.PredictionService`
+    and :class:`~repro.serving.ensemble.EnsemblePredictionService` — satisfy
+    this structurally via their shared
+    :class:`~repro.serving.service.ServingFrontend` base; anything else that
+    answers these methods (a stub, a remote proxy) can be adopted into a
+    hub the same way.
+    """
+
+    def predict(self, request): ...
+
+    def predict_many(self, requests: Sequence) -> list: ...
+
+    def submit(self, request): ...
+
+    def start(self): ...
+
+    def stop(self) -> None: ...
+
+    def snapshot(self) -> Dict[str, object]: ...
+
+    def describe(self) -> Dict[str, object]: ...
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """One named deployment, declaratively.
+
+    Exactly one of ``artifact`` (serve a single registry artefact) or
+    ``fold_group`` (serve every ``<fold_group>-fold<k>`` artefact as an
+    ensemble) must be set.  ``version`` pins a single-artifact deployment to
+    a concrete registry version (``"latest"``/``None`` tracks the newest —
+    re-resolved on every :meth:`~repro.serving.hub.ModelHub.reload`);
+    ensemble members always serve their latest versions.  The remaining
+    fields are the familiar serving knobs, identical in meaning to the
+    legacy ``ServiceConfig``/``EnsembleConfig`` fields they subsume.
+    """
+
+    name: str
+    artifact: Optional[str] = None
+    fold_group: Optional[str] = None
+    version: Optional[str] = None
+    strategy: str = "mean-softmax"
+    folds: Optional[Tuple[int, ...]] = None
+    max_batch_size: int = 32
+    max_wait_s: float = 0.002
+    cache_capacity: int = 1024
+    enable_cache: bool = True
+    latency_window: int = 4096
+    batcher_workers: int = 1
+    warmup_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        validate_deployment_name(self.name)
+        if (self.artifact is None) == (self.fold_group is None):
+            raise DeploymentSpecError(
+                f"deployment {self.name!r} must set exactly one of 'artifact' "
+                f"(single model) or 'fold_group' (ensemble)"
+            )
+        if self.version == "latest":
+            # Normalise the explicit pin-to-latest spelling to None, so
+            # "latest" and an absent pin compare (and re-resolve) the same.
+            object.__setattr__(self, "version", None)
+        if self.version is not None:
+            if self.fold_group is not None:
+                raise DeploymentSpecError(
+                    f"deployment {self.name!r}: 'version' only applies to "
+                    f"'artifact' deployments (ensemble members always serve "
+                    f"their latest versions)"
+                )
+            if not _VERSION_PIN_PATTERN.fullmatch(self.version):
+                raise DeploymentSpecError(
+                    f"deployment {self.name!r}: invalid version pin "
+                    f"{self.version!r} (expected 'vNNNN' or 'latest')"
+                )
+        if self.strategy not in STRATEGIES:
+            raise DeploymentSpecError(
+                f"deployment {self.name!r}: unknown strategy {self.strategy!r}; "
+                f"expected one of {STRATEGIES}"
+            )
+        if self.folds is not None:
+            if self.fold_group is None:
+                raise DeploymentSpecError(
+                    f"deployment {self.name!r}: 'folds' only applies to "
+                    f"'fold_group' deployments"
+                )
+            object.__setattr__(self, "folds", tuple(int(fold) for fold in self.folds))
+        try:
+            validate_frontend_knobs(self)
+        except ValueError as exc:
+            raise DeploymentSpecError(f"deployment {self.name!r}: {exc}") from exc
+
+    # ------------------------------------------------------------ properties
+    @property
+    def kind(self) -> str:
+        """``"single"`` or ``"ensemble"`` — which front-end this spec builds."""
+        return "single" if self.artifact is not None else "ensemble"
+
+    @property
+    def target(self) -> str:
+        """The registry name this spec serves (artifact or fold-group base)."""
+        return self.artifact if self.artifact is not None else self.fold_group
+
+    # ----------------------------------------------------- config projection
+    def service_config(self) -> ServiceConfig:
+        """The legacy single-model config this spec projects onto."""
+        return ServiceConfig(
+            max_batch_size=self.max_batch_size,
+            max_wait_s=self.max_wait_s,
+            cache_capacity=self.cache_capacity,
+            enable_cache=self.enable_cache,
+            latency_window=self.latency_window,
+            batcher_workers=self.batcher_workers,
+            warmup_path=self.warmup_path,
+        )
+
+    def ensemble_config(self) -> EnsembleConfig:
+        """The legacy ensemble config this spec projects onto."""
+        return EnsembleConfig(
+            strategy=self.strategy,
+            max_batch_size=self.max_batch_size,
+            max_wait_s=self.max_wait_s,
+            cache_capacity=self.cache_capacity,
+            enable_cache=self.enable_cache,
+            latency_window=self.latency_window,
+            batcher_workers=self.batcher_workers,
+            warmup_path=self.warmup_path,
+        )
+
+
+#: spec fields that keep their dataclass default when absent on the wire.
+_SPEC_FIELDS = {spec_field.name for spec_field in fields(DeploymentSpec)}
+
+
+def deployment_spec_to_dict(spec: DeploymentSpec) -> Dict[str, object]:
+    """JSON-friendly encoding of one spec (round-trips through
+    :func:`deployment_spec_from_dict`)."""
+    return {
+        "name": spec.name,
+        "artifact": spec.artifact,
+        "fold_group": spec.fold_group,
+        "version": spec.version,
+        "strategy": spec.strategy,
+        "folds": list(spec.folds) if spec.folds is not None else None,
+        "max_batch_size": spec.max_batch_size,
+        "max_wait_s": spec.max_wait_s,
+        "cache_capacity": spec.cache_capacity,
+        "enable_cache": spec.enable_cache,
+        "latency_window": spec.latency_window,
+        "batcher_workers": spec.batcher_workers,
+        "warmup_path": spec.warmup_path,
+    }
+
+
+def deployment_spec_from_dict(
+    data: object, name: Optional[str] = None
+) -> DeploymentSpec:
+    """Strictly decode one spec from wire data.
+
+    ``name`` supplies (or cross-checks) the deployment name when the
+    transport carries it out of band — the HTTP admin endpoint takes the
+    name from the URL path, so a body naming a *different* deployment is
+    rejected instead of silently winning.
+    """
+    if not isinstance(data, dict):
+        raise DeploymentSpecError(
+            f"deployment spec must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - _SPEC_FIELDS)
+    if unknown:
+        raise DeploymentSpecError(f"deployment spec has unknown field(s) {unknown}")
+    payload = dict(data)
+    body_name = payload.get("name")
+    if body_name is not None and not isinstance(body_name, str):
+        raise DeploymentSpecError("deployment spec 'name' must be a string")
+    if name is not None:
+        if body_name is not None and body_name != name:
+            raise DeploymentSpecError(
+                f"deployment spec names {body_name!r} but was addressed to {name!r}"
+            )
+        payload["name"] = name
+    if "folds" in payload and payload["folds"] is not None:
+        folds = payload["folds"]
+        if not isinstance(folds, (list, tuple)) or not all(
+            isinstance(fold, int) and not isinstance(fold, bool) for fold in folds
+        ):
+            raise DeploymentSpecError("deployment spec 'folds' must be a list of ints")
+        payload["folds"] = tuple(folds)
+    if "name" not in payload or payload["name"] is None:
+        raise DeploymentSpecError("deployment spec is missing required field 'name'")
+    try:
+        return DeploymentSpec(**payload)
+    except TypeError as exc:
+        raise DeploymentSpecError(f"invalid deployment spec: {exc}") from exc

@@ -56,7 +56,16 @@ STRATEGIES = ("mean-softmax", "majority-vote")
 
 @dataclass
 class EnsembleConfig:
-    """Knobs of :class:`EnsemblePredictionService`."""
+    """Knobs of :class:`EnsemblePredictionService`.
+
+    .. deprecated::
+        New code should declare deployments with
+        :class:`~repro.serving.deployment.DeploymentSpec` (``fold_group=``
+        + ``strategy=``) and serve them through a
+        :class:`~repro.serving.hub.ModelHub`, which subsumes these knobs
+        (and ``ServiceConfig``'s) in one record.  This class keeps working
+        for directly-embedded ensembles.
+    """
 
     strategy: str = "mean-softmax"
     max_batch_size: int = 32
@@ -254,9 +263,14 @@ class EnsemblePredictionService(ServingFrontend):
             raise ArtifactNotFoundError(
                 f"no '<base>-fold<k>' artefacts for base {base!r} in {root}"
             )
+        # One canonical latest-version resolution per member (resolve()),
+        # then load the concrete refs it produced.
+        member_refs = {
+            fold: registry.resolve(name) for fold, name in member_names.items()
+        }
         members = {
-            fold: registry.load(name, verify=verify)
-            for fold, name in member_names.items()
+            fold: registry.load(ref.name, ref.version, verify=verify)
+            for fold, ref in member_refs.items()
         }
         return cls(members, config=config, cache=cache)
 

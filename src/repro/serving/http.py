@@ -1,33 +1,44 @@
-"""JSON-over-HTTP wire protocol for the prediction services.
+"""JSON-over-HTTP wire protocol for the model hub.
 
-The serving layer (:mod:`repro.serving.service`, :mod:`repro.serving.ensemble`)
-is in-process only; this module puts either front-end behind a stdlib
-HTTP server (``http.server.ThreadingHTTPServer`` — no third-party web
-framework) so any process that can speak JSON can query a deployed
-predictor:
+This module puts a :class:`~repro.serving.hub.ModelHub` — many named
+deployments in one process — behind a stdlib HTTP server
+(``http.server.ThreadingHTTPServer``, no third-party web framework):
 
-* ``POST /v1/predict`` — body ``{"graph": {...}}`` (one wire-encoded
-  :class:`~repro.graphs.graph.ProgramGraph`) or ``{"graphs": [{...}, ...]}``
-  (a batch).  Single-graph requests are routed through the service's
-  micro-batcher, so concurrent HTTP clients coalesce into shared RGCN
-  forward passes exactly like in-process ``submit`` callers; batch bodies
-  go straight to ``predict_many``.  Responses carry label, probabilities,
-  configuration and cache/latency telemetry per graph (plus per-fold
-  labels and agreement for ensembles).
-* ``GET /healthz`` — liveness plus identity: which artifact/members are
-  served and whether the cache is warm.
-* ``GET /metrics`` — ``ServingStats.snapshot()`` + cache + checkpoint
-  telemetry as one JSON document.
+* ``POST /v1/models/<name>/predict`` — body ``{"graph": {...}}`` (one
+  wire-encoded :class:`~repro.graphs.graph.ProgramGraph`) or
+  ``{"graphs": [{...}, ...]}`` (a batch), answered by the named deployment
+  (``<name>`` may be a deployment name or an alias such as ``prod``).
+  Single-graph requests ride the deployment's micro-batcher, so concurrent
+  HTTP clients coalesce into shared RGCN forward passes; batch bodies go
+  straight to ``predict_many``.
+* ``GET /v1/models`` — the served set: per-model health, aliases, default.
+* ``GET /v1/models/<name>`` / ``GET /v1/models/<name>/metrics`` — one
+  model's health / serving stats.
+* ``POST /v1/models/<name>/load|unload|reload|alias`` — admin: mutate the
+  served set at runtime (load takes a
+  :class:`~repro.serving.deployment.DeploymentSpec` body, alias takes
+  ``{"target": ...}``); an alias flip is atomic, so a version swap fails
+  zero in-flight requests.
+* ``GET /healthz`` / ``GET /metrics`` — process-level liveness and
+  telemetry, with one section per model plus the shared cache/pool/
+  checkpoint infrastructure.  Both answer ``HEAD`` too.
+* ``POST /v1/predict`` — the legacy single-model route, answered by the
+  hub's *default* deployment.  Kept (with the bare-service constructors)
+  as a deprecation-noted shim: a :class:`ServingApp` built from a single
+  :class:`~repro.serving.service.ServingFrontend` wraps it in a
+  one-deployment hub, so PR-3 era callers and the ``repro-serve`` CLI
+  work unchanged.
 
 Malformed requests (invalid JSON, unknown fields, structurally invalid
-graphs, unsupported schema versions) are mapped onto structured 4xx
-responses — ``{"error": {"status": ..., "code": ..., "message": ...}}`` —
-never opaque 500s; only a genuine server-side failure produces a 500.
+graphs, unsupported schema versions, unknown models) are mapped onto
+structured 4xx responses — ``{"error": {"status": ..., "code": ...,
+"message": ...}}`` — never opaque 500s; wrong-method hits on known routes
+get a structured 405 carrying an ``Allow`` header.
 
 :class:`ServingApp` holds the transport-independent routing/validation
 logic (testable without opening a socket); :class:`PredictionHTTPServer`
-binds it to a threading HTTP server and manages the service's batcher and
-an optional :class:`~repro.serving.cache.CheckpointDaemon` lifecycle.
+binds it to a threading HTTP server and manages the hub's batcher and
+checkpoint-daemon lifecycle.
 """
 
 from __future__ import annotations
@@ -37,10 +48,18 @@ import threading
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from .cache import CheckpointDaemon
+from .deployment import DeploymentSpecError, deployment_spec_from_dict
 from .ensemble import EnsemblePredictionResult
+from .hub import (
+    DeploymentExistsError,
+    DeploymentNotFoundError,
+    HubError,
+    ModelHub,
+)
+from .registry import ArtifactNotFoundError
 from .serialization import (
     SerializationError,
     configuration_to_dict,
@@ -51,8 +70,17 @@ from .service import ServingFrontend
 #: requests larger than this are rejected with 413 before being parsed.
 DEFAULT_MAX_BODY_BYTES = 8 << 20  # 8 MiB
 
-#: how long one /v1/predict request may wait on the micro-batcher.
+#: how long one predict request may wait on the micro-batcher.
 DEFAULT_REQUEST_TIMEOUT_S = 30.0
+
+#: deployment name a bare service is adopted under by the legacy shims.
+DEFAULT_MODEL_NAME = "default"
+
+#: an app view: takes the (possibly absent) request body, returns the payload.
+_View = Callable[[Optional[bytes]], Dict[str, object]]
+
+#: response headers attached to a payload (e.g. ``Allow`` on a 405).
+Headers = Dict[str, str]
 
 
 def error_payload(status: int, code: str, message: str) -> Dict[str, object]:
@@ -101,81 +129,168 @@ def result_to_dict(result) -> Dict[str, object]:
 
 
 class ServingApp:
-    """Transport-independent request router over one serving front-end.
+    """Transport-independent request router over one model hub.
 
-    ``handle(method, path, body)`` returns ``(status, payload)`` and never
-    raises for client mistakes — every validation failure is a structured
-    4xx payload.  The HTTP handler below is a thin byte shuffler around it,
-    which keeps the whole protocol unit-testable without sockets.
+    ``handle(method, path, body)`` returns ``(status, payload, headers)``
+    and never raises for client mistakes — every validation failure is a
+    structured 4xx payload.  The HTTP handler below is a thin byte
+    shuffler around it, which keeps the whole protocol unit-testable
+    without sockets.
+
+    ``target`` is a :class:`~repro.serving.hub.ModelHub`, or — the legacy
+    shim, kept for PR-3 era callers — a bare
+    :class:`~repro.serving.service.ServingFrontend`, which is adopted into
+    a fresh one-deployment hub under the name ``"default"``.
     """
 
     def __init__(
         self,
-        service: ServingFrontend,
+        target: Union[ModelHub, ServingFrontend],
         checkpoint: Optional[CheckpointDaemon] = None,
         request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
     ):
         if request_timeout_s <= 0:
             raise ValueError("request_timeout_s must be > 0")
-        self.service = service
-        self.checkpoint = checkpoint
+        if isinstance(target, ModelHub):
+            self.hub = target
+        else:
+            # Legacy shim: the adopted service keeps its own cache and
+            # batcher (enable_cache=False stops the wrapper hub from
+            # building an unused shared cache next to them).
+            self.hub = ModelHub(enable_cache=False)
+            self.hub.adopt(DEFAULT_MODEL_NAME, target)
+        self._own_checkpoint = checkpoint
         self.request_timeout_s = float(request_timeout_s)
         self._started = False
         self._started_monotonic = time.monotonic()
 
+    # ----------------------------------------------------------- properties
+    @property
+    def checkpoint(self) -> Optional[CheckpointDaemon]:
+        """The app-managed daemon (legacy shim) or the hub's own."""
+        return self._own_checkpoint or self.hub.checkpoint
+
+    @property
+    def service(self) -> Optional[ServingFrontend]:
+        """The default deployment's predictor (legacy accessor)."""
+        try:
+            return self.hub.resolve(None).predictor
+        except DeploymentNotFoundError:
+            return None
+
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "ServingApp":
-        """Start the service's micro-batcher and the checkpoint daemon."""
-        self.service.start()
-        if self.checkpoint is not None:
-            self.checkpoint.start()
+        """Start the hub (every deployment's batcher + its daemon); an
+        app-level checkpoint daemon (legacy shim) starts alongside."""
+        self.hub.start()
+        if self._own_checkpoint is not None:
+            self._own_checkpoint.start()
         self._started = True
         self._started_monotonic = time.monotonic()
         return self
 
     def stop(self) -> None:
-        """Drain the batcher, then stop the daemon (final checkpoint last,
-        so results computed during the drain make it into the file)."""
+        """Drain the hub, then stop the daemon (final checkpoint last, so
+        results computed during the drain make it into the file)."""
         self._started = False
-        self.service.stop()
-        if self.checkpoint is not None:
-            self.checkpoint.stop()
+        self.hub.stop()
+        if self._own_checkpoint is not None:
+            self._own_checkpoint.stop()
 
     # -------------------------------------------------------------- routing
     def handle(
         self, method: str, path: str, body: Optional[bytes] = None
-    ) -> Tuple[int, Dict[str, object]]:
+    ) -> Tuple[int, Dict[str, object], Headers]:
         path = path.split("?", 1)[0].rstrip("/") or "/"
-        routes = {
-            "/healthz": ("GET", self.healthz),
-            "/metrics": ("GET", self.metrics),
-            "/v1/predict": ("POST", None),
-        }
-        if path not in routes:
-            return 404, error_payload(404, "not-found", f"unknown path {path!r}")
-        expected_method, view = routes[path]
-        if method != expected_method:
-            return 405, error_payload(
+        route = self._route(path)
+        if route is None:
+            return 404, error_payload(404, "not-found", f"unknown path {path!r}"), {}
+        allowed = set(route)
+        if "GET" in allowed:
+            allowed.add("HEAD")
+        if method not in allowed:
+            allow = ", ".join(sorted(allowed))
+            return (
                 405,
-                "method-not-allowed",
-                f"{path} only accepts {expected_method}, got {method}",
+                error_payload(
+                    405,
+                    "method-not-allowed",
+                    f"{path} only accepts {allow}, got {method}",
+                ),
+                {"Allow": allow},
             )
+        view = route["GET"] if method == "HEAD" else route[method]
         try:
-            if view is not None:
-                return 200, view()
-            return 200, self.predict(body)
+            return 200, view(body), {}
         except RequestError as exc:
-            return exc.status, exc.payload()
+            return exc.status, exc.payload(), {}
+        except DeploymentNotFoundError as exc:
+            return 404, error_payload(404, "model-not-found", str(exc)), {}
+        except ArtifactNotFoundError as exc:
+            return 404, error_payload(404, "artifact-not-found", str(exc)), {}
+        except DeploymentExistsError as exc:
+            return 409, error_payload(409, "model-exists", str(exc)), {}
+        except DeploymentSpecError as exc:
+            return 400, error_payload(400, "invalid-spec", str(exc)), {}
+        except HubError as exc:
+            return 409, error_payload(409, "hub-error", str(exc)), {}
         except Exception as exc:  # a genuine server-side failure
-            return 500, error_payload(500, "internal", f"{type(exc).__name__}: {exc}")
+            return 500, error_payload(500, "internal", f"{type(exc).__name__}: {exc}"), {}
+
+    def _route(self, path: str) -> Optional[Dict[str, _View]]:
+        """The method → view table for one normalised path (None = 404)."""
+        if path == "/healthz":
+            return {"GET": lambda body: self.healthz()}
+        if path == "/metrics":
+            return {"GET": lambda body: self.metrics()}
+        if path == "/v1/predict":
+            return {"POST": lambda body: self.predict(body, model=None)}
+        if path == "/v1/models":
+            return {"GET": lambda body: self.list_models()}
+        prefix = "/v1/models/"
+        if not path.startswith(prefix):
+            return None
+        segments = path[len(prefix):].split("/")
+        if not all(segments):
+            return None
+        if len(segments) == 1:
+            name = segments[0]
+            return {"GET": lambda body: self.model_health(name)}
+        if len(segments) != 2:
+            return None
+        name, action = segments
+        if action == "predict":
+            return {"POST": lambda body: self.predict(body, model=name)}
+        if action == "metrics":
+            return {"GET": lambda body: self.model_metrics(name)}
+        if action == "load":
+            return {"POST": lambda body: self.admin_load(name, body)}
+        if action == "unload":
+            return {"POST": lambda body: self.admin_unload(name)}
+        if action == "reload":
+            return {"POST": lambda body: self.admin_reload(name)}
+        if action == "alias":
+            return {"POST": lambda body: self.admin_alias(name, body)}
+        return None
 
     # --------------------------------------------------------------- views
     def healthz(self) -> Dict[str, object]:
-        cache = self.service.cache
+        default = self.service
+        # The shared hub cache where there is one; the legacy shim falls
+        # back to the (sole) adopted service's private cache, preserving
+        # the PR-3 healthz shape exactly.
+        cache = self.hub.cache
+        if cache is None and default is not None:
+            cache = default.cache
         return {
             "status": "ok",
             "uptime_s": time.monotonic() - self._started_monotonic,
-            "serving": self.service.describe(),
+            "serving": (
+                default.describe() if default is not None else self.hub.describe()
+            ),
+            "models": {
+                name: self.hub.model_health(name) for name in self.hub.names()
+            },
             "cache": {
                 "enabled": cache is not None,
                 "entries": len(cache) if cache is not None else 0,
@@ -187,22 +302,46 @@ class ServingApp:
         }
 
     def metrics(self) -> Dict[str, object]:
+        default = self.service
         return {
-            "stats": self.service.snapshot(),
+            # Legacy section: the default deployment's stats, exactly where
+            # PR-3 clients expect them.
+            "stats": default.snapshot() if default is not None else None,
+            # Hub section: one stats entry per model + shared cache/pool.
+            "hub": self.hub.snapshot(),
             "checkpoint": (
                 self.checkpoint.stats() if self.checkpoint is not None else None
             ),
         }
 
-    def predict(self, body: Optional[bytes]) -> Dict[str, object]:
+    def list_models(self) -> Dict[str, object]:
+        return {
+            "models": {
+                name: self.hub.model_health(name) for name in self.hub.names()
+            },
+            "aliases": self.hub.aliases(),
+            "default": self.hub.default_name,
+            "count": len(self.hub),
+        }
+
+    def model_health(self, name: str) -> Dict[str, object]:
+        return self.hub.model_health(name)
+
+    def model_metrics(self, name: str) -> Dict[str, object]:
+        deployment = self.hub.resolve(name)
+        return {"model": deployment.name, "stats": deployment.predictor.snapshot()}
+
+    def predict(self, body: Optional[bytes], model: Optional[str]) -> Dict[str, object]:
+        # Resolve before parsing the body: an unknown model 404s fast.
+        predictor = self.hub.resolve(model).predictor
         payload = self._parse_body(body)
         if "graph" in payload:
             graph = self._decode_graph(payload["graph"], "graph")
             # Through the micro-batcher: concurrent HTTP handler threads
             # coalesce into shared forward passes.  Fall back to the sync
-            # path when the app (hence the batcher) was never started.
+            # path when the app (hence the batchers) was never started.
             if self._started:
-                future = self.service.submit(graph)
+                future = predictor.submit(graph)
                 try:
                     result = future.result(timeout=self.request_timeout_s)
                 except FutureTimeoutError:
@@ -213,7 +352,7 @@ class ServingApp:
                         f"prediction did not complete within {self.request_timeout_s}s",
                     ) from None
             else:
-                result = self.service.predict_many([graph])[0]
+                result = predictor.predict_many([graph])[0]
             return {"result": result_to_dict(result)}
 
         entries = payload["graphs"]
@@ -224,14 +363,77 @@ class ServingApp:
         graphs = [
             self._decode_graph(entry, f"graphs[{i}]") for i, entry in enumerate(entries)
         ]
-        results = self.service.predict_many(graphs)
+        results = predictor.predict_many(graphs)
         return {
             "results": [result_to_dict(result) for result in results],
             "count": len(results),
         }
 
+    # ---------------------------------------------------------------- admin
+    def admin_load(self, name: str, body: Optional[bytes]) -> Dict[str, object]:
+        """``POST /v1/models/<name>/load`` — deploy a spec under ``name``.
+
+        The body is a :class:`DeploymentSpec` object (its ``name`` may be
+        omitted — the URL supplies it — but must match if present), or
+        ``{"spec": {...}, "replace": true}`` to atomically swap an
+        existing deployment of the same name.
+        """
+        payload = self._parse_json_object(body)
+        replace = False
+        if "spec" in payload:
+            replace = payload.get("replace", False)
+            if not isinstance(replace, bool):
+                raise RequestError(400, "invalid-request", "'replace' must be a boolean")
+            unknown = sorted(set(payload) - {"spec", "replace"})
+            if unknown:
+                raise RequestError(
+                    400, "invalid-request", f"unknown field(s) {unknown}"
+                )
+            spec_data = payload["spec"]
+        else:
+            spec_data = payload
+        spec = deployment_spec_from_dict(spec_data, name=name)
+        deployment = self.hub.load(spec, replace=replace)
+        return {"loaded": deployment.name, "model": deployment.describe()}
+
+    def admin_unload(self, name: str) -> Dict[str, object]:
+        deployment = self.hub.unload(name)
+        return {"unloaded": deployment.name}
+
+    def admin_reload(self, name: str) -> Dict[str, object]:
+        deployment = self.hub.reload(name)
+        return {"reloaded": deployment.name, "model": deployment.describe()}
+
+    def admin_alias(self, name: str, body: Optional[bytes]) -> Dict[str, object]:
+        """``POST /v1/models/<alias>/alias`` with ``{"target": <model>}`` —
+        atomically (re)point ``<alias>`` at a loaded deployment.  A null
+        ``target`` drops the alias, so the full alias lifecycle (create,
+        flip, remove — e.g. before unloading its last target) is available
+        remotely."""
+        payload = self._parse_json_object(body)
+        unknown = sorted(set(payload) - {"target"})
+        if unknown:
+            raise RequestError(400, "invalid-request", f"unknown field(s) {unknown}")
+        if "target" not in payload:
+            raise RequestError(
+                400,
+                "invalid-request",
+                "'target' must name a loaded deployment (or be null to drop "
+                "the alias)",
+            )
+        target = payload["target"]
+        if target is None:
+            self.hub.unalias(name)
+            return {"alias": name, "target": None}
+        if not isinstance(target, str):
+            raise RequestError(
+                400, "invalid-request", "'target' must name a loaded deployment"
+            )
+        self.hub.alias(name, target)
+        return {"alias": name, "target": target}
+
     # ------------------------------------------------------------ internals
-    def _parse_body(self, body: Optional[bytes]) -> Dict[str, object]:
+    def _parse_json_object(self, body: Optional[bytes]) -> Dict[str, object]:
         if not body:
             raise RequestError(400, "invalid-request", "request body is empty")
         try:
@@ -242,6 +444,10 @@ class ServingApp:
             raise RequestError(
                 400, "invalid-request", "request body must be a JSON object"
             )
+        return payload
+
+    def _parse_body(self, body: Optional[bytes]) -> Dict[str, object]:
+        payload = self._parse_json_object(body)
         unknown = sorted(set(payload) - {"graph", "graphs"})
         if unknown:
             raise RequestError(
@@ -267,7 +473,7 @@ class ServingApp:
 class _RequestHandler(BaseHTTPRequestHandler):
     """Byte-level glue between ``http.server`` and :class:`ServingApp`."""
 
-    server_version = "repro-serve/1.0"
+    server_version = "repro-serve/2.0"
     protocol_version = "HTTP/1.1"  # keep-alive; we always send Content-Length
     disable_nagle_algorithm = True  # small JSON responses, don't buffer them
     # Blocked reads (slow-loris bodies, idle keep-alive connections) time
@@ -276,13 +482,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
     timeout = 30.0
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
-        # GET bodies are never read; leaving one on a keep-alive socket
-        # would desync the next request, so close after answering.
-        length = self.headers.get("Content-Length")
-        if length is not None and length.strip() not in ("", "0"):
-            self.close_connection = True
-        status, payload = self.server.app.handle("GET", self.path)
-        self._respond(status, payload)
+        self._handle_bodyless("GET")
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._handle_bodyless("HEAD")
 
     def do_POST(self) -> None:  # noqa: N802
         body, failure = self._read_body()
@@ -293,10 +496,19 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self.close_connection = True
             self._respond(failure[0], failure[1])
             return
-        status, payload = self.server.app.handle("POST", self.path, body)
-        self._respond(status, payload)
+        status, payload, headers = self.server.app.handle("POST", self.path, body)
+        self._respond(status, payload, headers)
 
     # ------------------------------------------------------------ internals
+    def _handle_bodyless(self, method: str) -> None:
+        # GET/HEAD bodies are never read; leaving one on a keep-alive
+        # socket would desync the next request, so close after answering.
+        length = self.headers.get("Content-Length")
+        if length is not None and length.strip() not in ("", "0"):
+            self.close_connection = True
+        status, payload, headers = self.server.app.handle(method, self.path)
+        self._respond(status, payload, headers, omit_body=method == "HEAD")
+
     def _read_body(
         self,
     ) -> Tuple[Optional[bytes], Optional[Tuple[int, Dict[str, object]]]]:
@@ -329,15 +541,25 @@ class _RequestHandler(BaseHTTPRequestHandler):
             )
         return self.rfile.read(length), None
 
-    def _respond(self, status: int, payload: Dict[str, object]) -> None:
+    def _respond(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Headers] = None,
+        omit_body: bool = False,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
+        # HEAD advertises the length GET would have sent, with no body.
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
-        self.wfile.write(body)
+        if not omit_body:
+            self.wfile.write(body)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.server.quiet:
@@ -347,14 +569,18 @@ class _RequestHandler(BaseHTTPRequestHandler):
 class PredictionHTTPServer(ThreadingHTTPServer):
     """A :class:`ServingApp` bound to a threading HTTP server.
 
-    ``start()`` brings up the whole stack — micro-batcher, checkpoint
-    daemon, accept loop in a background thread — and ``close()`` tears it
-    down in reverse order, writing a final cache checkpoint on the way so
-    the next process can start warm.  ``port=0`` binds an ephemeral port
-    (read it back from :attr:`port`), which is what the tests use.
+    ``start()`` brings up the whole stack — per-deployment micro-batchers,
+    checkpoint daemon, accept loop in a background thread — and
+    ``close()`` tears it down in reverse order, writing a final cache
+    checkpoint on the way so the next process can start warm.  ``port=0``
+    binds an ephemeral port (read it back from :attr:`port`), which is
+    what the tests use.
+
+    ``target`` is a :class:`~repro.serving.hub.ModelHub` or — the legacy
+    single-model shim — a bare :class:`ServingFrontend`.
 
     Handler threads are non-daemon on purpose: ``server_close()`` joins
-    them (``block_on_close``), so by the time the batcher is drained and
+    them (``block_on_close``), so by the time the batchers are drained and
     the final checkpoint is written no request is still in flight.  The
     handler's socket ``timeout`` bounds how long that join can take.
     """
@@ -364,7 +590,7 @@ class PredictionHTTPServer(ThreadingHTTPServer):
 
     def __init__(
         self,
-        service: ServingFrontend,
+        target: Union[ModelHub, ServingFrontend],
         host: str = "127.0.0.1",
         port: int = 0,
         checkpoint: Optional[CheckpointDaemon] = None,
@@ -375,7 +601,7 @@ class PredictionHTTPServer(ThreadingHTTPServer):
         if max_body_bytes < 1:
             raise ValueError("max_body_bytes must be >= 1")
         self.app = ServingApp(
-            service, checkpoint=checkpoint, request_timeout_s=request_timeout_s
+            target, checkpoint=checkpoint, request_timeout_s=request_timeout_s
         )
         self.max_body_bytes = int(max_body_bytes)
         self.quiet = quiet
@@ -398,7 +624,7 @@ class PredictionHTTPServer(ThreadingHTTPServer):
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "PredictionHTTPServer":
-        """Serve in a background thread (batcher + daemon started first)."""
+        """Serve in a background thread (batchers + daemon started first)."""
         if self._closed:
             raise RuntimeError("cannot restart a closed PredictionHTTPServer")
         if self._serve_thread is None:
@@ -420,7 +646,7 @@ class PredictionHTTPServer(ThreadingHTTPServer):
             self.close()
 
     def close(self) -> None:
-        """Stop accepting, then stop the daemon (final checkpoint) and batcher."""
+        """Stop accepting, then stop the daemon (final checkpoint) and batchers."""
         if self._closed:
             return
         self._closed = True

@@ -1,0 +1,474 @@
+"""Multi-model serving hub: many named deployments in one process.
+
+PRs 1–4 built a serving stack that could host exactly one artifact (or one
+fold ensemble) per process; deploying a second model meant a second process
+with its own cache, batcher threads and checkpoint file.  The hub removes
+that ceiling:
+
+* **One API.**  A :class:`~repro.serving.deployment.DeploymentSpec`
+  declares *what* to serve (artifact or fold group, version pin or latest,
+  combination strategy, serving knobs); :meth:`ModelHub.load` resolves it
+  against the :class:`~repro.serving.registry.ArtifactRegistry` and builds
+  the right front-end behind the
+  :class:`~repro.serving.deployment.Predictor` protocol — single-fold and
+  ensemble serving are two implementations of one interface, not two APIs.
+* **Shared infrastructure.**  Every deployment shares one
+  :class:`~repro.serving.cache.EmbeddingCache` (keys are namespaced by
+  model digest, so co-tenants never replay each other's logits), one
+  :class:`~repro.serving.cache.CheckpointDaemon` persisting that cache,
+  and one :class:`~repro.serving.batcher.BatcherWorkerPool` draining every
+  deployment's micro-batch queue — threads scale with traffic, not with
+  model count.
+* **Runtime mutation.**  :meth:`load` / :meth:`unload` / :meth:`reload`
+  change the served set while requests are in flight: routing is one
+  locked dict lookup, a request that resolved a deployment always runs
+  against a fully-built predictor, and an unloaded deployment finishes
+  draining its queued requests before its batcher dies.
+* **Aliases.**  :meth:`alias` maps a stable public name to a deployment
+  (``prod → demo-v3``) and flips atomically, so a version swap is: load
+  the new deployment, flip the alias, unload the old one — zero failed
+  requests in between.
+
+The HTTP layer (:mod:`repro.serving.http`) routes
+``POST /v1/models/<name>/predict`` and friends straight onto a hub; the
+legacy single-model entry points construct a one-deployment hub under the
+hood, so existing callers and the ``repro-serve`` CLI keep working
+unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from .batcher import BatcherWorkerPool
+from .cache import CheckpointDaemon, EmbeddingCache
+from .deployment import (
+    DeploymentSpec,
+    DeploymentSpecError,
+    Predictor,
+    deployment_spec_to_dict,
+    validate_deployment_name,
+)
+from .ensemble import EnsemblePredictionService
+from .registry import ArtifactRegistry
+from .service import PredictionService, ServingFrontend
+from .stats import aggregate_snapshots
+
+
+class HubError(RuntimeError):
+    """Base class for hub failures (invalid mutation, no registry, ...)."""
+
+
+class DeploymentNotFoundError(HubError):
+    """The requested deployment (or alias) is not loaded."""
+
+
+class DeploymentExistsError(HubError):
+    """The requested deployment/alias name is already taken."""
+
+
+@dataclass
+class Deployment:
+    """One loaded model: its spec (if declaratively loaded) + predictor."""
+
+    name: str
+    predictor: Predictor
+    spec: Optional[DeploymentSpec]
+    created_unix: float
+
+    @property
+    def adopted(self) -> bool:
+        """True when the predictor was handed over pre-built (legacy shim
+        path) rather than resolved from a spec — such deployments cannot
+        :meth:`~ModelHub.reload`."""
+        return self.spec is None
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "created_unix": self.created_unix,
+            "adopted": self.adopted,
+            "serving": self.predictor.describe(),
+            "spec": deployment_spec_to_dict(self.spec) if self.spec else None,
+        }
+
+
+class ModelHub:
+    """Owns many named deployments behind one registry and one cache.
+
+    ``registry`` may be an :class:`ArtifactRegistry`, a root path, or
+    ``None`` (a hub that only :meth:`adopt`\\ s pre-built predictors — the
+    legacy single-model shim).  The hub's shared cache/daemon/worker-pool
+    are created here; per-deployment knobs come from each spec.
+    """
+
+    def __init__(
+        self,
+        registry: Union[ArtifactRegistry, str, None] = None,
+        *,
+        cache_capacity: int = 4096,
+        enable_cache: bool = True,
+        warmup_path: Optional[str] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval_s: float = 30.0,
+        pool_workers: int = 2,
+    ):
+        if isinstance(registry, str):
+            registry = ArtifactRegistry(registry)
+        self.registry = registry
+        self.cache: Optional[EmbeddingCache] = (
+            EmbeddingCache(cache_capacity) if enable_cache else None
+        )
+        # Same degrade-to-cold-start contract as the single services: a
+        # missing/torn warm-up file must never stop the hub from booting.
+        ServingFrontend._best_effort_warm_up(self.cache, warmup_path)
+        if checkpoint_path and self.cache is None:
+            raise HubError("checkpoint_path requires the shared cache (enable_cache)")
+        self.checkpoint: Optional[CheckpointDaemon] = (
+            CheckpointDaemon(self.cache, checkpoint_path, interval_s=checkpoint_interval_s)
+            if checkpoint_path
+            else None
+        )
+        self.pool = BatcherWorkerPool(workers=pool_workers)
+        self._lock = threading.RLock()
+        self._deployments: Dict[str, Deployment] = {}
+        self._aliases: Dict[str, str] = {}
+        self._default: Optional[str] = None
+        self._started = False
+        self._created_monotonic = time.monotonic()
+
+    # ------------------------------------------------------------ mutation
+    def load(self, spec: DeploymentSpec, replace: bool = False) -> Deployment:
+        """Resolve ``spec`` against the registry and start serving it.
+
+        Building the predictor (weight deserialisation, fold stacking)
+        happens outside the hub lock, so loading a heavy model never
+        stalls routing for the models already serving.  With
+        ``replace=True`` an existing deployment of the same name is
+        atomically swapped out and drained after the swap — in-flight
+        requests finish on the predictor they resolved.
+        """
+        predictor = self._build(spec)
+        return self._install(spec.name, predictor, spec, replace=replace)
+
+    def adopt(
+        self,
+        name: str,
+        predictor: Predictor,
+        spec: Optional[DeploymentSpec] = None,
+        replace: bool = False,
+    ) -> Deployment:
+        """Install a pre-built predictor under ``name``.
+
+        This is the legacy shim path (``ServingApp`` wraps a bare service
+        in a one-deployment hub) and the escape hatch for predictors the
+        registry cannot express; without a ``spec`` the deployment cannot
+        be :meth:`reload`\\ ed.
+        """
+        try:
+            validate_deployment_name(name)
+        except DeploymentSpecError as exc:
+            raise HubError(str(exc)) from exc
+        return self._install(name, predictor, spec, replace=replace)
+
+    def unload(self, name: str) -> Deployment:
+        """Stop serving ``name`` and drain its queued requests.
+
+        Refuses to unload an alias target: flip or drop the alias first,
+        so a stable public name can never silently dangle.  Requests that
+        already resolved the deployment finish normally; new lookups get
+        :class:`DeploymentNotFoundError` (HTTP 404) immediately.
+        """
+        with self._lock:
+            deployment = self._deployments.get(name)
+            if deployment is None:
+                raise DeploymentNotFoundError(f"no deployment named {name!r}")
+            pointing = sorted(
+                alias for alias, target in self._aliases.items() if target == name
+            )
+            if pointing:
+                raise HubError(
+                    f"deployment {name!r} is the target of alias(es) {pointing}; "
+                    f"repoint or drop them before unloading"
+                )
+            del self._deployments[name]
+            if self._default == name:
+                remaining = list(self._deployments)
+                # Deterministic: a sole survivor inherits the default
+                # (legacy routes keep working); ambiguity clears it.
+                self._default = remaining[0] if len(remaining) == 1 else None
+        deployment.predictor.stop()
+        return deployment
+
+    def reload(self, name: str) -> Deployment:
+        """Rebuild ``name`` from its spec (re-resolving ``latest`` pins).
+
+        The swap is atomic: requests route to the old predictor until the
+        new one is fully built, then to the new one; the old predictor is
+        drained and stopped after the swap.
+        """
+        with self._lock:
+            current = self._deployments.get(name)
+            if current is None:
+                raise DeploymentNotFoundError(f"no deployment named {name!r}")
+            if current.spec is None:
+                raise HubError(
+                    f"deployment {name!r} was adopted pre-built and has no spec; "
+                    f"load() it declaratively to make it reloadable"
+                )
+            spec = current.spec
+        predictor = self._build(spec)
+        return self._install(name, predictor, spec, replace=True)
+
+    def alias(self, alias: str, target: str) -> None:
+        """Point ``alias`` at deployment ``target`` (atomic flip).
+
+        An alias is how zero-downtime version swaps work: clients call
+        ``prod``, operators flip where ``prod`` points.  Alias names live
+        in the same URL namespace as deployment names, so collisions are
+        rejected.
+        """
+        try:
+            validate_deployment_name(alias)
+        except DeploymentSpecError as exc:
+            raise HubError(str(exc)) from exc
+        with self._lock:
+            if alias in self._deployments:
+                raise DeploymentExistsError(
+                    f"{alias!r} is a deployment name; aliases must not shadow one"
+                )
+            if target not in self._deployments:
+                raise DeploymentNotFoundError(
+                    f"alias target {target!r} is not a loaded deployment"
+                )
+            self._aliases[alias] = target
+
+    def unalias(self, alias: str) -> None:
+        with self._lock:
+            if alias not in self._aliases:
+                raise DeploymentNotFoundError(f"no alias named {alias!r}")
+            del self._aliases[alias]
+
+    def set_default(self, name: str) -> None:
+        """Choose which deployment answers the legacy unnamed routes."""
+        with self._lock:
+            if name not in self._deployments:
+                raise DeploymentNotFoundError(f"no deployment named {name!r}")
+            self._default = name
+
+    # ------------------------------------------------------------- routing
+    def resolve(self, name: Optional[str] = None) -> Deployment:
+        """Deployment for ``name`` (a deployment name, an alias, or ``None``
+        for the default).  One locked dict lookup — this is the whole
+        per-request routing cost."""
+        with self._lock:
+            if name is None:
+                if self._default is None:
+                    raise DeploymentNotFoundError(
+                        "this hub has no default deployment; address a model "
+                        "by name (POST /v1/models/<name>/predict)"
+                    )
+                return self._deployments[self._default]
+            deployment = self._deployments.get(name)
+            if deployment is None:
+                target = self._aliases.get(name)
+                if target is not None:
+                    deployment = self._deployments.get(target)
+            if deployment is None:
+                raise DeploymentNotFoundError(
+                    f"no deployment or alias named {name!r}"
+                )
+            return deployment
+
+    def predict(self, name: Optional[str], request):
+        return self.resolve(name).predictor.predict(request)
+
+    def predict_many(self, name: Optional[str], requests):
+        return self.resolve(name).predictor.predict_many(requests)
+
+    def submit(self, name: Optional[str], request):
+        return self.resolve(name).predictor.submit(request)
+
+    # ---------------------------------------------------------- introspection
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._deployments)
+
+    def aliases(self) -> Dict[str, str]:
+        with self._lock:
+            return dict(self._aliases)
+
+    @property
+    def default_name(self) -> Optional[str]:
+        with self._lock:
+            return self._default
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._deployments or name in self._aliases
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._deployments)
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            deployments = dict(self._deployments)
+            aliases = dict(self._aliases)
+            default = self._default
+        return {
+            "service": "hub",
+            "models": {
+                name: deployment.describe() for name, deployment in deployments.items()
+            },
+            "aliases": aliases,
+            "default": default,
+        }
+
+    def model_health(self, name: Optional[str] = None) -> Dict[str, object]:
+        """Health of one deployment: identity + its share of the cache."""
+        deployment = self.resolve(name)
+        predictor = deployment.predictor
+        cache = getattr(predictor, "cache", None)
+        entries = 0
+        if cache is not None:
+            namespace = getattr(predictor, "cache_namespace", None)
+            entries = (
+                cache.namespace_size(namespace()) if namespace is not None else len(cache)
+            )
+        with self._lock:
+            aliases = sorted(
+                alias
+                for alias, target in self._aliases.items()
+                if target == deployment.name
+            )
+            is_default = self._default == deployment.name
+        return {
+            "status": "ok",
+            "model": deployment.describe(),
+            "aliases": aliases,
+            "default": is_default,
+            "cache": {
+                "enabled": cache is not None,
+                "entries": entries,
+                "warm": entries > 0,
+            },
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """Hub-wide metrics: per-model stats + shared-infrastructure stats."""
+        with self._lock:
+            deployments = dict(self._deployments)
+            aliases = dict(self._aliases)
+            default = self._default
+        per_model = {
+            name: deployment.predictor.snapshot()
+            for name, deployment in deployments.items()
+        }
+        return {
+            "uptime_s": time.monotonic() - self._created_monotonic,
+            "models": per_model,
+            "aggregate": aggregate_snapshots(per_model.values()),
+            "aliases": aliases,
+            "default": default,
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "pool": self.pool.telemetry(),
+            "checkpoint": self.checkpoint.stats() if self.checkpoint is not None else None,
+        }
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "ModelHub":
+        """Start every deployment's batcher and the checkpoint daemon;
+        deployments loaded later start immediately."""
+        with self._lock:
+            self._started = True
+            deployments = list(self._deployments.values())
+        for deployment in deployments:
+            deployment.predictor.start()
+        if self.checkpoint is not None:
+            self.checkpoint.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain every deployment, close the shared pool, write the final
+        checkpoint last (so results computed during the drain land in it)."""
+        with self._lock:
+            self._started = False
+            deployments = list(self._deployments.values())
+        for deployment in deployments:
+            deployment.predictor.stop()
+        self.pool.close()
+        if self.checkpoint is not None:
+            self.checkpoint.stop()
+
+    def __enter__(self) -> "ModelHub":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------ internals
+    def _build(self, spec: DeploymentSpec) -> Predictor:
+        if self.registry is None:
+            raise HubError(
+                "this hub has no registry; construct it with one (or a root "
+                "path) to load() deployments declaratively"
+            )
+        # The shared cache backs every deployment that wants caching; a
+        # spec opting out gets no cache at all (not a private one), so
+        # cache telemetry stays one coherent table.
+        shared_cache = self.cache if spec.enable_cache else None
+        if spec.kind == "single":
+            ref = self.registry.resolve(spec.artifact, spec.version)
+            artifact = self.registry.load(ref.name, ref.version)
+            predictor: ServingFrontend = PredictionService.from_artifact(
+                artifact, config=spec.service_config(), cache=shared_cache
+            )
+        else:
+            predictor = EnsemblePredictionService.from_registry(
+                self.registry.root,
+                spec.fold_group,
+                config=spec.ensemble_config(),
+                folds=spec.folds,
+                cache=shared_cache,
+            )
+        # All hub-built deployments share one worker pool.
+        predictor._batcher_factory = self.pool.batcher_factory
+        return predictor
+
+    def _install(
+        self,
+        name: str,
+        predictor: Predictor,
+        spec: Optional[DeploymentSpec],
+        replace: bool,
+    ) -> Deployment:
+        deployment = Deployment(
+            name=name, predictor=predictor, spec=spec, created_unix=time.time()
+        )
+        with self._lock:
+            if name in self._aliases:
+                raise DeploymentExistsError(
+                    f"{name!r} is an alias; deployments must not shadow one"
+                )
+            previous = self._deployments.get(name)
+            if previous is not None and not replace:
+                raise DeploymentExistsError(
+                    f"deployment {name!r} is already loaded (reload() it, or "
+                    f"load(..., replace=True))"
+                )
+            self._deployments[name] = deployment
+            if self._default is None:
+                self._default = name
+            started = self._started
+        if started:
+            predictor.start()
+        if previous is not None:
+            # Drained after the swap: requests that resolved the old
+            # predictor finish on it, new requests already route to the
+            # replacement.
+            previous.predictor.stop()
+        return deployment

@@ -289,19 +289,19 @@ class ArtifactRegistry:
     # ------------------------------------------------------------- retention
     def pin(self, name: str, version: str) -> None:
         """Exclude one version from :meth:`gc` (e.g. a rollback target)."""
-        ref = self._resolve(name, version)
+        ref = self.resolve(name, version)
         with open(os.path.join(ref.path, PIN_FILE), "w", encoding="utf-8") as handle:
             handle.write(f"pinned at {time.time()}\n")
 
     def unpin(self, name: str, version: str) -> None:
         """Make a pinned version eligible for :meth:`gc` again."""
-        ref = self._resolve(name, version)
+        ref = self.resolve(name, version)
         pin_path = os.path.join(ref.path, PIN_FILE)
         if os.path.isfile(pin_path):
             os.remove(pin_path)
 
     def is_pinned(self, name: str, version: str) -> bool:
-        ref = self._resolve(name, version)
+        ref = self.resolve(name, version)
         return os.path.isfile(os.path.join(ref.path, PIN_FILE))
 
     def pinned_versions(self, name: str) -> List[str]:
@@ -342,7 +342,16 @@ class ArtifactRegistry:
         return doomed
 
     # ----------------------------------------------------------------- load
-    def _resolve(self, name: str, version: Optional[str]) -> ArtifactRef:
+    def resolve(self, name: str, version: Optional[str] = None) -> ArtifactRef:
+        """Checked ``(name, version, path)`` address of one stored version.
+
+        ``version=None`` resolves to the latest version, so callers that
+        need "the current version of <name>" get one canonical, validated
+        answer instead of re-implementing the lookup (the serving layer,
+        the hub and the CLI all route through here).  Raises
+        :class:`ArtifactNotFoundError` for unknown names, malformed or
+        missing versions.
+        """
         # Same validation as save(): registry names/versions are path
         # components, so reject separators and dot-prefixes (traversal), and
         # only well-formed "vNNNN" versions — never a torn staging directory.
@@ -375,7 +384,7 @@ class ArtifactRegistry:
 
     def verify(self, name: str, version: Optional[str] = None) -> ArtifactRef:
         """Check every stored file against its manifest checksum."""
-        ref = self._resolve(name, version)
+        ref = self.resolve(name, version)
         self._verify_manifest(ref)
         return ref
 
@@ -383,7 +392,7 @@ class ArtifactRegistry:
         self, name: str, version: Optional[str] = None, verify: bool = True
     ) -> LoadedArtifact:
         """Deserialise one artefact version (the latest by default)."""
-        ref = self._resolve(name, version)
+        ref = self.resolve(name, version)
         if verify:
             manifest = self._verify_manifest(ref)
         else:

@@ -52,7 +52,15 @@ Request = Union[EncodedGraph, ProgramGraph]
 
 @dataclass
 class ServiceConfig:
-    """Knobs of :class:`PredictionService`."""
+    """Knobs of :class:`PredictionService`.
+
+    .. deprecated::
+        New code should declare deployments with
+        :class:`~repro.serving.deployment.DeploymentSpec` and serve them
+        through a :class:`~repro.serving.hub.ModelHub`, which subsumes
+        these knobs (and ``EnsembleConfig``'s) in one record.  This class
+        keeps working for directly-embedded single services.
+    """
 
     max_batch_size: int = 32
     max_wait_s: float = 0.002
@@ -129,6 +137,11 @@ class ServingFrontend:
         self._batcher_lock = threading.Lock()
         self._batcher: Optional[MicroBatcher] = None
         self._auto_start = False
+        #: optional MicroBatcher-compatible constructor; a
+        #: :class:`~repro.serving.hub.ModelHub` injects its shared
+        #: :meth:`~repro.serving.batcher.BatcherWorkerPool.batcher_factory`
+        #: here so every deployment shares one worker-thread pool.
+        self._batcher_factory = None
 
     # ----------------------------------------------------------- sync paths
     def predict(self, request: Request):
@@ -203,6 +216,16 @@ class ServingFrontend:
         """Cache key for one fingerprint (subclasses add a model digest)."""
         raise NotImplementedError
 
+    def cache_namespace(self) -> str:
+        """Prefix of every cache key this service writes.
+
+        Several services can share one :class:`EmbeddingCache` (the hub
+        deploys many models over one cache); this prefix is what keeps
+        their entries apart, and what per-model telemetry counts via
+        :meth:`EmbeddingCache.namespace_size`.
+        """
+        return self._cache_key("")
+
     def _fold_fanout(self) -> int:
         """How many fold models each execution plan fans out to."""
         return 1
@@ -242,7 +265,8 @@ class ServingFrontend:
     def _ensure_batcher_locked(self) -> MicroBatcher:
         """Create the batcher if absent; caller must hold ``_batcher_lock``."""
         if self._batcher is None:
-            self._batcher = MicroBatcher(
+            factory = self._batcher_factory or MicroBatcher
+            self._batcher = factory(
                 self.predict_many,
                 max_batch_size=self.config.max_batch_size,
                 max_wait_s=self.config.max_wait_s,
@@ -365,6 +389,7 @@ class PredictionService(ServingFrontend):
         label_space: Optional[LabelSpace] = None,
         hybrid: Optional[HybridStaticDynamicClassifier] = None,
         config: Optional[ServiceConfig] = None,
+        cache: Optional[EmbeddingCache] = None,
     ):
         self.config = config or ServiceConfig()
         self.model = model
@@ -383,11 +408,15 @@ class PredictionService(ServingFrontend):
         self.label_space = label_space
         self.hybrid = hybrid
         self.stats = ServingStats(latency_window=self.config.latency_window)
-        self.cache: Optional[EmbeddingCache] = (
-            EmbeddingCache(self.config.cache_capacity)
-            if self.config.enable_cache
-            else None
-        )
+        # An externally provided cache is shared verbatim (the hub backs
+        # every deployment with one cache); keys carry the model digest, so
+        # co-tenants can never replay each other's logits.
+        if cache is not None:
+            self.cache: Optional[EmbeddingCache] = cache
+        elif self.config.enable_cache:
+            self.cache = EmbeddingCache(self.config.cache_capacity)
+        else:
+            self.cache = None
         self._best_effort_warm_up(self.cache, self.config.warmup_path)
         # Cache keys carry a digest of the exact weights, so a warm-up file
         # dumped by a *different* model version never replays stale logits
@@ -404,7 +433,10 @@ class PredictionService(ServingFrontend):
     # --------------------------------------------------------- constructors
     @classmethod
     def from_artifact(
-        cls, artifact: LoadedArtifact, config: Optional[ServiceConfig] = None
+        cls,
+        artifact: LoadedArtifact,
+        config: Optional[ServiceConfig] = None,
+        cache: Optional[EmbeddingCache] = None,
     ) -> "PredictionService":
         """Build a service around a registry artefact."""
         service = cls(
@@ -413,6 +445,7 @@ class PredictionService(ServingFrontend):
             label_space=artifact.label_space,
             hybrid=artifact.hybrid,
             config=config,
+            cache=cache,
         )
         service.artifact_ref = artifact.ref
         return service
@@ -424,10 +457,15 @@ class PredictionService(ServingFrontend):
         name: str,
         version: Optional[str] = None,
         config: Optional[ServiceConfig] = None,
+        cache: Optional[EmbeddingCache] = None,
     ) -> "PredictionService":
         """Load (and integrity-check) an artefact, then serve it."""
-        artifact = ArtifactRegistry(root).load(name, version)
-        return cls.from_artifact(artifact, config=config)
+        registry = ArtifactRegistry(root)
+        # resolve() is the one canonical name/version check; load() then
+        # works on a concrete, validated ref.
+        ref = registry.resolve(name, version)
+        artifact = registry.load(ref.name, ref.version)
+        return cls.from_artifact(artifact, config=config, cache=cache)
 
     # -------------------------------------------------------------- export
     def describe(self) -> Dict[str, object]:

@@ -14,9 +14,54 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict
+from typing import Deque, Dict, Iterable
 
 import numpy as np
+
+
+def aggregate_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Hub-level roll-up of several :meth:`ServingStats.snapshot` dicts.
+
+    A multi-model hub reports one stats section per deployment; this sums
+    the countable parts across them (requests, hits, batches, engine
+    counters) and recomputes the derived rates from the summed counts, so
+    ``GET /metrics`` can show whole-process totals next to the per-model
+    sections.  Latency percentiles are deliberately absent: percentiles of
+    different models do not average meaningfully — read them per model.
+    """
+    models = 0
+    total_requests = 0
+    cache_hits = 0
+    total_batches = 0
+    batched_graphs = 0.0
+    plans_built = 0
+    stacked_forwards = 0
+    fanned_folds = 0
+    for snapshot in snapshots:
+        models += 1
+        total_requests += int(snapshot.get("total_requests", 0))
+        cache_hits += int(snapshot.get("cache_hits", 0))
+        batches = int(snapshot.get("total_batches", 0))
+        total_batches += batches
+        batched_graphs += float(snapshot.get("mean_batch_size", 0.0)) * batches
+        engine = snapshot.get("engine") or {}
+        plans_built += int(engine.get("plans_built", 0))
+        stacked_forwards += int(engine.get("stacked_forwards", 0))
+        fanned_folds += int(engine.get("fanned_folds", 0))
+    return {
+        "models": models,
+        "total_requests": total_requests,
+        "cache_hits": cache_hits,
+        "cache_hit_rate": cache_hits / total_requests if total_requests else 0.0,
+        "total_batches": total_batches,
+        "mean_batch_size": batched_graphs / total_batches if total_batches else 0.0,
+        "engine": {
+            "plans_built": plans_built,
+            "stacked_forwards": stacked_forwards,
+            "fanned_folds": fanned_folds,
+            "mean_fold_fanout": fanned_folds / plans_built if plans_built else 0.0,
+        },
+    }
 
 
 class ServingStats:

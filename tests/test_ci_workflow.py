@@ -52,6 +52,26 @@ def test_tier1_job_runs_pytest(workflow):
     assert any("pip install" in run for run in runs)
 
 
+def test_tier1_job_runs_examples_fast(workflow):
+    """The example smoke tests must run with the FAST knob set explicitly
+    in the workflow, so the contract is visible from the CI config."""
+    steps = workflow["jobs"]["tests"]["steps"]
+    pytest_steps = [s for s in steps if "pytest tests" in s.get("run", "")]
+    assert pytest_steps
+    assert pytest_steps[0].get("env", {}).get("REPRO_EXAMPLE_FAST") == "1"
+
+
+def test_bench_job_uploads_the_trajectory_artifact(workflow):
+    """BENCH_serving.json must be inspectable from the CI UI: the bench job
+    uploads it as a build artifact (and fails loudly if it is missing)."""
+    steps = workflow["jobs"]["bench-smoke"]["steps"]
+    uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
+    assert uploads, "bench-smoke must upload the benchmark record"
+    with_block = uploads[0]["with"]
+    assert with_block["path"] == "BENCH_serving.json"
+    assert with_block.get("if-no-files-found") == "error"
+
+
 def test_bench_job_is_scaled_down(workflow):
     job = workflow["jobs"]["bench-smoke"]
     env = job["env"]

@@ -307,18 +307,33 @@ class TestServingApp:
         return ServingApp(make_service(artifact))
 
     def test_unknown_path_is_404(self, app):
-        status, payload = app.handle("GET", "/nope")
+        status, payload, _ = app.handle("GET", "/nope")
         assert status == 404
         assert payload["error"]["code"] == "not-found"
 
-    def test_method_mismatch_is_405(self, app):
-        for method, path in (("POST", "/healthz"), ("GET", "/v1/predict")):
-            status, payload = app.handle(method, path)
-            assert status == 405
+    def test_method_mismatch_is_405_with_allow(self, app):
+        for method, path, allow in (
+            ("POST", "/healthz", "GET, HEAD"),
+            ("GET", "/v1/predict", "POST"),
+            ("POST", "/v1/models", "GET, HEAD"),
+            ("GET", "/v1/models/default/predict", "POST"),
+        ):
+            status, payload, headers = app.handle(method, path)
+            assert status == 405, path
             assert payload["error"]["code"] == "method-not-allowed"
+            # Structured 405s carry the Allow header, so clients learn the
+            # right verb instead of guessing from a generic 404.
+            assert headers["Allow"] == allow, path
+
+    def test_head_is_answered_on_health_and_metrics(self, app):
+        for path in ("/healthz", "/metrics", "/v1/models"):
+            status, payload, _ = app.handle("HEAD", path)
+            assert status == 200, path
+            assert payload  # same payload a GET would render (body elided
+            # only at the transport layer)
 
     def test_healthz_reports_identity_and_cache(self, app):
-        status, payload = app.handle("GET", "/healthz")
+        status, payload, _ = app.handle("GET", "/healthz")
         assert status == 200
         assert payload["status"] == "ok"
         assert payload["serving"]["service"] == "single"
@@ -326,7 +341,7 @@ class TestServingApp:
         assert payload["cache"] == {"enabled": True, "entries": 0, "warm": False}
 
     def test_metrics_shape(self, app):
-        status, payload = app.handle("GET", "/metrics")
+        status, payload, _ = app.handle("GET", "/metrics")
         assert status == 200
         assert payload["stats"]["total_requests"] == 0
         assert "cache" in payload["stats"]
@@ -338,30 +353,30 @@ class TestServingApp:
 
     def test_predict_without_start_uses_sync_path(self, app, raw_graphs):
         wire = program_graph_to_dict(raw_graphs[0])
-        status, payload = app.handle(
+        status, payload, _ = app.handle(
             "POST", "/v1/predict", json.dumps({"graph": wire}).encode()
         )
         assert status == 200
         assert 0 <= payload["result"]["label"] < NUM_LABELS
 
     def test_empty_body_is_400(self, app):
-        status, payload = app.handle("POST", "/v1/predict", b"")
+        status, payload, _ = app.handle("POST", "/v1/predict", b"")
         assert status == 400
         assert payload["error"]["code"] == "invalid-request"
 
     def test_both_graph_and_graphs_is_400(self, app, raw_graphs):
         wire = program_graph_to_dict(raw_graphs[0])
         body = json.dumps({"graph": wire, "graphs": [wire]}).encode()
-        status, payload = app.handle("POST", "/v1/predict", body)
+        status, payload, _ = app.handle("POST", "/v1/predict", body)
         assert status == 400
         assert "exactly one" in payload["error"]["message"]
 
     def test_non_object_body_is_400(self, app):
-        status, payload = app.handle("POST", "/v1/predict", b"[1, 2]")
+        status, payload, _ = app.handle("POST", "/v1/predict", b"[1, 2]")
         assert status == 400
 
     def test_graphs_must_be_a_list(self, app):
-        status, payload = app.handle(
+        status, payload, _ = app.handle(
             "POST", "/v1/predict", json.dumps({"graphs": {"not": "a list"}}).encode()
         )
         assert status == 400
@@ -372,7 +387,7 @@ class TestServingApp:
         bad = program_graph_to_dict(raw_graphs[1])
         bad["schema_version"] = 99
         body = json.dumps({"graphs": [good, bad]}).encode()
-        status, payload = app.handle("POST", "/v1/predict", body)
+        status, payload, _ = app.handle("POST", "/v1/predict", body)
         assert status == 400
         assert payload["error"]["code"] == "invalid-graph"
         assert "graphs[1]" in payload["error"]["message"]
@@ -521,6 +536,35 @@ class TestHTTPServer:
             # The body is never read, so the keep-alive connection must
             # close instead of parsing "hello" as the next request line.
             assert response.getheader("Connection") == "close"
+        finally:
+            connection.close()
+
+    def test_head_over_the_wire_has_length_but_no_body(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            for path in ("/healthz", "/metrics"):
+                connection.request("HEAD", path)
+                response = connection.getresponse()
+                body = response.read()
+                assert response.status == 200, path
+                # Content-Length advertises what GET would send; the body
+                # itself is elided per the HTTP spec.
+                assert int(response.getheader("Content-Length")) > 0
+                assert body == b""
+        finally:
+            connection.close()
+
+    def test_405_over_the_wire_carries_allow(self, server):
+        status, payload = _request(server, "POST", "/healthz", payload={})
+        assert status == 405
+        assert payload["error"]["code"] == "method-not-allowed"
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            connection.request("POST", "/metrics", body=b"{}")
+            response = connection.getresponse()
+            response.read()
+            assert response.status == 405
+            assert response.getheader("Allow") == "GET, HEAD"
         finally:
             connection.close()
 
