@@ -30,6 +30,16 @@ crashed server restarts warm.  ``python -m repro.serving`` (or the
 ``repro-serve`` console script) serves registry artifacts from the
 command line — one model or many (``--model``, repeatable).
 
+Observability: every served prediction can be recorded into an
+append-only, crash-safe on-disk journal (:class:`JournalWriter` /
+:class:`JournalReader`, ``ModelHub(journal_dir=...)``), carrying per-stage
+span timings from the trace layer (:mod:`repro.serving.trace`), and the
+journal feeds windowed drift alerts (:mod:`repro.serving.drift`,
+``GET /v1/models/<name>/drift``), offline A/B replay of recorded traffic
+(:func:`replay_ab`) and the ``repro-journal`` CLI.  ``GET /metrics``
+additionally serves a Prometheus text exposition
+(``?format=prometheus``).
+
 All forward passes run through the stateless inference engine
 (:mod:`repro.engine`): one immutable :class:`~repro.engine.ExecutionPlan`
 per micro-batch, evaluated without locks (inference is reentrant, so
@@ -39,6 +49,7 @@ fold in a single fold-stacked sweep rather than one forward per member.
 
 from .batcher import BatcherWorkerPool, MicroBatcher, PooledBatcher
 from .cache import CacheEntry, CheckpointDaemon, EmbeddingCache
+from .drift import DriftConfig, detect_drift, label_distribution, total_variation
 from .deployment import (
     DeploymentSpec,
     DeploymentSpecError,
@@ -75,6 +86,13 @@ from .http import (
     error_payload,
     result_to_dict,
 )
+from .journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalError,
+    JournalReader,
+    JournalWriter,
+)
+from .replay import replay_ab, replayable_graphs
 from .serialization import (
     GRAPH_SCHEMA_VERSION,
     SerializationError,
@@ -89,7 +107,8 @@ from .serialization import (
     vocabulary_to_dict,
 )
 from .service import PredictionResult, PredictionService, Request, ServiceConfig
-from .stats import ServingStats
+from .stats import ServingStats, aggregate_snapshots, render_prometheus
+from .trace import SPAN_ORDER, span
 
 __all__ = [
     "MicroBatcher",
@@ -140,4 +159,18 @@ __all__ = [
     "Request",
     "ServiceConfig",
     "ServingStats",
+    "aggregate_snapshots",
+    "render_prometheus",
+    "SPAN_ORDER",
+    "span",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalError",
+    "JournalReader",
+    "JournalWriter",
+    "DriftConfig",
+    "detect_drift",
+    "label_distribution",
+    "total_variation",
+    "replay_ab",
+    "replayable_graphs",
 ]

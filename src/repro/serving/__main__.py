@@ -116,6 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="explicit warm-up file (defaults to --checkpoint-path)",
     )
     parser.add_argument(
+        "--journal-dir",
+        help="record every served prediction into JSONL segments under this "
+        "directory (query them with repro-journal)",
+    )
+    parser.add_argument(
+        "--journal-no-graphs",
+        action="store_true",
+        help="journal telemetry only, without the replayable request graphs "
+        "(smaller segments, no offline A/B replay)",
+    )
+    parser.add_argument(
         "--request-timeout", type=float, default=DEFAULT_REQUEST_TIMEOUT_S
     )
     parser.add_argument("--max-body-bytes", type=int, default=DEFAULT_MAX_BODY_BYTES)
@@ -208,6 +219,8 @@ def build_hub(args: argparse.Namespace) -> ModelHub:
         checkpoint_path=args.checkpoint_path,
         checkpoint_interval_s=args.checkpoint_interval,
         pool_workers=args.pool_workers,
+        journal_dir=args.journal_dir,
+        journal_record_graphs=not args.journal_no_graphs,
     )
     for spec in build_specs(args):
         hub.load(spec)

@@ -36,6 +36,8 @@ import time
 from concurrent.futures import Future
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from .trace import publish_queue_waits, reset_queue_waits
+
 
 class MicroBatcher:
     """Groups submitted items and hands them to ``runner`` in batches.
@@ -71,7 +73,7 @@ class MicroBatcher:
         #: fold fan-out of each dispatched batch (ensemble member count) —
         #: purely descriptive, surfaced via :meth:`telemetry`.
         self.fanout = fanout
-        self._queue: List[Tuple[Any, Future]] = []
+        self._queue: List[Tuple[Any, Future, float]] = []
         self._condition = threading.Condition()
         self._closed = False
         self._threads: List[threading.Thread] = []
@@ -117,7 +119,7 @@ class MicroBatcher:
             return
         with self._condition:
             pending, self._queue = self._queue, []
-        for _, future in pending:
+        for _, future, _ in pending:
             if future.set_running_or_notify_cancel():
                 future.set_exception(RuntimeError("MicroBatcher closed before start"))
 
@@ -133,7 +135,7 @@ class MicroBatcher:
         with self._condition:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")
-            self._queue.append((item, future))
+            self._queue.append((item, future, time.monotonic()))
             self._condition.notify_all()
         return future
 
@@ -160,7 +162,7 @@ class MicroBatcher:
         }
 
     # ------------------------------------------------------------- internals
-    def _take_batch(self) -> Optional[List[Tuple[Any, Future]]]:
+    def _take_batch(self) -> Optional[List[Tuple[Any, Future, float]]]:
         """Block until a batch is ready (or the batcher is drained+closed)."""
         with self._condition:
             while True:
@@ -195,20 +197,24 @@ class MicroBatcher:
 
 def _run_batch(
     runner: Callable[[List[Any]], Sequence[Any]],
-    batch: Sequence[Tuple[Any, Future]],
+    batch: Sequence[Tuple[Any, Future, float]],
 ) -> None:
     """Run one dispatched batch and resolve its futures (shared by the
     single-queue :class:`MicroBatcher` and the pooled variant below)."""
     # Drop futures cancelled while queued; a cancelled future would
     # raise InvalidStateError on set_result and kill the worker thread.
     live = [
-        (item, future)
-        for item, future in batch
+        (item, future, enqueued)
+        for item, future, enqueued in batch
         if future.set_running_or_notify_cancel()
     ]
     if not live:
         return
-    items = [item for item, _ in live]
+    items = [item for item, _, _ in live]
+    # Publish each item's time-in-queue for the runner (predict_many) to
+    # fold into its per-request traces — same thread, no signature change.
+    dispatched = time.monotonic()
+    token = publish_queue_waits([dispatched - enqueued for _, _, enqueued in live])
     try:
         results = runner(items)
         if len(results) != len(items):
@@ -216,10 +222,12 @@ def _run_batch(
                 f"runner returned {len(results)} results for {len(items)} items"
             )
     except Exception as exc:  # propagate to every waiter in the batch
-        for _, future in live:
+        for _, future, _ in live:
             future.set_exception(exc)
         return
-    for (_, future), result in zip(live, results):
+    finally:
+        reset_queue_waits(token)
+    for (_, future, _), result in zip(live, results):
         future.set_result(result)
 
 
@@ -519,8 +527,8 @@ class PooledBatcher:
             return True
         return now >= self._queue[0][2] + self.max_wait_s
 
-    def _pop_batch_locked(self) -> List[Tuple[Any, Future]]:
-        batch = [(item, future) for item, future, _ in self._queue[: self.max_batch_size]]
+    def _pop_batch_locked(self) -> List[Tuple[Any, Future, float]]:
+        batch = list(self._queue[: self.max_batch_size])
         del self._queue[: self.max_batch_size]
         self._batches_dispatched += 1
         self._items_dispatched += len(batch)

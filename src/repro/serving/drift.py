@@ -1,0 +1,161 @@
+"""Windowed drift detection over journalled predictions.
+
+A model that keeps answering does not keep answering *well*: an alias
+flip to a bad version, a shift in incoming programs, or a fold ensemble
+falling out of agreement all show up first as a change in what gets
+predicted, not as an error.  This module turns the prediction journal's
+recent tail into an alert:
+
+* **label shift** — total variation distance between the label
+  distribution of a *baseline* window (older records) and a *recent*
+  window.  TVD is ``0`` for identical distributions, ``1`` for disjoint
+  ones, and directly reads as "the share of traffic whose label moved".
+* **agreement collapse** — drop in mean per-fold agreement between the
+  same two windows (ensemble deployments journal their agreement score).
+  Folds that start disagreeing are the paper's own uncertainty signal —
+  exactly the regions the hybrid model routes to dynamic profiling — so
+  a collapse means the model is being asked about programs it does not
+  know.
+
+Both checks are window-vs-window over one ordered record sequence, so
+they work identically on the live in-memory tail
+(:meth:`~repro.serving.journal.JournalWriter.recent`, behind
+``GET /v1/models/<name>/drift``) and on a full offline
+:class:`~repro.serving.journal.JournalReader` pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class DriftConfig:
+    """Window sizes and alert thresholds of :func:`detect_drift`."""
+
+    #: how many of the newest records form the *recent* window.
+    recent_window: int = 50
+    #: how many records immediately before them form the *baseline*.
+    baseline_window: int = 200
+    #: both windows must hold at least this many records to judge drift
+    #: (tiny windows make every distribution look shifted).
+    min_samples: int = 20
+    #: alert when the label distributions' total variation distance
+    #: exceeds this (0 = identical, 1 = disjoint).
+    label_threshold: float = 0.35
+    #: alert when mean fold agreement dropped by more than this.
+    agreement_threshold: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.recent_window < 1 or self.baseline_window < 1:
+            raise ValueError("drift windows must be >= 1 record")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if not 0.0 < self.label_threshold <= 1.0:
+            raise ValueError("label_threshold must be in (0, 1]")
+        if not 0.0 < self.agreement_threshold <= 1.0:
+            raise ValueError("agreement_threshold must be in (0, 1]")
+
+
+def label_distribution(records: Sequence[Mapping[str, object]]) -> Dict[int, float]:
+    """Share of records per predicted label."""
+    counts: Dict[int, int] = {}
+    for record in records:
+        label = record.get("label")
+        if isinstance(label, bool) or not isinstance(label, int):
+            continue
+        counts[label] = counts.get(label, 0) + 1
+    total = sum(counts.values())
+    if not total:
+        return {}
+    return {label: count / total for label, count in sorted(counts.items())}
+
+
+def total_variation(
+    p: Mapping[int, float], q: Mapping[int, float]
+) -> float:
+    """Total variation distance between two label distributions."""
+    labels = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(label, 0.0) - q.get(label, 0.0)) for label in labels)
+
+
+def _mean_agreement(records: Sequence[Mapping[str, object]]) -> Optional[float]:
+    values = [
+        float(record["agreement"])
+        for record in records
+        if isinstance(record.get("agreement"), (int, float))
+    ]
+    return sum(values) / len(values) if values else None
+
+
+def detect_drift(
+    records: Sequence[Mapping[str, object]],
+    config: Optional[DriftConfig] = None,
+) -> Dict[str, object]:
+    """Judge drift over one ordered (oldest-first) record sequence.
+
+    The newest ``recent_window`` records are compared against the
+    ``baseline_window`` records immediately before them.  Returns a
+    JSON-friendly verdict: ``status`` is ``"insufficient-data"``, ``"ok"``
+    or ``"drift"``, and ``alerts`` lists every threshold crossed (so one
+    response can report a label shift *and* an agreement collapse).
+    """
+    config = config or DriftConfig()
+    recent = list(records[-config.recent_window :])
+    baseline = list(
+        records[
+            max(0, len(records) - config.recent_window - config.baseline_window) : len(records)
+            - config.recent_window
+        ]
+    )
+    if len(recent) < config.min_samples or len(baseline) < config.min_samples:
+        return {
+            "status": "insufficient-data",
+            "baseline_samples": len(baseline),
+            "recent_samples": len(recent),
+            "min_samples": config.min_samples,
+            "alerts": [],
+        }
+
+    baseline_labels = label_distribution(baseline)
+    recent_labels = label_distribution(recent)
+    label_tvd = total_variation(baseline_labels, recent_labels)
+
+    baseline_agreement = _mean_agreement(baseline)
+    recent_agreement = _mean_agreement(recent)
+    agreement_drop = (
+        baseline_agreement - recent_agreement
+        if baseline_agreement is not None and recent_agreement is not None
+        else None
+    )
+
+    alerts: List[Dict[str, object]] = []
+    if label_tvd > config.label_threshold:
+        alerts.append(
+            {
+                "kind": "label-shift",
+                "value": label_tvd,
+                "threshold": config.label_threshold,
+            }
+        )
+    if agreement_drop is not None and agreement_drop > config.agreement_threshold:
+        alerts.append(
+            {
+                "kind": "agreement-collapse",
+                "value": agreement_drop,
+                "threshold": config.agreement_threshold,
+            }
+        )
+    return {
+        "status": "drift" if alerts else "ok",
+        "baseline_samples": len(baseline),
+        "recent_samples": len(recent),
+        "label_tvd": label_tvd,
+        "baseline_labels": baseline_labels,
+        "recent_labels": recent_labels,
+        "baseline_agreement": baseline_agreement,
+        "recent_agreement": recent_agreement,
+        "agreement_drop": agreement_drop,
+        "alerts": alerts,
+    }

@@ -49,6 +49,7 @@ from .registry import ArtifactNotFoundError, ArtifactRegistry, LoadedArtifact
 from .serialization import label_space_to_dict
 from .service import ServingFrontend, validate_frontend_knobs
 from .stats import ServingStats
+from .trace import span
 
 #: supported per-fold probability combination strategies.
 STRATEGIES = ("mean-softmax", "majority-vote")
@@ -104,6 +105,9 @@ class EnsemblePredictionResult:
     unanimous: bool
     cache_hit: bool
     latency_s: float
+    #: per-stage span timings of this request (see :mod:`repro.serving.trace`);
+    #: batch-level spans report what the request's batch paid.
+    trace: Optional[Dict[str, float]] = None
 
 
 # ------------------------------------------------------------- combination
@@ -311,7 +315,12 @@ class EnsemblePredictionService(ServingFrontend):
     def _fold_fanout(self) -> int:
         return self.num_members
 
-    def _forward_batch(self, batch, size: int) -> Tuple[np.ndarray, np.ndarray]:
+    def _journal_identity(self) -> Optional[str]:
+        return ",".join(str(a.ref) for a in self._members.values())
+
+    def _forward_batch(
+        self, batch, size: int, trace: Optional[Dict[str, float]] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """One planned engine pass for the whole ensemble.
 
         The plan is built once per micro-batch and fanned to every fold:
@@ -324,19 +333,22 @@ class EnsemblePredictionService(ServingFrontend):
         the ``(num_folds, num_labels)`` / ``(num_folds, vector_dim)`` stack
         for graph ``j`` — one cache entry replays every member at once.
         """
-        plan = build_plan(batch)
+        with span(trace, "plan_build_s"):
+            plan = build_plan(batch)
         if self._stacked is not None:
             # Batch-major stacks straight from the engine: row j is the
             # (num_folds, ...) stack for graph j.
-            logits, vectors = self._stacked.infer(plan)  # (B, F, L), (B, F, D)
+            with span(trace, "infer_s"):
+                logits, vectors = self._stacked.infer(plan)  # (B, F, L), (B, F, D)
             self.stats.record_batch(size, folds=self.num_members, stacked=True)
             return logits, vectors
         per_fold_logits: List[np.ndarray] = []
         per_fold_vectors: List[np.ndarray] = []
-        for artifact in self._members.values():
-            logits, vectors = artifact.model.infer(plan)
-            per_fold_logits.append(logits)
-            per_fold_vectors.append(vectors)
+        with span(trace, "infer_s"):
+            for artifact in self._members.values():
+                logits, vectors = artifact.model.infer(plan)
+                per_fold_logits.append(logits)
+                per_fold_vectors.append(vectors)
         self.stats.record_batch(size, folds=self.num_members, stacked=False)
         return (
             np.stack(per_fold_logits, axis=1),  # (B, F, L)

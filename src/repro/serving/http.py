@@ -11,9 +11,14 @@ deployments in one process — behind a stdlib HTTP server
   Single-graph requests ride the deployment's micro-batcher, so concurrent
   HTTP clients coalesce into shared RGCN forward passes; batch bodies go
   straight to ``predict_many``.
+  Bodies may add ``"trace": true`` to get the request's per-stage span
+  timings (decode → cache lookup → queue wait → plan build → infer →
+  combine) back in each result.
 * ``GET /v1/models`` — the served set: per-model health, aliases, default.
 * ``GET /v1/models/<name>`` / ``GET /v1/models/<name>/metrics`` — one
   model's health / serving stats.
+* ``GET /v1/models/<name>/drift`` — windowed drift verdict (label shift,
+  fold-agreement collapse) over the hub journal's live tail.
 * ``POST /v1/models/<name>/load|unload|reload|alias`` — admin: mutate the
   served set at runtime (load takes a
   :class:`~repro.serving.deployment.DeploymentSpec` body, alias takes
@@ -21,7 +26,9 @@ deployments in one process — behind a stdlib HTTP server
   zero in-flight requests.
 * ``GET /healthz`` / ``GET /metrics`` — process-level liveness and
   telemetry, with one section per model plus the shared cache/pool/
-  checkpoint infrastructure.  Both answer ``HEAD`` too.
+  journal/checkpoint infrastructure.  Both answer ``HEAD`` too;
+  ``/metrics?format=prometheus`` serves the stdlib-rendered text
+  exposition instead of JSON (unknown formats get a structured 406).
 * ``POST /v1/predict`` — the legacy single-model route, answered by the
   hub's *default* deployment.  Kept (with the bare-service constructors)
   as a deprecation-noted shim: a :class:`ServingApp` built from a single
@@ -49,6 +56,7 @@ import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs
 
 from .cache import CheckpointDaemon
 from .deployment import DeploymentSpecError, deployment_spec_from_dict
@@ -66,6 +74,7 @@ from .serialization import (
     program_graph_from_dict,
 )
 from .service import ServingFrontend
+from .stats import render_prometheus
 
 #: requests larger than this are rejected with 413 before being parsed.
 DEFAULT_MAX_BODY_BYTES = 8 << 20  # 8 MiB
@@ -76,8 +85,10 @@ DEFAULT_REQUEST_TIMEOUT_S = 30.0
 #: deployment name a bare service is adopted under by the legacy shims.
 DEFAULT_MODEL_NAME = "default"
 
-#: an app view: takes the (possibly absent) request body, returns the payload.
-_View = Callable[[Optional[bytes]], Dict[str, object]]
+#: an app view: takes the (possibly absent) request body, returns the
+#: payload — a JSON-able dict, or a raw ``str`` served as ``text/plain``
+#: (the Prometheus exposition).
+_View = Callable[[Optional[bytes]], Union[Dict[str, object], str]]
 
 #: response headers attached to a payload (e.g. ``Allow`` on a 405).
 Headers = Dict[str, str]
@@ -101,8 +112,13 @@ class RequestError(Exception):
         return error_payload(self.status, self.code, self.message)
 
 
-def result_to_dict(result) -> Dict[str, object]:
-    """Wire encoding of a prediction result (single-fold or ensemble)."""
+def result_to_dict(result, include_trace: bool = False) -> Dict[str, object]:
+    """Wire encoding of a prediction result (single-fold or ensemble).
+
+    The per-stage trace is opt-in (``include_trace``): most clients don't
+    want the extra bytes, and the spans are always aggregated into
+    ``/metrics`` regardless.
+    """
     payload: Dict[str, object] = {
         "name": result.name,
         "fingerprint": result.fingerprint,
@@ -125,6 +141,13 @@ def result_to_dict(result) -> Dict[str, object]:
         }
         payload["agreement"] = float(result.agreement)
         payload["unanimous"] = bool(result.unanimous)
+    if include_trace:
+        trace = getattr(result, "trace", None)
+        payload["trace"] = (
+            {stage: float(value) for stage, value in trace.items()}
+            if trace is not None
+            else None
+        )
     return payload
 
 
@@ -200,9 +223,17 @@ class ServingApp:
     # -------------------------------------------------------------- routing
     def handle(
         self, method: str, path: str, body: Optional[bytes] = None
-    ) -> Tuple[int, Dict[str, object], Headers]:
-        path = path.split("?", 1)[0].rstrip("/") or "/"
-        route = self._route(path)
+    ) -> Tuple[int, Union[Dict[str, object], str], Headers]:
+        path, _, query_string = path.partition("?")
+        # Last value wins for repeated parameters, matching common servers.
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(
+                query_string, keep_blank_values=True
+            ).items()
+        }
+        path = path.rstrip("/") or "/"
+        route = self._route(path, query)
         if route is None:
             return 404, error_payload(404, "not-found", f"unknown path {path!r}"), {}
         allowed = set(route)
@@ -221,7 +252,13 @@ class ServingApp:
             )
         view = route["GET"] if method == "HEAD" else route[method]
         try:
-            return 200, view(body), {}
+            payload = view(body)
+            headers: Headers = (
+                {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"}
+                if isinstance(payload, str)
+                else {}
+            )
+            return 200, payload, headers
         except RequestError as exc:
             return exc.status, exc.payload(), {}
         except DeploymentNotFoundError as exc:
@@ -237,12 +274,15 @@ class ServingApp:
         except Exception as exc:  # a genuine server-side failure
             return 500, error_payload(500, "internal", f"{type(exc).__name__}: {exc}"), {}
 
-    def _route(self, path: str) -> Optional[Dict[str, _View]]:
+    def _route(
+        self, path: str, query: Optional[Dict[str, str]] = None
+    ) -> Optional[Dict[str, _View]]:
         """The method → view table for one normalised path (None = 404)."""
+        query = query or {}
         if path == "/healthz":
             return {"GET": lambda body: self.healthz()}
         if path == "/metrics":
-            return {"GET": lambda body: self.metrics()}
+            return {"GET": lambda body: self.metrics(query.get("format"))}
         if path == "/v1/predict":
             return {"POST": lambda body: self.predict(body, model=None)}
         if path == "/v1/models":
@@ -263,6 +303,8 @@ class ServingApp:
             return {"POST": lambda body: self.predict(body, model=name)}
         if action == "metrics":
             return {"GET": lambda body: self.model_metrics(name)}
+        if action == "drift":
+            return {"GET": lambda body: self.hub.model_drift(name)}
         if action == "load":
             return {"POST": lambda body: self.admin_load(name, body)}
         if action == "unload":
@@ -301,9 +343,9 @@ class ServingApp:
             ),
         }
 
-    def metrics(self) -> Dict[str, object]:
+    def metrics(self, format: Optional[str] = None) -> Union[Dict[str, object], str]:
         default = self.service
-        return {
+        payload = {
             # Legacy section: the default deployment's stats, exactly where
             # PR-3 clients expect them.
             "stats": default.snapshot() if default is not None else None,
@@ -313,6 +355,15 @@ class ServingApp:
                 self.checkpoint.stats() if self.checkpoint is not None else None
             ),
         }
+        if format is None or format == "json":
+            return payload
+        if format == "prometheus":
+            return render_prometheus(payload)
+        raise RequestError(
+            406,
+            "unsupported-format",
+            f"unknown metrics format {format!r}; supported: json, prometheus",
+        )
 
     def list_models(self) -> Dict[str, object]:
         return {
@@ -334,9 +385,15 @@ class ServingApp:
     def predict(self, body: Optional[bytes], model: Optional[str]) -> Dict[str, object]:
         # Resolve before parsing the body: an unknown model 404s fast.
         predictor = self.hub.resolve(model).predictor
+        decode_start = time.perf_counter()
         payload = self._parse_body(body)
+        include_trace = payload.get("trace", False)
+        if not isinstance(include_trace, bool):
+            raise RequestError(400, "invalid-request", "'trace' must be a boolean")
         if "graph" in payload:
             graph = self._decode_graph(payload["graph"], "graph")
+            decode_s = time.perf_counter() - decode_start
+            self._record_decode(predictor, decode_s)
             # Through the micro-batcher: concurrent HTTP handler threads
             # coalesce into shared forward passes.  Fall back to the sync
             # path when the app (hence the batchers) was never started.
@@ -353,7 +410,8 @@ class ServingApp:
                     ) from None
             else:
                 result = predictor.predict_many([graph])[0]
-            return {"result": result_to_dict(result)}
+            self._attach_decode(result, decode_s)
+            return {"result": result_to_dict(result, include_trace=include_trace)}
 
         entries = payload["graphs"]
         if not isinstance(entries, list):
@@ -363,11 +421,34 @@ class ServingApp:
         graphs = [
             self._decode_graph(entry, f"graphs[{i}]") for i, entry in enumerate(entries)
         ]
+        # One decode span for the whole body — parsing and decoding happen
+        # as one pass, so each result reports what its request paid.
+        decode_s = time.perf_counter() - decode_start
+        self._record_decode(predictor, decode_s)
         results = predictor.predict_many(graphs)
+        for result in results:
+            self._attach_decode(result, decode_s)
         return {
-            "results": [result_to_dict(result) for result in results],
+            "results": [
+                result_to_dict(result, include_trace=include_trace)
+                for result in results
+            ],
             "count": len(results),
         }
+
+    @staticmethod
+    def _record_decode(predictor, decode_s: float) -> None:
+        """Fold the HTTP decode span into the predictor's stage stats."""
+        stats = getattr(predictor, "stats", None)
+        record = getattr(stats, "record_stage", None)
+        if record is not None:
+            record("decode", decode_s)
+
+    @staticmethod
+    def _attach_decode(result, decode_s: float) -> None:
+        trace = getattr(result, "trace", None)
+        if trace is not None:
+            trace["decode_s"] = decode_s
 
     # ---------------------------------------------------------------- admin
     def admin_load(self, name: str, body: Optional[bytes]) -> Dict[str, object]:
@@ -448,12 +529,13 @@ class ServingApp:
 
     def _parse_body(self, body: Optional[bytes]) -> Dict[str, object]:
         payload = self._parse_json_object(body)
-        unknown = sorted(set(payload) - {"graph", "graphs"})
+        unknown = sorted(set(payload) - {"graph", "graphs", "trace"})
         if unknown:
             raise RequestError(
                 400,
                 "invalid-request",
-                f"unknown field(s) {unknown}; expected 'graph' or 'graphs'",
+                f"unknown field(s) {unknown}; expected 'graph' or 'graphs' "
+                f"(plus optional 'trace')",
             )
         if ("graph" in payload) == ("graphs" in payload):
             raise RequestError(
@@ -544,16 +626,26 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def _respond(
         self,
         status: int,
-        payload: Dict[str, object],
+        payload: Union[Dict[str, object], str],
         headers: Optional[Headers] = None,
         omit_body: bool = False,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        headers = dict(headers or {})
+        if isinstance(payload, str):
+            # Raw text view (the Prometheus exposition); the app supplied
+            # its Content-Type alongside.
+            body = payload.encode("utf-8")
+            content_type = headers.pop(
+                "Content-Type", "text/plain; charset=utf-8"
+            )
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         # HEAD advertises the length GET would have sent, with no body.
         self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
+        for name, value in headers.items():
             self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")

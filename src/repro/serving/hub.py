@@ -52,7 +52,9 @@ from .deployment import (
     deployment_spec_to_dict,
     validate_deployment_name,
 )
+from .drift import DriftConfig, detect_drift
 from .ensemble import EnsemblePredictionService
+from .journal import JournalWriter
 from .registry import ArtifactRegistry
 from .service import PredictionService, ServingFrontend
 from .stats import aggregate_snapshots
@@ -115,6 +117,9 @@ class ModelHub:
         checkpoint_path: Optional[str] = None,
         checkpoint_interval_s: float = 30.0,
         pool_workers: int = 2,
+        journal_dir: Optional[str] = None,
+        journal_record_graphs: bool = True,
+        drift_config: Optional[DriftConfig] = None,
     ):
         if isinstance(registry, str):
             registry = ArtifactRegistry(registry)
@@ -133,6 +138,15 @@ class ModelHub:
             else None
         )
         self.pool = BatcherWorkerPool(workers=pool_workers)
+        # One journal for the whole hub: every deployment's predict path
+        # records into it (filed under the deployment name), so one
+        # directory holds the process's complete served-traffic history.
+        self.journal: Optional[JournalWriter] = (
+            JournalWriter(journal_dir, record_graphs=journal_record_graphs)
+            if journal_dir
+            else None
+        )
+        self.drift_config = drift_config or DriftConfig()
         self._lock = threading.RLock()
         self._deployments: Dict[str, Deployment] = {}
         self._aliases: Dict[str, str] = {}
@@ -356,6 +370,17 @@ class ModelHub:
                 "entries": entries,
                 "warm": entries > 0,
             },
+            "drift": self._drift_summary(deployment.name),
+        }
+
+    def _drift_summary(self, name: str) -> Optional[Dict[str, object]]:
+        """Compact drift status for ``model_health`` (None without journal)."""
+        if self.journal is None:
+            return None
+        verdict = self.model_drift(name)
+        return {
+            "status": verdict["status"],
+            "alerts": [alert["kind"] for alert in verdict["alerts"]],
         }
 
     def snapshot(self) -> Dict[str, object]:
@@ -368,16 +393,48 @@ class ModelHub:
             name: deployment.predictor.snapshot()
             for name, deployment in deployments.items()
         }
+        # Raw latency windows, where the predictors expose them, make the
+        # aggregate's pooled percentiles honest (percentiles of per-model
+        # percentiles would be statistics of nothing).
+        latency_windows = [
+            stats.latency_values()
+            for deployment in deployments.values()
+            if (stats := getattr(deployment.predictor, "stats", None)) is not None
+            and hasattr(stats, "latency_values")
+        ]
         return {
             "uptime_s": time.monotonic() - self._created_monotonic,
             "models": per_model,
-            "aggregate": aggregate_snapshots(per_model.values()),
+            "aggregate": aggregate_snapshots(
+                per_model.values(), latency_windows=latency_windows
+            ),
             "aliases": aliases,
             "default": default,
             "cache": self.cache.stats() if self.cache is not None else None,
             "pool": self.pool.telemetry(),
+            "journal": self.journal.stats() if self.journal is not None else None,
             "checkpoint": self.checkpoint.stats() if self.checkpoint is not None else None,
         }
+
+    def model_drift(self, name: Optional[str] = None) -> Dict[str, object]:
+        """Drift verdict for one deployment, from the journal's live tail.
+
+        Served on ``GET /v1/models/<name>/drift``.  Without a journal
+        there is nothing to judge from — the response says so instead of
+        pretending "ok".
+        """
+        deployment = self.resolve(name)
+        if self.journal is None:
+            return {
+                "model": deployment.name,
+                "status": "no-journal",
+                "alerts": [],
+            }
+        verdict = detect_drift(
+            self.journal.recent(deployment.name), self.drift_config
+        )
+        verdict["model"] = deployment.name
+        return verdict
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "ModelHub":
@@ -403,6 +460,9 @@ class ModelHub:
         self.pool.close()
         if self.checkpoint is not None:
             self.checkpoint.stop()
+        if self.journal is not None:
+            # Last: the drained deployments' final records must land on disk.
+            self.journal.close()
 
     def __enter__(self) -> "ModelHub":
         return self.start()
@@ -449,6 +509,14 @@ class ModelHub:
         deployment = Deployment(
             name=name, predictor=predictor, spec=spec, created_unix=time.time()
         )
+        if self.journal is not None:
+            # Bound before the deployment becomes routable, so every request
+            # it ever answers is journalled.  Adopted predictors may be
+            # arbitrary Predictor implementations; only journal the ones
+            # that know how.
+            bind = getattr(predictor, "bind_journal", None)
+            if bind is not None:
+                bind(self.journal, name)
         with self._lock:
             if name in self._aliases:
                 raise DeploymentExistsError(

@@ -1,0 +1,481 @@
+"""Append-only, crash-safe on-disk prediction journal.
+
+Every prediction the serving stack answers vanishes at response time
+unless something writes it down — and without that record there is no way
+to tell whether an alias flip regressed accuracy, whether fold agreement
+is drifting, or what traffic to replay against a candidate model.  The
+journal is that record:
+
+* :class:`JournalWriter` — the recording half.  ``record(entry)`` is
+  called on the predict hot path
+  (:meth:`~repro.serving.service.ServingFrontend.predict_many`), so it
+  does almost nothing: append the entry to a bounded in-memory queue and
+  return.  A background thread drains the queue, serialises entries
+  (including :class:`~repro.graphs.graph.ProgramGraph` → wire dict, the
+  expensive part) and appends them to JSONL segment files.  A full queue
+  **drops and counts** instead of blocking — observability must never be
+  able to take serving down.
+* **Segments** — records land in ``segment-<n>.jsonl`` files of at most
+  ``segment_records`` records each.  Every segment starts with a
+  checksummed JSON header line identifying the file and schema; a writer
+  always opens a *fresh* segment (never appends to an old file), so the
+  only line a crash can tear is the final line of the newest segment.
+* :class:`JournalReader` — the query half.  Iterates records across
+  segments in order, tolerating a torn **final** line per segment (the
+  crash signature) while treating interior garbage or a bad header as
+  real corruption (:class:`JournalError`).  On top of iteration it offers
+  the filter / group / percentile queries the ``repro-journal`` CLI and
+  the A/B replay surface are built on.
+
+The journal is the recorded-traffic substrate for
+:mod:`repro.serving.replay` (offline A/B) and
+:mod:`repro.serving.drift` (windowed shift alerts), and the future input
+for calibrating batching knobs from real measurements.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.graph import ProgramGraph
+from .serialization import program_graph_to_dict
+
+#: bump when the record layout changes incompatibly.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: marker naming the file format in every segment header.
+JOURNAL_MAGIC = "repro-prediction-journal"
+
+#: records per segment file before rotating to a fresh one.
+DEFAULT_SEGMENT_RECORDS = 10_000
+
+#: bounded hot-path queue; a full queue drops (and counts) new records.
+DEFAULT_QUEUE_CAPACITY = 65_536
+
+#: per-model in-memory tail kept for the live drift endpoint.
+DEFAULT_RECENT_WINDOW = 512
+
+_SEGMENT_RE = re.compile(r"^segment-(\d{6})\.jsonl$")
+
+
+class JournalError(RuntimeError):
+    """The journal directory holds something that is not a valid journal
+    (bad header, unsupported schema, interior corruption)."""
+
+
+def _header_checksum(header: Dict[str, object]) -> str:
+    """Checksum over the header fields (sans the checksum itself)."""
+    body = {key: value for key, value in header.items() if key != "checksum"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def segment_header(index: int) -> Dict[str, object]:
+    """The checksummed first line of segment ``index``."""
+    header: Dict[str, object] = {
+        "journal": JOURNAL_MAGIC,
+        "schema": JOURNAL_SCHEMA_VERSION,
+        "segment": int(index),
+        "created_unix": time.time(),
+    }
+    header["checksum"] = _header_checksum(header)
+    return header
+
+
+def validate_header(header: object, path: str) -> None:
+    if not isinstance(header, dict) or header.get("journal") != JOURNAL_MAGIC:
+        raise JournalError(f"{path}: not a prediction-journal segment")
+    schema = header.get("schema")
+    if schema != JOURNAL_SCHEMA_VERSION:
+        raise JournalError(
+            f"{path}: unsupported journal schema {schema!r} "
+            f"(this build reads schema {JOURNAL_SCHEMA_VERSION})"
+        )
+    if header.get("checksum") != _header_checksum(header):
+        raise JournalError(f"{path}: segment header checksum mismatch")
+
+
+class JournalWriter:
+    """Asynchronous, crash-safe recorder of served predictions.
+
+    ``record(entry)`` is wait-free for the caller (one lock, one deque
+    append); serialisation and disk I/O happen on the writer thread.  The
+    ``graph`` field of an entry may be a raw :class:`ProgramGraph` — it is
+    wire-encoded off the hot path (or dropped when ``record_graphs`` is
+    off, which keeps segments small at the cost of replayability).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        record_graphs: bool = True,
+        recent_window: int = DEFAULT_RECENT_WINDOW,
+    ):
+        if segment_records < 1:
+            raise ValueError("segment_records must be >= 1")
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if recent_window < 1:
+            raise ValueError("recent_window must be >= 1")
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.segment_records = int(segment_records)
+        self.queue_capacity = int(queue_capacity)
+        self.record_graphs = bool(record_graphs)
+        self._recent_window = int(recent_window)
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._drained = threading.Condition(self._lock)
+        self._queue: Deque[Dict[str, object]] = deque()
+        self._recent: Dict[str, Deque[Dict[str, object]]] = {}
+        self._dropped = 0
+        self._written = 0
+        self._segments_opened = 0
+        self._closed = False
+        self._draining = False
+        # Fresh segments only: never append to a file a previous process
+        # wrote, so the sole possible torn line is the final line of the
+        # newest segment of the most recent writer.
+        self._next_segment = self._first_free_segment_index()
+        self._segment_file = None
+        self._segment_count = 0
+        self._thread = threading.Thread(
+            target=self._drain_loop, name="repro-journal-writer", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------- recording
+    def record(self, entry: Dict[str, object]) -> bool:
+        """Enqueue one prediction record; ``False`` = dropped (full/closed).
+
+        The entry is journalled as given, plus serialisation of a raw
+        ``graph``; the in-memory per-model tail for the live drift
+        endpoint is updated here too (a deque append, still O(1)).
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            if len(self._queue) >= self.queue_capacity:
+                self._dropped += 1
+                return False
+            self._queue.append(entry)
+            model = entry.get("model")
+            if isinstance(model, str):
+                window = self._recent.get(model)
+                if window is None:
+                    window = self._recent[model] = deque(maxlen=self._recent_window)
+                window.append(entry)
+            self._wakeup.notify()
+        return True
+
+    def recent(self, model: str) -> List[Dict[str, object]]:
+        """In-memory tail of records for ``model`` (oldest first) — the
+        live input of ``GET /v1/models/<name>/drift``."""
+        with self._lock:
+            window = self._recent.get(model)
+            return list(window) if window is not None else []
+
+    # ------------------------------------------------------------- lifecycle
+    def flush(self, timeout_s: float = 10.0) -> bool:
+        """Block until every queued record is on disk (or timeout)."""
+        deadline = time.monotonic() + timeout_s
+        with self._lock:
+            while self._queue or self._draining:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._drained.wait(remaining)
+        return True
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Flush, stop the writer thread and close the open segment."""
+        self.flush(timeout_s)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._wakeup.notify()
+        self._thread.join(timeout=timeout_s)
+        if self._segment_file is not None:
+            self._segment_file.flush()
+            self._segment_file.close()
+            self._segment_file = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- export
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "directory": self.directory,
+                "written": self._written,
+                "dropped": self._dropped,
+                "queued": len(self._queue),
+                "segments_opened": self._segments_opened,
+            }
+
+    # ------------------------------------------------------------ internals
+    def _first_free_segment_index(self) -> int:
+        taken = [
+            int(match.group(1))
+            for name in os.listdir(self.directory)
+            if (match := _SEGMENT_RE.match(name))
+        ]
+        return max(taken) + 1 if taken else 0
+
+    def _drain_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._wakeup.wait()
+                if not self._queue and self._closed:
+                    return
+                batch = list(self._queue)
+                self._queue.clear()
+                self._draining = True
+            try:
+                for entry in batch:
+                    self._append(self._serialise(entry))
+                if self._segment_file is not None:
+                    self._segment_file.flush()
+            finally:
+                with self._lock:
+                    self._draining = False
+                    self._written += len(batch)
+                    self._drained.notify_all()
+
+    def _serialise(self, entry: Dict[str, object]) -> str:
+        record = dict(entry)
+        graph = record.get("graph")
+        if isinstance(graph, ProgramGraph):
+            record["graph"] = (
+                program_graph_to_dict(graph) if self.record_graphs else None
+            )
+        elif not self.record_graphs:
+            record["graph"] = None
+        return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+    def _append(self, line: str) -> None:
+        if self._segment_file is None or self._segment_count >= self.segment_records:
+            self._rotate()
+        self._segment_file.write(line + "\n")
+        self._segment_count += 1
+
+    def _rotate(self) -> None:
+        if self._segment_file is not None:
+            self._segment_file.flush()
+            self._segment_file.close()
+        index = self._next_segment
+        self._next_segment += 1
+        path = os.path.join(self.directory, f"segment-{index:06d}.jsonl")
+        self._segment_file = open(path, "w", encoding="utf-8")
+        header = segment_header(index)
+        self._segment_file.write(
+            json.dumps(header, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._segment_file.flush()
+        self._segment_count = 0
+        with self._lock:
+            self._segments_opened += 1
+
+
+class JournalReader:
+    """Query surface over a journal directory.
+
+    Reading is crash-tolerant by the same rule the writer guarantees: the
+    only line a crash can tear is the *final* line of a segment, so an
+    undecodable final line is recovered around (and reported via
+    :attr:`torn_tails`), while an undecodable interior line — something a
+    clean writer can never produce — raises :class:`JournalError`.
+    """
+
+    def __init__(self, directory: str):
+        if not os.path.isdir(directory):
+            raise JournalError(f"{directory}: not a journal directory")
+        self.directory = directory
+        #: segment paths whose final line was torn by a crash (filled as
+        #: segments are read).
+        self.torn_tails: List[str] = []
+
+    # -------------------------------------------------------------- reading
+    def segments(self) -> List[str]:
+        names = sorted(
+            name for name in os.listdir(self.directory) if _SEGMENT_RE.match(name)
+        )
+        return [os.path.join(self.directory, name) for name in names]
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        for path in self.segments():
+            yield from self._read_segment(path)
+
+    def _read_segment(self, path: str) -> Iterator[Dict[str, object]]:
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            raw = handle.read()
+        lines = raw.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()  # complete trailing newline, not a torn line
+        if not lines:
+            raise JournalError(f"{path}: empty segment (missing header)")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            if len(lines) == 1:
+                # A crash while writing the very first line of a fresh
+                # segment: nothing was ever recorded in it.
+                if path not in self.torn_tails:
+                    self.torn_tails.append(path)
+                return
+            raise JournalError(f"{path}: undecodable segment header") from None
+        validate_header(header, path)
+        last = len(lines) - 1
+        for number, line in enumerate(lines[1:], start=1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if number == last:
+                    # The crash signature: a torn final append.  Everything
+                    # before it is intact — recover it, report the tear.
+                    if path not in self.torn_tails:
+                        self.torn_tails.append(path)
+                    return
+                raise JournalError(
+                    f"{path}:{number + 1}: corrupt interior record"
+                ) from None
+            if not isinstance(record, dict):
+                raise JournalError(
+                    f"{path}:{number + 1}: record is not a JSON object"
+                )
+            yield record
+
+    # -------------------------------------------------------------- queries
+    def records(
+        self,
+        model: Optional[str] = None,
+        label: Optional[int] = None,
+        cache_hit: Optional[bool] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, object]]:
+        """Filtered records, oldest first."""
+        matches: List[Dict[str, object]] = []
+        for record in self:
+            if model is not None and record.get("model") != model:
+                continue
+            if label is not None and record.get("label") != label:
+                continue
+            if cache_hit is not None and bool(record.get("cache_hit")) != cache_hit:
+                continue
+            timestamp = record.get("ts")
+            if since is not None and (timestamp is None or timestamp < since):
+                continue
+            if until is not None and (timestamp is None or timestamp > until):
+                continue
+            matches.append(record)
+        if limit is not None:
+            matches = matches[-limit:]
+        return matches
+
+    def tail(self, count: int, model: Optional[str] = None) -> List[Dict[str, object]]:
+        return self.records(model=model, limit=count)
+
+    def group_by(
+        self, field: str, model: Optional[str] = None
+    ) -> Dict[object, int]:
+        """Record counts per value of ``field`` (e.g. ``label``, ``model``)."""
+        counts: Dict[object, int] = {}
+        for record in self.records(model=model):
+            key = record.get(field)
+            if isinstance(key, (dict, list)):
+                key = json.dumps(key, sort_keys=True)
+            counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items(), key=lambda item: str(item[0])))
+
+    def label_distribution(self, model: Optional[str] = None) -> Dict[int, float]:
+        """Share of served requests per predicted label."""
+        counts = self.group_by("label", model=model)
+        total = sum(counts.values())
+        return {
+            int(label): count / total
+            for label, count in counts.items()
+            if label is not None
+        }
+
+    def stats(self, model: Optional[str] = None) -> Dict[str, object]:
+        """Aggregate view of the recorded traffic (the ``repro-journal
+        stats`` output): counts, cache behaviour, latency and per-stage
+        percentiles, label distribution, fold agreement."""
+        records = self.records(model=model)
+        latencies: List[float] = []
+        stage_samples: Dict[str, List[float]] = {}
+        agreements: List[float] = []
+        cache_hits = 0
+        models: Dict[str, int] = {}
+        for record in records:
+            latency = record.get("latency_s")
+            if isinstance(latency, (int, float)):
+                latencies.append(float(latency))
+            if record.get("cache_hit"):
+                cache_hits += 1
+            agreement = record.get("agreement")
+            if isinstance(agreement, (int, float)):
+                agreements.append(float(agreement))
+            stages = record.get("stages")
+            if isinstance(stages, dict):
+                for stage, value in stages.items():
+                    if isinstance(value, (int, float)):
+                        stage_samples.setdefault(stage, []).append(float(value))
+            name = record.get("model")
+            if isinstance(name, str):
+                models[name] = models.get(name, 0) + 1
+
+        def percentiles(values: Sequence[float]) -> Dict[str, Optional[float]]:
+            if not values:
+                return {"p50_s": None, "p95_s": None}
+            array = np.asarray(values, dtype=np.float64)
+            return {
+                "p50_s": float(np.percentile(array, 50.0)),
+                "p95_s": float(np.percentile(array, 95.0)),
+            }
+
+        label_counts = {
+            label: count
+            for label, count in self.group_by("label", model=model).items()
+            if label is not None
+        }
+        total_labels = sum(label_counts.values())
+        return {
+            "records": len(records),
+            "models": dict(sorted(models.items())),
+            "cache_hits": cache_hits,
+            "cache_hit_rate": cache_hits / len(records) if records else 0.0,
+            "label_distribution": {
+                int(label): count / total_labels
+                for label, count in label_counts.items()
+            },
+            "latency": {"samples": len(latencies), **percentiles(latencies)},
+            "stages": {
+                stage: {"samples": len(values), **percentiles(values)}
+                for stage, values in sorted(stage_samples.items())
+            },
+            "mean_agreement": (
+                float(np.mean(agreements)) if agreements else None
+            ),
+            "torn_tails": list(self.torn_tails),
+        }

@@ -1,0 +1,119 @@
+"""Offline A/B replay of journalled traffic.
+
+The prediction journal records the actual graphs a hub served (wire-form,
+under each record's ``graph`` key), which makes recorded production
+traffic a free evaluation set: re-run it through two deployments — two
+model versions, or the same ensemble under two combination strategies —
+and diff what they answer.  That turns the risky question "is v2 safe to
+flip the alias to?" into a deterministic offline report instead of a
+live experiment.
+
+Replay is exact, not statistical: both candidates see the identical
+request sequence (decoded from the journal), inference is deterministic,
+and the report lists every fingerprint the two sides disagreed on, next
+to per-side label distributions and latency percentiles.  Records
+journalled without a replayable graph (pre-encoded submissions, or a
+writer configured with ``record_graphs=False``) are skipped and counted
+— a replay that silently covered half the traffic would be worse than
+none.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .drift import label_distribution
+from .serialization import SerializationError, program_graph_from_dict
+
+
+def replayable_graphs(records: Sequence[Mapping[str, object]]):
+    """Decode the replayable requests of a record sequence.
+
+    Returns ``(graphs, replayed_records, skipped)`` where ``skipped``
+    counts records without a decodable graph.
+    """
+    graphs = []
+    replayed = []
+    skipped = 0
+    for record in records:
+        data = record.get("graph")
+        if not isinstance(data, dict):
+            skipped += 1
+            continue
+        try:
+            graphs.append(program_graph_from_dict(data))
+        except SerializationError:
+            skipped += 1
+            continue
+        replayed.append(record)
+    return graphs, replayed, skipped
+
+
+def _side_report(results) -> Dict[str, object]:
+    labels = [int(result.label) for result in results]
+    latencies = np.asarray(
+        [float(result.latency_s) for result in results], dtype=np.float64
+    )
+    return {
+        "labels": labels,
+        "label_distribution": label_distribution([{"label": label} for label in labels]),
+        "latency": {
+            "p50_s": float(np.percentile(latencies, 50.0)) if len(latencies) else None,
+            "p95_s": float(np.percentile(latencies, 95.0)) if len(latencies) else None,
+            "mean_s": float(latencies.mean()) if len(latencies) else None,
+        },
+        "cache_hits": sum(1 for result in results if result.cache_hit),
+    }
+
+
+def replay_ab(
+    records: Sequence[Mapping[str, object]],
+    predictor_a,
+    predictor_b,
+    names: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Re-run journalled traffic through two predictors and diff them.
+
+    ``predictor_a`` / ``predictor_b`` are anything with ``predict_many``
+    (a :class:`~repro.serving.service.PredictionService`, an ensemble, or
+    a hub deployment's predictor).  Returns a JSON-friendly report:
+    per-side label distributions and latency percentiles, the agreement
+    rate, and one entry per disagreement (fingerprint + both labels), in
+    request order — two runs over the same journal produce the identical
+    report.
+    """
+    name_a, name_b = tuple(names) if names is not None else ("a", "b")
+    graphs, replayed, skipped = replayable_graphs(records)
+    if not graphs:
+        return {
+            "requests": 0,
+            "skipped_no_graph": skipped,
+            "agreement_rate": None,
+            "disagreements": [],
+            name_a: None,
+            name_b: None,
+        }
+    results_a = predictor_a.predict_many(graphs)
+    results_b = predictor_b.predict_many(graphs)
+    disagreements: List[Dict[str, object]] = []
+    for record, result_a, result_b in zip(replayed, results_a, results_b):
+        if int(result_a.label) != int(result_b.label):
+            disagreements.append(
+                {
+                    "fingerprint": result_a.fingerprint,
+                    "name": result_a.name,
+                    name_a: int(result_a.label),
+                    name_b: int(result_b.label),
+                    "journalled_label": record.get("label"),
+                }
+            )
+    return {
+        "requests": len(graphs),
+        "skipped_no_graph": skipped,
+        "agreement_rate": 1.0 - len(disagreements) / len(graphs),
+        "disagreements": disagreements,
+        name_a: _side_report(results_a),
+        name_b: _side_report(results_b),
+    }

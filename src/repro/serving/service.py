@@ -45,6 +45,7 @@ from .batcher import MicroBatcher
 from .cache import EmbeddingCache
 from .registry import ArtifactRef, ArtifactRegistry, LoadedArtifact
 from .stats import ServingStats
+from .trace import consume_queue_waits, span
 
 #: a serving request: an already-encoded graph or a raw program graph.
 Request = Union[EncodedGraph, ProgramGraph]
@@ -116,6 +117,9 @@ class PredictionResult:
     needs_profiling: Optional[bool]
     cache_hit: bool
     latency_s: float
+    #: per-stage span timings of this request (see :mod:`repro.serving.trace`);
+    #: batch-level spans report what the request's batch paid.
+    trace: Optional[Dict[str, float]] = None
 
 
 class ServingFrontend:
@@ -142,6 +146,27 @@ class ServingFrontend:
         #: :meth:`~repro.serving.batcher.BatcherWorkerPool.batcher_factory`
         #: here so every deployment shares one worker-thread pool.
         self._batcher_factory = None
+        #: optional prediction journal (see :mod:`repro.serving.journal`);
+        #: bound by the hub via :meth:`bind_journal`, ``None`` costs nothing.
+        self._journal = None
+        self._journal_model: Optional[str] = None
+        self._journal_artifact: Optional[str] = None
+
+    def bind_journal(self, journal, model_name: str) -> None:
+        """Attach a prediction journal; every answered request is recorded.
+
+        ``model_name`` is the deployment name the records are filed under
+        (the hub binds its deployment name; a directly-embedded service can
+        bind any label).  The resolved artifact identity is captured once,
+        here, so the hot path never recomputes it.
+        """
+        self._journal = journal
+        self._journal_model = model_name
+        self._journal_artifact = self._journal_identity()
+
+    def _journal_identity(self) -> Optional[str]:
+        """Resolved artifact version string recorded with every journal entry."""
+        return None
 
     # ----------------------------------------------------------- sync paths
     def predict(self, request: Request):
@@ -157,8 +182,17 @@ class ServingFrontend:
         model.
         """
         start = time.perf_counter()
+        # Queue waits published by the batcher worker for exactly this call
+        # (None on the direct sync path).
+        queue_waits = consume_queue_waits(len(requests))
         encoded = [self._encode(request) for request in requests]
         fingerprints = [graph_fingerprint(graph) for graph in encoded]
+
+        traces: List[Dict[str, float]] = [{} for _ in encoded]
+        if queue_waits is not None:
+            for trace, wait in zip(traces, queue_waits):
+                trace["queue_wait_s"] = wait
+                self.stats.record_stage("queue_wait", wait)
 
         rows: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(encoded)
         hit_flags = [False] * len(encoded)
@@ -182,16 +216,30 @@ class ServingFrontend:
                 seen_pending[fingerprint] = [i]
                 pending.append(i)
         lookup_latency = time.perf_counter() - start
+        # The encode+fingerprint+lookup phase is one shared pass over the
+        # whole call; every request of the call paid it.
+        self.stats.record_stage("cache_lookup", lookup_latency)
+        for trace in traces:
+            trace["cache_lookup_s"] = lookup_latency
 
+        batch_sizes = [0] * len(encoded)  # 0 = answered from cache
         for offset in range(0, len(pending), self.config.max_batch_size):
             chunk = pending[offset : offset + self.config.max_batch_size]
             batch = collate([encoded[i] for i in chunk])
-            logits_rows, vector_rows = self._forward_batch(batch, len(chunk))
+            batch_trace: Dict[str, float] = {}
+            logits_rows, vector_rows = self._forward_batch(
+                batch, len(chunk), batch_trace
+            )
+            for stage in ("plan_build", "infer"):
+                if f"{stage}_s" in batch_trace:
+                    self.stats.record_stage(stage, batch_trace[f"{stage}_s"])
             for j, i in enumerate(chunk):
                 fingerprint = fingerprints[i]
                 row = (logits_rows[j], vector_rows[j])
                 for duplicate in seen_pending[fingerprint]:
                     rows[duplicate] = row
+                    batch_sizes[duplicate] = len(chunk)
+                    traces[duplicate].update(batch_trace)
                 if self.cache is not None:
                     self.cache.put(self._cache_key(fingerprint), row[0], row[1])
 
@@ -204,11 +252,41 @@ class ServingFrontend:
         latencies = [
             lookup_latency if hit else total_latency for hit in hit_flags
         ]
+        combine_start = time.perf_counter()
         results = self._build_results(
             encoded, fingerprints, rows, hit_flags, latencies
         )
+        combine_s = time.perf_counter() - combine_start
+        self.stats.record_stage("combine", combine_s)
+        for i, result in enumerate(results):
+            trace = traces[i]
+            trace["combine_s"] = combine_s
+            trace["total_s"] = latencies[i]
+            result.trace = trace
         for latency, hit in zip(latencies, hit_flags):
             self.stats.record_request(latency, hit)
+        journal = self._journal
+        if journal is not None:
+            recorded_at = time.time()
+            for i, result in enumerate(results):
+                journal.record(
+                    {
+                        "ts": recorded_at,
+                        "model": self._journal_model,
+                        "artifact": self._journal_artifact,
+                        "fingerprint": fingerprints[i],
+                        "label": int(result.label),
+                        "agreement": getattr(result, "agreement", None),
+                        "cache_hit": bool(hit_flags[i]),
+                        "batch_size": batch_sizes[i],
+                        "latency_s": float(latencies[i]),
+                        "stages": dict(traces[i]),
+                        # Raw graph (serialized off the hot path by the
+                        # writer thread) so recorded traffic can be replayed;
+                        # pre-encoded requests carry no replayable graph.
+                        "graph": getattr(encoded[i], "source_graph", None),
+                    }
+                )
         return results
 
     # ------------------------------------------------------ subclass hooks
@@ -230,7 +308,7 @@ class ServingFrontend:
         """How many fold models each execution plan fans out to."""
         return 1
 
-    def _forward_batch(self, batch, size: int):
+    def _forward_batch(self, batch, size: int, trace: Optional[Dict[str, float]] = None):
         """Run the engine over one collated batch of ``size`` graphs.
 
         Implementations build one :class:`~repro.engine.ExecutionPlan` per
@@ -238,7 +316,8 @@ class ServingFrontend:
         (overlapping micro-batches, parallel ``predict_many`` callers)
         are safe by construction.  Returns ``(logits_rows, vector_rows)``,
         each indexable by position within the batch; one row becomes one
-        cache entry.
+        cache entry.  When ``trace`` is given, implementations fill the
+        ``plan_build_s`` and ``infer_s`` spans into it.
         """
         raise NotImplementedError
 
@@ -373,7 +452,13 @@ class ServingFrontend:
         if isinstance(request, EncodedGraph):
             return request
         if isinstance(request, ProgramGraph):
-            return self.encoder.encode(request)
+            encoded = self.encoder.encode(request)
+            # Keep a handle on the source graph so the prediction journal
+            # can record replayable traffic even on the async submit path
+            # (which pre-encodes before enqueueing).  Requests submitted
+            # already-encoded carry no replayable graph.
+            encoded.source_graph = request
+            return encoded
         raise TypeError(
             f"requests must be EncodedGraph or ProgramGraph, got {type(request).__name__}"
         )
@@ -488,11 +573,16 @@ class PredictionService(ServingFrontend):
     def _cache_key(self, fingerprint: str) -> str:
         return f"{self.model_id}:{fingerprint}"
 
+    def _journal_identity(self) -> Optional[str]:
+        return str(self.artifact_ref) if self.artifact_ref else self.model_id
+
     def _forward_batch(
-        self, batch, size: int
+        self, batch, size: int, trace: Optional[Dict[str, float]] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
-        plan = build_plan(batch)
-        logits, vectors = self.model.infer(plan)
+        with span(trace, "plan_build_s"):
+            plan = build_plan(batch)
+        with span(trace, "infer_s"):
+            logits, vectors = self.model.infer(plan)
         self.stats.record_batch(size)
         return logits, vectors
 

@@ -1,0 +1,97 @@
+"""Per-request tracing: lightweight span timers through the serving stack.
+
+A request answered by the hub crosses several layers — HTTP decode, the
+embedding-cache lookup, the micro-batch queue, execution-plan construction,
+the RGCN forward pass, probability combination — and a slow request gives
+no hint which of them it spent its time in.  This module is the thread
+that ties those layers together:
+
+* every :class:`~repro.serving.service.ServingFrontend` fills one **trace
+  dict** per request (``{"cache_lookup_s": ..., "infer_s": ..., ...}``)
+  and attaches it to the result (``result.trace``);
+* the micro-batchers (:mod:`repro.serving.batcher`) contribute the
+  **queue-wait span** via a :class:`contextvars.ContextVar` — the worker
+  thread publishes each item's time-in-queue immediately before invoking
+  the runner, and ``predict_many`` (the runner) consumes it on the same
+  thread, so no signature anywhere has to change;
+* the HTTP layer adds the **decode span** (body parse + graph decode) and
+  returns the whole trace in the response when the client opts in
+  (``{"graph": ..., "trace": true}``);
+* every span is also folded into :class:`~repro.serving.stats.ServingStats`
+  (``record_stage``), so ``GET /metrics`` reports per-stage p50/p95 next
+  to the end-to-end latency percentiles.
+
+Spans are plain ``float`` seconds in a plain dict — no clocks beyond
+``time.perf_counter``, no IDs, no sampling: cheap enough to be always on.
+Batch-level spans (plan build, infer, combine) are shared by every request
+of the batch; the trace reports what the request's *batch* paid, which is
+what an operator debugging a slow endpoint actually wants to know.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: canonical span order, decode first — purely documentary (traces are
+#: dicts; a span is present only when its layer ran for that request).
+SPAN_ORDER = (
+    "decode_s",
+    "cache_lookup_s",
+    "queue_wait_s",
+    "plan_build_s",
+    "infer_s",
+    "combine_s",
+    "total_s",
+)
+
+#: queue waits of the batch currently being run, published by the batcher
+#: worker immediately before it calls the runner on the same thread.
+_queue_waits: ContextVar[Optional[Tuple[float, ...]]] = ContextVar(
+    "repro_serving_queue_waits", default=None
+)
+
+
+def publish_queue_waits(waits: Sequence[float]):
+    """Publish per-item queue waits for the runner call about to happen.
+
+    Called by the batcher worker thread; returns the reset token.  The
+    runner (``predict_many``) picks the values up via
+    :func:`consume_queue_waits` on the same thread.
+    """
+    return _queue_waits.set(tuple(float(wait) for wait in waits))
+
+
+def reset_queue_waits(token) -> None:
+    _queue_waits.reset(token)
+
+
+def consume_queue_waits(expected: int) -> Optional[List[float]]:
+    """The queue waits published for this exact call, or ``None``.
+
+    ``None`` when the call did not come through a batcher (direct
+    ``predict_many``), or when the published batch does not line up with
+    the requests of this call (defensive: a runner that re-batches).
+    Consuming clears the value, so a nested ``predict_many`` on the same
+    thread never double-counts the wait.
+    """
+    waits = _queue_waits.get()
+    if waits is None or len(waits) != expected:
+        return None
+    _queue_waits.set(None)
+    return list(waits)
+
+
+@contextmanager
+def span(trace: Optional[Dict[str, float]], name: str):
+    """Time a block into ``trace[name]`` (no-op when ``trace`` is None)."""
+    if trace is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        trace[name] = trace.get(name, 0.0) + (time.perf_counter() - start)

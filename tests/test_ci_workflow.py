@@ -61,6 +61,22 @@ def test_tier1_job_runs_examples_fast(workflow):
     assert pytest_steps[0].get("env", {}).get("REPRO_EXAMPLE_FAST") == "1"
 
 
+def test_tier1_job_uploads_the_prediction_journal(workflow):
+    """examples/observe_hub.py journals the traffic it serves into
+    REPRO_JOURNAL_DIR; the tests job must point that at a path it then
+    uploads, so every CI run leaves one real journal to inspect."""
+    steps = workflow["jobs"]["tests"]["steps"]
+    pytest_steps = [s for s in steps if "pytest tests" in s.get("run", "")]
+    assert pytest_steps
+    journal_dir = pytest_steps[0].get("env", {}).get("REPRO_JOURNAL_DIR")
+    assert journal_dir, "the pytest step must set REPRO_JOURNAL_DIR"
+    uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
+    assert uploads, "tests job must upload the prediction journal"
+    with_block = uploads[0]["with"]
+    assert with_block["path"] == journal_dir
+    assert with_block.get("if-no-files-found") == "error"
+
+
 def test_bench_job_uploads_the_trajectory_artifact(workflow):
     """BENCH_serving.json must be inspectable from the CI UI: the bench job
     uploads it as a build artifact (and fails loudly if it is missing)."""

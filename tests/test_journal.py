@@ -1,0 +1,350 @@
+"""Tests for the prediction journal, drift detection and A/B replay.
+
+Covers the journal file format (checksummed segment headers, rotation,
+schema validation), the crash-safety contract (a torn final line is
+recovered around and reported; interior corruption raises), the
+asynchronous writer (bounded queue, drop counting, flush/close), the
+reader's filter/group/percentile queries, the ``repro-journal`` CLI, the
+windowed drift detector, and offline A/B replay of recorded graphs.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.graphs import GraphBuilder
+from repro.serving import (
+    DriftConfig,
+    JournalError,
+    JournalReader,
+    JournalWriter,
+    detect_drift,
+    program_graph_to_dict,
+    replay_ab,
+    replayable_graphs,
+    total_variation,
+)
+from repro.serving.journal import segment_header, validate_header
+from repro.serving.journal_cli import main as journal_main
+from repro.workloads import build_suite
+
+
+def record(i, model="m", label=None, agreement=1.0, graph=None):
+    return {
+        "ts": float(i),
+        "model": model,
+        "label": label if label is not None else i % 3,
+        "agreement": agreement,
+        "cache_hit": i % 2 == 0,
+        "batch_size": 1,
+        "latency_s": 0.001 * (i + 1),
+        "stages": {"infer_s": 0.0005 * (i + 1)},
+        "graph": graph,
+    }
+
+
+def write_journal(directory, records, **kwargs):
+    with JournalWriter(str(directory), **kwargs) as writer:
+        for entry in records:
+            assert writer.record(entry)
+        assert writer.flush()
+    return JournalReader(str(directory))
+
+
+# ------------------------------------------------------------- file format
+
+
+def test_segments_rotate_and_carry_checksummed_headers(tmp_path):
+    reader = write_journal(tmp_path, [record(i) for i in range(10)], segment_records=4)
+    segments = reader.segments()
+    assert len(segments) == 3  # 4 + 4 + 2
+    for path in segments:
+        with open(path) as handle:
+            header = json.loads(handle.readline())
+        validate_header(header, path)  # checksum + schema + magic all hold
+    assert len(reader.records()) == 10
+
+
+def test_header_tampering_is_detected(tmp_path):
+    write_journal(tmp_path, [record(0)])
+    reader = JournalReader(str(tmp_path))
+    path = reader.segments()[0]
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    header = json.loads(lines[0])
+    header["segment"] = 999  # checksum no longer matches
+    lines[0] = json.dumps(header)
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="checksum"):
+        list(JournalReader(str(tmp_path)))
+
+
+def test_unsupported_schema_is_refused(tmp_path):
+    header = segment_header(0)
+    header["schema"] = 999
+    with pytest.raises(JournalError, match="schema"):
+        validate_header(header, "segment-000000.jsonl")
+
+
+def test_foreign_file_is_refused_but_unmatched_names_are_ignored(tmp_path):
+    (tmp_path / "notes.txt").write_text("not a journal\n")
+    (tmp_path / "segment-000000.jsonl").write_text('{"some": "other file"}\n')
+    reader = JournalReader(str(tmp_path))
+    with pytest.raises(JournalError, match="not a prediction-journal"):
+        list(reader)
+
+
+def test_new_writer_never_appends_to_old_segments(tmp_path):
+    write_journal(tmp_path, [record(0)])
+    write_journal(tmp_path, [record(1)])
+    reader = JournalReader(str(tmp_path))
+    assert len(reader.segments()) == 2
+    assert [entry["ts"] for entry in reader] == [0.0, 1.0]
+
+
+# ------------------------------------------------------------ crash safety
+
+
+def test_torn_final_line_is_recovered_and_reported(tmp_path):
+    """Satellite: kill a writer mid-append — the reader recovers every
+    complete record and reports the torn tail instead of raising."""
+    reader = write_journal(tmp_path, [record(i) for i in range(5)])
+    path = reader.segments()[-1]
+    with open(path, "a") as handle:
+        handle.write('{"ts": 99.0, "model": "m", "lab')  # the crash signature
+    recovered = JournalReader(str(tmp_path))
+    records = recovered.records()
+    assert [entry["ts"] for entry in records] == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert recovered.torn_tails == [path]
+    # stats() surfaces the tear, so operators see it without reading files.
+    assert recovered.stats()["torn_tails"] == [path]
+
+
+def test_torn_header_of_a_fresh_segment_is_recovered(tmp_path):
+    reader = write_journal(tmp_path, [record(0)])
+    torn = os.path.join(str(tmp_path), "segment-000001.jsonl")
+    with open(torn, "w") as handle:
+        handle.write('{"journal": "repro-predi')  # crashed writing the header
+    recovered = JournalReader(str(tmp_path))
+    assert len(recovered.records()) == 1
+    assert recovered.torn_tails == [torn]
+
+
+def test_interior_corruption_raises_instead_of_silently_skipping(tmp_path):
+    reader = write_journal(tmp_path, [record(i) for i in range(3)])
+    path = reader.segments()[0]
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    lines[2] = lines[2][:10]  # tear a middle record — not a crash signature
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="corrupt interior"):
+        list(JournalReader(str(tmp_path)))
+
+
+# ---------------------------------------------------------------- writer
+
+
+def test_full_queue_drops_and_counts_instead_of_blocking(tmp_path):
+    writer = JournalWriter(str(tmp_path), queue_capacity=1)
+    # Stall the drain thread by flooding from under it: with capacity 1 at
+    # least some of these rapid-fire records must be dropped, and every
+    # drop is counted rather than silently lost.
+    results = [writer.record(record(i)) for i in range(200)]
+    writer.close()
+    stats = writer.stats()
+    assert stats["written"] + stats["dropped"] == 200
+    assert results.count(True) == stats["written"]
+
+
+def test_closed_writer_refuses_records(tmp_path):
+    writer = JournalWriter(str(tmp_path))
+    writer.close()
+    assert not writer.record(record(0))
+
+
+def test_graphs_are_wire_encoded_off_the_hot_path(tmp_path):
+    suite = build_suite(families=["clomp"], limit=1)
+    graph = GraphBuilder().build_module(suite[0].module)
+    reader = write_journal(tmp_path, [record(0, graph=graph)])
+    stored = reader.records()[0]["graph"]
+    assert stored == program_graph_to_dict(graph)
+
+
+def test_record_graphs_false_strips_graphs(tmp_path):
+    suite = build_suite(families=["clomp"], limit=1)
+    graph = GraphBuilder().build_module(suite[0].module)
+    reader = write_journal(tmp_path, [record(0, graph=graph)], record_graphs=False)
+    assert reader.records()[0]["graph"] is None
+
+
+def test_recent_window_is_per_model_and_bounded(tmp_path):
+    writer = JournalWriter(str(tmp_path), recent_window=3)
+    for i in range(5):
+        writer.record(record(i, model="a"))
+    writer.record(record(99, model="b"))
+    assert [entry["ts"] for entry in writer.recent("a")] == [2.0, 3.0, 4.0]
+    assert len(writer.recent("b")) == 1
+    assert writer.recent("unknown") == []
+    writer.close()
+
+
+# ---------------------------------------------------------------- queries
+
+
+@pytest.fixture()
+def populated(tmp_path):
+    records = [record(i, model="a") for i in range(6)] + [
+        record(i, model="b", label=5, agreement=0.4) for i in range(6, 10)
+    ]
+    return write_journal(tmp_path, records, segment_records=3)
+
+
+def test_filtered_queries(populated):
+    assert len(populated.records(model="a")) == 6
+    assert len(populated.records(label=5)) == 4
+    assert len(populated.records(cache_hit=True)) == 5
+    assert len(populated.records(since=3.0, until=7.0)) == 5
+    assert [r["ts"] for r in populated.records(model="a", limit=2)] == [4.0, 5.0]
+    assert [r["ts"] for r in populated.tail(3)] == [7.0, 8.0, 9.0]
+
+
+def test_group_by_and_label_distribution(populated):
+    assert populated.group_by("model") == {"a": 6, "b": 4}
+    distribution = populated.label_distribution()
+    assert distribution[5] == pytest.approx(0.4)
+    assert sum(distribution.values()) == pytest.approx(1.0)
+
+
+def test_stats_percentiles_and_agreement(populated):
+    stats = populated.stats()
+    assert stats["records"] == 10
+    assert stats["models"] == {"a": 6, "b": 4}
+    assert stats["latency"]["samples"] == 10
+    assert stats["latency"]["p50_s"] == pytest.approx(0.0055)
+    assert stats["stages"]["infer_s"]["samples"] == 10
+    assert stats["mean_agreement"] == pytest.approx((6 * 1.0 + 4 * 0.4) / 10)
+    empty = populated.stats(model="nope")
+    assert empty["records"] == 0
+    assert empty["latency"]["p50_s"] is None
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def test_cli_tail_stats_query(populated, capsys):
+    directory = populated.directory
+    assert journal_main(["tail", "--dir", directory, "-n", "2"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert [json.loads(line)["ts"] for line in lines] == [8.0, 9.0]
+
+    assert journal_main(["stats", "--dir", directory, "--model", "b"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["records"] == 4
+
+    assert (
+        journal_main(["query", "--dir", directory, "--label", "5", "--count"]) == 0
+    )
+    assert capsys.readouterr().out.strip() == "4"
+
+    assert journal_main(["query", "--dir", directory, "--cache-miss"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert all(not json.loads(line)["cache_hit"] for line in lines)
+
+
+def test_cli_reports_torn_tail_on_stderr(populated, capsys):
+    path = populated.segments()[-1]
+    with open(path, "a") as handle:
+        handle.write('{"torn')
+    assert journal_main(["stats", "--dir", populated.directory]) == 0
+    captured = capsys.readouterr()
+    assert "torn final line" in captured.err
+
+
+def test_cli_errors_on_missing_directory(tmp_path, capsys):
+    assert journal_main(["stats", "--dir", str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------------ drift
+
+
+def drift_records(labels, agreement=1.0):
+    return [
+        {"label": label, "agreement": agreement} for label in labels
+    ]
+
+
+def test_total_variation_extremes():
+    assert total_variation({0: 1.0}, {0: 1.0}) == 0.0
+    assert total_variation({0: 1.0}, {1: 1.0}) == 1.0
+
+
+def test_drift_insufficient_data():
+    verdict = detect_drift(drift_records([0] * 10), DriftConfig(min_samples=20))
+    assert verdict["status"] == "insufficient-data"
+    assert verdict["alerts"] == []
+
+
+def test_drift_ok_on_stable_traffic():
+    config = DriftConfig(recent_window=30, baseline_window=60, min_samples=20)
+    records = drift_records([0, 1, 2] * 40)
+    verdict = detect_drift(records, config)
+    assert verdict["status"] == "ok"
+    assert verdict["label_tvd"] < 0.1
+
+
+def test_label_shift_trips_the_alert():
+    config = DriftConfig(recent_window=30, baseline_window=60, min_samples=20)
+    records = drift_records([0, 1] * 40) + drift_records([5] * 30)
+    verdict = detect_drift(records, config)
+    assert verdict["status"] == "drift"
+    assert [alert["kind"] for alert in verdict["alerts"]] == ["label-shift"]
+    assert verdict["label_tvd"] > config.label_threshold
+
+
+def test_agreement_collapse_trips_the_alert():
+    config = DriftConfig(recent_window=30, baseline_window=60, min_samples=20)
+    records = drift_records([0, 1] * 40, agreement=1.0) + drift_records(
+        [0, 1] * 15, agreement=0.3
+    )
+    verdict = detect_drift(records, config)
+    assert verdict["status"] == "drift"
+    assert [alert["kind"] for alert in verdict["alerts"]] == ["agreement-collapse"]
+    assert verdict["agreement_drop"] == pytest.approx(0.7)
+
+
+def test_drift_config_validation():
+    with pytest.raises(ValueError):
+        DriftConfig(recent_window=0)
+    with pytest.raises(ValueError):
+        DriftConfig(label_threshold=0.0)
+    with pytest.raises(ValueError):
+        DriftConfig(agreement_threshold=1.5)
+
+
+# ------------------------------------------------------------------ replay
+
+
+def test_replayable_graphs_skips_and_counts(tmp_path):
+    suite = build_suite(families=["clomp"], limit=2)
+    graphs = [GraphBuilder().build_module(r.module) for r in suite]
+    records = [
+        record(0, graph=graphs[0]),
+        record(1),  # journalled without a graph
+        record(2, graph=graphs[1]),
+    ]
+    reader = write_journal(tmp_path, records)
+    decoded, replayed, skipped = replayable_graphs(reader.records())
+    assert len(decoded) == 2
+    assert skipped == 1
+    assert [entry["ts"] for entry in replayed] == [0.0, 2.0]
+
+
+def test_replay_ab_empty_journal_reports_zero():
+    report = replay_ab([record(0)], None, None)
+    assert report["requests"] == 0
+    assert report["skipped_no_graph"] == 1
+    assert report["agreement_rate"] is None
