@@ -166,6 +166,15 @@ def pytest_sessionfinish(session, exitstatus):
     finally:
         if lock_handle is not None:
             lock_handle.close()
+            # The sidecar only exists to serialise concurrent sessions;
+            # once released it is litter (and confuses "is the worktree
+            # clean?" checks), so the session removes it on the way out.
+            # A concurrent session still inside flock() keeps its own open
+            # handle, so unlinking underneath it is safe on POSIX.
+            try:
+                os.remove(f"{path}.lock")
+            except OSError:
+                pass
     print(f"\nbenchmark record appended to {path} ({len(history)} run(s) recorded)")
 
 

@@ -17,6 +17,11 @@ The package is organised as a set of substrates plus the paper's pipeline:
 - :mod:`repro.experiments` — drivers regenerating every figure of the paper.
 - :mod:`repro.serving` — online inference: artefact registry, micro-batched
   prediction service, embedding cache and telemetry.
+- :mod:`repro.analysis` — project-invariant linter (``repro-lint``): lock
+  discipline, inference purity, wire error registry, path hygiene, API
+  surface.
+- :mod:`repro.concurrency` — tracked locks; ``REPRO_LOCK_CHECK=1`` turns
+  on runtime lock-order and blocking-under-lock validation.
 """
 
 __version__ = "1.0.0"
@@ -33,4 +38,6 @@ __all__ = [
     "core",
     "experiments",
     "serving",
+    "analysis",
+    "concurrency",
 ]

@@ -1,0 +1,87 @@
+"""Correctness tooling: a project-invariant linter for the repro code base.
+
+This package is the static half of the correctness gate (the runtime half
+is :mod:`repro.concurrency`, enabled with ``REPRO_LOCK_CHECK=1``).  It is
+not a style checker — every rule encodes an invariant this project relies
+on for correct results, and CI fails when one is violated.
+
+The rules
+---------
+
+``lock-discipline``
+    No blocking operation (file/socket I/O, ``time.sleep``, subprocess
+    spawns, thread joins, bounded-queue puts, serialisation dumps) may
+    execute while a lock is held, and lexically nested acquisitions must
+    not form a lock-order cycle anywhere in the project.  Mirrors the
+    runtime graph built by :mod:`repro.concurrency`.
+
+``engine-purity``
+    Nothing reachable from any ``infer()`` call graph may mutate
+    ``self`` — inference is shared across batcher threads and replayed
+    from the prediction journal, so it must be deterministic and
+    side-effect free.
+
+``wire-errors``
+    Every structured error code raised by the serving HTTP layer is
+    unique, documented in its module's ``ERROR_CODES`` registry, actually
+    raised, and referenced by at least one test.
+
+``path-hygiene``
+    No ``str()`` coercion or object-interpolating f-string may feed a
+    filesystem call; ``os.fspath()`` raises on non-path objects where
+    ``str()`` would happily mint a repr-named directory.
+
+``api-surface``
+    ``__all__`` entries are bound and unique, and legacy config shims
+    (``ServiceConfig``/``EnsembleConfig``) carry deprecation notes.
+
+Adding a rule
+-------------
+
+1. Create ``rules/<name>.py`` with a class exposing ``name`` (kebab-case
+   string), ``description``, and ``check(project) -> list[Finding]``.
+   The :class:`~repro.analysis.walker.Project` argument gives you every
+   parsed module plus the shared AST helpers in
+   :mod:`repro.analysis.walker`.
+2. Register it in ``rules/__init__.py`` via
+   :func:`~repro.analysis.engine.register_rule`.
+3. Add a fixture module under ``tests/fixtures/lint/`` that the rule
+   flags, and a test in ``tests/test_analysis.py`` asserting the finding
+   appears in the JSON report.  A rule without a fixture is a rule
+   nobody knows works.
+
+Deliberate exceptions are waived per line with ``# lint: allow(<rule>)``;
+``git grep 'lint: allow'`` inventories every waiver.
+
+Reports
+-------
+
+``repro-lint src/`` prints a text report and exits ``1`` on findings.
+``--format json`` / ``--json-report PATH`` emit the stable JSON schema
+(``{"version": 1, "modules": N, "rules": [...], "findings": [{"rule",
+"path", "line", "message"}, ...]}``) that CI uploads as an artifact.
+"""
+
+from .engine import (
+    Finding,
+    LintReport,
+    all_rules,
+    register_rule,
+    render_json,
+    render_text,
+    run_rules,
+)
+from .walker import ModuleInfo, Project, load_project
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "Project",
+    "all_rules",
+    "load_project",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "run_rules",
+]

@@ -1,0 +1,117 @@
+"""``repro-lint`` — the command-line front end of :mod:`repro.analysis`.
+
+Usage::
+
+    repro-lint src/                      # text report, exit 1 on findings
+    repro-lint --format json src/        # JSON report on stdout
+    repro-lint --json-report out.json src/   # text to stdout, JSON to file
+    repro-lint --rule lock-discipline src/   # run a subset of rules
+    repro-lint --list-rules              # show the registered rules
+
+Exit codes: ``0`` no findings, ``1`` findings reported, ``2`` usage
+error (unknown rule, no such path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import all_rules, render_json, render_text, run_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Project-invariant linter: lock discipline, inference purity, "
+            "wire error-code registry, path hygiene, API surface."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format written to stdout (default: text)",
+    )
+    parser.add_argument(
+        "--json-report",
+        metavar="PATH",
+        default=None,
+        help="also write the JSON report to PATH",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="run only the named rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return 2
+
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        for path in missing:
+            print(f"repro-lint: error: no such path: {path}", file=sys.stderr)
+        return 2
+
+    if args.rule:
+        by_name = {rule.name: rule for rule in rules}
+        unknown = [name for name in args.rule if name not in by_name]
+        if unknown:
+            known = ", ".join(sorted(by_name))
+            for name in unknown:
+                print(
+                    f"repro-lint: error: unknown rule {name!r} (known: {known})",
+                    file=sys.stderr,
+                )
+            return 2
+        rules = [by_name[name] for name in args.rule]
+
+    report = run_rules(args.paths, rules=rules)
+
+    if args.json_report:
+        directory = os.path.dirname(os.path.abspath(args.json_report))
+        os.makedirs(directory, exist_ok=True)
+        with open(args.json_report, "w", encoding="utf-8") as handle:
+            json.dump(render_json(report), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.format == "json":
+        json.dump(render_json(report), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(render_text(report))
+
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

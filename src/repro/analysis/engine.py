@@ -1,0 +1,170 @@
+"""Rule engine for :mod:`repro.analysis`.
+
+A *rule* is any object with a ``name``, a ``description``, and a
+``check(project) -> list[Finding]`` method.  The engine parses the target
+tree once (:func:`repro.analysis.walker.load_project`), hands the shared
+:class:`~repro.analysis.walker.Project` to every registered rule, filters
+suppressed findings, and renders the survivors as text or JSON.
+
+Suppression
+-----------
+A finding is dropped when the flagged source line carries the pragma::
+
+    something_deliberate()  # lint: allow(rule-name)
+
+The pragma names one rule; it never silences the whole line.  Deliberate
+exceptions therefore stay greppable — ``git grep 'lint: allow'`` is the
+complete inventory of waived invariants.
+
+JSON report schema (``render_json``)::
+
+    {
+      "version": 1,
+      "modules": <int files scanned>,
+      "rules": ["lock-discipline", ...],
+      "findings": [
+        {"rule": ..., "path": ..., "line": <int>, "message": ...},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .walker import Project, load_project
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "all_rules",
+    "register_rule",
+    "run_rules",
+    "render_json",
+    "render_text",
+]
+
+_ALLOW_PRAGMA = re.compile(r"lint:\s*allow\(([A-Za-z0-9_*,\s-]+)\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding]
+    modules_scanned: int
+    rules: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+_REGISTRY: "Dict[str, object]" = {}
+
+
+def register_rule(rule: object) -> object:
+    """Add a rule to the default set (usable as a class decorator)."""
+    instance = rule() if isinstance(rule, type) else rule
+    name = getattr(instance, "name", None)
+    if not name:
+        raise ValueError("rules must expose a non-empty 'name'")
+    _REGISTRY[name] = instance
+    return rule
+
+
+def all_rules() -> List[object]:
+    """The registered rules, importing the built-in set on first use."""
+    from . import rules as _builtin  # noqa: F401  (import registers them)
+
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def _suppressed(finding: Finding, sources: Dict[str, List[str]]) -> bool:
+    lines = sources.get(finding.path)
+    if not lines or not (1 <= finding.line <= len(lines)):
+        return False
+    match = _ALLOW_PRAGMA.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    allowed = {part.strip() for part in match.group(1).split(",")}
+    return finding.rule in allowed or "*" in allowed
+
+
+def run_rules(
+    paths: Sequence[str], rules: Optional[Sequence[object]] = None
+) -> LintReport:
+    """Lint ``paths`` with ``rules`` (default: every registered rule)."""
+    active = list(rules) if rules is not None else all_rules()
+    project, failures = load_project(paths)
+    findings: List[Finding] = [
+        Finding(
+            rule="syntax",
+            path=path,
+            line=exc.lineno or 1,
+            message=f"syntax error: {exc.msg}",
+        )
+        for path, exc in failures
+    ]
+    for rule in active:
+        findings.extend(rule.check(project))
+    sources = {module.path: module.lines for module in project.modules}
+    findings = [f for f in findings if not _suppressed(f, sources)]
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintReport(
+        findings=findings,
+        modules_scanned=len(project.modules),
+        rules=[getattr(rule, "name", "?") for rule in active],
+    )
+
+
+def render_text(report: LintReport) -> str:
+    lines = [
+        f"{finding.path}:{finding.line}: [{finding.rule}] {finding.message}"
+        for finding in report.findings
+    ]
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    lines.append(
+        f"{len(report.findings)} {noun} in {report.modules_scanned} modules "
+        f"({len(report.rules)} rules)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> Dict[str, object]:
+    return {
+        "version": 1,
+        "modules": report.modules_scanned,
+        "rules": list(report.rules),
+        "findings": [finding.as_dict() for finding in report.findings],
+    }
+
+
+def dump_json(report: LintReport) -> str:
+    return json.dumps(render_json(report), indent=2, sort_keys=True)
+
+
+# Re-exported so rules can do ``from ..engine import Finding, Project``.
+Project = Project

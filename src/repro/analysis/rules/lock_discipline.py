@@ -1,0 +1,289 @@
+"""``lock-discipline``: no blocking calls under a lock, no lock-order cycles.
+
+The rule finds every ``with self.<lock>:`` region (any attribute that is
+assigned from a lock factory anywhere in the project counts as a lock) and
+checks two invariants inside each region:
+
+1. **No blocking operations while the lock is held.**  File and socket
+   I/O, ``time.sleep``, subprocess spawns, thread joins, bounded-queue
+   puts and serialisation dumps all stall every other thread queued on
+   the lock.  The genuinely deliberate cases (a lock whose whole job is
+   serialising I/O) carry a ``# lint: allow(lock-discipline)`` pragma and
+   an ``allow_blocking=True`` tracked lock, so both the static and the
+   runtime checker agree on the waiver.
+
+2. **No static lock-order inversions.**  Lexically nested ``with`` blocks
+   contribute ``outer -> inner`` edges to a project-wide acquisition
+   graph; a cycle means two call paths can acquire the same pair of locks
+   in opposite orders — a deadlock waiting for the right interleaving.
+   This is the compile-time twin of the runtime graph built by
+   :mod:`repro.concurrency` under ``REPRO_LOCK_CHECK=1``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..engine import Finding
+from ..walker import (
+    ModuleInfo,
+    Project,
+    dotted_name,
+    lock_attribute_names,
+    terminal_attr,
+    walk_body,
+)
+
+#: dotted call targets that block the calling thread.
+_BLOCKING_DOTTED_PREFIXES = (
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.Popen",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.create_connection",
+    "os.makedirs",
+    "os.replace",
+    "os.rename",
+    "os.remove",
+    "os.unlink",
+    "os.listdir",
+    "os.fsync",
+    "json.dump",
+    "json.load",
+    "pickle.dump",
+    "pickle.load",
+    "shutil.copy",
+    "shutil.move",
+    "shutil.rmtree",
+)
+
+#: method names that block when invoked on the obvious receiver kinds.
+_BLOCKING_METHODS = {"dump", "load", "sendall", "recv", "flush"}
+
+
+def _is_lock_context(item: ast.withitem, lock_names: Set[str]) -> Optional[str]:
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):  # with self._lock.acquire_timeout(...) style
+        expr = expr.func if isinstance(expr.func, ast.Attribute) else expr
+    name = dotted_name(expr)
+    if name is None:
+        return None
+    terminal = name.split(".")[-1]
+    if terminal in lock_names:
+        return name
+    return None
+
+
+def _blocking_reason(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "open()"
+        return None
+    dotted = dotted_name(func)
+    if dotted is not None:
+        for prefix in _BLOCKING_DOTTED_PREFIXES:
+            if dotted == prefix:
+                return f"{dotted}()"
+    attr = terminal_attr(func)
+    if attr is None:
+        return None
+    receiver = dotted_name(func.value) if isinstance(func, ast.Attribute) else None
+    receiver_hint = (receiver or "").lower()
+    if attr == "join" and "thread" in receiver_hint:
+        return f"{receiver}.join()"
+    if attr in {"put"} and "queue" in receiver_hint:
+        return f"{receiver}.put()"
+    if attr in _BLOCKING_METHODS and receiver is not None:
+        # Only treat these as blocking on receivers whose name suggests a
+        # resource (cache/file/socket/handle); plain data objects with a
+        # ``dump``-style helper would otherwise drown the rule in noise.
+        if any(
+            hint in receiver_hint
+            for hint in ("cache", "file", "socket", "handle", "conn", "stream")
+        ):
+            return f"{receiver}.{attr}()"
+    return None
+
+
+def _node_for(lock_expr: str, class_name: Optional[str]) -> str:
+    # Per-class qualification keeps identically named locks on different
+    # classes distinct while still letting the same textual pair collide.
+    if lock_expr.startswith("self.") and class_name:
+        return f"{class_name}.{lock_expr[len('self.'):]}"
+    return lock_expr
+
+
+class LockDisciplineRule:
+    name = "lock-discipline"
+    description = (
+        "no blocking I/O inside lock regions; no static lock-order inversions"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        lock_names = lock_attribute_names(project)
+        if not lock_names:
+            return []
+        findings: List[Finding] = []
+        # edge -> (path, line) of the inner acquisition that created it
+        edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        for module in project.modules:
+            self._check_module(module, lock_names, findings, edges)
+        findings.extend(self._cycle_findings(edges))
+        return findings
+
+    # ------------------------------------------------------------- helpers
+
+    def _check_module(
+        self,
+        module: ModuleInfo,
+        lock_names: Set[str],
+        findings: List[Finding],
+        edges: Dict[Tuple[str, str], Tuple[str, int]],
+    ) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            class_name = self._enclosing_class(module.tree, node)
+            self._walk_function(
+                node.body, [], module, class_name, lock_names, findings, edges
+            )
+
+    @staticmethod
+    def _enclosing_class(
+        tree: ast.Module, target: ast.AST
+    ) -> Optional[str]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if item is target:
+                        return node.name
+        return None
+
+    def _walk_function(
+        self,
+        body: List[ast.stmt],
+        held: List[str],
+        module: ModuleInfo,
+        class_name: Optional[str],
+        lock_names: Set[str],
+        findings: List[Finding],
+        edges: Dict[Tuple[str, str], Tuple[str, int]],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.With):
+                acquired: List[str] = []
+                for item in stmt.items:
+                    lock_expr = _is_lock_context(item, lock_names)
+                    if lock_expr is None:
+                        continue
+                    node_name = _node_for(lock_expr, class_name)
+                    for holder in held + acquired:
+                        edge = (holder, node_name)
+                        if holder != node_name and edge not in edges:
+                            edges[edge] = (module.path, stmt.lineno)
+                    acquired.append(node_name)
+                if acquired:
+                    self._scan_region(
+                        stmt, acquired[-1], module, findings
+                    )
+                self._walk_function(
+                    stmt.body,
+                    held + acquired,
+                    module,
+                    class_name,
+                    lock_names,
+                    findings,
+                    edges,
+                )
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            else:
+                # recurse into compound statements (if/try/for/while bodies)
+                for field_name in ("body", "orelse", "finalbody", "handlers"):
+                    sub = getattr(stmt, field_name, None)
+                    if isinstance(sub, list):
+                        items: List[ast.stmt] = []
+                        for entry in sub:
+                            if isinstance(entry, ast.ExceptHandler):
+                                items.extend(entry.body)
+                            elif isinstance(entry, ast.stmt):
+                                items.append(entry)
+                        if items:
+                            self._walk_function(
+                                items,
+                                held,
+                                module,
+                                class_name,
+                                lock_names,
+                                findings,
+                                edges,
+                            )
+
+    def _scan_region(
+        self,
+        with_stmt: ast.With,
+        lock_name: str,
+        module: ModuleInfo,
+        findings: List[Finding],
+    ) -> None:
+        for node in walk_body(with_stmt.body):
+            if isinstance(node, ast.Call):
+                reason = _blocking_reason(node)
+                if reason is not None:
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=module.path,
+                            line=node.lineno,
+                            message=(
+                                f"blocking call {reason} while holding "
+                                f"lock {lock_name}"
+                            ),
+                        )
+                    )
+
+    def _cycle_findings(
+        self, edges: Dict[Tuple[str, str], Tuple[str, int]]
+    ) -> List[Finding]:
+        graph: Dict[str, Set[str]] = {}
+        for src, dst in edges:
+            graph.setdefault(src, set()).add(dst)
+        findings: List[Finding] = []
+        reported: Set[Tuple[str, str]] = set()
+        for (src, dst), (path, line) in sorted(edges.items()):
+            if (dst, src) in reported:
+                continue
+            if self._reaches(graph, dst, src):
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=path,
+                        line=line,
+                        message=(
+                            f"lock-order inversion: {src} -> {dst} here, but "
+                            f"{dst} -> ... -> {src} elsewhere (deadlock risk)"
+                        ),
+                    )
+                )
+                reported.add((src, dst))
+        return findings
+
+    @staticmethod
+    def _reaches(graph: Dict[str, Set[str]], start: str, goal: str) -> bool:
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            for nxt in graph.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False

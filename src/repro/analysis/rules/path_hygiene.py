@@ -1,0 +1,167 @@
+"""``path-hygiene``: no stringified objects smuggled into filesystem paths.
+
+This rule exists because of a real bug: a miswired constructor argument
+was passed through ``str()`` on its way to ``os.makedirs``, and the repo
+grew a directory literally named
+``<repro.serving.registry.ArtifactRegistry object at 0x...>``.
+``str()`` happily coerces *anything*; ``os.fspath()`` raises on objects
+that are not path-like, which turns the miswiring into an immediate
+``TypeError`` instead of a junk directory.
+
+Flagged patterns:
+
+* ``str(x)`` (for non-constant ``x``) used as an argument to a
+  filesystem call — ``open``, ``os.makedirs``/``replace``/``rename``/
+  ``remove``/``unlink``, ``os.path.join``, ``Path`` — use
+  ``os.fspath(x)`` instead;
+* f-strings passed to those calls that interpolate an attribute access
+  or call result (``f"{self.registry}/x"``) — objects sneak into paths
+  through exactly those two node shapes, while ``f"segment-{index}"``
+  style formatting of locals stays legal;
+* ``str(x)`` assigned to a path-named attribute or variable
+  (``*path``/``*dir``/``*directory``/``*root``/``*file``) — the value is
+  destined for the filesystem even if the call site is elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional
+
+from ..engine import Finding
+from ..walker import Project, dotted_name
+
+_PATH_CALLS = {
+    "open",
+    "Path",
+    "os.makedirs",
+    "os.replace",
+    "os.rename",
+    "os.remove",
+    "os.unlink",
+    "os.mkdir",
+    "os.path.join",
+    "os.path.exists",
+    "os.path.isdir",
+    "os.path.isfile",
+}
+
+_PATH_NAME = re.compile(r"(path|dir|directory|root|file|filename)$", re.IGNORECASE)
+
+#: scalar-returning calls that are idiomatic inside temp-file names —
+#: interpolating these can never smuggle an object repr into a path.
+_SAFE_FSTRING_CALLS = {
+    "os.getpid",
+    "os.getppid",
+    "time.time_ns",
+    "time.monotonic_ns",
+}
+
+
+def _is_str_coercion(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "str"
+        and len(node.args) == 1
+        and not isinstance(node.args[0], ast.Constant)
+    )
+
+
+def _fstring_object_part(node: ast.AST) -> Optional[ast.AST]:
+    if not isinstance(node, ast.JoinedStr):
+        return None
+    for value in node.values:
+        if isinstance(value, ast.FormattedValue) and isinstance(
+            value.value, (ast.Attribute, ast.Call)
+        ):
+            if (
+                isinstance(value.value, ast.Call)
+                and dotted_name(value.value.func) in _SAFE_FSTRING_CALLS
+            ):
+                continue
+            return value.value
+    return None
+
+
+class PathHygieneRule:
+    name = "path-hygiene"
+    description = (
+        "no str()/f-string coercion of objects into filesystem paths — "
+        "use os.fspath()"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    target = dotted_name(node.func)
+                    if target in _PATH_CALLS:
+                        findings.extend(
+                            self._check_path_call(module.path, node, target)
+                        )
+                elif isinstance(node, ast.Assign):
+                    findings.extend(self._check_assignment(module.path, node))
+        return findings
+
+    def _check_path_call(
+        self, path: str, node: ast.Call, target: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if _is_str_coercion(arg):
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=path,
+                        line=arg.lineno,
+                        message=(
+                            f"str() coercion passed to {target}() — str() "
+                            "accepts any object; use os.fspath() so "
+                            "non-path arguments fail loudly"
+                        ),
+                    )
+                )
+            part = _fstring_object_part(arg)
+            if part is not None:
+                rendered = ast.unparse(part)
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=path,
+                        line=arg.lineno,
+                        message=(
+                            f"f-string passed to {target}() interpolates "
+                            f"{rendered!r} — an object repr can end up in the "
+                            "path; convert with os.fspath() first"
+                        ),
+                    )
+                )
+        return findings
+
+    def _check_assignment(self, path: str, node: ast.Assign) -> List[Finding]:
+        if not _is_str_coercion(node.value):
+            return []
+        findings: List[Finding] = []
+        for target in node.targets:
+            name: Optional[str] = None
+            if isinstance(target, ast.Attribute):
+                name = target.attr
+            elif isinstance(target, ast.Name):
+                name = target.id
+            if name is not None and _PATH_NAME.search(name):
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=path,
+                        line=node.lineno,
+                        message=(
+                            f"str() coercion assigned to path-like name "
+                            f"{name!r} — use os.fspath() so a miswired object "
+                            "raises instead of becoming a repr-named path"
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,97 @@
+"""``engine-purity``: nothing reachable from ``infer()`` may mutate ``self``.
+
+Inference is the replayable, thread-shared path of the model stack: the
+serving hub fans a single model instance out across batcher workers, and
+the prediction journal assumes identical inputs give identical outputs.
+A stray ``self.<attr> = ...`` anywhere in the ``infer()`` call graph
+breaks both properties silently — results start depending on request
+interleaving, and journal replay diverges from the live run.
+
+The rule collects every method named ``infer``, computes the functions
+reachable from them with the name-based call graph in
+:class:`repro.analysis.walker.MethodIndex` (resolution is restricted to
+the modules that define an ``infer`` themselves, so utility classes in
+unrelated modules cannot leak into the graph), and flags any store into
+``self`` — plain assignment, augmented assignment, annotated assignment,
+subscript/attribute writes, and ``del self.<attr>``.
+
+Training-path mutation (``forward``/``fit`` caching activations for the
+backward pass) is untouched: those methods are only flagged if an
+``infer`` graph actually reaches them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..engine import Finding
+from ..walker import MethodIndex, Project
+
+
+def _self_store_targets(node: ast.AST) -> List[ast.AST]:
+    """Return the sub-targets of ``node`` that write through ``self``."""
+    stores: List[ast.AST] = []
+    if isinstance(node, (ast.Attribute, ast.Subscript)):
+        base = node
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            base = base.value
+        if isinstance(base, ast.Name) and base.id == "self":
+            stores.append(node)
+    elif isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            stores.extend(_self_store_targets(element))
+    return stores
+
+
+class EnginePurityRule:
+    name = "engine-purity"
+    description = "no self.<attr> mutation reachable from any infer() call graph"
+
+    def check(self, project: Project) -> List[Finding]:
+        target_modules = [
+            module
+            for module in project.modules
+            if any(
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == "infer"
+                for node in ast.walk(module.tree)
+            )
+        ]
+        if not target_modules:
+            return []
+        index = MethodIndex(target_modules)
+        entries = [
+            ref
+            for ref in index.functions
+            if ref.qualname.split(".")[-1] == "infer"
+        ]
+        module_paths = {module.name: module.path for module in target_modules}
+        findings: List[Finding] = []
+        for ref in index.reachable_from(entries):
+            path = module_paths.get(ref.module, ref.module)
+            for node in ast.walk(ref.node):
+                targets: List[ast.AST] = []
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        targets.extend(_self_store_targets(target))
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets.extend(_self_store_targets(node.target))
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        targets.extend(_self_store_targets(target))
+                for target in targets:
+                    description = ast.unparse(target)
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=path,
+                            line=node.lineno,
+                            message=(
+                                f"{ref.qualname} mutates {description} but is "
+                                "reachable from an infer() call graph — "
+                                "inference must be replayable and thread-safe"
+                            ),
+                        )
+                    )
+        return findings

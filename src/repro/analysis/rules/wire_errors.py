@@ -1,0 +1,209 @@
+"""``wire-errors``: the structured error-code registry must stay honest.
+
+The serving HTTP layer returns machine-readable errors of the shape
+``{"error": {"status": ..., "code": ..., "message": ...}}``.  Those codes
+are wire contract: clients branch on them, and the journal records them.
+This rule keeps the contract auditable for any module that declares a
+top-level ``ERROR_CODES`` mapping (``code -> human description``):
+
+* every code raised in the module (second positional argument of
+  ``error_payload(...)`` / ``RequestError(...)``) must appear in
+  ``ERROR_CODES``;
+* every registered code must actually be raised somewhere in the module
+  (no zombie documentation);
+* codes must be unique and carry a non-empty description;
+* when a repo root with a ``tests/`` directory is visible, every
+  registered code must be referenced (as a quoted literal) by at least
+  one test — an error path nobody asserts on is an error path that
+  silently changes shape.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..engine import Finding
+from ..walker import ModuleInfo, Project, terminal_attr
+
+_RAISE_CALLS = {"error_payload", "RequestError"}
+
+
+def _registry_literal(
+    module: ModuleInfo,
+) -> Optional[Tuple[ast.Dict, Dict[str, Tuple[int, str]], List[Tuple[str, int]]]]:
+    """The module's top-level ``ERROR_CODES`` dict literal, if any.
+
+    Returns ``(node, {code: (line, description)}, [(duplicate, line)])``.
+    """
+    for node in module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == "ERROR_CODES"
+            for target in node.targets
+        ):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return None
+        codes: Dict[str, Tuple[int, str]] = {}
+        duplicates: List[Tuple[str, int]] = []
+        for key, value in zip(node.value.keys, node.value.values):
+            if not isinstance(key, ast.Constant) or not isinstance(key.value, str):
+                continue
+            description = (
+                value.value
+                if isinstance(value, ast.Constant) and isinstance(value.value, str)
+                else ""
+            )
+            if key.value in codes:
+                duplicates.append((key.value, key.lineno))
+            else:
+                codes[key.value] = (key.lineno, description)
+        return node.value, codes, duplicates
+    return None
+
+
+def _raised_codes(module: ModuleInfo) -> Dict[str, int]:
+    """Every string literal passed as the ``code`` argument of an error
+    constructor in the module, with the first line it appears on."""
+    raised: Dict[str, int] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = terminal_attr(node.func)
+        if name not in _RAISE_CALLS:
+            continue
+        code_arg: Optional[ast.expr] = None
+        if len(node.args) >= 2:
+            code_arg = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "code":
+                code_arg = keyword.value
+        if isinstance(code_arg, ast.Constant) and isinstance(code_arg.value, str):
+            raised.setdefault(code_arg.value, node.lineno)
+    return raised
+
+
+def _test_referenced_codes(root: str) -> Optional[Set[str]]:
+    """Quoted string literals appearing anywhere under ``<root>/tests``."""
+    tests_dir = os.path.join(root, "tests")
+    if not os.path.isdir(tests_dir):
+        return None
+    seen: Set[str] = set()
+    for dirpath, dirnames, filenames in os.walk(tests_dir):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    tree = ast.parse(handle.read(), filename=path)
+            except (OSError, SyntaxError):
+                continue
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                    seen.add(node.value)
+    return seen
+
+
+class WireErrorsRule:
+    name = "wire-errors"
+    description = (
+        "structured error codes are unique, documented in ERROR_CODES, "
+        "raised, and referenced by a test"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        test_literals: Optional[Set[str]] = None
+        test_literals_loaded = False
+        for module in project.modules:
+            registry = _registry_literal(module)
+            raised = _raised_codes(module)
+            if registry is None:
+                if raised and module.path.replace("\\", "/").endswith(
+                    "serving/http.py"
+                ):
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=module.path,
+                            line=1,
+                            message=(
+                                "module raises structured error codes but "
+                                "declares no ERROR_CODES registry"
+                            ),
+                        )
+                    )
+                continue
+            _, codes, duplicates = registry
+            for code, line in duplicates:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=module.path,
+                        line=line,
+                        message=f"duplicate error code {code!r} in ERROR_CODES",
+                    )
+                )
+            for code, (line, description) in sorted(codes.items()):
+                if not description.strip():
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=module.path,
+                            line=line,
+                            message=(
+                                f"error code {code!r} has no description in "
+                                "ERROR_CODES"
+                            ),
+                        )
+                    )
+                if code not in raised:
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=module.path,
+                            line=line,
+                            message=(
+                                f"error code {code!r} is registered but never "
+                                "raised in this module"
+                            ),
+                        )
+                    )
+            for code, line in sorted(raised.items()):
+                if code not in codes:
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=module.path,
+                            line=line,
+                            message=(
+                                f"error code {code!r} is raised but missing "
+                                "from ERROR_CODES"
+                            ),
+                        )
+                    )
+            if project.root is not None:
+                if not test_literals_loaded:
+                    test_literals = _test_referenced_codes(project.root)
+                    test_literals_loaded = True
+                if test_literals is not None:
+                    for code, (line, _) in sorted(codes.items()):
+                        if code not in test_literals:
+                            findings.append(
+                                Finding(
+                                    rule=self.name,
+                                    path=module.path,
+                                    line=line,
+                                    message=(
+                                        f"error code {code!r} is not referenced "
+                                        "by any test under tests/ — add an "
+                                        "assertion covering this error path"
+                                    ),
+                                )
+                            )
+        return findings

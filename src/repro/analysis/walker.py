@@ -1,0 +1,290 @@
+"""Shared AST infrastructure for the :mod:`repro.analysis` rules.
+
+Every rule consumes the same pre-parsed view of the code base — a list of
+:class:`ModuleInfo` records (path, dotted module name, AST, raw source
+lines) bundled into one :class:`Project` — so the source tree is read and
+parsed exactly once per lint run, no matter how many rules inspect it.
+
+The helpers here are the vocabulary the rules share:
+
+* :func:`dotted_name` — the ``a.b.c`` source text of a ``Name``/
+  ``Attribute`` chain (``None`` for anything dynamic);
+* :func:`lock_attribute_names` — attribute names assigned from a lock
+  factory (``threading.Lock``/``Condition`` or the tracked wrappers in
+  :mod:`repro.concurrency`) anywhere in the project;
+* :func:`walk_body` — ``ast.walk`` that does **not** descend into nested
+  function/class definitions, for "lexically inside this block" queries;
+* :class:`MethodIndex` — a name-based call-graph approximation: which
+  functions are reachable from a set of entry methods, resolving calls by
+  method name across a chosen module set (conservative, no type
+  inference — exactly right for "nothing reachable from ``infer()`` may
+  mutate ``self``").
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: constructors whose result is a lock (or lock-like condition) object.
+LOCK_FACTORIES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "TrackedLock",
+    "TrackedRLock",
+    "TrackedCondition",
+}
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus everything the rules need to cite it."""
+
+    path: str
+    name: str
+    tree: ast.Module
+    source: str
+    lines: List[str] = field(default_factory=list)
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+@dataclass
+class Project:
+    """Everything one lint run looks at."""
+
+    modules: List[ModuleInfo]
+    #: nearest enclosing directory holding a ``pyproject.toml`` (the repo
+    #: root), used by rules that cross-reference ``tests/``.
+    root: Optional[str]
+
+    def module_by_suffix(self, suffix: str) -> List[ModuleInfo]:
+        normalised = suffix.replace("\\", "/")
+        return [
+            module
+            for module in self.modules
+            if module.path.replace("\\", "/").endswith(normalised)
+        ]
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name
+                    for name in dirnames
+                    if name not in {"__pycache__", ".git", ".venv"}
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        found.append(os.path.join(dirpath, filename))
+        elif path.endswith(".py"):
+            found.append(path)
+    return sorted(dict.fromkeys(os.path.abspath(path) for path in found))
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name inferred from the package layout on disk."""
+    path = os.path.abspath(path)
+    parts = [os.path.splitext(os.path.basename(path))[0]]
+    directory = os.path.dirname(path)
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        parts.append(os.path.basename(directory))
+        directory = os.path.dirname(directory)
+    if parts[0] == "__init__":
+        parts = parts[1:] or parts
+    return ".".join(reversed(parts))
+
+
+def find_repo_root(path: str) -> Optional[str]:
+    """Nearest ancestor directory containing a ``pyproject.toml``."""
+    directory = os.path.abspath(path)
+    if os.path.isfile(directory):
+        directory = os.path.dirname(directory)
+    while True:
+        if os.path.isfile(os.path.join(directory, "pyproject.toml")):
+            return directory
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            return None
+        directory = parent
+
+
+def load_module(path: str) -> ModuleInfo:
+    """Parse one file (raises :class:`SyntaxError` on unparsable source)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    return ModuleInfo(
+        path=os.path.abspath(path),
+        name=module_name_for(path),
+        tree=tree,
+        source=source,
+        lines=source.splitlines(),
+    )
+
+
+def load_project(paths: Sequence[str]) -> Tuple[Project, List[Tuple[str, SyntaxError]]]:
+    """Parse every file under ``paths``; unparsable files are returned
+    separately (the engine reports them as findings, not a crash)."""
+    modules: List[ModuleInfo] = []
+    failures: List[Tuple[str, SyntaxError]] = []
+    for path in iter_python_files(paths):
+        try:
+            modules.append(load_module(path))
+        except SyntaxError as exc:
+            failures.append((path, exc))
+    root = find_repo_root(modules[0].path) if modules else None
+    return Project(modules=modules, root=root), failures
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain; ``None`` for dynamic bases."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_attr(node: ast.AST) -> Optional[str]:
+    """The final attribute of a call target (``c`` in ``a.b.c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def walk_body(nodes: Iterable[ast.AST]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested def/class/lambda —
+    "lexically inside this block" for lock-region queries."""
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+def lock_attribute_names(project: Project) -> Set[str]:
+    """Attribute names bound to a lock factory anywhere in the project
+    (``self._lock = threading.Lock()`` → ``_lock``)."""
+    names: Set[str] = set()
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            factory = terminal_attr(value.func)
+            if factory not in LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    names.add(target.attr)
+                elif isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+@dataclass(frozen=True)
+class FunctionRef:
+    """One function/method definition, addressable for reachability."""
+
+    module: str
+    qualname: str  # "ClassName.method" or "function"
+    node: ast.AST  # FunctionDef
+
+
+class MethodIndex:
+    """Name-based call-graph over a module set.
+
+    Resolution is deliberately conservative: ``self.m(...)`` resolves to
+    ``m`` on the same class, ``anything.m(...)`` resolves to *every*
+    method named ``m`` in the indexed modules, and a bare ``f(...)``
+    resolves to every module-level ``f``.  No type inference — which is
+    the right bias for an invariant checker: an over-approximate
+    reachable set can only make the purity rule stricter, never blind.
+    """
+
+    def __init__(self, modules: Iterable[ModuleInfo]):
+        self.functions: List[FunctionRef] = []
+        self.by_method_name: Dict[str, List[FunctionRef]] = {}
+        self.by_class: Dict[Tuple[str, str], Dict[str, FunctionRef]] = {}
+        self.module_level: Dict[str, List[FunctionRef]] = {}
+        for module in modules:
+            for node in module.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    ref = FunctionRef(module.name, node.name, node)
+                    self.functions.append(ref)
+                    self.module_level.setdefault(node.name, []).append(ref)
+                elif isinstance(node, ast.ClassDef):
+                    methods: Dict[str, FunctionRef] = {}
+                    for item in node.body:
+                        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            ref = FunctionRef(
+                                module.name, f"{node.name}.{item.name}", item
+                            )
+                            self.functions.append(ref)
+                            methods[item.name] = ref
+                            self.by_method_name.setdefault(item.name, []).append(ref)
+                    self.by_class[(module.name, node.name)] = methods
+
+    def reachable_from(self, entries: Iterable[FunctionRef]) -> List[FunctionRef]:
+        """Every function transitively callable from ``entries``."""
+        seen: Dict[Tuple[str, str], FunctionRef] = {}
+        queue = list(entries)
+        for ref in queue:
+            seen[(ref.module, ref.qualname)] = ref
+        while queue:
+            ref = queue.pop()
+            for callee in self._callees(ref):
+                key = (callee.module, callee.qualname)
+                if key not in seen:
+                    seen[key] = callee
+                    queue.append(callee)
+        return list(seen.values())
+
+    def _callees(self, ref: FunctionRef) -> List[FunctionRef]:
+        callees: List[FunctionRef] = []
+        class_name = ref.qualname.split(".")[0] if "." in ref.qualname else None
+        for node in ast.walk(ref.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                receiver = func.value
+                if (
+                    isinstance(receiver, ast.Name)
+                    and receiver.id == "self"
+                    and class_name is not None
+                ):
+                    own = self.by_class.get((ref.module, class_name), {})
+                    if func.attr in own:
+                        callees.append(own[func.attr])
+                        continue
+                callees.extend(self.by_method_name.get(func.attr, []))
+            elif isinstance(func, ast.Name):
+                callees.extend(self.module_level.get(func.id, []))
+        return callees

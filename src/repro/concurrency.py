@@ -1,0 +1,362 @@
+"""Runtime lock-order validation for the serving stack.
+
+The serving layer is deeply concurrent — batcher worker pools, the async
+journal writer, the checkpoint daemon, hub alias flips racing in-flight
+predicts — and its correctness rests on two invariants that a normal test
+run cannot see being violated:
+
+* **No lock-order inversions.**  If thread A ever acquires lock X under
+  lock Y while thread B acquires Y under X, the process can deadlock; the
+  schedule that actually deadlocks may be astronomically rare in tests and
+  common under production load.
+* **No blocking operations under a lock.**  File/socket I/O, sleeps or
+  bounded-queue puts made while holding a lock convert one slow syscall
+  into a stall of every thread behind that lock.
+
+This module makes both checkable at runtime without taxing production:
+
+* :func:`TrackedLock` / :func:`TrackedRLock` / :func:`TrackedCondition`
+  are drop-in factories for the :mod:`threading` primitives.  By default
+  they return the **raw** primitive — zero overhead, nothing recorded.
+* Under ``REPRO_LOCK_CHECK=1`` they return checked wrappers that record
+  per-thread acquisition stacks into one process-global lock-order graph.
+  An acquisition that closes a cycle in that graph raises
+  :class:`LockOrderError` (a potential deadlock, caught on the *first*
+  schedule that exhibits the ordering, not the rare one that hangs).
+* :func:`declare_blocking` marks a region as a blocking operation; under
+  the same knob it raises :class:`HeldLockBlockingError` when entered
+  while the calling thread holds any tracked lock not explicitly
+  constructed with ``allow_blocking=True``.
+
+The static half of the same contract lives in
+:mod:`repro.analysis.rules.lock_discipline`; CI runs the serving
+concurrency tests once with ``REPRO_LOCK_CHECK=1`` so the dynamic checker
+sees real schedules every commit.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "HeldLockBlockingError",
+    "LockOrderError",
+    "TrackedCondition",
+    "TrackedLock",
+    "TrackedRLock",
+    "declare_blocking",
+    "held_locks",
+    "lock_check_enabled",
+    "lock_order_graph",
+    "reset_lock_state",
+]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def lock_check_enabled() -> bool:
+    """True when ``REPRO_LOCK_CHECK`` opts this process into validation.
+
+    Read at *construction* time of each tracked primitive, so a process
+    decides once per lock, and the common (unset) case pays nothing —
+    the factories return raw :mod:`threading` objects.
+    """
+    return os.environ.get("REPRO_LOCK_CHECK", "").strip().lower() in _TRUTHY
+
+
+class LockOrderError(RuntimeError):
+    """Two locks were acquired in opposite orders — a potential deadlock."""
+
+
+class HeldLockBlockingError(RuntimeError):
+    """A declared-blocking operation ran while a tracked lock was held."""
+
+
+# One process-global order graph: edge (A -> B) means "B was acquired
+# while A was held" by some thread at some point.  A cycle means two
+# orderings coexist, i.e. a deadlock is schedulable.
+_state_lock = threading.Lock()
+_edges: Dict[Tuple[int, str], Dict[Tuple[int, str], str]] = {}
+_tls = threading.local()
+
+# Node identity must outlive the lock object: id() values are recycled by
+# the allocator, and a recycled id would graft a dead lock's edges onto an
+# unrelated new lock.  A process-wide monotonic serial never collides.
+_serial_lock = threading.Lock()
+_next_serial = 0
+
+
+def _allocate_serial() -> int:
+    global _next_serial
+    with _serial_lock:
+        _next_serial += 1
+        return _next_serial
+
+
+def _held_stack() -> List["_CheckedLock"]:
+    stack = getattr(_tls, "held", None)
+    if stack is None:
+        stack = _tls.held = []
+    return stack
+
+
+def reset_lock_state() -> None:
+    """Drop the recorded order graph (test isolation helper)."""
+    with _state_lock:
+        _edges.clear()
+    _tls.held = []
+    _tls.depths = {}
+
+
+def held_locks() -> List[str]:
+    """Names of the tracked locks the calling thread currently holds."""
+    return [lock.name for lock in _held_stack()]
+
+
+def lock_order_graph() -> Dict[str, List[str]]:
+    """Snapshot of the recorded acquired-under graph, by lock name."""
+    with _state_lock:
+        return {
+            source[1]: sorted(target[1] for target in targets)
+            for source, targets in _edges.items()
+        }
+
+
+def _capture_site() -> str:
+    # The two innermost frames are this module's bookkeeping; the caller's
+    # frame is what a human needs to see in a cycle report.
+    frames = traceback.format_stack(limit=8)[:-3]
+    return "".join(frames[-2:]).rstrip()
+
+
+def _find_path(
+    start: Tuple[int, str], goal: Tuple[int, str]
+) -> Optional[List[Tuple[int, str]]]:
+    """DFS path start -> goal through the edge map (caller holds state lock)."""
+    stack = [(start, [start])]
+    seen = {start}
+    while stack:
+        node, path = stack.pop()
+        if node == goal:
+            return path
+        for neighbour in _edges.get(node, {}):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                stack.append((neighbour, path + [neighbour]))
+    return None
+
+
+def _record_acquisition(lock: "_CheckedLock") -> None:
+    """Add held->lock edges; raise :class:`LockOrderError` on a cycle."""
+    held = _held_stack()
+    if not held:
+        return
+    site = _capture_site()
+    with _state_lock:
+        for holder in held:
+            if holder.node == lock.node:
+                continue
+            targets = _edges.setdefault(holder.node, {})
+            if lock.node in targets:
+                continue
+            # Before committing the edge holder -> lock, see whether the
+            # graph already orders them the other way around.
+            path = _find_path(lock.node, holder.node)
+            if path is not None:
+                cycle = " -> ".join(node[1] for node in path + [lock.node])
+                raise LockOrderError(
+                    f"lock-order inversion: acquiring {lock.name!r} while "
+                    f"holding {holder.name!r}, but the opposite order "
+                    f"{cycle} was already recorded.\n"
+                    f"Acquisition site:\n{site}\n"
+                    f"Earlier ordering recorded at:\n"
+                    + _edges[lock.node][path[1]]
+                )
+            targets[lock.node] = site
+
+
+class _CheckedLock:
+    """Validating wrapper over one :class:`threading.Lock`/``RLock``."""
+
+    def __init__(self, raw, name: str, allow_blocking: bool, reentrant: bool):
+        self._raw = raw
+        self.name = name
+        self.allow_blocking = allow_blocking
+        self.reentrant = reentrant
+        self.node: Tuple[int, str] = (_allocate_serial(), name)
+
+    def _depth(self) -> int:
+        depths = getattr(_tls, "depths", None)
+        if depths is None:
+            depths = _tls.depths = {}
+        return depths.get(self.node, 0)
+
+    def _set_depth(self, depth: int) -> None:
+        _tls.depths[self.node] = depth
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        first = self._depth() == 0
+        if first:
+            _record_acquisition(self)
+        acquired = (
+            self._raw.acquire(blocking, timeout)
+            if timeout != -1
+            else self._raw.acquire(blocking)
+        )
+        if acquired:
+            self._note_acquired()
+        return acquired
+
+    def release(self) -> None:
+        self._note_released()
+        self._raw.release()
+
+    def locked(self) -> bool:
+        return self._raw.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # Shared with _CheckedCondition, which releases/reacquires the lock
+    # around wait() without going through acquire()/release().
+    def _note_acquired(self) -> None:
+        depth = self._depth()
+        self._set_depth(depth + 1)
+        if depth == 0:
+            _held_stack().append(self)
+
+    def _note_released(self) -> None:
+        depth = self._depth()
+        self._set_depth(max(0, depth - 1))
+        if depth <= 1:
+            held = _held_stack()
+            if self in held:
+                held.remove(self)
+
+
+class _CheckedCondition:
+    """Validating condition sharing its (checked) lock's graph node.
+
+    Two conditions built over one lock — the journal writer's wakeup and
+    drained signals — are one node in the order graph, exactly like the
+    raw primitives where both conditions guard the same critical section.
+    """
+
+    def __init__(self, lock: Optional[_CheckedLock], name: str):
+        if lock is None:
+            lock = _CheckedLock(
+                threading.Lock(), name, allow_blocking=False, reentrant=False
+            )
+        self._lock = lock
+        self._cond = threading.Condition(lock._raw)
+        self.name = name
+
+    def acquire(self, *args) -> bool:
+        return self._lock.acquire(*args)
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> bool:
+        return self._lock.__enter__()
+
+    def __exit__(self, *exc_info) -> None:
+        self._lock.__exit__(*exc_info)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        # wait() releases the underlying lock for its whole sleep; the
+        # held-stack must say so, or every waiter would look like it holds
+        # the lock across a blocking sleep.
+        self._lock._note_released()
+        try:
+            return self._cond.wait(timeout)
+        finally:
+            self._lock._note_acquired()
+
+    def wait_for(self, predicate, timeout: Optional[float] = None):
+        self._lock._note_released()
+        try:
+            return self._cond.wait_for(predicate, timeout)
+        finally:
+            self._lock._note_acquired()
+
+    def notify(self, n: int = 1) -> None:
+        self._cond.notify(n)
+
+    def notify_all(self) -> None:
+        self._cond.notify_all()
+
+
+def _raw_lock_of(lock) -> Optional[object]:
+    if lock is None:
+        return None
+    if isinstance(lock, _CheckedLock):
+        return lock._raw
+    return lock
+
+
+def TrackedLock(name: str, *, allow_blocking: bool = False):
+    """A named :class:`threading.Lock` — checked under ``REPRO_LOCK_CHECK=1``.
+
+    ``allow_blocking=True`` opts this one lock out of the held-lock
+    blocking check, for locks whose *job* is serialising a blocking
+    operation (the checkpoint daemon's dump lock); it still participates
+    in lock-order validation.
+    """
+    if not lock_check_enabled():
+        return threading.Lock()
+    return _CheckedLock(
+        threading.Lock(), name, allow_blocking=allow_blocking, reentrant=False
+    )
+
+
+def TrackedRLock(name: str, *, allow_blocking: bool = False):
+    """A named :class:`threading.RLock` — checked under ``REPRO_LOCK_CHECK=1``."""
+    if not lock_check_enabled():
+        return threading.RLock()
+    return _CheckedLock(
+        threading.RLock(), name, allow_blocking=allow_blocking, reentrant=True
+    )
+
+
+def TrackedCondition(lock=None, *, name: str = "condition"):
+    """A named :class:`threading.Condition`, optionally over a tracked lock.
+
+    Passing the same tracked lock to several conditions gives them one
+    shared graph node, mirroring how raw conditions share a raw lock.
+    """
+    if isinstance(lock, _CheckedLock):
+        return _CheckedCondition(lock, name)
+    if lock_check_enabled() and lock is None:
+        return _CheckedCondition(None, name)
+    return threading.Condition(_raw_lock_of(lock))
+
+
+@contextmanager
+def declare_blocking(operation: str) -> Iterator[None]:
+    """Mark a region as a blocking operation (file I/O, sleep, ...).
+
+    Free when validation is off.  Under ``REPRO_LOCK_CHECK=1``, entering
+    the region while holding any tracked lock not constructed with
+    ``allow_blocking=True`` raises :class:`HeldLockBlockingError` — the
+    runtime twin of the static lock-discipline lint rule.
+    """
+    if lock_check_enabled():
+        offenders = [
+            lock.name for lock in _held_stack() if not lock.allow_blocking
+        ]
+        if offenders:
+            raise HeldLockBlockingError(
+                f"blocking operation {operation!r} entered while holding "
+                f"lock(s) {offenders}; release them first (or construct the "
+                f"lock with allow_blocking=True if serialising this "
+                f"operation is its purpose)"
+            )
+    yield

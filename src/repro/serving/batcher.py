@@ -36,6 +36,7 @@ import time
 from concurrent.futures import Future
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from ..concurrency import TrackedCondition
 from .trace import publish_queue_waits, reset_queue_waits
 
 
@@ -74,7 +75,7 @@ class MicroBatcher:
         #: purely descriptive, surfaced via :meth:`telemetry`.
         self.fanout = fanout
         self._queue: List[Tuple[Any, Future, float]] = []
-        self._condition = threading.Condition()
+        self._condition = TrackedCondition(name="batcher.condition")
         self._closed = False
         self._threads: List[threading.Thread] = []
         self._batches_dispatched = 0
@@ -258,7 +259,7 @@ class BatcherWorkerPool:
         # One lock for the pool *and* every member queue: scheduling looks
         # at all queues at once, so finer locking would buy contention, not
         # parallelism (the expensive part — the runner — runs unlocked).
-        self._condition = threading.Condition()
+        self._condition = TrackedCondition(name="hub-pool.condition")
         self._members: List["PooledBatcher"] = []
         self._threads: List[threading.Thread] = []
         self._closed = False

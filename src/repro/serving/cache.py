@@ -30,6 +30,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..concurrency import TrackedLock, declare_blocking
+
 #: reserved npz entry holding the JSON-encoded fingerprint index of a dump.
 _INDEX_KEY = "__fingerprints__"
 
@@ -50,7 +52,7 @@ class EmbeddingCache:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("cache.entries")
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -171,16 +173,17 @@ class EmbeddingCache:
             arrays[f"logits_{i}"] = entry.logits
             arrays[f"vector_{i}"] = entry.graph_vector
         directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
         tmp_path = os.path.join(directory, f".cache-dump-{uuid.uuid4().hex[:8]}.tmp")
-        try:
-            with open(tmp_path, "wb") as handle:
-                np.savez(handle, **arrays)
-            os.replace(tmp_path, path)
-        except Exception:
-            if os.path.exists(tmp_path):
-                os.remove(tmp_path)
-            raise
+        with declare_blocking("EmbeddingCache.dump"):
+            os.makedirs(directory, exist_ok=True)
+            try:
+                with open(tmp_path, "wb") as handle:
+                    np.savez(handle, **arrays)
+                os.replace(tmp_path, path)
+            except Exception:
+                if os.path.exists(tmp_path):
+                    os.remove(tmp_path)
+                raise
         return len(entries)
 
     def load(self, path: str) -> int:
@@ -190,7 +193,7 @@ class EmbeddingCache:
         has the same eviction order the dumped one had.  Loading into a
         smaller cache simply evicts the oldest entries on the way in.
         """
-        with np.load(path) as data:
+        with declare_blocking("EmbeddingCache.load"), np.load(path) as data:
             if _INDEX_KEY not in data:
                 raise ValueError(f"{path!r} was not written by EmbeddingCache.dump")
             fingerprints = json.loads(bytes(data[_INDEX_KEY].tobytes()).decode("utf-8"))
@@ -220,13 +223,16 @@ class CheckpointDaemon:
         if interval_s <= 0:
             raise ValueError("interval_s must be > 0")
         self.cache = cache
-        self.path = str(path)
+        # fspath, not str(): handing a non-path object a checkpoint path
+        # must raise, not checkpoint into a repr-named file.
+        self.path = os.fspath(path)
         self.interval_s = float(interval_s)
         self._wake = threading.Event()
         self._thread: Optional[threading.Thread] = None
-        self._lock = threading.Lock()
         # Guards checkpoint bookkeeping; dumps themselves serialise on it too
-        # so a stop()-triggered final dump cannot interleave with a timer one.
+        # so a stop()-triggered final dump cannot interleave with a timer one
+        # (hence allow_blocking: serialising the dump I/O is this lock's job).
+        self._lock = TrackedLock("checkpoint.state", allow_blocking=True)
         # A never-mutated (empty) cache counts as clean: an idle server must
         # not overwrite a previous run's warm checkpoint with an empty dump.
         self._dumped_mutations = 0
@@ -282,7 +288,9 @@ class CheckpointDaemon:
                 self.skipped += 1
                 return None
             try:
-                entries = self.cache.dump(self.path)
+                # Deliberate I/O under this lock: serialising concurrent
+                # dumps is the lock's purpose (allow_blocking above).
+                entries = self.cache.dump(self.path)  # lint: allow(lock-discipline)
             except Exception as exc:  # keep ticking; surface via stats()
                 self.failures += 1
                 self.last_error = f"{type(exc).__name__}: {exc}"

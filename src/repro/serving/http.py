@@ -94,6 +94,30 @@ _View = Callable[[Optional[bytes]], Union[Dict[str, object], str]]
 Headers = Dict[str, str]
 
 
+#: Wire contract: every structured error code this layer can return, with
+#: the client-facing meaning.  The ``wire-errors`` lint rule enforces that
+#: this registry and the raise sites stay in lockstep (unique, documented,
+#: raised, and referenced by a test) — add the code here *and* a test when
+#: introducing a new error path.
+ERROR_CODES = {
+    "artifact-not-found": "a model artifact referenced by a spec is missing",
+    "hub-error": "the hub rejected the operation in its current state",
+    "internal": "unexpected server-side failure; message carries the type",
+    "invalid-graph": "a graph payload failed structural validation",
+    "invalid-json": "the request body is not valid UTF-8 JSON",
+    "invalid-request": "a request field is missing, unknown, or mistyped",
+    "invalid-spec": "a deployment spec failed validation",
+    "length-required": "the request carries a body but no Content-Length",
+    "method-not-allowed": "the path exists but not for this HTTP method",
+    "model-exists": "a deployment with this name is already loaded",
+    "model-not-found": "no deployment with this name is loaded",
+    "not-found": "no route matches the request path",
+    "payload-too-large": "the declared body size exceeds the configured limit",
+    "timeout": "the prediction did not complete within the request deadline",
+    "unsupported-format": "an unknown serialization format was requested",
+}
+
+
 def error_payload(status: int, code: str, message: str) -> Dict[str, object]:
     """The uniform error body every non-2xx response carries."""
     return {"error": {"status": status, "code": code, "message": message}}

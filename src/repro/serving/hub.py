@@ -38,11 +38,12 @@ unchanged.
 
 from __future__ import annotations
 
-import threading
+import os
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
+from ..concurrency import TrackedRLock
 from .batcher import BatcherWorkerPool
 from .cache import CheckpointDaemon, EmbeddingCache
 from .deployment import (
@@ -124,6 +125,15 @@ class ModelHub:
         if isinstance(registry, str):
             registry = ArtifactRegistry(registry)
         self.registry = registry
+        # Validate every path-type knob up front (fspath raises a TypeError
+        # on non-path objects) so a miswired caller fails here, loudly,
+        # instead of a repr-named directory appearing on disk later.
+        if warmup_path is not None:
+            warmup_path = os.fspath(warmup_path)
+        if checkpoint_path is not None:
+            checkpoint_path = os.fspath(checkpoint_path)
+        if journal_dir is not None:
+            journal_dir = os.fspath(journal_dir)
         self.cache: Optional[EmbeddingCache] = (
             EmbeddingCache(cache_capacity) if enable_cache else None
         )
@@ -147,7 +157,7 @@ class ModelHub:
             else None
         )
         self.drift_config = drift_config or DriftConfig()
-        self._lock = threading.RLock()
+        self._lock = TrackedRLock("hub.routing")
         self._deployments: Dict[str, Deployment] = {}
         self._aliases: Dict[str, str] = {}
         self._default: Optional[str] = None

@@ -46,6 +46,7 @@ from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..concurrency import TrackedCondition, TrackedLock, declare_blocking
 from ..graphs.graph import ProgramGraph
 from .serialization import program_graph_to_dict
 
@@ -129,15 +130,18 @@ class JournalWriter:
             raise ValueError("queue_capacity must be >= 1")
         if recent_window < 1:
             raise ValueError("recent_window must be >= 1")
-        self.directory = directory
-        os.makedirs(directory, exist_ok=True)
+        # fspath, not str(): a non-path object (the bug class that once
+        # created a repr-named directory at the repo root) must raise a
+        # TypeError here, not become a directory name.
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
         self.segment_records = int(segment_records)
         self.queue_capacity = int(queue_capacity)
         self.record_graphs = bool(record_graphs)
         self._recent_window = int(recent_window)
-        self._lock = threading.Lock()
-        self._wakeup = threading.Condition(self._lock)
-        self._drained = threading.Condition(self._lock)
+        self._lock = TrackedLock("journal.queue")
+        self._wakeup = TrackedCondition(self._lock, name="journal.wakeup")
+        self._drained = TrackedCondition(self._lock, name="journal.drained")
         self._queue: Deque[Dict[str, object]] = deque()
         self._recent: Dict[str, Deque[Dict[str, object]]] = {}
         self._dropped = 0
@@ -250,10 +254,11 @@ class JournalWriter:
                 self._queue.clear()
                 self._draining = True
             try:
-                for entry in batch:
-                    self._append(self._serialise(entry))
-                if self._segment_file is not None:
-                    self._segment_file.flush()
+                with declare_blocking("journal segment write"):
+                    for entry in batch:
+                        self._append(self._serialise(entry))
+                    if self._segment_file is not None:
+                        self._segment_file.flush()
             finally:
                 with self._lock:
                     self._draining = False

@@ -22,6 +22,13 @@ with ``--journal-dir``):
 All three read with :class:`~repro.serving.journal.JournalReader`, so a
 journal torn by a crashed server is recovered (complete records kept,
 torn tail reported on stderr) rather than refused.
+
+Failures are structured, never tracebacks: stderr carries one JSON line
+``{"error": {"code": ..., "message": ...}}`` and the exit code tells
+scripts *which* failure occurred — ``2`` the directory does not exist
+(``no-journal``), ``3`` a segment is corrupt beyond the crash-recovery
+rule (``corrupt-journal``), ``4`` the directory holds no segments yet
+(``empty-journal``).
 """
 
 from __future__ import annotations
@@ -32,6 +39,12 @@ import sys
 from typing import Optional, Sequence
 
 from .journal import JournalError, JournalReader
+
+#: exit codes: scripts branch on *which* way the journal was unreadable.
+EXIT_OK = 0
+EXIT_NO_JOURNAL = 2
+EXIT_CORRUPT_JOURNAL = 3
+EXIT_EMPTY_JOURNAL = 4
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,10 +110,29 @@ def _report_torn(reader: JournalReader) -> None:
         print(f"note: recovered around a torn final line in {path}", file=sys.stderr)
 
 
+def _fail(code: str, message: str, exit_code: int) -> int:
+    print(
+        json.dumps({"error": {"code": code, "message": message}}, sort_keys=True),
+        file=sys.stderr,
+    )
+    return exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         reader = JournalReader(args.dir)
+    except JournalError as exc:
+        # The directory is absent (or not a directory): nothing was ever
+        # recorded here — distinct from a journal that exists but is bad.
+        return _fail("no-journal", str(exc), EXIT_NO_JOURNAL)
+    if not reader.segments():
+        return _fail(
+            "empty-journal",
+            f"{args.dir}: journal directory contains no segments",
+            EXIT_EMPTY_JOURNAL,
+        )
+    try:
         if args.command == "tail":
             _print_records(reader.tail(args.count, model=args.model), args.no_graphs)
         elif args.command == "stats":
@@ -119,10 +151,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             else:
                 _print_records(records, args.no_graphs)
     except JournalError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        # Corruption the crash-recovery rule cannot explain (interior
+        # damage, bad header, checksum mismatch): the data needs a human.
+        return _fail("corrupt-journal", str(exc), EXIT_CORRUPT_JOURNAL)
     _report_torn(reader)
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

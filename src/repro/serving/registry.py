@@ -139,7 +139,10 @@ class ArtifactRegistry:
     """Stores and retrieves versioned predictor artefacts under ``root``."""
 
     def __init__(self, root: str):
-        self.root = str(root)
+        # fspath, not str(): str() happily coerces *any* object, which once
+        # turned a miswired registry argument into a repr-named directory
+        # at the caller's cwd.  Non-path objects must raise here instead.
+        self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
 
     # ------------------------------------------------------------ discovery

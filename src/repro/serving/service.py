@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -31,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..concurrency import TrackedLock
 from ..core.hybrid_model import HybridStaticDynamicClassifier
 from ..core.labeling import LabelSpace
 from ..engine import build_plan
@@ -138,7 +138,7 @@ class ServingFrontend:
     stats: ServingStats
 
     def __init__(self) -> None:
-        self._batcher_lock = threading.Lock()
+        self._batcher_lock = TrackedLock("frontend.batcher")
         self._batcher: Optional[MicroBatcher] = None
         self._auto_start = False
         #: optional MicroBatcher-compatible constructor; a

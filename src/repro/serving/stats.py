@@ -11,12 +11,13 @@ rather than lifetime averages.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
+
+from ..concurrency import TrackedLock
 
 
 def aggregate_snapshots(
@@ -104,7 +105,7 @@ class ServingStats:
     def __init__(self, latency_window: int = 4096):
         if latency_window < 1:
             raise ValueError("latency_window must be >= 1")
-        self._lock = threading.Lock()
+        self._lock = TrackedLock("stats.counters")
         self._started = time.monotonic()
         self._latency_window = latency_window
         self.total_requests = 0

@@ -1,0 +1,11 @@
+"""Fixture: violates the ``api-surface`` rule (never imported)."""
+
+__all__ = ["exists", "ghost", "exists"]
+
+
+def exists():
+    return True
+
+
+class ServiceConfig:
+    """A legacy shim whose docstring forgets to say it is legacy."""

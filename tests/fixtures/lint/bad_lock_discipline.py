@@ -1,0 +1,24 @@
+"""Fixture: violates the ``lock-discipline`` rule (never imported)."""
+
+import threading
+import time
+
+
+class Worker:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def sleepy(self):
+        with self._a:
+            time.sleep(0.5)  # blocking call while the lock is held
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                return 1
+
+    def backward(self):
+        with self._b:
+            with self._a:  # opposite order: static inversion
+                return 2

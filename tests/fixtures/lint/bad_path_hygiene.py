@@ -1,0 +1,12 @@
+"""Fixture: violates the ``path-hygiene`` rule (never imported)."""
+
+import os
+
+
+class Storage:
+    def __init__(self, root):
+        self.root = str(root)  # str() coercion into a path-named attribute
+
+    def ensure(self, obj):
+        os.makedirs(str(obj), exist_ok=True)  # str() fed to a path call
+        return os.path.join(self.root, f"{obj.name}-artifacts")  # object attr

@@ -1,0 +1,18 @@
+"""Fixture: violates the ``engine-purity`` rule (never imported)."""
+
+
+class CountingModel:
+    def __init__(self):
+        self.calls = 0
+        self._scratch = {}
+
+    def infer(self, plan):
+        self._bump()
+        return self._score(plan)
+
+    def _bump(self):
+        self.calls += 1  # mutation reachable from infer()
+
+    def _score(self, plan):
+        self._scratch["last"] = plan  # subscript store through self
+        return 0

@@ -1,0 +1,15 @@
+"""Fixture: violates the ``wire-errors`` rule (never imported)."""
+
+ERROR_CODES = {
+    "zombie-code": "registered here but raised nowhere",
+    "blank-code": "",
+    "zombie-code": "duplicate registration of the same code",  # noqa: F601
+}
+
+
+def error_payload(status, code, message):
+    return {"error": {"status": status, "code": code, "message": message}}
+
+
+def handle():
+    return error_payload(400, "phantom-code", "raised but absent from ERROR_CODES")

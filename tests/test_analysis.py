@@ -1,0 +1,173 @@
+"""Tests for :mod:`repro.analysis` — the project-invariant linter.
+
+Every shipped rule is exercised against a fixture module under
+``tests/fixtures/lint/`` that violates it (via the JSON reporter, the
+same output CI archives), the pragma waiver is proven to suppress, the
+CLI exit codes are pinned, and — the actual point of the package — the
+repo's own ``src/`` tree is asserted clean.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import all_rules, render_json, render_text, run_rules
+from repro.analysis.cli import main as lint_main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "lint")
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def fixture_findings(name, rule=None):
+    report = run_rules([os.path.join(FIXTURES, name)])
+    findings = render_json(report)["findings"]
+    if rule is not None:
+        findings = [f for f in findings if f["rule"] == rule]
+    return findings
+
+
+class TestRulesOnFixtures:
+    def test_lock_discipline_flags_blocking_call_under_lock(self):
+        findings = fixture_findings("bad_lock_discipline.py", "lock-discipline")
+        assert any(
+            "time.sleep()" in f["message"] and "_a" in f["message"] for f in findings
+        )
+
+    def test_lock_discipline_flags_static_inversion(self):
+        findings = fixture_findings("bad_lock_discipline.py", "lock-discipline")
+        assert any("lock-order inversion" in f["message"] for f in findings)
+
+    def test_engine_purity_flags_mutation_reachable_from_infer(self):
+        findings = fixture_findings("bad_purity.py", "engine-purity")
+        # Both the augmented assignment in the helper and the subscript
+        # store two calls deep are reachable from infer().
+        assert any("CountingModel._bump" in f["message"] for f in findings)
+        assert any("CountingModel._score" in f["message"] for f in findings)
+
+    def test_wire_errors_flags_registry_drift(self):
+        findings = fixture_findings("bad_wire_errors.py", "wire-errors")
+        messages = [f["message"] for f in findings]
+        assert any("duplicate error code 'zombie-code'" in m for m in messages)
+        assert any(
+            "'zombie-code' is registered but never raised" in m for m in messages
+        )
+        assert any("'blank-code' has no description" in m for m in messages)
+        assert any(
+            "'phantom-code' is raised but missing from ERROR_CODES" in m
+            for m in messages
+        )
+
+    def test_path_hygiene_flags_str_coercions_and_fstrings(self):
+        findings = fixture_findings("bad_path_hygiene.py", "path-hygiene")
+        messages = [f["message"] for f in findings]
+        assert any("str() coercion passed to os.makedirs()" in m for m in messages)
+        assert any("path-like name 'root'" in m for m in messages)
+        assert any("'obj.name'" in m for m in messages)
+
+    def test_api_surface_flags_all_drift_and_missing_deprecation(self):
+        findings = fixture_findings("bad_api_surface.py", "api-surface")
+        messages = [f["message"] for f in findings]
+        assert any("__all__ exports 'ghost'" in m for m in messages)
+        assert any("duplicate __all__ entry 'exists'" in m for m in messages)
+        assert any("ServiceConfig" in m and "deprecation" in m for m in messages)
+
+    def test_every_shipped_rule_has_a_firing_fixture(self):
+        # The contract from the package docstring: a rule without a
+        # fixture that proves it fires is a rule nobody knows works.
+        report = run_rules([FIXTURES])
+        fired = {f["rule"] for f in render_json(report)["findings"]}
+        assert {rule.name for rule in all_rules()} <= fired
+
+
+class TestEngine:
+    def test_repo_src_tree_is_clean(self):
+        report = run_rules([SRC])
+        assert report.findings == [], render_text(report)
+
+    def test_pragma_suppresses_only_the_named_rule(self, tmp_path):
+        victim = tmp_path / "pyproject.toml"
+        victim.write_text("[project]\nname='x'\n")
+        module = tmp_path / "waived.py"
+        module.write_text(
+            "import threading\n"
+            "import time\n"
+            "\n"
+            "class W:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "\n"
+            "    def a(self):\n"
+            "        with self._lock:\n"
+            "            time.sleep(0.1)  # lint: allow(lock-discipline)\n"
+            "\n"
+            "    def b(self):\n"
+            "        with self._lock:\n"
+            "            time.sleep(0.2)  # lint: allow(some-other-rule)\n"
+        )
+        report = run_rules([str(module)])
+        assert [f.line for f in report.findings] == [14]
+
+    def test_syntax_error_becomes_a_finding_not_a_crash(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n")
+        report = run_rules([str(bad)])
+        assert [f.rule for f in report.findings] == ["syntax"]
+
+    def test_json_report_schema(self):
+        report = run_rules([os.path.join(FIXTURES, "bad_api_surface.py")])
+        payload = render_json(report)
+        assert payload["version"] == 1
+        assert payload["modules"] == 1
+        assert set(payload["rules"]) == {rule.name for rule in all_rules()}
+        for finding in payload["findings"]:
+            assert set(finding) == {"rule", "path", "line", "message"}
+            assert isinstance(finding["line"], int)
+
+    def test_findings_are_sorted_by_path_then_line(self):
+        report = run_rules([FIXTURES])
+        keys = [(f.path, f.line, f.rule) for f in report.findings]
+        assert keys == sorted(keys)
+
+
+class TestCli:
+    def test_exit_one_on_findings_and_json_report_artifact(self, tmp_path, capsys):
+        out = tmp_path / "report" / "lint.json"
+        code = lint_main([FIXTURES, "--json-report", str(out)])
+        assert code == 1
+        payload = json.loads(out.read_text())
+        assert payload["version"] == 1
+        assert payload["findings"]
+        assert "[lock-discipline]" in capsys.readouterr().out
+
+    def test_exit_zero_on_clean_tree(self, capsys):
+        assert lint_main([SRC]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_json_format_on_stdout(self, capsys):
+        code = lint_main(["--format", "json", FIXTURES])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+
+    def test_exit_two_on_usage_errors(self, capsys):
+        assert lint_main([]) == 2
+        assert lint_main(["/no/such/path.py"]) == 2
+        assert lint_main(["--rule", "not-a-rule", FIXTURES]) == 2
+        err = capsys.readouterr().err
+        assert "no paths given" in err
+        assert "no such path" in err
+        assert "unknown rule" in err
+
+    def test_rule_subset_runs_only_that_rule(self, capsys):
+        code = lint_main(["--rule", "api-surface", "--format", "json", FIXTURES])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == ["api-surface"]
+        assert {f["rule"] for f in payload["findings"]} == {"api-surface"}
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.name in out

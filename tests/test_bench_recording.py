@@ -1,0 +1,81 @@
+"""Tests for the benchmark trajectory recording hook in benchmarks/conftest.py.
+
+The hook is driven directly with stub session objects: recording must
+write the history atomically — and must not leave its flock sidecar
+(``BENCH_serving.json.lock``) behind, which once littered the repo root.
+"""
+
+import importlib.util
+import json
+import os
+import types
+
+import pytest
+
+
+def _load_bench_conftest():
+    path = os.path.join(
+        os.path.dirname(__file__), os.pardir, "benchmarks", "conftest.py"
+    )
+    spec = importlib.util.spec_from_file_location("bench_conftest_under_test", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _session_with(benchmarks):
+    bench_session = types.SimpleNamespace(benchmarks=benchmarks)
+    config = types.SimpleNamespace(_benchmarksession=bench_session)
+    return types.SimpleNamespace(config=config)
+
+
+def _bench(name, extra):
+    return types.SimpleNamespace(name=name, extra_info=extra)
+
+
+class TestBenchRecording:
+    def test_record_written_and_lock_sidecar_removed(self, tmp_path, monkeypatch):
+        record = tmp_path / "BENCH_serving.json"
+        monkeypatch.setenv("REPRO_BENCH_RECORD", str(record))
+        conftest = _load_bench_conftest()
+        session = _session_with([_bench("test_qps", {"qps": 123.0})])
+
+        conftest.pytest_sessionfinish(session, exitstatus=0)
+
+        history = json.loads(record.read_text())
+        assert history[-1]["benchmarks"]["test_qps"] == {"qps": 123.0}
+        # The flock sidecar must not outlive the session.
+        assert not (tmp_path / "BENCH_serving.json.lock").exists()
+        # Neither may the atomic-write temp file.
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_serving.json"]
+
+    def test_disabled_recording_touches_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RECORD", "")
+        monkeypatch.setenv("CI", "1")  # explicit empty beats the CI default
+        conftest = _load_bench_conftest()
+        monkeypatch.setattr(
+            conftest, "_DEFAULT_RECORD_PATH", str(tmp_path / "BENCH_serving.json")
+        )
+        session = _session_with([_bench("test_qps", {"qps": 1.0})])
+
+        conftest.pytest_sessionfinish(session, exitstatus=0)
+
+        assert list(tmp_path.iterdir()) == []
+
+    def test_rerun_replaces_the_same_commit_record(self, tmp_path, monkeypatch):
+        record = tmp_path / "BENCH_serving.json"
+        monkeypatch.setenv("REPRO_BENCH_RECORD", str(record))
+        conftest = _load_bench_conftest()
+        monkeypatch.setattr(conftest, "_git_commit", lambda: "deadbeef")
+
+        conftest.pytest_sessionfinish(
+            _session_with([_bench("test_qps", {"qps": 1.0})]), exitstatus=0
+        )
+        conftest.pytest_sessionfinish(
+            _session_with([_bench("test_qps", {"qps": 2.0})]), exitstatus=0
+        )
+
+        history = json.loads(record.read_text())
+        assert len(history) == 1
+        assert history[0]["benchmarks"]["test_qps"] == {"qps": 2.0}
+        assert not (tmp_path / "BENCH_serving.json.lock").exists()

@@ -37,7 +37,7 @@ def test_workflow_parses_with_required_top_level_keys(workflow):
 
 def test_every_job_is_runnable(workflow):
     jobs = workflow["jobs"]
-    assert set(jobs) == {"tests", "bench-smoke"}
+    assert set(jobs) == {"tests", "bench-smoke", "lint"}
     for name, job in jobs.items():
         assert "runs-on" in job, name
         steps = job["steps"]
@@ -94,6 +94,39 @@ def test_bench_job_is_scaled_down(workflow):
     assert {"REPRO_BENCH_SEQUENCES", "REPRO_BENCH_FOLDS", "REPRO_BENCH_EPOCHS"} <= set(env)
     runs = [s.get("run", "") for s in job["steps"]]
     assert any("pytest benchmarks" in run for run in runs)
+
+
+def test_lint_job_is_a_correctness_gate(workflow):
+    """The lint job must run repro-lint over src/ (failing the build on
+    any finding) and archive the JSON report as a build artifact."""
+    steps = workflow["jobs"]["lint"]["steps"]
+    runs = [s.get("run", "") for s in steps]
+    lint_runs = [run for run in runs if "repro-lint" in run]
+    assert lint_runs, "lint job must invoke repro-lint"
+    assert any("src/" in run for run in lint_runs)
+    assert any("--json-report" in run for run in lint_runs)
+    uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
+    assert uploads, "lint job must upload the JSON report"
+    with_block = uploads[0]["with"]
+    assert with_block["path"].endswith(".json")
+    assert with_block.get("if-no-files-found") == "error"
+    # The report must be archived even when findings fail the lint step.
+    assert uploads[0].get("if") == "always()"
+
+
+def test_lint_job_runs_concurrency_suites_under_lock_check(workflow):
+    """The runtime half of the gate: the serving concurrency suites run
+    once with REPRO_LOCK_CHECK=1 so tracked locks validate real
+    schedules every commit."""
+    steps = workflow["jobs"]["lint"]["steps"]
+    checked = [
+        s
+        for s in steps
+        if s.get("env", {}).get("REPRO_LOCK_CHECK") == "1"
+        and "pytest" in s.get("run", "")
+    ]
+    assert checked, "lint job must run pytest with REPRO_LOCK_CHECK=1"
+    assert "test_concurrency" in checked[0]["run"]
 
 
 def test_jobs_use_pip_caching(workflow):

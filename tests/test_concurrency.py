@@ -1,0 +1,196 @@
+"""Tests for :mod:`repro.concurrency` — the runtime lock-order validator.
+
+The passthrough contract (raw :mod:`threading` primitives, zero overhead
+when ``REPRO_LOCK_CHECK`` is unset) matters as much as the checking
+behaviour, so both modes are pinned.  The checked mode covers the seeded
+lock-order inversion the static rule's fixture also carries, the
+held-lock blocking guard with its ``allow_blocking`` waiver, condition
+bookkeeping across ``wait()``, and a real serving component (the journal
+writer) running clean under validation.
+"""
+
+import threading
+
+import pytest
+
+from repro.concurrency import (
+    HeldLockBlockingError,
+    LockOrderError,
+    TrackedCondition,
+    TrackedLock,
+    TrackedRLock,
+    declare_blocking,
+    held_locks,
+    lock_check_enabled,
+    lock_order_graph,
+    reset_lock_state,
+)
+
+
+@pytest.fixture()
+def checked(monkeypatch):
+    """Enable validation (the knob is read at construction time)."""
+    monkeypatch.setenv("REPRO_LOCK_CHECK", "1")
+    reset_lock_state()
+    yield
+    reset_lock_state()
+
+
+class TestPassthrough:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCK_CHECK", raising=False)
+        assert not lock_check_enabled()
+        # The factories hand back the raw primitives — nothing wrapped,
+        # nothing recorded, nothing to pay for on the hot path.
+        assert isinstance(TrackedLock("x"), type(threading.Lock()))
+        assert isinstance(TrackedRLock("x"), type(threading.RLock()))
+        assert isinstance(TrackedCondition(name="x"), threading.Condition)
+
+    def test_condition_over_raw_lock_shares_it(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCK_CHECK", raising=False)
+        lock = TrackedLock("x")
+        condition = TrackedCondition(lock, name="x.cond")
+        with condition:
+            assert lock.locked()
+
+    def test_declare_blocking_is_free_when_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCK_CHECK", raising=False)
+        with declare_blocking("anything"):
+            pass
+
+
+class TestLockOrder:
+    def test_seeded_inversion_is_detected(self, checked):
+        a = TrackedLock("seed.a")
+        b = TrackedLock("seed.b")
+        with a:
+            with b:
+                pass
+        # The opposite ordering closes a cycle in the global graph: this
+        # is the schedule that deadlocks under load, caught on its first
+        # appearance instead of the rare hang.
+        with b:
+            with pytest.raises(LockOrderError, match="seed.a"):
+                with a:
+                    pass
+
+    def test_inversion_detected_across_threads(self, checked):
+        a = TrackedLock("thread.a")
+        b = TrackedLock("thread.b")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        worker = threading.Thread(target=forward)
+        worker.start()
+        worker.join()
+        errors = []
+
+        def backward():
+            try:
+                with b:
+                    with a:
+                        pass
+            except LockOrderError as exc:
+                errors.append(exc)
+
+        worker = threading.Thread(target=backward)
+        worker.start()
+        worker.join()
+        assert len(errors) == 1
+
+    def test_consistent_order_never_raises(self, checked):
+        a = TrackedLock("ok.a")
+        b = TrackedLock("ok.b")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert lock_order_graph() == {"ok.a": ["ok.b"]}
+
+    def test_rlock_reentrancy_is_not_an_inversion(self, checked):
+        lock = TrackedRLock("re.lock")
+        with lock:
+            with lock:
+                assert held_locks() == ["re.lock"]
+        assert held_locks() == []
+
+    def test_same_name_different_instances_are_distinct_nodes(self, checked):
+        # Two batcher instances both name their condition the same way;
+        # instance A under B elsewhere must not look like a cycle here.
+        first = TrackedLock("instance.lock")
+        second = TrackedLock("instance.lock")
+        with first:
+            with second:
+                pass
+        with first:
+            with second:
+                pass
+
+
+class TestBlockingGuard:
+    def test_blocking_under_lock_raises(self, checked):
+        lock = TrackedLock("guard.lock")
+        with lock:
+            with pytest.raises(HeldLockBlockingError, match="guard.lock"):
+                with declare_blocking("segment write"):
+                    pass
+
+    def test_blocking_without_lock_is_fine(self, checked):
+        with declare_blocking("segment write"):
+            pass
+
+    def test_allow_blocking_waives_the_guard(self, checked):
+        lock = TrackedLock("io.lock", allow_blocking=True)
+        with lock:
+            with declare_blocking("checkpoint dump"):
+                pass
+
+    def test_condition_wait_releases_the_held_entry(self, checked):
+        condition = TrackedCondition(name="wait.cond")
+
+        def poke():
+            with condition:
+                condition.notify_all()
+
+        with condition:
+            assert held_locks() == ["wait.cond"]
+            waker = threading.Timer(0.05, poke)
+            waker.start()
+            # While wait() sleeps the lock is released; the blocking guard
+            # in another thread must not see it as held. After wake-up the
+            # bookkeeping restores it.
+            condition.wait(timeout=5.0)
+            assert held_locks() == ["wait.cond"]
+            waker.join()
+        assert held_locks() == []
+
+    def test_two_conditions_over_one_lock_share_a_node(self, checked):
+        lock = TrackedLock("journal.queue.test")
+        wakeup = TrackedCondition(lock, name="wakeup")
+        drained = TrackedCondition(lock, name="drained")
+        with wakeup:
+            assert held_locks() == ["journal.queue.test"]
+        with drained:
+            assert held_locks() == ["journal.queue.test"]
+        assert held_locks() == []
+
+
+class TestServingUnderValidation:
+    def test_journal_writer_runs_clean_under_check(self, checked, tmp_path):
+        from repro.serving.journal import JournalReader, JournalWriter
+
+        writer = JournalWriter(tmp_path / "journal")
+        try:
+            for index in range(50):
+                writer.record({"kind": "prediction", "index": index})
+            writer.flush()
+        finally:
+            writer.close()
+        records = list(JournalReader(tmp_path / "journal").records())
+        assert len(records) == 50
+        # The writer's two conditions share the queue lock: one node, no
+        # edges, and certainly no cycle recorded by the drain loop.
+        assert "journal.queue" not in lock_order_graph()

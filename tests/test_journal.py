@@ -265,7 +265,45 @@ def test_cli_reports_torn_tail_on_stderr(populated, capsys):
 
 def test_cli_errors_on_missing_directory(tmp_path, capsys):
     assert journal_main(["stats", "--dir", str(tmp_path / "nope")]) == 2
-    assert "error:" in capsys.readouterr().err
+    error = json.loads(capsys.readouterr().err)["error"]
+    assert error["code"] == "no-journal"
+    assert "nope" in error["message"]
+
+
+def test_cli_errors_on_corrupt_interior_segment(populated, capsys):
+    # Interior damage is not the crash signature (only a *final* line can
+    # be torn), so the CLI must refuse loudly instead of recovering.
+    path = populated.segments()[0]
+    lines = open(path).read().splitlines()
+    lines[2] = '{"broken'
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    assert journal_main(["stats", "--dir", populated.directory]) == 3
+    error = json.loads(capsys.readouterr().err)["error"]
+    assert error["code"] == "corrupt-journal"
+    assert "corrupt interior record" in error["message"]
+
+
+def test_cli_errors_on_empty_journal(tmp_path, capsys):
+    empty = tmp_path / "journal"
+    empty.mkdir()
+    assert journal_main(["stats", "--dir", str(empty)]) == 4
+    error = json.loads(capsys.readouterr().err)["error"]
+    assert error["code"] == "empty-journal"
+    assert "no segments" in error["message"]
+
+
+def test_cli_error_paths_never_print_tracebacks(populated, tmp_path, capsys):
+    # Each distinct failure is one structured JSON line on stderr.
+    for args in (
+        ["stats", "--dir", str(tmp_path / "nope")],
+        ["tail", "--dir", str(tmp_path / "nope")],
+        ["query", "--dir", str(tmp_path / "nope")],
+    ):
+        assert journal_main(args) != 0
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        assert json.loads(err)["error"]["code"] == "no-journal"
 
 
 # ------------------------------------------------------------------ drift

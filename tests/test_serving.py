@@ -1,5 +1,6 @@
 """Tests for the online serving subsystem: registry, cache, batcher, service."""
 
+import os
 import threading
 
 import numpy as np
@@ -158,6 +159,44 @@ class TestSerializationErrors:
     def test_serialization_error_is_a_value_error(self):
         # Callers that predate the structured errors catch ValueError.
         assert issubclass(SerializationError, ValueError)
+
+
+class TestConstructorPathValidation:
+    """Regression: a miswired object argument once sailed through ``str()``
+    and became a directory literally named
+    ``<repro.serving.registry.ArtifactRegistry object at 0x...>`` at the
+    repo root.  Every path-taking serving constructor now validates with
+    ``os.fspath()``, which raises on non-path objects instead of minting
+    a repr-named path."""
+
+    def test_non_path_objects_raise_type_error(self, tmp_path):
+        from repro.serving import (
+            CheckpointDaemon,
+            EmbeddingCache,
+            JournalWriter,
+            ModelHub,
+        )
+
+        miswired = object()
+        with pytest.raises(TypeError):
+            ArtifactRegistry(miswired)
+        with pytest.raises(TypeError):
+            JournalWriter(miswired)
+        with pytest.raises(TypeError):
+            CheckpointDaemon(EmbeddingCache(capacity=4), miswired)
+        with pytest.raises(TypeError):
+            ModelHub(journal_dir=miswired)
+        # Nothing repr-named leaked onto disk along the way.
+        assert not [name for name in os.listdir(os.getcwd()) if name.startswith("<")]
+
+    def test_pathlike_objects_still_accepted(self, tmp_path):
+        from repro.serving import JournalWriter
+
+        registry = ArtifactRegistry(tmp_path / "registry")
+        assert registry.root == str(tmp_path / "registry")
+        writer = JournalWriter(tmp_path / "journal")
+        writer.close()
+        assert (tmp_path / "journal").is_dir()
 
 
 class TestArtifactRegistry:

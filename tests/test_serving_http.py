@@ -382,6 +382,30 @@ class TestServingApp:
         assert status == 400
         assert "list" in payload["error"]["message"]
 
+    def test_stalled_prediction_is_504_timeout(self, artifact, raw_graphs, monkeypatch):
+        import concurrent.futures
+
+        app = ServingApp(make_service(artifact), request_timeout_s=0.05)
+        app.start()
+        try:
+            predictor = app.hub.resolve(None).predictor
+            # A future nobody ever completes: the batcher worker "lost" the
+            # request, so the deadline is the only way the client gets out.
+            stalled = concurrent.futures.Future()
+            monkeypatch.setattr(predictor, "submit", lambda graph: stalled)
+            body = json.dumps(
+                {"graph": program_graph_to_dict(raw_graphs[0])}
+            ).encode()
+            status, payload, _ = app.handle("POST", "/v1/predict", body)
+            assert status == 504
+            assert payload["error"]["code"] == "timeout"
+            assert "did not complete" in payload["error"]["message"]
+            # The abandoned request must be cancelled, not left to occupy a
+            # batch slot forever.
+            assert stalled.cancelled()
+        finally:
+            app.stop()
+
     def test_invalid_graph_in_batch_names_its_index(self, app, raw_graphs):
         good = program_graph_to_dict(raw_graphs[0])
         bad = program_graph_to_dict(raw_graphs[1])
@@ -525,6 +549,20 @@ class TestHTTPServer:
             # The server itself stays healthy for fresh connections.
             status, health = _request(running, "GET", "/healthz")
             assert (status, health["status"]) == (200, "ok")
+
+    def test_post_without_content_length_is_411(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            # http.client normally sets Content-Length for us; drive the
+            # request by hand to send a POST without one.
+            connection.putrequest("POST", "/v1/predict")
+            connection.endheaders()
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 411
+            assert payload["error"]["code"] == "length-required"
+        finally:
+            connection.close()
 
     def test_get_with_a_body_closes_the_connection(self, server):
         connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
