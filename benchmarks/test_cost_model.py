@@ -1,0 +1,152 @@
+"""Cost-model fidelity and admission-control overhead.
+
+Two headline numbers for ``BENCH_serving.json``:
+
+* ``cost_model_mape`` — serve a mixed-size burst through a journalled hub
+  (cache off, so every request really runs a batch), fit the analytic
+  latency model over the journal's per-stage spans, and record the
+  calibration error.  The ISSUE acceptance bound is MAPE <= 0.35: the
+  model only has to rank operating points and size deadline windows, not
+  nail microseconds.
+* ``shed_overhead`` — the admission controller sits on the sync hot path
+  (one lock, counter arithmetic); an admission-bound hub that never
+  actually sheds must serve within 1.05x of a bare hub.
+"""
+
+import time
+
+import pytest
+
+from repro.graphs import GraphBuilder
+from repro.serving import (
+    CostModelCalibrator,
+    DeploymentSpec,
+    JournalReader,
+    ModelHub,
+    SLOConfig,
+)
+from repro.workloads import build_suite
+
+BURST = 32
+ROUNDS = 5
+
+
+@pytest.fixture(scope="module")
+def serving_setup(tmp_path_factory, pipeline, skylake_evaluation):
+    root = str(tmp_path_factory.mktemp("cost-model-bench-registry"))
+    refs = pipeline.export_artifacts(skylake_evaluation, root, name="bench")
+    builder = GraphBuilder()
+    regions = build_suite()
+    graphs = [builder.build_module(region.module) for region in regions]
+    burst = [graphs[i % len(graphs)] for i in range(BURST)]
+    return root, refs[0].name, burst
+
+
+def test_cost_model_calibration(benchmark, serving_setup, tmp_path_factory):
+    root, artifact, burst = serving_setup
+    journal_dir = str(tmp_path_factory.mktemp("cost-model-bench") / "journal")
+
+    hub = ModelHub(root, enable_cache=False, journal_dir=journal_dir)
+    hub.load(
+        DeploymentSpec(
+            name="m",
+            artifact=artifact,
+            max_batch_size=8,
+            max_wait_s=0.001,
+            enable_cache=False,
+        )
+    )
+    # Mixed batch sizes give the least-squares fit its signal: each
+    # predict_many call seals batches of a different size (1..8 graphs).
+    with hub:  # stop() drains the journal writer before returning
+        for size in range(1, 9):
+            for _ in range(ROUNDS):
+                hub.predict_many("m", burst[:size])
+
+    reader = JournalReader(journal_dir)
+    rows = reader.calibration_rows(model="m")
+    model = benchmark.pedantic(
+        lambda: CostModelCalibrator(min_batches=8).fit(reader, model="m"),
+        rounds=3,
+        iterations=1,
+    )
+
+    mape = float(model.meta["mape"])
+    # Sanity beyond the in-sample error: the model's predicted burst
+    # latency must land within the same order as a measured batch.
+    predicted_s = model.predict_batch_latency(
+        model.reference_shape, folds=1
+    )
+    benchmark.extra_info["cost_model_mape"] = round(mape, 4)
+    benchmark.extra_info["calibration_batches"] = int(model.meta["batches"])
+    benchmark.extra_info["predicted_request_ms"] = round(predicted_s * 1e3, 3)
+    print(
+        f"\ncost model calibrated over {model.meta['batches']} journalled "
+        f"batches ({len(rows)} rows): MAPE {mape:.3f}, predicted "
+        f"per-request latency {predicted_s * 1e3:.2f} ms"
+    )
+
+    assert int(model.meta["batches"]) >= 8 * ROUNDS
+    assert predicted_s > 0
+    # The ISSUE acceptance guard (CI re-asserts this from the record).
+    assert mape <= 0.35
+
+
+def test_shed_overhead(benchmark, serving_setup):
+    root, artifact, burst = serving_setup
+    knobs = dict(max_batch_size=BURST, max_wait_s=0.001, enable_cache=False)
+
+    bare = ModelHub(root, enable_cache=False)
+    bare.load(DeploymentSpec(name="m", artifact=artifact, **knobs))
+    guarded = ModelHub(root, enable_cache=False)
+    # An admission budget wide enough that nothing is ever shed: the
+    # measurement isolates the bookkeeping cost, not queueing effects.
+    guarded.load(
+        DeploymentSpec(
+            name="m",
+            artifact=artifact,
+            slo=SLOConfig(max_concurrency=10 * BURST, shed_policy="shed"),
+            **knobs,
+        )
+    )
+
+    def guarded_burst():
+        return [r.label for r in guarded.predict_many("m", burst)]
+
+    # Interleave the timed rounds so scheduler noise lands on both sides
+    # alike (same discipline as the journal-overhead benchmark).
+    expected = [r.label for r in bare.predict_many("m", burst)]
+    labels = guarded_burst()
+    bare_elapsed = guarded_elapsed = float("inf")
+    for _ in range(ROUNDS):
+        round_start = time.perf_counter()
+        bare.predict_many("m", burst)
+        bare_elapsed = min(bare_elapsed, time.perf_counter() - round_start)
+        round_start = time.perf_counter()
+        guarded_burst()
+        guarded_elapsed = min(guarded_elapsed, time.perf_counter() - round_start)
+    bare_qps = len(burst) / bare_elapsed
+    guarded_qps = len(burst) / guarded_elapsed
+    bare.stop()
+
+    benchmark.pedantic(guarded_burst, rounds=ROUNDS, iterations=1)
+    admission = guarded.resolve("m").predictor.snapshot()["admission"]
+    guarded.stop()
+
+    overhead = bare_qps / guarded_qps
+    benchmark.extra_info["bare_qps"] = round(bare_qps, 1)
+    benchmark.extra_info["guarded_qps"] = round(guarded_qps, 1)
+    benchmark.extra_info["shed_overhead"] = round(overhead, 3)
+    print(
+        f"\nadmission-guarded serving ({BURST}-request burst): bare "
+        f"{bare_qps:.0f} QPS, guarded {guarded_qps:.0f} QPS "
+        f"(overhead {overhead:.3f}x, {admission['admitted']} admitted)"
+    )
+
+    # The guard must not change an answer, must have actually metered the
+    # traffic, and must never have shed in this never-overloaded setup.
+    assert labels == expected
+    assert admission["admitted"] > 0
+    assert admission["shed"] == 0
+    # The ISSUE acceptance guard (CI re-asserts this from the record).
+    assert overhead <= 1.05

@@ -21,11 +21,12 @@ calls — no locks are needed anywhere above it, which is why the serving
 layer's ``_forward_lock``s could be deleted.
 """
 
-from .plan import ExecutionPlan, build_plan
+from .plan import ExecutionPlan, PlanShape, build_plan
 from .stacked import IncompatibleFoldsError, StackedFoldModel
 
 __all__ = [
     "ExecutionPlan",
+    "PlanShape",
     "build_plan",
     "IncompatibleFoldsError",
     "StackedFoldModel",

@@ -26,8 +26,8 @@ Lifecycle — **build → share → discard**:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -38,6 +38,95 @@ def _readonly(array: np.ndarray) -> np.ndarray:
     view = array.view()
     view.flags.writeable = False
     return view
+
+
+@dataclass(frozen=True)
+class PlanShape:
+    """Size features of one micro-batch — the cost model's input.
+
+    The serving cost model predicts per-batch latency from these four
+    counters alone; they are cheap to compute *before* collation (from the
+    encoded graphs about to be batched), which is what lets the batcher ask
+    "would adding one more request blow the deadline?" without building a
+    plan.  :meth:`of_encoded` is the canonical constructor — calibration
+    features (journalled per batch) and prediction features (computed per
+    candidate batch) must come from the same scale, and ``of_encoded``
+    counts raw directed edge entries, which the normalised CSR adjacency
+    may deduplicate.
+    """
+
+    num_graphs: int
+    num_nodes: int
+    num_edges: int
+    num_relations: int
+
+    @classmethod
+    def of_encoded(cls, graphs: Iterable[object]) -> "PlanShape":
+        """Shape of the batch that would collate ``graphs`` (encoded graphs
+        with ``token_ids`` and a ``relations: name -> (2, e)`` mapping)."""
+        num_graphs = num_nodes = num_edges = 0
+        relations: set = set()
+        for graph in graphs:
+            num_graphs += 1
+            num_nodes += int(graph.token_ids.shape[0])
+            for name, pairs in graph.relations.items():
+                edges = int(pairs.shape[1])
+                if edges:
+                    num_edges += edges
+                    relations.add(name)
+        return cls(
+            num_graphs=num_graphs,
+            num_nodes=num_nodes,
+            num_edges=num_edges,
+            num_relations=len(relations),
+        )
+
+    @classmethod
+    def from_plan(cls, plan: "ExecutionPlan") -> "PlanShape":
+        """Shape of an already-built plan.  Edge counts come from the
+        normalised CSR adjacency (``nnz``), which deduplicates repeated
+        edges — use :meth:`of_encoded` when the features must match
+        calibration data."""
+        num_edges = 0
+        num_relations = 0
+        for matrix in plan.adjacency.values():
+            if matrix is None:
+                continue
+            num_relations += 1
+            num_edges += int(matrix.nnz)
+        return cls(
+            num_graphs=plan.num_graphs,
+            num_nodes=plan.num_nodes,
+            num_edges=num_edges,
+            num_relations=num_relations,
+        )
+
+    def scaled(self, factor: float) -> "PlanShape":
+        """This shape with graphs/nodes/edges scaled by ``factor`` (the
+        relation count is structural and does not scale with load)."""
+        return replace(
+            self,
+            num_graphs=max(1, int(round(self.num_graphs * factor))),
+            num_nodes=int(round(self.num_nodes * factor)),
+            num_edges=int(round(self.num_edges * factor)),
+        )
+
+    def to_dict(self) -> Mapping[str, int]:
+        return {
+            "graphs": self.num_graphs,
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "relations": self.num_relations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PlanShape":
+        return cls(
+            num_graphs=int(data["graphs"]),
+            num_nodes=int(data["nodes"]),
+            num_edges=int(data["edges"]),
+            num_relations=int(data["relations"]),
+        )
 
 
 @dataclass(frozen=True, eq=False)
@@ -108,6 +197,10 @@ class ExecutionPlan:
             segment_counts=_readonly(counts),
             pool_counts=pool_counts,
         )
+
+    def shape(self) -> PlanShape:
+        """Size features of this plan (see :class:`PlanShape`)."""
+        return PlanShape.from_plan(self)
 
 
 def build_plan(batch: GraphBatch) -> ExecutionPlan:

@@ -49,18 +49,37 @@ fold in a single fold-stacked sweep rather than one forward per member.
 
 from .batcher import BatcherWorkerPool, MicroBatcher, PooledBatcher
 from .cache import CacheEntry, CheckpointDaemon, EmbeddingCache
+from .costmodel import (
+    AdmissionController,
+    CalibrationError,
+    CostModelCalibrator,
+    LatencyCostModel,
+    OverCapacityError,
+    cost_model_summary,
+    estimate_capacity,
+    load_cost_model,
+    save_cost_model,
+)
 from .drift import DriftConfig, detect_drift, label_distribution, total_variation
 from .deployment import (
+    SHED_POLICIES,
+    BatchingConfig,
     DeploymentSpec,
     DeploymentSpecError,
     Predictor,
+    SLOConfig,
+    batching_config_from_dict,
+    batching_config_to_dict,
     deployment_spec_from_dict,
     deployment_spec_to_dict,
+    slo_config_from_dict,
+    slo_config_to_dict,
 )
 from .hub import (
     Deployment,
     DeploymentExistsError,
     DeploymentNotFoundError,
+    DeploymentQuarantinedError,
     HubError,
     ModelHub,
 )
@@ -117,6 +136,22 @@ __all__ = [
     "CacheEntry",
     "CheckpointDaemon",
     "EmbeddingCache",
+    "AdmissionController",
+    "CalibrationError",
+    "CostModelCalibrator",
+    "LatencyCostModel",
+    "OverCapacityError",
+    "cost_model_summary",
+    "estimate_capacity",
+    "load_cost_model",
+    "save_cost_model",
+    "SHED_POLICIES",
+    "BatchingConfig",
+    "SLOConfig",
+    "batching_config_from_dict",
+    "batching_config_to_dict",
+    "slo_config_from_dict",
+    "slo_config_to_dict",
     "DeploymentSpec",
     "DeploymentSpecError",
     "Predictor",
@@ -125,6 +160,7 @@ __all__ = [
     "Deployment",
     "DeploymentExistsError",
     "DeploymentNotFoundError",
+    "DeploymentQuarantinedError",
     "HubError",
     "ModelHub",
     "PredictionHTTPServer",

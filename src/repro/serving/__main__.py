@@ -32,10 +32,17 @@ The installed console script ``repro-serve`` is an alias for this module.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence, Tuple
 
-from .deployment import DeploymentSpec, DeploymentSpecError
+from .costmodel import DEFAULT_COST_MODEL_NAME
+from .deployment import (
+    SHED_POLICIES,
+    DeploymentSpec,
+    DeploymentSpecError,
+    SLOConfig,
+)
 from .ensemble import STRATEGIES
 from .http import (
     DEFAULT_MAX_BODY_BYTES,
@@ -127,6 +134,40 @@ def build_parser() -> argparse.ArgumentParser:
         "(smaller segments, no offline A/B replay)",
     )
     parser.add_argument(
+        "--slo-p95-ms",
+        type=float,
+        metavar="MS",
+        help="p95 latency target applied to every deployment (drives "
+        "deadline-aware batch closing when a cost model is loaded)",
+    )
+    parser.add_argument(
+        "--slo-max-queue-ms",
+        type=float,
+        metavar="MS",
+        help="admission budget: predicted queueing beyond this sheds (429)",
+    )
+    parser.add_argument(
+        "--slo-max-concurrency",
+        type=int,
+        metavar="N",
+        help="admission budget: at most N requests in flight per deployment",
+    )
+    parser.add_argument(
+        "--shed-policy",
+        choices=SHED_POLICIES,
+        default="none",
+        help="'shed' enforces the SLO budgets with structured 429s; "
+        "'none' (default) only reports them in GET /v1/capacity",
+    )
+    parser.add_argument(
+        "--cost-model",
+        metavar="NAME[@VERSION]",
+        help="load a calibrated latency cost model from the registry "
+        f"(bare '@VERSION' pins the default name "
+        f"{DEFAULT_COST_MODEL_NAME!r}; fit one with "
+        "CostModelCalibrator over a journal)",
+    )
+    parser.add_argument(
         "--request-timeout", type=float, default=DEFAULT_REQUEST_TIMEOUT_S
     )
     parser.add_argument("--max-body-bytes", type=int, default=DEFAULT_MAX_BODY_BYTES)
@@ -134,6 +175,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log one line per HTTP request"
     )
     return parser
+
+
+def build_slo(args: argparse.Namespace) -> Optional[SLOConfig]:
+    """The SLO block the CLI flags describe (None when none were given)."""
+    if (
+        args.slo_p95_ms is None
+        and args.slo_max_queue_ms is None
+        and args.slo_max_concurrency is None
+        and args.shed_policy == "none"
+    ):
+        return None
+    try:
+        return SLOConfig(
+            p95_ms=args.slo_p95_ms,
+            max_queue_ms=args.slo_max_queue_ms,
+            max_concurrency=args.slo_max_concurrency,
+            shed_policy=args.shed_policy,
+        )
+    except ValueError as exc:
+        raise DeploymentSpecError(str(exc)) from exc
+
+
+def _parse_cost_model(entry: str) -> Tuple[str, Optional[str]]:
+    """``NAME[@VERSION]`` → (name, version); bare ``@vNNNN`` pins the
+    default cost-model name."""
+    name, separator, version = entry.partition("@")
+    if separator and not version:
+        raise DeploymentSpecError(
+            f"--cost-model takes NAME[@VERSION], got {entry!r}"
+        )
+    return name or DEFAULT_COST_MODEL_NAME, version if separator else None
 
 
 def _parse_model_arg(entry: str, args: argparse.Namespace) -> DeploymentSpec:
@@ -148,6 +220,7 @@ def _parse_model_arg(entry: str, args: argparse.Namespace) -> DeploymentSpec:
         max_wait_s=args.max_wait_ms / 1000.0,
         cache_capacity=args.cache_capacity,
         enable_cache=not args.no_cache,
+        slo=build_slo(args),
     )
     if target.startswith("ensemble:"):
         rest = target[len("ensemble:"):]
@@ -180,6 +253,7 @@ def build_specs(args: argparse.Namespace) -> List[DeploymentSpec]:
         max_wait_s=args.max_wait_ms / 1000.0,
         cache_capacity=args.cache_capacity,
         enable_cache=not args.no_cache,
+        slo=build_slo(args),
     )
     if args.name:
         specs.append(
@@ -222,6 +296,11 @@ def build_hub(args: argparse.Namespace) -> ModelHub:
         journal_dir=args.journal_dir,
         journal_record_graphs=not args.journal_no_graphs,
     )
+    if args.cost_model:
+        # Installed before the specs load, so every deployment's batcher is
+        # born knowing its deadline target.
+        name, version = _parse_cost_model(args.cost_model)
+        hub.reload_cost_model(name, version)
     for spec in build_specs(args):
         hub.load(spec)
     for alias, target in _parse_aliases(args.alias):
@@ -231,25 +310,38 @@ def build_hub(args: argparse.Namespace) -> ModelHub:
     return hub
 
 
+def _fail(code: str, message: str) -> int:
+    """One machine-readable error line on stderr, exit 2 — the same
+    convention as the ``repro-journal`` CLI."""
+    print(
+        json.dumps({"error": {"code": code, "message": message}}, sort_keys=True),
+        file=sys.stderr,
+    )
+    return 2
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.version and not args.name:
-        parser.error("--version requires --name")
+        return _fail("invalid-config", "--version requires --name")
     if not (args.name or args.ensemble or args.model):
-        parser.error("nothing to serve: pass --name, --ensemble, or --model")
-    if args.no_cache and (args.warmup_path or args.checkpoint_path):
-        print(
-            "error: --warmup-path/--checkpoint-path require the cache "
-            "(drop --no-cache)",
-            file=sys.stderr,
+        return _fail(
+            "invalid-config",
+            "nothing to serve: pass --name, --ensemble, or --model",
         )
-        return 2
+    if args.no_cache and (args.warmup_path or args.checkpoint_path):
+        return _fail(
+            "invalid-config",
+            "--warmup-path/--checkpoint-path require the cache "
+            "(drop --no-cache)",
+        )
     try:
         hub = build_hub(args)
+    except DeploymentSpecError as exc:
+        return _fail("invalid-spec", str(exc))
     except (ArtifactError, HubError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _fail("invalid-config", str(exc))
 
     server = PredictionHTTPServer(
         hub,

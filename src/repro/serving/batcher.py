@@ -39,6 +39,39 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from ..concurrency import TrackedCondition
 from .trace import publish_queue_waits, reset_queue_waits
 
+#: Predicts the latency of running one batch of the given items, or
+#: ``None`` to abstain (e.g. no cost model calibrated yet).
+CostEstimator = Callable[[List[Any]], Optional[float]]
+
+
+def _deadline_limit(
+    queue: Sequence[Tuple[Any, Future, float]],
+    max_batch_size: int,
+    cost_estimator: Optional[CostEstimator],
+    latency_target_s: Optional[float],
+) -> int:
+    """Largest head-of-queue batch predicted under the latency target.
+
+    Returns ``max_batch_size`` (no deadline cap) when no estimator/target
+    is bound, when the estimator abstains, or when everything currently
+    queued fits — the window may still grow in that case.  Called with the
+    owning condition held; the estimator must be pure computation.
+    """
+    if cost_estimator is None or latency_target_s is None:
+        return max_batch_size
+    window = [entry[0] for entry in queue[:max_batch_size]]
+    if len(window) <= 1:
+        return max_batch_size
+    limit = 1
+    while limit < len(window):
+        predicted = cost_estimator(window[: limit + 1])
+        if predicted is None:
+            return max_batch_size
+        if predicted > latency_target_s:
+            return limit
+        limit += 1
+    return max_batch_size
+
 
 class MicroBatcher:
     """Groups submitted items and hands them to ``runner`` in batches.
@@ -55,6 +88,8 @@ class MicroBatcher:
         max_wait_s: float = 0.002,
         workers: int = 1,
         fanout: int = 1,
+        cost_estimator: Optional[CostEstimator] = None,
+        latency_target_s: Optional[float] = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -64,9 +99,17 @@ class MicroBatcher:
             raise ValueError("workers must be >= 1")
         if fanout < 1:
             raise ValueError("fanout must be >= 1")
+        if latency_target_s is not None and latency_target_s <= 0:
+            raise ValueError("latency_target_s must be > 0")
         self._runner = runner
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
+        #: deadline-aware closing: with both bound, a forming batch is
+        #: sealed as soon as the estimator predicts one more add would
+        #: exceed the target (the deployment's p95 SLO).
+        self._cost_estimator = cost_estimator
+        self._latency_target_s = latency_target_s
+        self._deadline_sealed = 0
         #: worker threads draining the queue concurrently.  Safe above any
         #: reentrant runner (the engine's stateless inference path); keep at
         #: 1 for strictly deterministic batch formation.
@@ -155,11 +198,13 @@ class MicroBatcher:
         with self._condition:
             batches = self._batches_dispatched
             items = self._items_dispatched
+            sealed = self._deadline_sealed
         return {
             "workers": self.workers,
             "fanout": self.fanout,
             "batches_dispatched": batches,
             "items_dispatched": items,
+            "deadline_sealed": sealed,
         }
 
     # ------------------------------------------------------------- internals
@@ -172,18 +217,36 @@ class MicroBatcher:
                         return None
                     self._condition.wait()
                 deadline = time.monotonic() + self.max_wait_s
-                while len(self._queue) < self.max_batch_size and not self._closed:
+                while not self._closed:
+                    # The cap moves as the queue changes, so recompute it on
+                    # every wake-up rather than once per window.
+                    limit = _deadline_limit(
+                        self._queue,
+                        self.max_batch_size,
+                        self._cost_estimator,
+                        self._latency_target_s,
+                    )
+                    if len(self._queue) >= limit:
+                        break
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         break
                     self._condition.wait(timeout=remaining)
-                batch = self._queue[: self.max_batch_size]
+                limit = _deadline_limit(
+                    self._queue,
+                    self.max_batch_size,
+                    self._cost_estimator,
+                    self._latency_target_s,
+                )
+                batch = self._queue[:limit]
                 if not batch:
                     # Another worker drained the queue while this one waited
                     # out the batching window — go back to sleeping instead
                     # of dispatching (and counting) a phantom empty batch.
                     continue
-                del self._queue[: self.max_batch_size]
+                if limit < self.max_batch_size and len(batch) == limit:
+                    self._deadline_sealed += 1
+                del self._queue[:limit]
                 self._batches_dispatched += 1
                 self._items_dispatched += len(batch)
                 return batch
@@ -274,6 +337,8 @@ class BatcherWorkerPool:
         max_wait_s: float = 0.002,
         workers: int = 1,  # noqa: ARG002 - pool-level; kept for signature parity
         fanout: int = 1,
+        cost_estimator: Optional[CostEstimator] = None,
+        latency_target_s: Optional[float] = None,
     ) -> "PooledBatcher":
         """Drop-in replacement for the :class:`MicroBatcher` constructor.
 
@@ -281,7 +346,13 @@ class BatcherWorkerPool:
         worker threads belong to the pool, not to any one queue.
         """
         return PooledBatcher(
-            self, runner, max_batch_size=max_batch_size, max_wait_s=max_wait_s, fanout=fanout
+            self,
+            runner,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            fanout=fanout,
+            cost_estimator=cost_estimator,
+            latency_target_s=latency_target_s,
         )
 
     # ------------------------------------------------------------ lifecycle
@@ -417,6 +488,8 @@ class PooledBatcher:
         max_batch_size: int = 32,
         max_wait_s: float = 0.002,
         fanout: int = 1,
+        cost_estimator: Optional[CostEstimator] = None,
+        latency_target_s: Optional[float] = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -424,11 +497,16 @@ class PooledBatcher:
             raise ValueError("max_wait_s must be >= 0")
         if fanout < 1:
             raise ValueError("fanout must be >= 1")
+        if latency_target_s is not None and latency_target_s <= 0:
+            raise ValueError("latency_target_s must be > 0")
         self._pool = pool
         self._runner = runner
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
         self.fanout = fanout
+        self._cost_estimator = cost_estimator
+        self._latency_target_s = latency_target_s
+        self._deadline_sealed = 0
         self._queue: List[Tuple[Any, Future, float]] = []
         self._started = False
         self._closed = False
@@ -509,13 +587,22 @@ class PooledBatcher:
                 "fanout": self.fanout,
                 "batches_dispatched": self._batches_dispatched,
                 "items_dispatched": self._items_dispatched,
+                "deadline_sealed": self._deadline_sealed,
                 "pooled": True,
             }
 
     # ------------------------------------------------------------- internals
-    # All three helpers are called by the pool with its condition held.
+    # All helpers below are called by the pool with its condition held.
     def _oldest_enqueue_time(self) -> Optional[float]:
         return self._queue[0][2] if self._queue else None
+
+    def _deadline_limit_locked(self) -> int:
+        return _deadline_limit(
+            self._queue,
+            self.max_batch_size,
+            self._cost_estimator,
+            self._latency_target_s,
+        )
 
     def _dispatchable(self, now: float) -> bool:
         if not self._queue:
@@ -526,11 +613,17 @@ class PooledBatcher:
             return False  # pre-start submits wait for start()
         if len(self._queue) >= self.max_batch_size:
             return True
+        limit = self._deadline_limit_locked()
+        if limit < self.max_batch_size and len(self._queue) >= limit:
+            return True  # deadline-sealed: one more add would blow the SLO
         return now >= self._queue[0][2] + self.max_wait_s
 
     def _pop_batch_locked(self) -> List[Tuple[Any, Future, float]]:
-        batch = list(self._queue[: self.max_batch_size])
-        del self._queue[: self.max_batch_size]
+        limit = self._deadline_limit_locked()
+        batch = list(self._queue[:limit])
+        del self._queue[:limit]
+        if limit < self.max_batch_size and len(batch) == limit:
+            self._deadline_sealed += 1
         self._batches_dispatched += 1
         self._items_dispatched += len(batch)
         self._in_flight += 1

@@ -44,6 +44,111 @@ class DeploymentSpecError(ValueError):
     """A structurally invalid deployment spec (bad name, target, or knob)."""
 
 
+#: admissible ``SLOConfig.shed_policy`` values: ``"none"`` observes only,
+#: ``"shed"`` enforces the budgets with structured 429s.
+SHED_POLICIES: Tuple[str, ...] = ("none", "shed")
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Micro-batching knobs of one deployment (the nested ``batching`` block).
+
+    Subsumes the legacy flat spec knobs: ``max_batch_size`` keeps its name,
+    ``max_wait_s`` becomes ``max_delay_s``, ``batcher_workers`` becomes
+    ``workers``.  The flat spellings still decode (deprecation shims on
+    :class:`DeploymentSpec`), but this block is the canonical wire form.
+    """
+
+    max_batch_size: int = 32
+    max_delay_s: float = 0.002
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_delay_s < 0:
+            raise ValueError("max_delay_s must be >= 0")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Service-level objectives of one deployment (the ``slo`` block).
+
+    ``p95_ms`` is the latency target the cost model seals batches against;
+    ``max_queue_ms``/``max_concurrency`` bound admitted load; and
+    ``shed_policy`` decides whether exceeding the budgets sheds requests
+    (``"shed"`` → structured 429 with ``Retry-After``) or merely shows up
+    in the capacity report (``"none"``, the default).
+    """
+
+    p95_ms: Optional[float] = None
+    max_queue_ms: Optional[float] = None
+    max_concurrency: Optional[int] = None
+    shed_policy: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.p95_ms is not None and self.p95_ms <= 0:
+            raise ValueError("p95_ms must be > 0")
+        if self.max_queue_ms is not None and self.max_queue_ms < 0:
+            raise ValueError("max_queue_ms must be >= 0")
+        if self.max_concurrency is not None and self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed_policy {self.shed_policy!r}; "
+                f"expected one of {SHED_POLICIES}"
+            )
+
+
+def batching_config_to_dict(config: BatchingConfig) -> Dict[str, object]:
+    return {
+        "max_batch_size": config.max_batch_size,
+        "max_delay_s": config.max_delay_s,
+        "workers": config.workers,
+    }
+
+
+def batching_config_from_dict(data: object) -> BatchingConfig:
+    if not isinstance(data, dict):
+        raise DeploymentSpecError(
+            f"'batching' must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - {"max_batch_size", "max_delay_s", "workers"})
+    if unknown:
+        raise DeploymentSpecError(f"'batching' has unknown field(s) {unknown}")
+    try:
+        return BatchingConfig(**data)
+    except (TypeError, ValueError) as exc:
+        raise DeploymentSpecError(f"invalid 'batching' block: {exc}") from exc
+
+
+def slo_config_to_dict(config: SLOConfig) -> Dict[str, object]:
+    return {
+        "p95_ms": config.p95_ms,
+        "max_queue_ms": config.max_queue_ms,
+        "max_concurrency": config.max_concurrency,
+        "shed_policy": config.shed_policy,
+    }
+
+
+def slo_config_from_dict(data: object) -> SLOConfig:
+    if not isinstance(data, dict):
+        raise DeploymentSpecError(
+            f"'slo' must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = sorted(
+        set(data) - {"p95_ms", "max_queue_ms", "max_concurrency", "shed_policy"}
+    )
+    if unknown:
+        raise DeploymentSpecError(f"'slo' has unknown field(s) {unknown}")
+    try:
+        return SLOConfig(**data)
+    except (TypeError, ValueError) as exc:
+        raise DeploymentSpecError(f"invalid 'slo' block: {exc}") from exc
+
+
 def validate_deployment_name(name: str) -> str:
     """Check one deployment/alias name (they share a URL namespace)."""
     if not isinstance(name, str) or not _DEPLOYMENT_NAME_PATTERN.fullmatch(name):
@@ -90,9 +195,16 @@ class DeploymentSpec:
     ensemble) must be set.  ``version`` pins a single-artifact deployment to
     a concrete registry version (``"latest"``/``None`` tracks the newest —
     re-resolved on every :meth:`~repro.serving.hub.ModelHub.reload`);
-    ensemble members always serve their latest versions.  The remaining
-    fields are the familiar serving knobs, identical in meaning to the
-    legacy ``ServiceConfig``/``EnsembleConfig`` fields they subsume.
+    ensemble members always serve their latest versions.
+
+    Batching knobs live in the nested ``batching`` block
+    (:class:`BatchingConfig`); service-level objectives in the ``slo`` block
+    (:class:`SLOConfig`).  The flat ``max_batch_size``/``max_wait_s``/
+    ``batcher_workers`` fields are **deprecated** spellings kept for
+    compatibility: setting any of them folds into a ``batching`` block
+    (setting both spellings at once is an error), and after construction
+    the flat fields always mirror the folded block, so existing readers
+    keep working unchanged.
     """
 
     name: str
@@ -101,16 +213,27 @@ class DeploymentSpec:
     version: Optional[str] = None
     strategy: str = "mean-softmax"
     folds: Optional[Tuple[int, ...]] = None
-    max_batch_size: int = 32
-    max_wait_s: float = 0.002
+    #: deprecated — use ``batching.max_batch_size``.
+    max_batch_size: Optional[int] = None
+    #: deprecated — use ``batching.max_delay_s``.
+    max_wait_s: Optional[float] = None
     cache_capacity: int = 1024
     enable_cache: bool = True
     latency_window: int = 4096
-    batcher_workers: int = 1
+    #: deprecated — use ``batching.workers``.
+    batcher_workers: Optional[int] = None
     warmup_path: Optional[str] = None
+    batching: Optional[BatchingConfig] = None
+    slo: Optional[SLOConfig] = None
 
     def __post_init__(self) -> None:
         validate_deployment_name(self.name)
+        self._fold_batching_knobs()
+        if self.slo is not None and not isinstance(self.slo, SLOConfig):
+            raise DeploymentSpecError(
+                f"deployment {self.name!r}: 'slo' must be an SLOConfig "
+                f"(decode wire data with deployment_spec_from_dict)"
+            )
         if (self.artifact is None) == (self.fold_group is None):
             raise DeploymentSpecError(
                 f"deployment {self.name!r} must set exactly one of 'artifact' "
@@ -148,6 +271,61 @@ class DeploymentSpec:
             validate_frontend_knobs(self)
         except ValueError as exc:
             raise DeploymentSpecError(f"deployment {self.name!r}: {exc}") from exc
+
+    def _fold_batching_knobs(self) -> None:
+        """Normalise batching knobs: one canonical ``batching`` block.
+
+        Legacy flat knobs fold into the block; mixing spellings is
+        rejected (which knob wins would otherwise be silent).  After
+        folding, the flat fields mirror the block, so a spec built either
+        way compares (and serves) identically.
+        """
+        if self.batching is not None and not isinstance(
+            self.batching, BatchingConfig
+        ):
+            raise DeploymentSpecError(
+                f"deployment {self.name!r}: 'batching' must be a "
+                f"BatchingConfig (decode wire data with "
+                f"deployment_spec_from_dict)"
+            )
+        legacy = {
+            "max_batch_size": self.max_batch_size,
+            "max_wait_s": self.max_wait_s,
+            "batcher_workers": self.batcher_workers,
+        }
+        legacy_set = sorted(
+            knob for knob, value in legacy.items() if value is not None
+        )
+        if self.batching is not None and legacy_set:
+            raise DeploymentSpecError(
+                f"deployment {self.name!r}: legacy knob(s) {legacy_set} "
+                f"conflict with the 'batching' block — set one or the other"
+            )
+        batching = self.batching
+        if batching is None:
+            try:
+                batching = BatchingConfig(
+                    max_batch_size=(
+                        32 if self.max_batch_size is None else self.max_batch_size
+                    ),
+                    max_delay_s=(
+                        0.002 if self.max_wait_s is None else self.max_wait_s
+                    ),
+                    workers=(
+                        1 if self.batcher_workers is None else self.batcher_workers
+                    ),
+                )
+            except ValueError as exc:
+                message = str(exc).replace("max_delay_s", "max_wait_s").replace(
+                    "workers", "batcher_workers"
+                )
+                raise DeploymentSpecError(
+                    f"deployment {self.name!r}: {message}"
+                ) from exc
+            object.__setattr__(self, "batching", batching)
+        object.__setattr__(self, "max_batch_size", batching.max_batch_size)
+        object.__setattr__(self, "max_wait_s", batching.max_delay_s)
+        object.__setattr__(self, "batcher_workers", batching.workers)
 
     # ------------------------------------------------------------ properties
     @property
@@ -201,12 +379,13 @@ def deployment_spec_to_dict(spec: DeploymentSpec) -> Dict[str, object]:
         "version": spec.version,
         "strategy": spec.strategy,
         "folds": list(spec.folds) if spec.folds is not None else None,
-        "max_batch_size": spec.max_batch_size,
-        "max_wait_s": spec.max_wait_s,
+        "batching": batching_config_to_dict(spec.batching)
+        if spec.batching is not None
+        else None,
+        "slo": slo_config_to_dict(spec.slo) if spec.slo is not None else None,
         "cache_capacity": spec.cache_capacity,
         "enable_cache": spec.enable_cache,
         "latency_window": spec.latency_window,
-        "batcher_workers": spec.batcher_workers,
         "warmup_path": spec.warmup_path,
     }
 
@@ -247,6 +426,14 @@ def deployment_spec_from_dict(
         payload["folds"] = tuple(folds)
     if "name" not in payload or payload["name"] is None:
         raise DeploymentSpecError("deployment spec is missing required field 'name'")
+    if payload.get("batching") is not None and not isinstance(
+        payload["batching"], BatchingConfig
+    ):
+        payload["batching"] = batching_config_from_dict(payload["batching"])
+    if payload.get("slo") is not None and not isinstance(
+        payload["slo"], SLOConfig
+    ):
+        payload["slo"] = slo_config_from_dict(payload["slo"])
     try:
         return DeploymentSpec(**payload)
     except TypeError as exc:

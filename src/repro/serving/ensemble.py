@@ -64,8 +64,9 @@ class EnsembleConfig:
         :class:`~repro.serving.deployment.DeploymentSpec` (``fold_group=``
         + ``strategy=``) and serve them through a
         :class:`~repro.serving.hub.ModelHub`, which subsumes these knobs
-        (and ``ServiceConfig``'s) in one record.  This class keeps working
-        for directly-embedded ensembles.
+        (and ``ServiceConfig``'s) in one record — batching knobs live in
+        the spec's nested :class:`~repro.serving.deployment.BatchingConfig`
+        block.  This class keeps working for directly-embedded ensembles.
     """
 
     strategy: str = "mean-softmax"

@@ -59,11 +59,13 @@ from typing import Callable, Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs
 
 from .cache import CheckpointDaemon
+from .costmodel import OverCapacityError, retry_after_header
 from .deployment import DeploymentSpecError, deployment_spec_from_dict
 from .ensemble import EnsemblePredictionResult
 from .hub import (
     DeploymentExistsError,
     DeploymentNotFoundError,
+    DeploymentQuarantinedError,
     HubError,
     ModelHub,
 )
@@ -101,6 +103,9 @@ Headers = Dict[str, str]
 #: introducing a new error path.
 ERROR_CODES = {
     "artifact-not-found": "a model artifact referenced by a spec is missing",
+    "deployment-quarantined": (
+        "the deployment is operator-fenced; traffic 503s until unquarantined"
+    ),
     "hub-error": "the hub rejected the operation in its current state",
     "internal": "unexpected server-side failure; message carries the type",
     "invalid-graph": "a graph payload failed structural validation",
@@ -112,6 +117,10 @@ ERROR_CODES = {
     "model-exists": "a deployment with this name is already loaded",
     "model-not-found": "no deployment with this name is loaded",
     "not-found": "no route matches the request path",
+    "over-capacity": (
+        "the deployment's admission budget is exhausted; retry after the "
+        "Retry-After delay"
+    ),
     "payload-too-large": "the declared body size exceeds the configured limit",
     "timeout": "the prediction did not complete within the request deadline",
     "unsupported-format": "an unknown serialization format was requested",
@@ -126,11 +135,18 @@ def error_payload(status: int, code: str, message: str) -> Dict[str, object]:
 class RequestError(Exception):
     """A client-side problem, mapped onto one structured 4xx response."""
 
-    def __init__(self, status: int, code: str, message: str):
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        headers: Optional[Headers] = None,
+    ):
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.headers: Headers = dict(headers or {})
 
     def payload(self) -> Dict[str, object]:
         return error_payload(self.status, self.code, self.message)
@@ -284,9 +300,19 @@ class ServingApp:
             )
             return 200, payload, headers
         except RequestError as exc:
-            return exc.status, exc.payload(), {}
+            return exc.status, exc.payload(), exc.headers
+        except OverCapacityError as exc:
+            # Shed, not failed: the admission budget said no.  Retry-After
+            # tells well-behaved clients when a slot should free up.
+            return (
+                429,
+                error_payload(429, "over-capacity", str(exc)),
+                {"Retry-After": retry_after_header(exc.retry_after_s)},
+            )
         except DeploymentNotFoundError as exc:
             return 404, error_payload(404, "model-not-found", str(exc)), {}
+        except DeploymentQuarantinedError as exc:
+            return 503, error_payload(503, "deployment-quarantined", str(exc)), {}
         except ArtifactNotFoundError as exc:
             return 404, error_payload(404, "artifact-not-found", str(exc)), {}
         except DeploymentExistsError as exc:
@@ -309,6 +335,8 @@ class ServingApp:
             return {"GET": lambda body: self.metrics(query.get("format"))}
         if path == "/v1/predict":
             return {"POST": lambda body: self.predict(body, model=None)}
+        if path == "/v1/capacity":
+            return {"GET": lambda body: self.hub.capacity_report()}
         if path == "/v1/models":
             return {"GET": lambda body: self.list_models()}
         prefix = "/v1/models/"
@@ -327,8 +355,12 @@ class ServingApp:
             return {"POST": lambda body: self.predict(body, model=name)}
         if action == "metrics":
             return {"GET": lambda body: self.model_metrics(name)}
+        if action == "capacity":
+            return {"GET": lambda body: self.hub.capacity_report(name)}
         if action == "drift":
             return {"GET": lambda body: self.hub.model_drift(name)}
+        if action == "quarantine":
+            return {"POST": lambda body: self.admin_quarantine(name, body)}
         if action == "load":
             return {"POST": lambda body: self.admin_load(name, body)}
         if action == "unload":
@@ -407,8 +439,9 @@ class ServingApp:
         return {"model": deployment.name, "stats": deployment.predictor.snapshot()}
 
     def predict(self, body: Optional[bytes], model: Optional[str]) -> Dict[str, object]:
-        # Resolve before parsing the body: an unknown model 404s fast.
-        predictor = self.hub.resolve(model).predictor
+        # Resolve before parsing the body: an unknown (or quarantined)
+        # model 404s/503s fast, before any decode work.
+        predictor = self.hub.resolve_for_predict(model).predictor
         decode_start = time.perf_counter()
         payload = self._parse_body(body)
         include_trace = payload.get("trace", False)
@@ -449,7 +482,15 @@ class ServingApp:
         # as one pass, so each result reports what its request paid.
         decode_s = time.perf_counter() - decode_start
         self._record_decode(predictor, decode_s)
-        results = predictor.predict_many(graphs)
+        # Batch bodies bypass submit(), so the admission budget is charged
+        # here (one slot per graph); over-budget raises OverCapacityError,
+        # mapped onto the structured 429 in handle().
+        guard = getattr(predictor, "admission_guard", None)
+        if guard is not None:
+            with guard(len(graphs)):
+                results = predictor.predict_many(graphs)
+        else:
+            results = predictor.predict_many(graphs)
         for result in results:
             self._attach_decode(result, decode_s)
         return {
@@ -504,6 +545,33 @@ class ServingApp:
     def admin_unload(self, name: str) -> Dict[str, object]:
         deployment = self.hub.unload(name)
         return {"unloaded": deployment.name}
+
+    def admin_quarantine(self, name: str, body: Optional[bytes]) -> Dict[str, object]:
+        """``POST /v1/models/<name>/quarantine`` with ``{"quarantined":
+        true, "reason": ...}`` — fence a deployment off from prediction
+        traffic (it 503s until ``{"quarantined": false}``) without losing
+        its cache namespace, stats, or journal binding."""
+        payload = self._parse_json_object(body)
+        unknown = sorted(set(payload) - {"quarantined", "reason"})
+        if unknown:
+            raise RequestError(400, "invalid-request", f"unknown field(s) {unknown}")
+        quarantined = payload.get("quarantined")
+        if not isinstance(quarantined, bool):
+            raise RequestError(
+                400, "invalid-request", "'quarantined' must be a boolean"
+            )
+        reason = payload.get("reason", "operator request")
+        if not isinstance(reason, str):
+            raise RequestError(400, "invalid-request", "'reason' must be a string")
+        deployment = self.hub.resolve(name)
+        if quarantined:
+            self.hub.quarantine(deployment.name, reason)
+        else:
+            self.hub.unquarantine(deployment.name)
+        return {
+            "model": deployment.name,
+            "quarantined": self.hub.quarantined().get(deployment.name) is not None,
+        }
 
     def admin_reload(self, name: str) -> Dict[str, object]:
         deployment = self.hub.reload(name)

@@ -40,12 +40,19 @@ from __future__ import annotations
 
 import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from ..concurrency import TrackedRLock
 from .batcher import BatcherWorkerPool
 from .cache import CheckpointDaemon, EmbeddingCache
+from .costmodel import (
+    DEFAULT_COST_MODEL_NAME,
+    LatencyCostModel,
+    cost_model_summary,
+    load_cost_model,
+)
 from .deployment import (
     DeploymentSpec,
     DeploymentSpecError,
@@ -61,6 +68,15 @@ from .service import PredictionService, ServingFrontend
 from .stats import aggregate_snapshots
 
 
+def _admission_guard(predictor: Predictor, count: int):
+    """The predictor's sync admission guard, or a no-op for predictors
+    (adopted stubs, remote proxies) that don't budget admission."""
+    guard = getattr(predictor, "admission_guard", None)
+    if guard is None:
+        return nullcontext()
+    return guard(count)
+
+
 class HubError(RuntimeError):
     """Base class for hub failures (invalid mutation, no registry, ...)."""
 
@@ -71,6 +87,10 @@ class DeploymentNotFoundError(HubError):
 
 class DeploymentExistsError(HubError):
     """The requested deployment/alias name is already taken."""
+
+
+class DeploymentQuarantinedError(HubError):
+    """The deployment exists but an operator fenced it off from traffic."""
 
 
 @dataclass
@@ -121,6 +141,7 @@ class ModelHub:
         journal_dir: Optional[str] = None,
         journal_record_graphs: bool = True,
         drift_config: Optional[DriftConfig] = None,
+        cost_model: Optional[LatencyCostModel] = None,
     ):
         if isinstance(registry, str):
             registry = ArtifactRegistry(registry)
@@ -157,9 +178,11 @@ class ModelHub:
             else None
         )
         self.drift_config = drift_config or DriftConfig()
+        self._cost_model = cost_model
         self._lock = TrackedRLock("hub.routing")
         self._deployments: Dict[str, Deployment] = {}
         self._aliases: Dict[str, str] = {}
+        self._quarantined: Dict[str, str] = {}
         self._default: Optional[str] = None
         self._started = False
         self._created_monotonic = time.monotonic()
@@ -219,6 +242,7 @@ class ModelHub:
                     f"repoint or drop them before unloading"
                 )
             del self._deployments[name]
+            self._quarantined.pop(name, None)
             if self._default == name:
                 remaining = list(self._deployments)
                 # Deterministic: a sole survivor inherits the default
@@ -283,6 +307,71 @@ class ModelHub:
                 raise DeploymentNotFoundError(f"no deployment named {name!r}")
             self._default = name
 
+    # ------------------------------------------------- cost model & fencing
+    def set_cost_model(self, model: Optional[LatencyCostModel]) -> None:
+        """Install (or clear) the calibrated latency cost model, hub-wide.
+
+        Every loaded deployment that understands SLOs is rebound
+        immediately — deadline-aware batch closing and admission budgets
+        pick up the new calibration without a reload.  Deployments loaded
+        later get the model at build time.
+        """
+        with self._lock:
+            self._cost_model = model
+            deployments = list(self._deployments.values())
+        for deployment in deployments:
+            bind = getattr(deployment.predictor, "bind_slo", None)
+            if bind is None:
+                continue
+            spec = deployment.spec
+            slo = (
+                spec.slo
+                if spec is not None
+                else getattr(deployment.predictor, "_slo", None)
+            )
+            bind(slo, model)
+
+    def reload_cost_model(
+        self,
+        name: str = DEFAULT_COST_MODEL_NAME,
+        version: Optional[str] = None,
+    ) -> LatencyCostModel:
+        """Hot-reload the cost model from the registry and rebind everyone."""
+        if self.registry is None:
+            raise HubError(
+                "this hub has no registry; construct it with one to load "
+                "cost-model artifacts"
+            )
+        model = load_cost_model(self.registry, name, version)
+        self.set_cost_model(model)
+        return model
+
+    @property
+    def cost_model(self) -> Optional[LatencyCostModel]:
+        with self._lock:
+            return self._cost_model
+
+    def quarantine(self, name: str, reason: str = "operator request") -> None:
+        """Fence ``name`` off from prediction traffic without unloading it.
+
+        Quarantined deployments keep their state (cache namespace, stats,
+        journal binding) and answer admin/introspection routes, but every
+        predict/submit resolves to a structured 503 until
+        :meth:`unquarantine`.
+        """
+        deployment = self.resolve(name)
+        with self._lock:
+            self._quarantined[deployment.name] = str(reason)
+
+    def unquarantine(self, name: str) -> None:
+        deployment = self.resolve(name)
+        with self._lock:
+            self._quarantined.pop(deployment.name, None)
+
+    def quarantined(self) -> Dict[str, str]:
+        with self._lock:
+            return dict(self._quarantined)
+
     # ------------------------------------------------------------- routing
     def resolve(self, name: Optional[str] = None) -> Deployment:
         """Deployment for ``name`` (a deployment name, an alias, or ``None``
@@ -307,14 +396,32 @@ class ModelHub:
                 )
             return deployment
 
+    def resolve_for_predict(self, name: Optional[str] = None) -> Deployment:
+        """:meth:`resolve`, then enforce the quarantine fence — the lookup
+        every prediction route must use."""
+        deployment = self.resolve(name)
+        with self._lock:
+            reason = self._quarantined.get(deployment.name)
+        if reason is not None:
+            raise DeploymentQuarantinedError(
+                f"deployment {deployment.name!r} is quarantined: {reason}"
+            )
+        return deployment
+
     def predict(self, name: Optional[str], request):
-        return self.resolve(name).predictor.predict(request)
+        predictor = self.resolve_for_predict(name).predictor
+        with _admission_guard(predictor, 1):
+            return predictor.predict(request)
 
     def predict_many(self, name: Optional[str], requests):
-        return self.resolve(name).predictor.predict_many(requests)
+        predictor = self.resolve_for_predict(name).predictor
+        with _admission_guard(predictor, len(requests)):
+            return predictor.predict_many(requests)
 
     def submit(self, name: Optional[str], request):
-        return self.resolve(name).predictor.submit(request)
+        # submit() runs its own admission acquire (released when the future
+        # resolves), so only the quarantine fence applies here.
+        return self.resolve_for_predict(name).predictor.submit(request)
 
     # ---------------------------------------------------------- introspection
     def names(self) -> List[str]:
@@ -426,6 +533,46 @@ class ModelHub:
             "checkpoint": self.checkpoint.stats() if self.checkpoint is not None else None,
         }
 
+    def capacity_report(self, name: Optional[str] = None) -> Dict[str, object]:
+        """Predicted vs measured operating point of the hub (or one model).
+
+        Served on ``GET /v1/capacity`` (all deployments) and
+        ``GET /v1/models/<name>/capacity`` (one).  Each entry is the
+        frontend's :meth:`~repro.serving.service.ServingFrontend.capacity`
+        verdict plus the hub-level quarantine flag; the report footer
+        carries the cost-model identity and the summed sustainable QPS the
+        calibration predicts for the current mix.
+        """
+        if name is not None:
+            targets = [self.resolve(name)]
+        else:
+            with self._lock:
+                targets = [
+                    self._deployments[key] for key in sorted(self._deployments)
+                ]
+        with self._lock:
+            quarantined = dict(self._quarantined)
+            cost_model = self._cost_model
+        models: Dict[str, object] = {}
+        total_qps = 0.0
+        any_qps = False
+        for deployment in targets:
+            capacity = getattr(deployment.predictor, "capacity", None)
+            entry: Dict[str, object] = capacity() if capacity is not None else {}
+            entry["quarantined"] = quarantined.get(deployment.name)
+            models[deployment.name] = entry
+            predicted = entry.get("predicted")
+            if isinstance(predicted, dict):
+                qps = predicted.get("sustainable_qps")
+                if isinstance(qps, (int, float)):
+                    total_qps += float(qps)
+                    any_qps = True
+        return {
+            "models": models,
+            "cost_model": cost_model_summary(cost_model),
+            "total_sustainable_qps": total_qps if any_qps else None,
+        }
+
     def model_drift(self, name: Optional[str] = None) -> Dict[str, object]:
         """Drift verdict for one deployment, from the journal's live tail.
 
@@ -507,6 +654,11 @@ class ModelHub:
             )
         # All hub-built deployments share one worker pool.
         predictor._batcher_factory = self.pool.batcher_factory
+        # Bound before install: the batcher this predictor builds on first
+        # traffic must already know its deadline target.
+        with self._lock:
+            cost_model = self._cost_model
+        predictor.bind_slo(spec.slo, cost_model)
         return predictor
 
     def _install(

@@ -42,7 +42,7 @@ import re
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -484,3 +484,73 @@ class JournalReader:
             ),
             "torn_tails": list(self.torn_tails),
         }
+
+    def calibration_rows(
+        self, model: Optional[str] = None
+    ) -> List[Dict[str, float]]:
+        """One row per journalled *batch*, ready for cost-model fitting.
+
+        See the module-level :func:`calibration_rows` for the extraction
+        contract; this simply feeds it the reader's records.
+        """
+        return calibration_rows(self.records(model=model))
+
+
+def calibration_rows(
+    records: Iterable[Dict[str, object]], model: Optional[str] = None
+) -> List[Dict[str, float]]:
+    """Deduplicate per-request journal records into per-batch feature rows.
+
+    The frontends journal one record per *request*; every member of a
+    micro-batch shares its batch's ``stages`` spans and a ``batch`` block
+    carrying the collated shape plus a process-wide sequence number.  The
+    cost-model calibrator needs one observation per batch, so rows are
+    keyed on ``(model, artifact, batch.seq)`` and cache hits (which never
+    ran a batch) are skipped.  Each row carries the shape features
+    (``graphs``/``nodes``/``edges``/``relations``/``folds``) and the
+    measured targets (``plan_build_s``/``infer_s``/``batch_latency_s``).
+    """
+    rows: Dict[object, Dict[str, float]] = {}
+    for record in records:
+        if not isinstance(record, dict):
+            continue
+        if model is not None and record.get("model") != model:
+            continue
+        if record.get("cache_hit"):
+            continue
+        batch = record.get("batch")
+        stages = record.get("stages")
+        latency = record.get("latency_s")
+        if not isinstance(batch, dict) or not isinstance(stages, dict):
+            continue
+        sequence = batch.get("seq")
+        plan_build = stages.get("plan_build_s")
+        infer = stages.get("infer_s")
+        numeric = (
+            batch.get("graphs"),
+            batch.get("nodes"),
+            batch.get("edges"),
+            batch.get("relations"),
+            plan_build,
+            infer,
+            latency,
+        )
+        if sequence is None or any(
+            not isinstance(value, (int, float)) or isinstance(value, bool)
+            for value in numeric
+        ):
+            continue
+        key = (record.get("model"), record.get("artifact"), sequence)
+        if key in rows:
+            continue
+        rows[key] = {
+            "graphs": float(batch["graphs"]),
+            "nodes": float(batch["nodes"]),
+            "edges": float(batch["edges"]),
+            "relations": float(batch["relations"]),
+            "folds": float(batch.get("folds", 1) or 1),
+            "plan_build_s": float(plan_build),
+            "infer_s": float(infer),
+            "batch_latency_s": float(latency),
+        }
+    return list(rows.values())

@@ -22,9 +22,11 @@ Requests may be pre-encoded (:class:`EncodedGraph`) or raw
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import time
 from concurrent.futures import Future
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -33,7 +35,7 @@ import numpy as np
 from ..concurrency import TrackedLock
 from ..core.hybrid_model import HybridStaticDynamicClassifier
 from ..core.labeling import LabelSpace
-from ..engine import build_plan
+from ..engine import PlanShape, build_plan
 from ..gnn.losses import softmax
 from ..gnn.model import StaticRGCNModel
 from ..graphs.batching import collate
@@ -43,12 +45,23 @@ from ..graphs.graph import ProgramGraph
 from ..numasim.configuration import Configuration
 from .batcher import MicroBatcher
 from .cache import EmbeddingCache
+from .costmodel import (
+    LatencyCostModel,
+    OverCapacityError,
+    build_admission,
+    estimate_capacity,
+)
 from .registry import ArtifactRef, ArtifactRegistry, LoadedArtifact
 from .stats import ServingStats
 from .trace import consume_queue_waits, span
 
 #: a serving request: an already-encoded graph or a raw program graph.
 Request = Union[EncodedGraph, ProgramGraph]
+
+#: Process-wide micro-batch sequence numbers.  Every member of one forward
+#: batch journals the same ``batch.seq``, which is what lets the cost-model
+#: calibrator deduplicate per-request records back into per-batch rows.
+_BATCH_SEQ = itertools.count(1)
 
 
 @dataclass
@@ -151,6 +164,107 @@ class ServingFrontend:
         self._journal = None
         self._journal_model: Optional[str] = None
         self._journal_artifact: Optional[str] = None
+        #: SLO + cost-model bindings (see :meth:`bind_slo`): the latency
+        #: target drives deadline-aware batch closing, the admission
+        #: controller sheds load the budgets cannot absorb.  All ``None``
+        #: by default — an unbound frontend behaves exactly as before.
+        self._slo = None
+        self._cost_model: Optional[LatencyCostModel] = None
+        self._latency_target_s: Optional[float] = None
+        self._admission = None
+
+    def bind_slo(self, slo, cost_model: Optional[LatencyCostModel] = None) -> None:
+        """Attach a deployment SLO (and optionally a calibrated cost model).
+
+        ``slo`` is duck-typed (``p95_ms`` / ``max_queue_ms`` /
+        ``max_concurrency`` / ``shed_policy`` attributes — the hub passes a
+        :class:`~repro.serving.deployment.SLOConfig`).  Rebinding is safe
+        under load: predictions read ``self._cost_model`` at call time, so
+        a hot-reloaded calibration takes effect on the next batch.  The
+        batcher's latency target is only picked up by batchers created
+        after the bind, which is why the hub binds before installing.
+        """
+        self._slo = slo
+        self._cost_model = cost_model
+        p95_ms = getattr(slo, "p95_ms", None) if slo is not None else None
+        self._latency_target_s = p95_ms / 1000.0 if p95_ms else None
+        self._admission = build_admission(
+            slo,
+            cost_model,
+            folds=self._fold_fanout(),
+            max_batch_size=self.config.max_batch_size,
+            name=self._journal_model or "frontend",
+        )
+
+    def _estimate_batch_cost(self, items: List[EncodedGraph]) -> Optional[float]:
+        """Predicted latency of one batch of encoded graphs (the batcher's
+        cost estimator); ``None`` until a cost model is bound."""
+        model = self._cost_model
+        if model is None:
+            return None
+        return model.predict_batch_latency(
+            PlanShape.of_encoded(items), folds=self._fold_fanout()
+        )
+
+    @contextmanager
+    def admission_guard(self, count: int = 1):
+        """Reserve ``count`` admission slots for a sync call (no-op when no
+        admission budget is bound).  Shed requests are counted in stats."""
+        admission = self._admission
+        if admission is None:
+            yield
+            return
+        try:
+            admission.acquire(count)
+        except OverCapacityError:
+            self.stats.record_shed(count)
+            raise
+        try:
+            yield
+        finally:
+            admission.release(count)
+
+    def capacity(self) -> Dict[str, object]:
+        """Predicted vs measured operating point of this frontend.
+
+        One entry of ``hub.capacity_report()``: the SLO knobs, the cost
+        model's predicted sustainable throughput (``None`` until a model is
+        bound), the measured p95 and whether it honours the target.
+        """
+        slo = self._slo
+        model = self._cost_model
+        measured_p95_s = self.stats.latency_percentile(95)
+        target_s = self._latency_target_s
+        entry: Dict[str, object] = {
+            "slo": (
+                {
+                    "p95_ms": getattr(slo, "p95_ms", None),
+                    "max_queue_ms": getattr(slo, "max_queue_ms", None),
+                    "max_concurrency": getattr(slo, "max_concurrency", None),
+                    "shed_policy": getattr(slo, "shed_policy", "none"),
+                }
+                if slo is not None
+                else None
+            ),
+            "folds": self._fold_fanout(),
+            "max_batch_size": self.config.max_batch_size,
+            "measured_p95_s": measured_p95_s,
+            "within_slo": (
+                bool(measured_p95_s <= target_s) if target_s is not None else None
+            ),
+            "admission": (
+                self._admission.stats() if self._admission is not None else None
+            ),
+            "predicted": None,
+        }
+        if model is not None:
+            entry["predicted"] = estimate_capacity(
+                model,
+                folds=self._fold_fanout(),
+                max_batch_size=self.config.max_batch_size,
+                p95_target_s=target_s,
+            )
+        return entry
 
     def bind_journal(self, journal, model_name: str) -> None:
         """Attach a prediction journal; every answered request is recorded.
@@ -223,9 +337,24 @@ class ServingFrontend:
             trace["cache_lookup_s"] = lookup_latency
 
         batch_sizes = [0] * len(encoded)  # 0 = answered from cache
+        batch_infos: List[Optional[Dict[str, int]]] = [None] * len(encoded)
         for offset in range(0, len(pending), self.config.max_batch_size):
             chunk = pending[offset : offset + self.config.max_batch_size]
-            batch = collate([encoded[i] for i in chunk])
+            chunk_graphs = [encoded[i] for i in chunk]
+            batch = collate(chunk_graphs)
+            # The collated shape, journalled with every member of the batch:
+            # the cost-model calibrator's features.  Computed from the
+            # encoded graphs (not the built plan) so calibration and the
+            # batcher's pre-collation predictions share one feature scale.
+            shape = PlanShape.of_encoded(chunk_graphs)
+            batch_info = {
+                "seq": next(_BATCH_SEQ),
+                "graphs": shape.num_graphs,
+                "nodes": shape.num_nodes,
+                "edges": shape.num_edges,
+                "relations": shape.num_relations,
+                "folds": self._fold_fanout(),
+            }
             batch_trace: Dict[str, float] = {}
             logits_rows, vector_rows = self._forward_batch(
                 batch, len(chunk), batch_trace
@@ -239,6 +368,7 @@ class ServingFrontend:
                 for duplicate in seen_pending[fingerprint]:
                     rows[duplicate] = row
                     batch_sizes[duplicate] = len(chunk)
+                    batch_infos[duplicate] = batch_info
                     traces[duplicate].update(batch_trace)
                 if self.cache is not None:
                     self.cache.put(self._cache_key(fingerprint), row[0], row[1])
@@ -279,6 +409,10 @@ class ServingFrontend:
                         "agreement": getattr(result, "agreement", None),
                         "cache_hit": bool(hit_flags[i]),
                         "batch_size": batch_sizes[i],
+                        # Collated shape of this request's batch (None for
+                        # cache hits, which ran no batch) — the cost-model
+                        # calibrator's per-batch features.
+                        "batch": batch_infos[i],
                         "latency_s": float(latencies[i]),
                         "stages": dict(traces[i]),
                         # Raw graph (serialized off the hot path by the
@@ -351,6 +485,12 @@ class ServingFrontend:
                 max_wait_s=self.config.max_wait_s,
                 workers=getattr(self.config, "batcher_workers", 1),
                 fanout=self._fold_fanout(),
+                # Deadline-aware closing: the estimator reads the *current*
+                # cost model at call time, so a hot-reloaded calibration
+                # applies without rebuilding the batcher.  Inert until both
+                # a model and a p95 target are bound.
+                cost_estimator=self._estimate_batch_cost,
+                latency_target_s=self._latency_target_s,
             )
         return self._batcher
 
@@ -371,13 +511,31 @@ class ServingFrontend:
         rejected here, before they can poison a whole micro-batch.
         """
         encoded = self._encode(request)
-        # Enqueue under the lock so a concurrent stop() cannot close the
-        # batcher between the lookup and the submit.
-        with self._batcher_lock:
-            batcher = self._ensure_batcher_locked()
-            if self._auto_start:
-                batcher.start()
-            return batcher.submit(encoded)
+        # Admission first: a shed request must never occupy queue space.
+        # The slot is held until the future resolves (the batcher ran or
+        # failed it), so inflight == queued + running.
+        admission = self._admission
+        if admission is not None:
+            try:
+                admission.acquire(1)
+            except OverCapacityError:
+                self.stats.record_shed(1)
+                raise
+        try:
+            # Enqueue under the lock so a concurrent stop() cannot close the
+            # batcher between the lookup and the submit.
+            with self._batcher_lock:
+                batcher = self._ensure_batcher_locked()
+                if self._auto_start:
+                    batcher.start()
+                future = batcher.submit(encoded)
+        except BaseException:
+            if admission is not None:
+                admission.release(1)
+            raise
+        if admission is not None:
+            future.add_done_callback(lambda _future: admission.release(1))
+        return future
 
     def stop(self) -> None:
         """Drain queued requests and stop the micro-batching thread."""
@@ -405,6 +563,8 @@ class ServingFrontend:
         with self._batcher_lock:
             batcher = self._batcher
         snapshot["batcher"] = batcher.telemetry() if batcher is not None else None
+        if self._admission is not None:
+            snapshot["admission"] = self._admission.stats()
         return snapshot
 
     def describe(self) -> Dict[str, object]:

@@ -44,6 +44,7 @@ def aggregate_snapshots(
     models = 0
     total_requests = 0
     cache_hits = 0
+    shed_requests = 0
     total_batches = 0
     batched_graphs = 0.0
     plans_built = 0
@@ -53,6 +54,7 @@ def aggregate_snapshots(
         models += 1
         total_requests += int(snapshot.get("total_requests", 0))
         cache_hits += int(snapshot.get("cache_hits", 0))
+        shed_requests += int(snapshot.get("shed_requests", 0))
         batches = int(snapshot.get("total_batches", 0))
         total_batches += batches
         batched_graphs += float(snapshot.get("mean_batch_size", 0.0)) * batches
@@ -86,6 +88,7 @@ def aggregate_snapshots(
         "models": models,
         "total_requests": total_requests,
         "cache_hits": cache_hits,
+        "shed_requests": shed_requests,
         "cache_hit_rate": cache_hits / total_requests if total_requests else 0.0,
         "total_batches": total_batches,
         "mean_batch_size": batched_graphs / total_batches if total_batches else 0.0,
@@ -110,6 +113,8 @@ class ServingStats:
         self._latency_window = latency_window
         self.total_requests = 0
         self.cache_hits = 0
+        # Requests refused by admission control (not counted as served).
+        self.shed_requests = 0
         self.total_batches = 0
         self.batched_graphs = 0
         self.batch_histogram: Dict[int, int] = {}
@@ -131,6 +136,14 @@ class ServingStats:
             if cache_hit:
                 self.cache_hits += 1
             self._latencies.append(float(latency_s))
+
+    def record_shed(self, count: int = 1) -> None:
+        """``count`` requests refused by admission control (HTTP 429s).
+
+        Shed requests never reach the model, so they appear in no latency
+        window and no request total — this counter is their only trace."""
+        with self._lock:
+            self.shed_requests += int(count)
 
     def record_batch(self, size: int, folds: int = 1, stacked: bool = False) -> None:
         """One engine forward over ``size`` graphs (cache misses only).
@@ -240,6 +253,7 @@ class ServingStats:
         with self._lock:
             total_requests = self.total_requests
             cache_hits = self.cache_hits
+            shed_requests = self.shed_requests
             total_batches = self.total_batches
             batched_graphs = self.batched_graphs
             plans_built = self.plans_built
@@ -261,6 +275,7 @@ class ServingStats:
             "uptime_s": elapsed,
             "total_requests": total_requests,
             "cache_hits": cache_hits,
+            "shed_requests": shed_requests,
             "cache_hit_rate": cache_hits / total_requests if total_requests else 0.0,
             "total_batches": total_batches,
             "mean_batch_size": batched_graphs / total_batches if total_batches else 0.0,
@@ -335,6 +350,7 @@ def render_prometheus(metrics: Dict[str, object]) -> str:
     def emit_stats(snapshot: Dict[str, object], labels: Dict[str, str]) -> None:
         emit("repro_requests_total", snapshot.get("total_requests"), labels, "counter")
         emit("repro_cache_hits_total", snapshot.get("cache_hits"), labels, "counter")
+        emit("repro_shed_total", snapshot.get("shed_requests"), labels, "counter")
         emit("repro_batches_total", snapshot.get("total_batches"), labels, "counter")
         emit("repro_mean_batch_size", snapshot.get("mean_batch_size"), labels)
         emit("repro_qps", snapshot.get("qps"), labels)

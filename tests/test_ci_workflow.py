@@ -127,6 +127,21 @@ def test_lint_job_runs_concurrency_suites_under_lock_check(workflow):
     ]
     assert checked, "lint job must run pytest with REPRO_LOCK_CHECK=1"
     assert "test_concurrency" in checked[0]["run"]
+    # The admission controller and calibrator hold locks on the serving
+    # hot path; their suite joins the runtime-validated set.
+    assert "test_costmodel" in checked[0]["run"]
+
+
+def test_bench_job_asserts_cost_model_guards(workflow):
+    """The ISSUE acceptance bounds (cost_model_mape <= 0.35,
+    shed_overhead <= 1.05) must be asserted against the recorded
+    trajectory, not only inside the benchmark process."""
+    runs = [s.get("run", "") for s in workflow["jobs"]["bench-smoke"]["steps"]]
+    guard_runs = [run for run in runs if "cost_model_mape" in run]
+    assert guard_runs, "bench-smoke must assert the cost-model guards"
+    assert any("shed_overhead" in run for run in guard_runs)
+    assert any("0.35" in run for run in guard_runs)
+    assert any("1.05" in run for run in guard_runs)
 
 
 def test_jobs_use_pip_caching(workflow):
