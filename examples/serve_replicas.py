@@ -1,0 +1,202 @@
+"""Replica-pool walkthrough: scale one model across worker processes,
+then kill a worker mid-traffic and watch zero requests fail.
+
+Exports a small trained artifact, then serves it from a
+:class:`~repro.serving.replica.ReplicaSupervisor` — three long-lived
+worker processes, each hosting a full :class:`~repro.serving.ModelHub`
+(own cache, batcher pool and journal), behind the same JSON/HTTP
+front-end an in-process hub uses (``repro-serve --replicas 3`` is the
+CLI spelling of the same wiring).  The demo:
+
+* routes traffic by graph-content affinity (repeats of a region always
+  land on the same replica, so its embedding cache stays hot);
+* SIGKILLs one worker while client threads are mid-burst, and counts
+  errors — the supervisor transparently retries the dead worker's
+  in-flight requests on its siblings, so the count is zero;
+* watches the supervisor respawn the killed slot (fresh PID, same
+  per-slot journal directory) and rejoin rotation;
+* reads ``/metrics`` for the pool-wide roll-up: pooled latency
+  percentiles computed from the replicas' raw windows
+  (``merged_from_raw_windows: true``), never averages of averages.
+
+Run with:  python examples/serve_replicas.py
+"""
+
+import json
+import os
+import signal
+import tempfile
+import threading
+import time
+import urllib.request
+
+from repro.core import HybridModelConfig, PipelineConfig, ReproPipeline, StaticModelConfig
+from repro.graphs import GraphBuilder
+from repro.serving import (
+    DeploymentSpec,
+    PredictionHTTPServer,
+    ReplicaConfig,
+    ReplicaSupervisor,
+    deployment_spec_to_dict,
+    program_graph_to_dict,
+)
+from repro.workloads import build_suite
+
+#: REPRO_EXAMPLE_FAST=1 shrinks the training run (used by the CI smoke test).
+FAST = os.environ.get("REPRO_EXAMPLE_FAST") == "1"
+REPLICAS = 3
+
+
+def post_json(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url) as response:
+        return json.loads(response.read())
+
+
+def export_artifact(root: str) -> str:
+    config = PipelineConfig(
+        machines=("skylake",),
+        families=["clomp", "lulesh"],
+        region_limit=6 if FAST else 12,
+        num_flag_sequences=2,
+        num_labels=6,
+        folds=2,
+        static_model=StaticModelConfig(
+            hidden_dim=16,
+            graph_vector_dim=16,
+            num_rgcn_layers=1,
+            epochs=1 if FAST else 4,
+        ),
+        hybrid=HybridModelConfig(use_ga_selection=False),
+    )
+    pipeline = ReproPipeline(config).build()
+    evaluation = pipeline.evaluate("skylake")
+    refs = pipeline.export_artifacts(evaluation, root, name="skylake-demo")
+    return refs[0].name
+
+
+def run(root: str) -> None:
+    artifact = export_artifact(root)
+    journal_dir = os.path.join(root, "journal")
+
+    # 1. Three worker processes behind one supervisor.  Each slot journals
+    #    into its own subdirectory and checkpoints its cache into its own
+    #    dump, which the slot's next incarnation warm-starts from.
+    config = ReplicaConfig(
+        registry_root=root,
+        replicas=REPLICAS,
+        specs=(
+            deployment_spec_to_dict(DeploymentSpec(name="demo", artifact=artifact)),
+        ),
+        journal_dir=journal_dir,
+        checkpoint_dir=os.path.join(root, "checkpoints"),
+        heartbeat_interval_s=0.2,
+    )
+    supervisor = ReplicaSupervisor(config).start()
+
+    builder = GraphBuilder()
+    regions = build_suite(families=["clomp", "lulesh"], limit=6 if FAST else 12)
+    wire_graphs = [
+        program_graph_to_dict(builder.build_module(region.module))
+        for region in regions
+    ]
+
+    try:
+        with PredictionHTTPServer(supervisor) as server:
+            status = supervisor.replica_status()
+            print(f"pool serving on {server.url}")
+            print(
+                "replicas:",
+                ", ".join(f"slot {s['slot']} pid {s['pid']}" for s in status),
+            )
+
+            # 2. Kill a worker while client threads are mid-burst.  The
+            #    supervisor notices the dead pipe, retries the lost
+            #    requests on surviving replicas, and respawns the slot —
+            #    the clients never see an error.
+            errors, answered = [], []
+
+            def client(offset: int) -> None:
+                for i in range(40):
+                    graph = wire_graphs[(offset + i) % len(wire_graphs)]
+                    try:
+                        answer = post_json(
+                            server.url + "/v1/models/demo/predict",
+                            {"graph": graph},
+                        )
+                        answered.append(answer["result"]["label"])
+                    except Exception as exc:  # noqa: BLE001 - counted below
+                        errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(offset,))
+                for offset in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            victim = status[0]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            print(f"killed worker pid {victim} mid-burst")
+            for thread in threads:
+                thread.join()
+            print(
+                f"burst finished: {len(answered)} answers, "
+                f"{len(errors)} errors (expected 0)"
+            )
+            assert not errors, errors
+
+            # 3. The killed slot rejoins with a fresh PID.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                status = supervisor.replica_status()
+                pids = {s["pid"] for s in status}
+                if victim not in pids and all(
+                    s["state"] == "ready" for s in status
+                ):
+                    break
+                time.sleep(0.1)
+            print(
+                "after failover:",
+                ", ".join(
+                    f"slot {s['slot']} pid {s['pid']} gen {s['generation']}"
+                    for s in status
+                ),
+            )
+            assert victim not in {s["pid"] for s in status}
+
+            # 4. Pool-wide metrics stay honest: percentiles are pooled
+            #    from the replicas' raw latency windows.
+            metrics = get_json(server.url + "/metrics")
+            aggregate = metrics["hub"]["aggregate"]
+            print(
+                "pool metrics: {} requests, p95 {:.2f} ms, "
+                "merged_from_raw_windows={}".format(
+                    aggregate["total_requests"],
+                    (aggregate["latency"]["p95_s"] or 0.0) * 1e3,
+                    aggregate["latency"]["merged_from_raw_windows"],
+                )
+            )
+    finally:
+        supervisor.stop()
+
+    slots = sorted(os.listdir(journal_dir))
+    print("per-replica journals:", ", ".join(slots))
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-replicas-") as root:
+        run(root)
+
+
+if __name__ == "__main__":
+    main()

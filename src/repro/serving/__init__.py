@@ -112,6 +112,15 @@ from .journal import (
     JournalWriter,
 )
 from .replay import replay_ab, replayable_graphs
+from .replica import (
+    DrainingError,
+    ReplicaConfig,
+    ReplicaError,
+    ReplicaSupervisor,
+    ReplicaUnavailableError,
+    default_start_method,
+    request_affinity_key,
+)
 from .serialization import (
     GRAPH_SCHEMA_VERSION,
     SerializationError,
@@ -209,4 +218,11 @@ __all__ = [
     "total_variation",
     "replay_ab",
     "replayable_graphs",
+    "DrainingError",
+    "ReplicaConfig",
+    "ReplicaError",
+    "ReplicaSupervisor",
+    "ReplicaUnavailableError",
+    "default_start_method",
+    "request_affinity_key",
 ]

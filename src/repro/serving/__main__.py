@@ -26,6 +26,17 @@ stable public name onto one of them (flip it at runtime via
         --model ens=ensemble:skylake-demo:majority-vote \
         --alias prod=ens --default numa
 
+Scale past the GIL with ``--replicas N``: the same model set is served by
+a pool of N worker processes (each hosting a full hub) behind one HTTP
+port, with fingerprint-affinity routing, heartbeat-driven respawn,
+recycle-after-N, and transparent failover — a dying worker fails zero
+requests.  In this mode ``--checkpoint-path`` names a *directory* of
+per-replica cache dumps; respawned workers warm-start from their slot's
+dump before entering rotation::
+
+    python -m repro.serving --root /path/to/registry --name skylake-demo-fold0 \
+        --replicas 4 --recycle-after 100000 --checkpoint-path /var/tmp/repro-ckpt
+
 The installed console script ``repro-serve`` is an alias for this module.
 """
 
@@ -49,8 +60,10 @@ from .http import (
     DEFAULT_REQUEST_TIMEOUT_S,
     PredictionHTTPServer,
 )
+from .deployment import deployment_spec_to_dict
 from .hub import HubError, ModelHub
 from .registry import ArtifactError
+from .replica import ReplicaConfig, ReplicaSupervisor
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,6 +179,43 @@ def build_parser() -> argparse.ArgumentParser:
         f"(bare '@VERSION' pins the default name "
         f"{DEFAULT_COST_MODEL_NAME!r}; fit one with "
         "CostModelCalibrator over a journal)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        metavar="N",
+        help="serve from a pool of N worker processes (each hosting a full "
+        "hub) with fingerprint-affinity routing, heartbeat respawn and "
+        "transparent failover; in this mode --checkpoint-path names a "
+        "directory of per-replica cache dumps",
+    )
+    parser.add_argument(
+        "--recycle-after",
+        type=int,
+        metavar="N",
+        help="retire and replace a replica after it has answered N "
+        "requests (bounds slow leaks; only with --replicas)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="replica heartbeat cadence (only with --replicas)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="kill and respawn a replica silent for this long "
+        "(only with --replicas)",
+    )
+    parser.add_argument(
+        "--start-method",
+        choices=("forkserver", "spawn"),
+        help="multiprocessing start method for replica workers "
+        "(default: forkserver where available, else spawn)",
     )
     parser.add_argument(
         "--request-timeout", type=float, default=DEFAULT_REQUEST_TIMEOUT_S
@@ -310,6 +360,38 @@ def build_hub(args: argparse.Namespace) -> ModelHub:
     return hub
 
 
+def build_supervisor(args: argparse.Namespace) -> ReplicaSupervisor:
+    """The replica-pool equivalent of :func:`build_hub`.
+
+    Specs are parsed and validated here (same failure modes as the
+    in-process path) but resolved inside each worker; ``--checkpoint-path``
+    becomes the directory of per-slot cache dumps new workers warm-start
+    from.
+    """
+    config = ReplicaConfig(
+        registry_root=args.root,
+        specs=[deployment_spec_to_dict(spec) for spec in build_specs(args)],
+        aliases=_parse_aliases(args.alias),
+        default=args.default,
+        cost_model=(
+            _parse_cost_model(args.cost_model) if args.cost_model else None
+        ),
+        cache_capacity=max(args.cache_capacity, 1),
+        enable_cache=not args.no_cache,
+        pool_workers=args.pool_workers,
+        journal_dir=args.journal_dir,
+        journal_record_graphs=not args.journal_no_graphs,
+        checkpoint_dir=args.checkpoint_path,
+        checkpoint_interval_s=args.checkpoint_interval,
+        replicas=args.replicas,
+        start_method=args.start_method,
+        heartbeat_interval_s=args.heartbeat_interval,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        recycle_after=args.recycle_after,
+    )
+    return ReplicaSupervisor(config)
+
+
 def _fail(code: str, message: str) -> int:
     """One machine-readable error line on stderr, exit 2 — the same
     convention as the ``repro-journal`` CLI."""
@@ -336,30 +418,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "--warmup-path/--checkpoint-path require the cache "
             "(drop --no-cache)",
         )
+    replicated = args.replicas is not None
+    if replicated and args.warmup_path:
+        return _fail(
+            "invalid-config",
+            "--warmup-path is not supported with --replicas (each replica "
+            "warm-starts from its own per-slot checkpoint dump)",
+        )
+    if args.recycle_after is not None and not replicated:
+        return _fail("invalid-config", "--recycle-after requires --replicas")
     try:
-        hub = build_hub(args)
+        target = build_supervisor(args) if replicated else build_hub(args)
     except DeploymentSpecError as exc:
         return _fail("invalid-spec", str(exc))
     except (ArtifactError, HubError, ValueError) as exc:
         return _fail("invalid-config", str(exc))
 
     server = PredictionHTTPServer(
-        hub,
+        target,
         host=args.host,
         port=args.port,
         request_timeout_s=args.request_timeout,
         max_body_bytes=args.max_body_bytes,
         quiet=not args.verbose,
     )
-    names = ", ".join(hub.names())
-    aliases = hub.aliases()
+    names = ", ".join(target.names())
+    aliases = target.aliases()
     alias_note = (
         " (aliases: " + ", ".join(f"{a}→{t}" for a, t in sorted(aliases.items())) + ")"
         if aliases
         else ""
     )
-    print(f"serving {len(hub)} model(s) [{names}]{alias_note} on {server.url}", flush=True)
-    server.run()
+    pool_note = f" across {args.replicas} replica(s)" if replicated else ""
+    print(
+        f"serving {len(target)} model(s) [{names}]{alias_note}{pool_note} "
+        f"on {server.url}",
+        flush=True,
+    )
+    try:
+        server.run()
+    except (ArtifactError, HubError) as exc:
+        # Replica workers resolve their specs at spawn time, so a bad
+        # artifact surfaces here rather than in build_supervisor().
+        return _fail("startup-failed", str(exc))
     return 0
 
 

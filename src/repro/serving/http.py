@@ -70,6 +70,7 @@ from .hub import (
     ModelHub,
 )
 from .registry import ArtifactNotFoundError
+from .replica import DrainingError, ReplicaSupervisor, ReplicaUnavailableError
 from .serialization import (
     SerializationError,
     configuration_to_dict,
@@ -106,6 +107,7 @@ ERROR_CODES = {
     "deployment-quarantined": (
         "the deployment is operator-fenced; traffic 503s until unquarantined"
     ),
+    "draining": "the replica pool is shutting down; new requests are refused",
     "hub-error": "the hub rejected the operation in its current state",
     "internal": "unexpected server-side failure; message carries the type",
     "invalid-graph": "a graph payload failed structural validation",
@@ -122,6 +124,10 @@ ERROR_CODES = {
         "Retry-After delay"
     ),
     "payload-too-large": "the declared body size exceeds the configured limit",
+    "replica-unavailable": (
+        "no ready replica could answer (workers dying faster than the retry "
+        "budget, or the pool is still spawning); retry shortly"
+    ),
     "timeout": "the prediction did not complete within the request deadline",
     "unsupported-format": "an unknown serialization format was requested",
 }
@@ -200,7 +206,9 @@ class ServingApp:
     shuffler around it, which keeps the whole protocol unit-testable
     without sockets.
 
-    ``target`` is a :class:`~repro.serving.hub.ModelHub`, or — the legacy
+    ``target`` is a :class:`~repro.serving.hub.ModelHub`, a
+    :class:`~repro.serving.replica.ReplicaSupervisor` (same routing
+    surface, answered by a pool of worker processes), or — the legacy
     shim, kept for PR-3 era callers — a bare
     :class:`~repro.serving.service.ServingFrontend`, which is adopted into
     a fresh one-deployment hub under the name ``"default"``.
@@ -208,13 +216,13 @@ class ServingApp:
 
     def __init__(
         self,
-        target: Union[ModelHub, ServingFrontend],
+        target: Union[ModelHub, ReplicaSupervisor, ServingFrontend],
         checkpoint: Optional[CheckpointDaemon] = None,
         request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
     ):
         if request_timeout_s <= 0:
             raise ValueError("request_timeout_s must be > 0")
-        if isinstance(target, ModelHub):
+        if isinstance(target, (ModelHub, ReplicaSupervisor)):
             self.hub = target
         else:
             # Legacy shim: the adopted service keeps its own cache and
@@ -313,6 +321,14 @@ class ServingApp:
             return 404, error_payload(404, "model-not-found", str(exc)), {}
         except DeploymentQuarantinedError as exc:
             return 503, error_payload(503, "deployment-quarantined", str(exc)), {}
+        except DrainingError as exc:
+            # The pool is shutting down: refuse new work before it queues
+            # behind workers that are busy draining.
+            return 503, error_payload(503, "draining", str(exc)), {}
+        except ReplicaUnavailableError as exc:
+            # Failover exhausted its retry budget (or nothing is ready yet)
+            # — a transient 503, not a client mistake.
+            return 503, error_payload(503, "replica-unavailable", str(exc)), {}
         except ArtifactNotFoundError as exc:
             return 404, error_payload(404, "artifact-not-found", str(exc)), {}
         except DeploymentExistsError as exc:
@@ -440,7 +456,10 @@ class ServingApp:
 
     def predict(self, body: Optional[bytes], model: Optional[str]) -> Dict[str, object]:
         # Resolve before parsing the body: an unknown (or quarantined)
-        # model 404s/503s fast, before any decode work.
+        # model 404s/503s fast, before any decode work.  The deployment's
+        # predictor may be in-process or a replica-pool proxy; prediction
+        # itself goes through the hub-level entry points, which route
+        # identically for both.
         predictor = self.hub.resolve_for_predict(model).predictor
         decode_start = time.perf_counter()
         payload = self._parse_body(body)
@@ -455,7 +474,7 @@ class ServingApp:
             # coalesce into shared forward passes.  Fall back to the sync
             # path when the app (hence the batchers) was never started.
             if self._started:
-                future = predictor.submit(graph)
+                future = self.hub.submit(model, graph)
                 try:
                     result = future.result(timeout=self.request_timeout_s)
                 except FutureTimeoutError:
@@ -466,7 +485,7 @@ class ServingApp:
                         f"prediction did not complete within {self.request_timeout_s}s",
                     ) from None
             else:
-                result = predictor.predict_many([graph])[0]
+                result = self.hub.predict_many(model, [graph])[0]
             self._attach_decode(result, decode_s)
             return {"result": result_to_dict(result, include_trace=include_trace)}
 
@@ -482,15 +501,10 @@ class ServingApp:
         # as one pass, so each result reports what its request paid.
         decode_s = time.perf_counter() - decode_start
         self._record_decode(predictor, decode_s)
-        # Batch bodies bypass submit(), so the admission budget is charged
-        # here (one slot per graph); over-budget raises OverCapacityError,
-        # mapped onto the structured 429 in handle().
-        guard = getattr(predictor, "admission_guard", None)
-        if guard is not None:
-            with guard(len(graphs)):
-                results = predictor.predict_many(graphs)
-        else:
-            results = predictor.predict_many(graphs)
+        # Batch bodies bypass submit(), so the hub charges the admission
+        # budget (one slot per graph); over-budget raises
+        # OverCapacityError, mapped onto the structured 429 in handle().
+        results = self.hub.predict_many(model, graphs)
         for result in results:
             self._attach_decode(result, decode_s)
         return {
@@ -760,7 +774,8 @@ class PredictionHTTPServer(ThreadingHTTPServer):
     binds an ephemeral port (read it back from :attr:`port`), which is
     what the tests use.
 
-    ``target`` is a :class:`~repro.serving.hub.ModelHub` or — the legacy
+    ``target`` is a :class:`~repro.serving.hub.ModelHub`, a
+    :class:`~repro.serving.replica.ReplicaSupervisor`, or — the legacy
     single-model shim — a bare :class:`ServingFrontend`.
 
     Handler threads are non-daemon on purpose: ``server_close()`` joins
@@ -774,7 +789,7 @@ class PredictionHTTPServer(ThreadingHTTPServer):
 
     def __init__(
         self,
-        target: Union[ModelHub, ServingFrontend],
+        target: Union[ModelHub, ReplicaSupervisor, ServingFrontend],
         host: str = "127.0.0.1",
         port: int = 0,
         checkpoint: Optional[CheckpointDaemon] = None,

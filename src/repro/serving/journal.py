@@ -320,10 +320,30 @@ class JournalReader:
 
     # -------------------------------------------------------------- reading
     def segments(self) -> List[str]:
-        names = sorted(
-            name for name in os.listdir(self.directory) if _SEGMENT_RE.match(name)
-        )
-        return [os.path.join(self.directory, name) for name in names]
+        """Segment paths in deterministic read order.
+
+        A journal directory is either flat (one writer — segments sit
+        directly inside it) or one level of per-writer subdirectories (the
+        replica pool: each worker journals into its own ``replica-NN/``,
+        so two processes never share a segment file).  Both layouts — and
+        their mix — read transparently: direct segments first, then each
+        subdirectory's segments, subdirectories in sorted order.
+        """
+        direct: List[str] = []
+        subdirs: List[str] = []
+        for name in sorted(os.listdir(self.directory)):
+            path = os.path.join(self.directory, name)
+            if _SEGMENT_RE.match(name):
+                direct.append(path)
+            elif os.path.isdir(path):
+                nested = sorted(
+                    entry
+                    for entry in os.listdir(path)
+                    if _SEGMENT_RE.match(entry)
+                )
+                if nested:
+                    subdirs.extend(os.path.join(path, entry) for entry in nested)
+        return direct + subdirs
 
     def __iter__(self) -> Iterator[Dict[str, object]]:
         for path in self.segments():

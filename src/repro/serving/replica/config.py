@@ -1,0 +1,156 @@
+"""Replica-pool configuration and the replica-layer error types.
+
+One :class:`ReplicaConfig` describes everything a worker process needs to
+build its own :class:`~repro.serving.hub.ModelHub` — registry root,
+wire-encoded deployment specs, aliases, default routing, cache and
+journal knobs — plus the supervisor-side lifecycle knobs (heartbeat
+cadence, recycle threshold, retry budget).  The record is a plain
+picklable dataclass because it crosses the process boundary verbatim:
+the supervisor snapshots its *current* desired state into one of these
+for every spawn, so a replica respawned hours after boot still builds
+the model set the operators have mutated the pool into, not the one the
+CLI started with.
+
+Per-slot derivations (:meth:`ReplicaConfig.slot_journal_dir`,
+:meth:`ReplicaConfig.slot_checkpoint_path`) keep the on-disk layout in
+one place: each slot journals into its own subdirectory (two writers
+never share a segment) and checkpoints into its own dump file (the next
+incarnation of the slot warm-starts from it before entering rotation).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..hub import HubError
+
+#: journal/checkpoint names are derived from the slot index with this
+#: prefix, so a directory of per-replica journals is self-describing.
+REPLICA_DIR_PREFIX = "replica-"
+
+
+class ReplicaError(HubError):
+    """Base class for replica-pool failures."""
+
+
+class ReplicaUnavailableError(ReplicaError):
+    """No ready replica could answer (pool exhausted or still spawning)."""
+
+
+class DrainingError(ReplicaError):
+    """The pool is shutting down; new requests are refused."""
+
+
+def default_start_method() -> str:
+    """``forkserver`` where available (fast respawns once the server has
+    preloaded the serving stack), else ``spawn``.  Never ``fork``: the
+    supervisor is multithreaded by construction (reader + monitor
+    threads), and forking a multithreaded process is undefined enough to
+    be banned here outright."""
+    if "forkserver" in multiprocessing.get_all_start_methods():
+        return "forkserver"
+    return "spawn"
+
+
+@dataclass
+class ReplicaConfig:
+    """Everything one worker needs, plus the supervisor lifecycle knobs."""
+
+    registry_root: str
+    #: wire-encoded deployment specs (``deployment_spec_to_dict``); each
+    #: worker decodes and loads them into its private hub.
+    specs: List[Dict[str, object]] = field(default_factory=list)
+    aliases: List[Tuple[str, str]] = field(default_factory=list)
+    default: Optional[str] = None
+    #: ``(name, version)`` of a calibrated cost model to load per worker.
+    cost_model: Optional[Tuple[str, Optional[str]]] = None
+
+    # -- per-worker hub knobs -------------------------------------------
+    cache_capacity: int = 4096
+    enable_cache: bool = True
+    pool_workers: int = 2
+    journal_dir: Optional[str] = None
+    journal_record_graphs: bool = True
+    #: directory of per-slot cache dumps; a respawned slot warm-starts
+    #: from its predecessor's last dump before entering rotation.
+    checkpoint_dir: Optional[str] = None
+    checkpoint_interval_s: float = 30.0
+    #: threads draining prediction RPCs inside each worker (control
+    #: messages are answered inline off the pipe reader).
+    worker_threads: int = 4
+
+    # -- supervisor lifecycle knobs -------------------------------------
+    replicas: int = 2
+    start_method: Optional[str] = None
+    spawn_timeout_s: float = 120.0
+    heartbeat_interval_s: float = 1.0
+    heartbeat_timeout_s: float = 15.0
+    #: retire a replica after it has answered this many requests
+    #: (``None`` = never); the replacement is spawned and made ready
+    #: *before* the old worker drains, so traffic never pauses.
+    recycle_after: Optional[int] = None
+    #: how many times one request may fail over to another replica after
+    #: a worker death before surfacing ``ReplicaUnavailableError``.
+    max_retries: int = 2
+    drain_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        self.registry_root = os.fspath(self.registry_root)
+        if self.journal_dir is not None:
+            self.journal_dir = os.fspath(self.journal_dir)
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir = os.fspath(self.checkpoint_dir)
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.worker_threads < 1:
+            raise ValueError("worker_threads must be >= 1")
+        if self.spawn_timeout_s <= 0:
+            raise ValueError("spawn_timeout_s must be > 0")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be > 0")
+        if self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be > 0")
+        if self.recycle_after is not None and self.recycle_after < 1:
+            raise ValueError("recycle_after must be >= 1 (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.checkpoint_dir is not None and not self.enable_cache:
+            raise ValueError("checkpoint_dir requires enable_cache")
+        method = self.start_method or default_start_method()
+        if method not in multiprocessing.get_all_start_methods() or method == "fork":
+            raise ValueError(
+                f"unsupported start_method {method!r} (the supervisor is "
+                f"multithreaded; use 'forkserver' or 'spawn')"
+            )
+        self.start_method = method
+
+    # ------------------------------------------------------- per-slot paths
+    def slot_journal_dir(self, slot: int) -> Optional[str]:
+        if self.journal_dir is None:
+            return None
+        return os.path.join(self.journal_dir, f"{REPLICA_DIR_PREFIX}{slot:02d}")
+
+    def slot_checkpoint_path(self, slot: int) -> Optional[str]:
+        if self.checkpoint_dir is None:
+            return None
+        return os.path.join(
+            self.checkpoint_dir, f"{REPLICA_DIR_PREFIX}{slot:02d}.npz"
+        )
+
+    def snapshot_for_spawn(
+        self,
+        specs: List[Dict[str, object]],
+        aliases: Dict[str, str],
+        default: Optional[str],
+    ) -> "ReplicaConfig":
+        """A copy carrying the *current* desired model set — what a
+        respawned worker must build, not the boot-time set."""
+        return replace(
+            self,
+            specs=[dict(spec) for spec in specs],
+            aliases=sorted(aliases.items()),
+            default=default,
+        )

@@ -1,0 +1,1057 @@
+"""The replica supervisor: N worker processes behind one hub-shaped API.
+
+:class:`ReplicaSupervisor` duck-types the :class:`~repro.serving.hub.ModelHub`
+surface the HTTP layer consumes — ``submit``/``predict_many``, the admin
+mutations, ``snapshot``/``capacity_report``/``model_health`` — but fans the
+work out across long-lived worker processes (one full hub each), which is
+the only way past the GIL for this CPU-bound inference stack.
+
+Routing, lifecycle and failure handling live here:
+
+* **Affinity routing.**  Requests are placed by rendezvous (highest-
+  random-weight) hashing of the graph's content fingerprint over the
+  ready slots: the same graph always lands on the same replica while the
+  pool membership is stable, so each worker's ``EmbeddingCache`` stays
+  hot instead of every replica relearning every graph.  Affinity is keyed
+  on the *slot index*, which survives respawns — and the respawned worker
+  warm-starts from the slot's checkpoint dump, so the cache the routing
+  kept hot is handed back to the replacement.
+* **Lifecycle.**  Spawn → ready-handshake (with a fatal path, so a
+  misconfigured worker fails the boot loudly instead of hanging it);
+  heartbeat pings with a timeout-kill; automatic respawn of dead slots;
+  recycle-after-N-requests with a spawn-replacement-first swap so
+  recycling never pauses traffic; graceful drain on shutdown.
+* **Failover.**  Every in-flight call is remembered until its reply
+  arrives.  When a worker dies, its pending *idempotent* calls (pure
+  inference and introspection) are transparently re-dispatched to another
+  ready replica — a SIGKILLed worker fails zero requests — and only when
+  the retry budget or the ready set is exhausted does the caller see a
+  typed :class:`ReplicaUnavailableError` (HTTP 503 ``replica-unavailable``).
+
+Lock order is ``routing → handle`` (never inverted): the routing lock
+guards the slot table and the desired model state; each handle's mutex
+guards that replica's pipe writes and pending-call map.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...concurrency import TrackedLock, TrackedRLock
+from ..deployment import DeploymentSpec, deployment_spec_to_dict
+from ..hub import DeploymentNotFoundError, DeploymentQuarantinedError
+from ..stats import aggregate_snapshots
+from .config import (
+    DrainingError,
+    ReplicaConfig,
+    ReplicaError,
+    ReplicaUnavailableError,
+)
+from .transport import (
+    OP_ADMIN,
+    OP_INTROSPECT,
+    OP_PING,
+    OP_PREDICT_MANY,
+    OP_SHUTDOWN,
+    OP_SUBMIT,
+    READY_ID,
+    RETRYABLE_OPS,
+    STATUS_OK,
+    STATUS_READY,
+    decode_exception,
+)
+from .worker import worker_main
+
+#: ceiling on one control-plane round trip (admin / introspection).
+_RPC_TIMEOUT_S = 60.0
+
+
+def request_affinity_key(request) -> Optional[str]:
+    """Content hash of a program graph, for rendezvous routing.
+
+    This is deliberately *not* the model-layer
+    :func:`~repro.graphs.fingerprint.graph_fingerprint` (which needs the
+    encoder's vocabulary, living worker-side): affinity only needs
+    "identical graphs hash identically", so a cheap digest over the node
+    ``kind:text`` sequence and the edge list is enough — a collision
+    merely co-locates two different graphs, which costs nothing.
+    """
+    nodes = getattr(request, "nodes", None)
+    if nodes is None:
+        return None
+    hasher = hashlib.sha256()
+    for node in nodes:
+        hasher.update(str(getattr(node, "kind", "")).encode("utf-8", "replace"))
+        hasher.update(b"\x1f")
+        hasher.update(str(getattr(node, "text", "")).encode("utf-8", "replace"))
+        hasher.update(b"\x1e")
+    hasher.update(b"\x1d")
+    for edge in getattr(request, "edges", None) or ():
+        part = (
+            f"{getattr(edge, 'source', '')}\x1f{getattr(edge, 'target', '')}"
+            f"\x1f{getattr(edge, 'flow', '')}\x1e"
+        )
+        hasher.update(part.encode("utf-8", "replace"))
+    return hasher.hexdigest()
+
+
+class _PendingCall:
+    """One in-flight RPC: the caller's future plus everything needed to
+    transparently re-dispatch it if the replica holding it dies."""
+
+    __slots__ = ("future", "op", "payload", "key", "attempts", "excluded", "retryable")
+
+    def __init__(self, op: str, payload, key: Optional[str] = None):
+        self.future: Future = Future()
+        self.op = op
+        self.payload = payload
+        self.key = key
+        self.attempts = 1
+        self.excluded: Set[int] = set()
+        self.retryable = op in RETRYABLE_OPS
+
+
+class _ReplicaHandle:
+    """Supervisor-side state of one worker process (one slot)."""
+
+    __slots__ = (
+        "slot",
+        "generation",
+        "process",
+        "conn",
+        "mutex",
+        "pending",
+        "state",
+        "served",
+        "pid",
+        "last_pong",
+        "ready",
+        "fatal",
+        "reader",
+    )
+
+    def __init__(self, slot: int, generation: int, process, conn):
+        self.slot = slot
+        self.generation = generation
+        self.process = process
+        self.conn = conn
+        # Guards pipe writes + the pending map + the state field.  Pipe
+        # sends can block on a full buffer, hence allow_blocking.
+        self.mutex = TrackedLock(
+            f"replica.handle.{slot}", allow_blocking=True
+        )
+        self.pending: Dict[int, _PendingCall] = {}
+        self.state = "starting"  # starting | ready | draining | dead
+        self.served = 0
+        self.pid: Optional[int] = None
+        self.last_pong = time.monotonic()
+        self.ready = threading.Event()
+        self.fatal: Optional[Exception] = None
+        self.reader: Optional[threading.Thread] = None
+
+
+class _RemoteModelProxy:
+    """Predictor-shaped view of one model across the pool (describe and
+    snapshot only — predictions go through the supervisor's dispatch)."""
+
+    #: the HTTP layer probes these with getattr; a remote model has no
+    #: in-process stats recorder or cache to offer.
+    stats = None
+    cache = None
+
+    def __init__(self, supervisor: "ReplicaSupervisor", name: Optional[str]):
+        self._supervisor = supervisor
+        self._name = name
+
+    def describe(self) -> Dict[str, object]:
+        return self._supervisor._introspect_one(
+            "model_describe", {"name": self._name}
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        return self._supervisor._merged_model_snapshot(self._name)
+
+
+class _RemoteDeployment:
+    """Deployment-shaped handle the HTTP admin/metrics routes consume."""
+
+    def __init__(
+        self,
+        name: str,
+        supervisor: "ReplicaSupervisor",
+        describe_payload: Optional[Dict[str, object]] = None,
+    ):
+        self.name = name
+        self._supervisor = supervisor
+        self._describe = describe_payload
+        self.predictor = _RemoteModelProxy(supervisor, name)
+        self.spec = None
+
+    def describe(self) -> Dict[str, object]:
+        if self._describe is not None:
+            return self._describe
+        return self._supervisor._introspect_one(
+            "model_health", {"name": self.name}
+        )["model"]
+
+
+class ReplicaSupervisor:
+    """Owns N replica processes; looks like a :class:`ModelHub` to callers."""
+
+    #: the supervisor has no in-process shared infrastructure — each
+    #: worker owns its own; the HTTP layer reads these attributes and
+    #: treats None as "absent", exactly as for a cache-less hub.
+    cache = None
+    checkpoint = None
+    journal = None
+
+    def __init__(self, config: ReplicaConfig):
+        self._config = config
+        self._routing = TrackedRLock("replica.routing")
+        self._handles: List[Optional[_ReplicaHandle]] = [None] * config.replicas
+        self._generations: Dict[int, int] = {}
+        self._ids = itertools.count(1)
+        # Desired model state, mirrored from the boot config and every
+        # admin mutation since; respawned workers are built from (and
+        # sync'd to) this, never the boot-time set.
+        self._specs: Dict[str, Dict[str, object]] = {
+            str(spec["name"]): dict(spec) for spec in config.specs
+        }
+        self._aliases: Dict[str, str] = dict(config.aliases)
+        self._default: Optional[str] = config.default or (
+            next(iter(self._specs)) if len(self._specs) == 1 else None
+        )
+        self._quarantined: Dict[str, str] = {}
+        self._cost_model_ref = config.cost_model
+        self._ctx = None
+        self._started = False
+        self._draining = False
+        self._stopping = False
+        self._wake = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._created_monotonic = time.monotonic()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "ReplicaSupervisor":
+        with self._routing:
+            if self._started:
+                return self
+            replicas = self._config.replicas
+        if self._config.journal_dir is not None:
+            os.makedirs(self._config.journal_dir, exist_ok=True)
+        if self._config.checkpoint_dir is not None:
+            os.makedirs(self._config.checkpoint_dir, exist_ok=True)
+        self._ctx = multiprocessing.get_context(self._config.start_method)
+        if self._config.start_method == "forkserver":
+            # Preload the worker module (hence the serving stack) into the
+            # fork server once, so every spawn/respawn after the first is
+            # a cheap fork of an already-imported interpreter.
+            preload = getattr(self._ctx, "set_forkserver_preload", None)
+            if preload is not None:
+                preload(["repro.serving.replica.worker"])
+        handles = []
+        for slot in range(replicas):
+            handle = self._spawn(slot)
+            handles.append(handle)
+            with self._routing:
+                self._handles[slot] = handle
+        deadline = time.monotonic() + self._config.spawn_timeout_s
+        try:
+            for handle in handles:
+                self._await_ready(handle, deadline)
+        except BaseException:
+            self._terminate_all()
+            raise
+        with self._routing:
+            self._started = True
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-replica-monitor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def stop(self) -> None:
+        with self._routing:
+            if not self._started or self._stopping:
+                already = self._stopping
+            else:
+                already = False
+            self._draining = True
+            self._stopping = True
+            handles = [h for h in self._handles if h is not None]
+        self._wake.set()
+        monitor, self._monitor = self._monitor, None
+        if monitor is not None:
+            monitor.join(timeout=self._config.drain_timeout_s)
+        if already:
+            return
+        shutdowns: List[Tuple[_ReplicaHandle, _PendingCall]] = []
+        for handle in handles:
+            with handle.mutex:
+                if handle.state == "ready":
+                    handle.state = "draining"
+            call = _PendingCall(OP_SHUTDOWN, {})
+            if self._send(handle, call):
+                shutdowns.append((handle, call))
+        for handle, call in shutdowns:
+            try:
+                call.future.result(timeout=self._config.drain_timeout_s)
+            except Exception:
+                pass  # a worker that won't drain gets killed below
+        self._terminate_all()
+        with self._routing:
+            self._started = False
+
+    def __enter__(self) -> "ReplicaSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _terminate_all(self) -> None:
+        with self._routing:
+            handles = [h for h in self._handles if h is not None]
+        for handle in handles:
+            process = handle.process
+            process.join(timeout=self._config.drain_timeout_s)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        for handle in handles:
+            reader = handle.reader
+            if reader is not None and reader is not threading.current_thread():
+                reader.join(timeout=5.0)
+
+    # ------------------------------------------------------------- spawning
+    def _spawn(self, slot: int) -> _ReplicaHandle:
+        with self._routing:
+            generation = self._generations.get(slot, 0) + 1
+            self._generations[slot] = generation
+            specs = [dict(spec) for spec in self._specs.values()]
+            aliases = dict(self._aliases)
+            default = self._default
+            cost_model = self._cost_model_ref
+        snapshot = self._config.snapshot_for_spawn(specs, aliases, default)
+        snapshot.cost_model = cost_model
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, snapshot, slot, generation),
+            name=f"repro-replica-{slot}-g{generation}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _ReplicaHandle(slot, generation, process, parent_conn)
+        handle.reader = threading.Thread(
+            target=self._reader,
+            args=(handle,),
+            name=f"repro-replica-reader-{slot}-g{generation}",
+            daemon=True,
+        )
+        handle.reader.start()
+        return handle
+
+    def _await_ready(self, handle: _ReplicaHandle, deadline: float) -> None:
+        remaining = deadline - time.monotonic()
+        if not handle.ready.wait(max(remaining, 0.0)):
+            handle.process.kill()
+            raise ReplicaUnavailableError(
+                f"replica {handle.slot} did not become ready within "
+                f"{self._config.spawn_timeout_s}s"
+            )
+        if handle.fatal is not None:
+            raise handle.fatal
+
+    # ----------------------------------------------------------- pipe reader
+    def _reader(self, handle: _ReplicaHandle) -> None:
+        conn = handle.conn
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            request_id, status, payload = message
+            if request_id == READY_ID:
+                if status == STATUS_READY:
+                    handle.pid = payload.get("pid")
+                    handle.last_pong = time.monotonic()
+                    with handle.mutex:
+                        if handle.state == "starting":
+                            handle.state = "ready"
+                else:  # STATUS_FATAL: the worker's hub could not be built
+                    handle.fatal = decode_exception(payload)
+                    with handle.mutex:
+                        handle.state = "dead"
+                handle.ready.set()
+                continue
+            with handle.mutex:
+                call = handle.pending.pop(request_id, None)
+            handle.last_pong = time.monotonic()
+            if call is None:
+                continue
+            if status == STATUS_OK:
+                call.future.set_result(payload)
+            else:
+                call.future.set_exception(decode_exception(payload))
+        self._on_connection_lost(handle)
+
+    def _on_connection_lost(self, handle: _ReplicaHandle) -> None:
+        with handle.mutex:
+            was_dead = handle.state == "dead" and not handle.pending
+            handle.state = "dead"
+            pending = list(handle.pending.values())
+            handle.pending.clear()
+        if was_dead:
+            return
+        handle.ready.set()
+        for call in pending:
+            self._retry_or_fail(call, handle.slot)
+        self._wake.set()  # prompt respawn, don't wait out the heartbeat tick
+
+    def _retry_or_fail(self, call: _PendingCall, dead_slot: int) -> None:
+        call.excluded.add(dead_slot)
+        with self._routing:
+            draining = self._draining
+        if (
+            draining
+            or not call.retryable
+            or call.attempts > self._config.max_retries
+        ):
+            if not call.future.done():
+                call.future.set_exception(
+                    ReplicaUnavailableError(
+                        f"replica worker died mid-request "
+                        f"({call.op!r}, attempt {call.attempts})"
+                    )
+                )
+            return
+        call.attempts += 1
+        self._dispatch_call(call)
+
+    # ------------------------------------------------------------- dispatch
+    def _pick(
+        self, key: Optional[str], excluded: Set[int]
+    ) -> Optional[_ReplicaHandle]:
+        with self._routing:
+            handles = [h for h in self._handles if h is not None]
+        candidates: List[Tuple[_ReplicaHandle, int]] = []
+        for handle in handles:
+            if handle.slot in excluded:
+                continue
+            with handle.mutex:
+                if handle.state != "ready":
+                    continue
+                load = len(handle.pending)
+            candidates.append((handle, load))
+        if not candidates:
+            return None
+        if key is None:
+            # No affinity: least-loaded wins (slot index breaks ties).
+            return min(candidates, key=lambda item: (item[1], item[0].slot))[0]
+        best: Optional[_ReplicaHandle] = None
+        best_weight = b""
+        for handle, _ in candidates:
+            weight = hashlib.sha256(f"{key}:{handle.slot}".encode()).digest()
+            if best is None or weight > best_weight:
+                best, best_weight = handle, weight
+        return best
+
+    def _send(self, handle: _ReplicaHandle, call: _PendingCall) -> bool:
+        request_id = next(self._ids)
+        with handle.mutex:
+            if handle.state == "ready":
+                pass
+            elif handle.state == "draining" and call.op == OP_SHUTDOWN:
+                pass
+            else:
+                return False
+            handle.pending[request_id] = call
+            try:
+                handle.conn.send((request_id, call.op, call.payload))
+            except (BrokenPipeError, OSError, ValueError):
+                del handle.pending[request_id]
+                handle.state = "dead"
+                return False
+        return True
+
+    def _dispatch_call(self, call: _PendingCall) -> None:
+        while True:
+            handle = self._pick(call.key, call.excluded)
+            if handle is None:
+                if not call.future.done():
+                    call.future.set_exception(
+                        ReplicaUnavailableError(
+                            "no ready replica available for "
+                            f"{call.op!r} (pool of {self._config.replicas})"
+                        )
+                    )
+                return
+            if self._send(handle, call):
+                return
+            call.excluded.add(handle.slot)
+
+    def _dispatch(self, op: str, payload, key: Optional[str]) -> _PendingCall:
+        call = _PendingCall(op, payload, key=key)
+        self._dispatch_call(call)
+        return call
+
+    # ----------------------------------------------------- name resolution
+    def _resolve_name(
+        self, name: Optional[str], for_predict: bool = False
+    ) -> str:
+        with self._routing:
+            if for_predict and self._draining:
+                raise DrainingError(
+                    "the replica pool is draining; new requests are refused"
+                )
+            specs = self._specs
+            if name is None:
+                canonical = self._default
+                if canonical is None:
+                    raise DeploymentNotFoundError(
+                        "this hub has no default deployment; address a model "
+                        "by name (POST /v1/models/<name>/predict)"
+                    )
+            else:
+                canonical = name if name in specs else self._aliases.get(name)
+                if canonical is None or canonical not in specs:
+                    raise DeploymentNotFoundError(
+                        f"no deployment or alias named {name!r}"
+                    )
+            reason = self._quarantined.get(canonical)
+        if for_predict and reason is not None:
+            raise DeploymentQuarantinedError(
+                f"deployment {canonical!r} is quarantined: {reason}"
+            )
+        return canonical
+
+    def resolve(self, name: Optional[str] = None) -> _RemoteDeployment:
+        return _RemoteDeployment(self._resolve_name(name), self)
+
+    def resolve_for_predict(self, name: Optional[str] = None) -> _RemoteDeployment:
+        return _RemoteDeployment(
+            self._resolve_name(name, for_predict=True), self
+        )
+
+    # ------------------------------------------------------------ prediction
+    def submit(self, name: Optional[str], request) -> Future:
+        canonical = self._resolve_name(name, for_predict=True)
+        call = self._dispatch(
+            OP_SUBMIT,
+            {"model": canonical, "request": request},
+            key=request_affinity_key(request),
+        )
+        return call.future
+
+    def predict(self, name: Optional[str], request):
+        return self.submit(name, request).result()
+
+    def predict_many(self, name: Optional[str], requests) -> List[object]:
+        canonical = self._resolve_name(name, for_predict=True)
+        requests = list(requests)
+        if not requests:
+            return []
+        # Group by the affinity-chosen replica, one RPC per group — batch
+        # members keep their cache affinity without one-RPC-per-graph cost.
+        groups: Dict[int, List[int]] = {}
+        for index, request in enumerate(requests):
+            handle = self._pick(request_affinity_key(request), set())
+            if handle is None:
+                raise ReplicaUnavailableError(
+                    "no ready replica available for 'predict_many' "
+                    f"(pool of {self._config.replicas})"
+                )
+            groups.setdefault(handle.slot, []).append(index)
+        calls: List[Tuple[_PendingCall, List[int]]] = []
+        for slot in sorted(groups):
+            indices = groups[slot]
+            call = _PendingCall(
+                OP_PREDICT_MANY,
+                {
+                    "model": canonical,
+                    "requests": [requests[i] for i in indices],
+                },
+            )
+            with self._routing:
+                handle = self._handles[slot]
+            if handle is None or not self._send(handle, call):
+                self._dispatch_call(call)  # affinity miss: any ready replica
+            calls.append((call, indices))
+        results: List[object] = [None] * len(requests)
+        first_exc: Optional[BaseException] = None
+        for call, indices in calls:
+            try:
+                group_results = call.future.result()
+            except BaseException as exc:
+                if first_exc is None:
+                    first_exc = exc
+                continue
+            for position, index in enumerate(indices):
+                results[index] = group_results[position]
+        if first_exc is not None:
+            raise first_exc
+        return results
+
+    # ----------------------------------------------------------------- admin
+    def _ready_handles(self) -> List[_ReplicaHandle]:
+        with self._routing:
+            handles = [h for h in self._handles if h is not None]
+        ready = []
+        for handle in handles:
+            with handle.mutex:
+                if handle.state == "ready":
+                    ready.append(handle)
+        return ready
+
+    def _admin_broadcast(self, action: str, args: Dict[str, object]) -> List[object]:
+        handles = self._ready_handles()
+        if not handles:
+            raise ReplicaUnavailableError(
+                f"no ready replica to apply admin operation {action!r}"
+            )
+        calls = []
+        for handle in handles:
+            call = _PendingCall(OP_ADMIN, {"action": action, "args": args})
+            if self._send(handle, call):
+                calls.append(call)
+        if not calls:
+            raise ReplicaUnavailableError(
+                f"no ready replica accepted admin operation {action!r}"
+            )
+        results: List[object] = []
+        first_exc: Optional[BaseException] = None
+        for call in calls:
+            try:
+                results.append(call.future.result(timeout=_RPC_TIMEOUT_S))
+            except BaseException as exc:
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            # Replicas may have diverged (op landed on some); reconcile
+            # everyone back to the desired state before surfacing the
+            # failure, so a half-applied mutation can't linger.
+            self._sync_all_best_effort()
+            raise first_exc
+        return results
+
+    def _desired_state(self) -> Dict[str, object]:
+        with self._routing:
+            return {
+                "specs": [dict(spec) for spec in self._specs.values()],
+                "aliases": sorted(self._aliases.items()),
+                "default": self._default,
+                "quarantined": dict(self._quarantined),
+            }
+
+    def _sync_handle(self, handle: _ReplicaHandle) -> None:
+        call = _PendingCall(
+            OP_ADMIN, {"action": "sync", "args": self._desired_state()}
+        )
+        if not self._send(handle, call):
+            raise ReplicaUnavailableError(
+                f"replica {handle.slot} died before it could be synced"
+            )
+        call.future.result(timeout=_RPC_TIMEOUT_S)
+
+    def _sync_all_best_effort(self) -> None:
+        state = self._desired_state()
+        for handle in self._ready_handles():
+            call = _PendingCall(OP_ADMIN, {"action": "sync", "args": state})
+            if not self._send(handle, call):
+                continue
+            try:
+                call.future.result(timeout=_RPC_TIMEOUT_S)
+            except Exception:
+                pass
+
+    def load(self, spec: DeploymentSpec, replace: bool = False) -> _RemoteDeployment:
+        spec_data = deployment_spec_to_dict(spec)
+        results = self._admin_broadcast(
+            "load", {"spec": spec_data, "replace": replace}
+        )
+        with self._routing:
+            self._specs[spec.name] = spec_data
+            if self._default is None:
+                self._default = spec.name
+        return _RemoteDeployment(spec.name, self, describe_payload=results[0])
+
+    def unload(self, name: str) -> _RemoteDeployment:
+        self._admin_broadcast("unload", {"name": name})
+        with self._routing:
+            self._specs.pop(name, None)
+            self._quarantined.pop(name, None)
+            if self._default == name:
+                remaining = list(self._specs)
+                self._default = remaining[0] if len(remaining) == 1 else None
+        return _RemoteDeployment(name, self)
+
+    def reload(self, name: str) -> _RemoteDeployment:
+        results = self._admin_broadcast("reload", {"name": name})
+        return _RemoteDeployment(name, self, describe_payload=results[0])
+
+    def alias(self, alias: str, target: str) -> None:
+        self._admin_broadcast("alias", {"alias": alias, "target": target})
+        with self._routing:
+            self._aliases[alias] = target
+
+    def unalias(self, alias: str) -> None:
+        self._admin_broadcast("unalias", {"alias": alias})
+        with self._routing:
+            self._aliases.pop(alias, None)
+
+    def set_default(self, name: str) -> None:
+        self._admin_broadcast("set_default", {"name": name})
+        with self._routing:
+            self._default = name
+
+    def quarantine(self, name: str, reason: str = "operator request") -> None:
+        canonical = self._resolve_name(name)
+        self._admin_broadcast(
+            "quarantine", {"name": canonical, "reason": str(reason)}
+        )
+        with self._routing:
+            self._quarantined[canonical] = str(reason)
+
+    def unquarantine(self, name: str) -> None:
+        canonical = self._resolve_name(name)
+        self._admin_broadcast("unquarantine", {"name": canonical})
+        with self._routing:
+            self._quarantined.pop(canonical, None)
+
+    def quarantined(self) -> Dict[str, str]:
+        with self._routing:
+            return dict(self._quarantined)
+
+    def reload_cost_model(
+        self, name: str, version: Optional[str] = None
+    ) -> Dict[str, object]:
+        results = self._admin_broadcast(
+            "reload_cost_model", {"name": name, "version": version}
+        )
+        with self._routing:
+            self._cost_model_ref = (name, version)
+        return results[0]
+
+    # ---------------------------------------------------------- introspection
+    def names(self) -> List[str]:
+        with self._routing:
+            return sorted(self._specs)
+
+    def aliases(self) -> Dict[str, str]:
+        with self._routing:
+            return dict(self._aliases)
+
+    @property
+    def default_name(self) -> Optional[str]:
+        with self._routing:
+            return self._default
+
+    def __contains__(self, name: str) -> bool:
+        with self._routing:
+            return name in self._specs or name in self._aliases
+
+    def __len__(self) -> int:
+        with self._routing:
+            return len(self._specs)
+
+    def _introspect_one(self, what: str, args: Dict[str, object]):
+        call = self._dispatch(OP_INTROSPECT, {"what": what, "args": args}, key=None)
+        return call.future.result(timeout=_RPC_TIMEOUT_S)
+
+    def _introspect_broadcast(
+        self, what: str, args: Dict[str, object]
+    ) -> List[Tuple[_ReplicaHandle, object]]:
+        """Best-effort fan-out: replicas that die mid-question are simply
+        absent from the answer (metrics must not 503 because one replica
+        is being respawned)."""
+        calls = []
+        for handle in self._ready_handles():
+            call = _PendingCall(OP_INTROSPECT, {"what": what, "args": args})
+            call.retryable = False  # per-replica question; no failover
+            if self._send(handle, call):
+                calls.append((handle, call))
+        results = []
+        for handle, call in calls:
+            try:
+                results.append((handle, call.future.result(timeout=_RPC_TIMEOUT_S)))
+            except Exception:
+                continue
+        return results
+
+    def describe(self) -> Dict[str, object]:
+        payload = self._introspect_one("describe", {})
+        payload["service"] = "replica-pool"
+        payload["replicas"] = self.replica_status()
+        return payload
+
+    def model_health(self, name: Optional[str] = None) -> Dict[str, object]:
+        canonical = self._resolve_name(name)
+        return self._introspect_one("model_health", {"name": canonical})
+
+    def model_drift(self, name: Optional[str] = None) -> Dict[str, object]:
+        canonical = self._resolve_name(name)
+        return self._introspect_one("drift", {"name": canonical})
+
+    def _merged_model_snapshot(self, name: Optional[str]) -> Dict[str, object]:
+        canonical = self._resolve_name(name)
+        replies = self._introspect_broadcast("model_snapshot", {"name": canonical})
+        snapshots = [reply["snapshot"] for _, reply in replies]
+        windows = [reply["window"] for _, reply in replies]
+        merged = aggregate_snapshots(snapshots, latency_windows=windows)
+        merged["replicas"] = len(snapshots)
+        return merged
+
+    def snapshot(self) -> Dict[str, object]:
+        """Pool-wide ``/metrics`` payload, shaped like the hub's.
+
+        Per-model sections and the overall aggregate are merged with
+        :func:`~repro.serving.stats.aggregate_snapshots`, feeding it the
+        workers' *raw* latency windows so the pooled percentiles are real
+        statistics over all replicas' samples (``merged_from_raw_windows``
+        stays true), never percentiles-of-percentiles.
+        """
+        replies = self._introspect_broadcast("metrics", {})
+        model_snaps: Dict[str, List[Dict[str, object]]] = {}
+        model_windows: Dict[str, List[List[float]]] = {}
+        all_snaps: List[Dict[str, object]] = []
+        all_windows: List[List[float]] = []
+        per_replica: Dict[str, Dict[str, object]] = {}
+        for handle, reply in replies:
+            for model, snap in (reply.get("models") or {}).items():
+                model_snaps.setdefault(model, []).append(snap)
+                window = (reply.get("windows") or {}).get(model, [])
+                model_windows.setdefault(model, []).append(window)
+                all_snaps.append(snap)
+                all_windows.append(window)
+            per_replica[str(handle.slot)] = {
+                "pid": handle.pid,
+                "generation": handle.generation,
+                "served": handle.served,
+                "cache": reply.get("cache"),
+                "pool": reply.get("pool"),
+                "journal": reply.get("journal"),
+                "checkpoint": reply.get("checkpoint"),
+            }
+        models = {
+            model: aggregate_snapshots(
+                snaps, latency_windows=model_windows[model]
+            )
+            for model, snaps in model_snaps.items()
+        }
+        with self._routing:
+            aliases = dict(self._aliases)
+            default = self._default
+        return {
+            "uptime_s": time.monotonic() - self._created_monotonic,
+            "models": models,
+            "aggregate": aggregate_snapshots(all_snaps, latency_windows=all_windows),
+            "aliases": aliases,
+            "default": default,
+            # No process-local infrastructure: the per-replica copies live
+            # under "replicas", mirroring where the processes actually are.
+            "cache": None,
+            "pool": None,
+            "journal": None,
+            "checkpoint": None,
+            "replicas": per_replica,
+        }
+
+    def capacity_report(self, name: Optional[str] = None) -> Dict[str, object]:
+        """Pool capacity: per-model per-replica verdicts, with the
+        predicted sustainable QPS *summed* across replicas — capacity is
+        the one metric that genuinely adds up when processes multiply."""
+        if name is not None:
+            self._resolve_name(name)
+        replies = self._introspect_broadcast("capacity", {"name": name})
+        models: Dict[str, Dict[str, object]] = {}
+        cost_model = None
+        total_qps = 0.0
+        any_qps = False
+        for handle, reply in replies:
+            if cost_model is None:
+                cost_model = reply.get("cost_model")
+            for model, entry in (reply.get("models") or {}).items():
+                merged = models.setdefault(
+                    model,
+                    {"replicas": {}, "predicted": {"sustainable_qps": None}},
+                )
+                merged["replicas"][str(handle.slot)] = entry
+                predicted = entry.get("predicted")
+                if isinstance(predicted, dict):
+                    qps = predicted.get("sustainable_qps")
+                    if isinstance(qps, (int, float)):
+                        current = merged["predicted"]["sustainable_qps"] or 0.0
+                        merged["predicted"]["sustainable_qps"] = current + float(qps)
+                        total_qps += float(qps)
+                        any_qps = True
+        quarantined = self.quarantined()
+        for model, merged in models.items():
+            merged["quarantined"] = quarantined.get(model)
+        return {
+            "models": models,
+            "cost_model": cost_model,
+            "total_sustainable_qps": total_qps if any_qps else None,
+            "replicas": {
+                "ready": len(replies),
+                "total": self._config.replicas,
+            },
+        }
+
+    def replica_status(self) -> List[Dict[str, object]]:
+        with self._routing:
+            handles = [h for h in self._handles if h is not None]
+        status = []
+        for handle in handles:
+            with handle.mutex:
+                status.append(
+                    {
+                        "slot": handle.slot,
+                        "generation": handle.generation,
+                        "pid": handle.pid,
+                        "state": handle.state,
+                        "served": handle.served,
+                        "pending": len(handle.pending),
+                    }
+                )
+        return status
+
+    # ------------------------------------------------------------ monitoring
+    def _monitor_loop(self) -> None:
+        interval = self._config.heartbeat_interval_s
+        while True:
+            self._wake.wait(interval)
+            self._wake.clear()
+            with self._routing:
+                if self._stopping:
+                    return
+            self._tick()
+
+    def _tick(self) -> None:
+        now = time.monotonic()
+        with self._routing:
+            slots = list(range(len(self._handles)))
+        for slot in slots:
+            with self._routing:
+                if self._stopping:
+                    return
+                handle = self._handles[slot]
+            if handle is None:
+                continue
+            with handle.mutex:
+                state = handle.state
+            if state == "dead":
+                self._respawn(slot, handle)
+                continue
+            if state != "ready":
+                continue
+            if not handle.process.is_alive():
+                # The reader sees EOF too, but don't wait for it: fail the
+                # slot over now so its pending calls move immediately.
+                self._on_connection_lost(handle)
+                self._respawn(slot, handle)
+                continue
+            if now - handle.last_pong > self._config.heartbeat_timeout_s:
+                # A wedged worker: kill it; the pipe EOF fails its calls
+                # over and the next tick respawns the slot.
+                handle.process.kill()
+                continue
+            self._ping(handle)
+            recycle_after = self._config.recycle_after
+            if recycle_after is not None and handle.served >= recycle_after:
+                self._replace_slot(slot, handle)
+
+    def _ping(self, handle: _ReplicaHandle) -> None:
+        call = _PendingCall(OP_PING, {})
+        call.retryable = False
+
+        def _pong(future: Future) -> None:
+            if future.cancelled() or future.exception() is not None:
+                return
+            payload = future.result()
+            handle.served = int(payload.get("served", handle.served))
+            handle.last_pong = time.monotonic()
+
+        call.future.add_done_callback(_pong)
+        self._send(handle, call)
+
+    def _respawn(self, slot: int, old: _ReplicaHandle) -> None:
+        with self._routing:
+            if self._handles[slot] is not old or self._draining:
+                return
+        try:
+            old.conn.close()
+        except OSError:
+            pass
+        replacement = self._spawn(slot)
+        deadline = time.monotonic() + self._config.spawn_timeout_s
+        try:
+            self._await_ready(replacement, deadline)
+            # Catch up with any admin mutation that landed while this
+            # worker was being spawned.
+            self._sync_handle(replacement)
+        except Exception:
+            replacement.process.kill()
+            return  # next tick retries the respawn
+        with self._routing:
+            if self._handles[slot] is old:
+                self._handles[slot] = replacement
+                return
+        # Lost a race (shutdown); retire the fresh worker again.
+        replacement.process.kill()
+
+    def _replace_slot(self, slot: int, old: _ReplicaHandle) -> None:
+        """Recycle: replacement first, swap, then drain the old worker —
+        the slot never has zero ready processes, so traffic never pauses."""
+        replacement = self._spawn(slot)
+        deadline = time.monotonic() + self._config.spawn_timeout_s
+        try:
+            self._await_ready(replacement, deadline)
+            self._sync_handle(replacement)
+        except Exception:
+            replacement.process.kill()
+            return
+        with self._routing:
+            if self._handles[slot] is not old or self._draining:
+                swapped = False
+            else:
+                self._handles[slot] = replacement
+                swapped = True
+        if not swapped:
+            replacement.process.kill()
+            return
+        with old.mutex:
+            if old.state == "ready":
+                old.state = "draining"
+        drain_deadline = time.monotonic() + self._config.drain_timeout_s
+        while time.monotonic() < drain_deadline:
+            with old.mutex:
+                remaining = len(old.pending)
+                state = old.state
+            if remaining == 0 or state == "dead":
+                break
+            time.sleep(0.02)
+        call = _PendingCall(OP_SHUTDOWN, {})
+        if self._send(old, call):
+            try:
+                call.future.result(timeout=self._config.drain_timeout_s)
+            except Exception:
+                pass
+        old.process.join(timeout=self._config.drain_timeout_s)
+        if old.process.is_alive():
+            old.process.kill()
+        try:
+            old.conn.close()
+        except OSError:
+            pass

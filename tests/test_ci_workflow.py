@@ -130,6 +130,10 @@ def test_lint_job_runs_concurrency_suites_under_lock_check(workflow):
     # The admission controller and calibrator hold locks on the serving
     # hot path; their suite joins the runtime-validated set.
     assert "test_costmodel" in checked[0]["run"]
+    # The replica supervisor is the most lock-heavy subsystem in the repo
+    # (routing lock + one mutex per worker pipe); its suite runs under the
+    # validator so every failover/recycle schedule is order-checked.
+    assert "test_replica" in checked[0]["run"]
 
 
 def test_bench_job_asserts_cost_model_guards(workflow):
@@ -142,6 +146,17 @@ def test_bench_job_asserts_cost_model_guards(workflow):
     assert any("shed_overhead" in run for run in guard_runs)
     assert any("0.35" in run for run in guard_runs)
     assert any("1.05" in run for run in guard_runs)
+
+
+def test_bench_job_asserts_replica_scaling(workflow):
+    """The replica pool's acceptance bound (>= 1.3x QPS at 2 replicas)
+    must gate the recorded trajectory — conditional on the runner having
+    two cores, because two processes on one core merely time-slice."""
+    runs = [s.get("run", "") for s in workflow["jobs"]["bench-smoke"]["steps"]]
+    guard_runs = [run for run in runs if "replica_scaling" in run]
+    assert guard_runs, "bench-smoke must assert the replica scaling guard"
+    assert any("1.3" in run for run in guard_runs)
+    assert any("cores" in run for run in guard_runs)
 
 
 def test_jobs_use_pip_caching(workflow):
