@@ -13,6 +13,7 @@ Two headline numbers for ``BENCH_serving.json``:
   actually sheds must serve within 1.05x of a bare hub.
 """
 
+import os
 import time
 
 import pytest
@@ -33,7 +34,7 @@ ROUNDS = 5
 
 @pytest.fixture(scope="module")
 def serving_setup(tmp_path_factory, pipeline, skylake_evaluation):
-    root = str(tmp_path_factory.mktemp("cost-model-bench-registry"))
+    root = os.fspath(tmp_path_factory.mktemp("cost-model-bench-registry"))
     refs = pipeline.export_artifacts(skylake_evaluation, root, name="bench")
     builder = GraphBuilder()
     regions = build_suite()
@@ -44,7 +45,7 @@ def serving_setup(tmp_path_factory, pipeline, skylake_evaluation):
 
 def test_cost_model_calibration(benchmark, serving_setup, tmp_path_factory):
     root, artifact, burst = serving_setup
-    journal_dir = str(tmp_path_factory.mktemp("cost-model-bench") / "journal")
+    journal_dir = os.fspath(tmp_path_factory.mktemp("cost-model-bench") / "journal")
 
     hub = ModelHub(root, enable_cache=False, journal_dir=journal_dir)
     hub.load(

@@ -15,6 +15,7 @@ noise cannot fail the suite; the interesting numbers land in
 ``benchmark.extra_info``.
 """
 
+import os
 import time
 
 import numpy as np
@@ -33,7 +34,7 @@ ROUNDS = 3
 
 @pytest.fixture(scope="module")
 def ensemble_setup(pipeline, skylake_evaluation, tmp_path_factory):
-    root = str(tmp_path_factory.mktemp("ensemble-bench-registry"))
+    root = os.fspath(tmp_path_factory.mktemp("ensemble-bench-registry"))
     refs = pipeline.export_artifacts(skylake_evaluation, root, name="skylake-bench")
     fold = skylake_evaluation.folds[0]
     samples = pipeline.region_samples(pipeline.region_names(), fold.explored_sequence)
@@ -124,7 +125,7 @@ def test_single_fold_vs_ensemble_throughput(benchmark, ensemble_setup):
 
 def test_cold_vs_warm_start(benchmark, ensemble_setup, tmp_path_factory):
     root, refs, burst = ensemble_setup
-    warm_path = str(tmp_path_factory.mktemp("ensemble-bench-warm") / "warmup.npz")
+    warm_path = os.fspath(tmp_path_factory.mktemp("ensemble-bench-warm") / "warmup.npz")
 
     def fresh(warmup_path=None):
         return EnsemblePredictionService.from_registry(

@@ -9,6 +9,7 @@ both, and records the QPS ratio.  The headline numbers land in
 ``BENCH_serving.json`` via the recording hook in ``conftest.py``.
 """
 
+import os
 import time
 
 import pytest
@@ -23,7 +24,7 @@ ROUNDS = 3
 
 @pytest.fixture(scope="module")
 def hub_setup(tmp_path_factory, pipeline, skylake_evaluation):
-    root = str(tmp_path_factory.mktemp("hub-bench-registry"))
+    root = os.fspath(tmp_path_factory.mktemp("hub-bench-registry"))
     refs = pipeline.export_artifacts(skylake_evaluation, root, name="bench")
     builder = GraphBuilder()
     regions = build_suite()

@@ -9,6 +9,7 @@ records the QPS ratio.  The ISSUE acceptance bound is 1.15x; the numbers
 land in ``BENCH_serving.json`` via the recording hook in ``conftest.py``.
 """
 
+import os
 import time
 
 import pytest
@@ -23,7 +24,7 @@ ROUNDS = 5
 
 @pytest.fixture(scope="module")
 def journal_setup(tmp_path_factory, pipeline, skylake_evaluation):
-    root = str(tmp_path_factory.mktemp("journal-bench-registry"))
+    root = os.fspath(tmp_path_factory.mktemp("journal-bench-registry"))
     refs = pipeline.export_artifacts(skylake_evaluation, root, name="bench")
     builder = GraphBuilder()
     regions = build_suite()
@@ -35,7 +36,7 @@ def journal_setup(tmp_path_factory, pipeline, skylake_evaluation):
 def test_journal_write_overhead(benchmark, journal_setup, tmp_path_factory):
     root, artifact, burst = journal_setup
     knobs = dict(max_batch_size=BURST, max_wait_s=0.001, enable_cache=False)
-    journal_dir = str(tmp_path_factory.mktemp("journal-bench") / "journal")
+    journal_dir = os.fspath(tmp_path_factory.mktemp("journal-bench") / "journal")
 
     bare = ModelHub(root, enable_cache=False)
     bare.load(DeploymentSpec(name="m", artifact=artifact, **knobs))

@@ -1,0 +1,197 @@
+"""Content-hash incremental cache for the lint engine.
+
+Two layers, both keyed so that *any* relevant change misses cleanly:
+
+* **AST cache** — one pickled ``ast.Module`` per source file, keyed on
+  ``(content_hash, parser_version)``: the ck3raven ``ast_cache`` idiom.
+  The parser version folds in the Python minor version (AST shapes
+  change between releases), so an interpreter upgrade invalidates
+  everything instead of unpickling stale node classes.
+* **Findings cache** — the full JSON report of one run, keyed on the
+  *project fingerprint*: the sorted ``(path, content_hash)`` list of
+  every linted file, the active rule names, and ``rules_version`` — a
+  digest of the :mod:`repro.analysis` package sources themselves, so
+  editing a rule (or the engine) invalidates every cached verdict.
+
+A findings hit answers the whole run from one file read per source (the
+hash pass) with zero parsing and zero rule execution — that is the
+measurable speedup CI asserts via the ``cache`` counters in the JSON
+report, never via wall clock.
+
+Cache files live under ``.repro-lint-cache/`` (gitignored), are written
+atomically (tmp + ``os.replace``), and every load tolerates a corrupt or
+concurrently-pruned file by treating it as a miss — the cache can only
+make a run faster, never wrong or failing.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import pickle
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: bump to invalidate every cache entry on disk (format changes).
+CACHE_FORMAT_VERSION = 1
+
+#: default cache location, relative to the repo root (or cwd).
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+#: soft ceiling on cached entries per layer; oldest (by mtime) pruned.
+_MAX_ENTRIES = 4096
+
+
+@dataclass
+class CacheStats:
+    """Counters of one run, surfaced in the JSON report (``"cache"``)."""
+
+    enabled: bool = False
+    findings_hit: bool = False
+    ast_hits: int = 0
+    ast_misses: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "enabled": self.enabled,
+            "findings_hit": self.findings_hit,
+            "ast_hits": self.ast_hits,
+            "ast_misses": self.ast_misses,
+        }
+
+
+def content_hash(source: str) -> str:
+    """The content key of one source file."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _analysis_package_fingerprint() -> str:
+    """Digest of every ``.py`` file of :mod:`repro.analysis` itself —
+    the ``rules_version`` half of the cache key."""
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    hasher = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(package_dir):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            hasher.update(os.path.relpath(path, package_dir).encode("utf-8"))
+            try:
+                with open(path, "rb") as handle:
+                    hasher.update(handle.read())
+            except OSError:
+                hasher.update(b"<unreadable>")
+    return hasher.hexdigest()
+
+
+class LintCache:
+    """The on-disk incremental cache one :func:`run_rules` call consults."""
+
+    def __init__(self, root: str):
+        self.root = os.fspath(root)
+        self.parser_version = (
+            f"py{sys.version_info[0]}.{sys.version_info[1]}-v{CACHE_FORMAT_VERSION}"
+        )
+        self.rules_version = _analysis_package_fingerprint()
+
+    # ----------------------------------------------------------- plumbing
+    def _path(self, kind: str, key: str, suffix: str) -> str:
+        return os.path.join(self.root, f"{kind}-{key}{suffix}")
+
+    def _write_atomic(self, path: str, data: bytes) -> None:
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            tmp = f"{path}.tmp-{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except OSError:
+            return  # a failed store is a future miss, never an error
+        self._prune()
+
+    def _prune(self) -> None:
+        try:
+            entries = [
+                os.path.join(self.root, name)
+                for name in os.listdir(self.root)
+                if name.startswith(("ast-", "findings-"))
+            ]
+            if len(entries) <= _MAX_ENTRIES:
+                return
+            entries.sort(key=lambda path: os.path.getmtime(path))
+            for path in entries[: len(entries) - _MAX_ENTRIES]:
+                os.unlink(path)
+        except OSError:
+            return
+
+    # ---------------------------------------------------------- AST layer
+    def load_ast(self, source_hash: str) -> Optional[ast.Module]:
+        path = self._path("ast", f"{source_hash}-{self.parser_version}", ".pkl")
+        try:
+            with open(path, "rb") as handle:
+                tree = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ValueError):
+            return None
+        return tree if isinstance(tree, ast.Module) else None
+
+    def store_ast(self, source_hash: str, tree: ast.Module) -> None:
+        path = self._path("ast", f"{source_hash}-{self.parser_version}", ".pkl")
+        try:
+            data = pickle.dumps(tree, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, RecursionError):
+            return
+        self._write_atomic(path, data)
+
+    # ----------------------------------------------------- findings layer
+    def findings_key(
+        self, rule_names: Sequence[str], entries: Sequence[Tuple[str, str]]
+    ) -> str:
+        hasher = hashlib.sha256()
+        hasher.update(self.rules_version.encode("utf-8"))
+        hasher.update(self.parser_version.encode("utf-8"))
+        for name in sorted(rule_names):
+            hasher.update(b"\x1f" + name.encode("utf-8"))
+        for path, source_hash in sorted(entries):
+            hasher.update(b"\x1e" + path.encode("utf-8", "replace"))
+            hasher.update(b"\x1f" + source_hash.encode("utf-8"))
+        return hasher.hexdigest()
+
+    def load_findings(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._path("findings", key, ".json")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def store_findings(self, key: str, payload: Dict[str, object]) -> None:
+        path = self._path("findings", key, ".json")
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._write_atomic(path, data)
+
+
+def default_cache_dir(paths: Sequence[str]) -> str:
+    """``<repo root>/.repro-lint-cache`` for the first lintable path (the
+    cwd's root when none resolves)."""
+    from .walker import find_repo_root
+
+    for path in paths:
+        if os.path.exists(path):
+            root = find_repo_root(path)
+            if root is not None:
+                return os.path.join(root, DEFAULT_CACHE_DIR)
+    return os.path.join(os.getcwd(), DEFAULT_CACHE_DIR)
+
+
+__all__ = [
+    "CacheStats",
+    "LintCache",
+    "DEFAULT_CACHE_DIR",
+    "content_hash",
+    "default_cache_dir",
+]

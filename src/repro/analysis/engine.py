@@ -2,53 +2,83 @@
 
 A *rule* is any object with a ``name``, a ``description``, and a
 ``check(project) -> list[Finding]`` method.  The engine parses the target
-tree once (:func:`repro.analysis.walker.load_project`), hands the shared
-:class:`~repro.analysis.walker.Project` to every registered rule, filters
-suppressed findings, and renders the survivors as text or JSON.
+tree once, hands the shared :class:`~repro.analysis.walker.Project` to
+every registered rule, filters suppressed findings, and renders the
+survivors as text or JSON.  With a :class:`~repro.analysis.cache.LintCache`
+attached, parsing is answered from the AST cache per unchanged file and a
+byte-identical re-run is answered entirely from the findings cache —
+see :mod:`repro.analysis.cache` for the keying.
 
 Suppression
 -----------
-A finding is dropped when the flagged source line carries the pragma::
+A finding is dropped when the flagged source line carries the pragma
+(in a real comment — docstrings do not count)::
 
     something_deliberate()  # lint: allow(rule-name)
 
 The pragma names one rule; it never silences the whole line.  Deliberate
 exceptions therefore stay greppable — ``git grep 'lint: allow'`` is the
-complete inventory of waived invariants.
+complete inventory of waived invariants — and *audited*: a pragma that no
+longer suppresses anything is reported as a ``stale-waiver`` finding (as
+is one naming a rule that does not exist), so waivers rot loudly instead
+of outliving the code they excused.  Stale-waiver findings are not
+themselves waivable.
 
 JSON report schema (``render_json``)::
 
     {
-      "version": 1,
+      "version": 2,
       "modules": <int files scanned>,
       "rules": ["lock-discipline", ...],
       "findings": [
         {"rule": ..., "path": ..., "line": <int>, "message": ...},
         ...
-      ]
+      ],
+      "waivers": [
+        {"path": ..., "line": <int>, "rule": ..., "active": <bool>},
+        ...
+      ],
+      "cache": {"enabled": ..., "findings_hit": ..., "ast_hits": ...,
+                "ast_misses": ...}
     }
 """
 
 from __future__ import annotations
 
+import ast
+import io
 import json
 import re
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from .walker import Project, load_project
+from .cache import CacheStats, LintCache, content_hash
+from .walker import (
+    ModuleInfo,
+    Project,
+    find_repo_root,
+    iter_python_files,
+    module_name_for,
+)
 
 __all__ = [
     "Finding",
     "LintReport",
+    "Waiver",
+    "STALE_WAIVER_RULE",
     "all_rules",
     "register_rule",
     "run_rules",
     "render_json",
     "render_text",
+    "render_waivers",
 ]
 
 _ALLOW_PRAGMA = re.compile(r"lint:\s*allow\(([A-Za-z0-9_*,\s-]+)\)")
+
+#: pseudo-rule (like ``syntax``) under which rotted pragmas are reported.
+STALE_WAIVER_RULE = "stale-waiver"
 
 
 @dataclass(frozen=True)
@@ -70,12 +100,33 @@ class Finding:
 
 
 @dataclass
+class Waiver:
+    """One rule name waived by a ``# lint: allow(...)`` pragma."""
+
+    path: str
+    line: int
+    rule: str
+    #: did this waiver suppress at least one finding this run?
+    active: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "active": self.active,
+        }
+
+
+@dataclass
 class LintReport:
     """The outcome of one lint run."""
 
     findings: List[Finding]
     modules_scanned: int
     rules: List[str]
+    waivers: List[Waiver] = field(default_factory=list)
+    cache: CacheStats = field(default_factory=CacheStats)
 
     @property
     def ok(self) -> bool:
@@ -102,23 +153,201 @@ def all_rules() -> List[object]:
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]
 
 
-def _suppressed(finding: Finding, sources: Dict[str, List[str]]) -> bool:
-    lines = sources.get(finding.path)
-    if not lines or not (1 <= finding.line <= len(lines)):
-        return False
-    match = _ALLOW_PRAGMA.search(lines[finding.line - 1])
-    if match is None:
-        return False
-    allowed = {part.strip() for part in match.group(1).split(",")}
-    return finding.rule in allowed or "*" in allowed
+def _collect_waivers(module: ModuleInfo) -> List[Waiver]:
+    """Every rule name waived by a *comment* pragma in the module.
+
+    Tokenizing (rather than grepping lines) keeps docstrings that merely
+    talk about the pragma syntax from counting as waivers."""
+    waivers: List[Waiver] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(module.source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return waivers
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_PRAGMA.search(token.string)
+        if match is None:
+            continue
+        for part in match.group(1).split(","):
+            name = part.strip()
+            if name:
+                waivers.append(
+                    Waiver(path=module.path, line=token.start[0], rule=name)
+                )
+    return waivers
+
+
+def _apply_waivers(
+    findings: List[Finding],
+    modules: List[ModuleInfo],
+    active_rule_names: Sequence[str],
+) -> Tuple[List[Finding], List[Waiver]]:
+    """Drop suppressed findings, mark the waivers that earned their keep,
+    and report the stale ones."""
+    waivers: List[Waiver] = []
+    for module in modules:
+        waivers.extend(_collect_waivers(module))
+    by_site: Dict[Tuple[str, int], List[Waiver]] = {}
+    for waiver in waivers:
+        by_site.setdefault((waiver.path, waiver.line), []).append(waiver)
+
+    kept: List[Finding] = []
+    for finding in findings:
+        suppressed = False
+        for waiver in by_site.get((finding.path, finding.line), []):
+            if waiver.rule == finding.rule or waiver.rule == "*":
+                waiver.active = True
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+
+    active_names = set(active_rule_names)
+    registered = {getattr(rule, "name", "?") for rule in all_rules()}
+    full_run = registered <= active_names
+    for waiver in waivers:
+        if waiver.active:
+            continue
+        if waiver.rule == "*":
+            if full_run:
+                kept.append(
+                    Finding(
+                        rule=STALE_WAIVER_RULE,
+                        path=waiver.path,
+                        line=waiver.line,
+                        message=(
+                            "stale waiver: 'lint: allow(*)' no longer "
+                            "suppresses anything — remove the pragma"
+                        ),
+                    )
+                )
+        elif waiver.rule not in registered:
+            kept.append(
+                Finding(
+                    rule=STALE_WAIVER_RULE,
+                    path=waiver.path,
+                    line=waiver.line,
+                    message=(
+                        f"waiver names unknown rule {waiver.rule!r} — "
+                        "fix the pragma or remove it"
+                    ),
+                )
+            )
+        elif waiver.rule in active_names:
+            kept.append(
+                Finding(
+                    rule=STALE_WAIVER_RULE,
+                    path=waiver.path,
+                    line=waiver.line,
+                    message=(
+                        f"stale waiver: {waiver.rule!r} no longer fires on "
+                        "this line — remove the pragma"
+                    ),
+                )
+            )
+    return kept, waivers
+
+
+def _read_sources(paths: Sequence[str]) -> List[Tuple[str, str]]:
+    sources: List[Tuple[str, str]] = []
+    for path in iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                sources.append((path, handle.read()))
+        except OSError:
+            continue
+    return sources
+
+
+def _report_from_payload(
+    payload: Dict[str, object], stats: CacheStats
+) -> Optional[LintReport]:
+    """Rebuild a :class:`LintReport` from a cached JSON payload (None when
+    the payload does not have the expected shape)."""
+    try:
+        findings = [
+            Finding(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                line=int(entry["line"]),
+                message=str(entry["message"]),
+            )
+            for entry in payload["findings"]
+        ]
+        waivers = [
+            Waiver(
+                path=str(entry["path"]),
+                line=int(entry["line"]),
+                rule=str(entry["rule"]),
+                active=bool(entry["active"]),
+            )
+            for entry in payload["waivers"]
+        ]
+        return LintReport(
+            findings=findings,
+            modules_scanned=int(payload["modules"]),
+            rules=[str(name) for name in payload["rules"]],
+            waivers=waivers,
+            cache=stats,
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 def run_rules(
-    paths: Sequence[str], rules: Optional[Sequence[object]] = None
+    paths: Sequence[str],
+    rules: Optional[Sequence[object]] = None,
+    cache: Optional[LintCache] = None,
 ) -> LintReport:
-    """Lint ``paths`` with ``rules`` (default: every registered rule)."""
+    """Lint ``paths`` with ``rules`` (default: every registered rule),
+    optionally answering from / filling ``cache``."""
     active = list(rules) if rules is not None else all_rules()
-    project, failures = load_project(paths)
+    rule_names = [getattr(rule, "name", "?") for rule in active]
+    stats = CacheStats(enabled=cache is not None)
+
+    sources = _read_sources(paths)
+    findings_key = None
+    hashes: Dict[str, str] = {}
+    if cache is not None:
+        hashes = {path: content_hash(text) for path, text in sources}
+        findings_key = cache.findings_key(rule_names, sorted(hashes.items()))
+        payload = cache.load_findings(findings_key)
+        if payload is not None:
+            stats.findings_hit = True
+            report = _report_from_payload(payload, stats)
+            if report is not None:
+                return report
+            stats.findings_hit = False  # malformed entry: recompute
+
+    modules: List[ModuleInfo] = []
+    failures: List[Tuple[str, SyntaxError]] = []
+    for path, text in sources:
+        tree = None
+        if cache is not None:
+            tree = cache.load_ast(hashes[path])
+        if tree is not None:
+            stats.ast_hits += 1
+        else:
+            try:
+                tree = ast.parse(text, filename=path)
+            except SyntaxError as exc:
+                failures.append((path, exc))
+                continue
+            if cache is not None:
+                stats.ast_misses += 1
+                cache.store_ast(hashes[path], tree)
+        modules.append(
+            ModuleInfo(
+                path=path,
+                name=module_name_for(path),
+                tree=tree,
+                source=text,
+                lines=text.splitlines(),
+            )
+        )
+    root = find_repo_root(modules[0].path) if modules else None
+    project = Project(modules=modules, root=root)
+
     findings: List[Finding] = [
         Finding(
             rule="syntax",
@@ -130,14 +359,19 @@ def run_rules(
     ]
     for rule in active:
         findings.extend(rule.check(project))
-    sources = {module.path: module.lines for module in project.modules}
-    findings = [f for f in findings if not _suppressed(f, sources)]
+    findings, waivers = _apply_waivers(findings, modules, rule_names)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return LintReport(
+    waivers.sort(key=lambda w: (w.path, w.line, w.rule))
+    report = LintReport(
         findings=findings,
-        modules_scanned=len(project.modules),
-        rules=[getattr(rule, "name", "?") for rule in active],
+        modules_scanned=len(modules),
+        rules=rule_names,
+        waivers=waivers,
+        cache=stats,
     )
+    if cache is not None and findings_key is not None:
+        cache.store_findings(findings_key, render_json(report))
+    return report
 
 
 def render_text(report: LintReport) -> str:
@@ -146,19 +380,40 @@ def render_text(report: LintReport) -> str:
         for finding in report.findings
     ]
     noun = "finding" if len(report.findings) == 1 else "findings"
-    lines.append(
+    summary = (
         f"{len(report.findings)} {noun} in {report.modules_scanned} modules "
         f"({len(report.rules)} rules)"
+    )
+    if report.cache.enabled and report.cache.findings_hit:
+        summary += " [cached]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_waivers(report: LintReport) -> str:
+    """The ``--waivers`` inventory: every pragma with its verdict."""
+    lines = [
+        f"{waiver.path}:{waiver.line}: allow({waiver.rule}) — "
+        f"{'active' if waiver.active else 'stale'}"
+        for waiver in report.waivers
+    ]
+    active = sum(1 for waiver in report.waivers if waiver.active)
+    noun = "waiver" if len(report.waivers) == 1 else "waivers"
+    lines.append(
+        f"{len(report.waivers)} {noun} "
+        f"({active} active, {len(report.waivers) - active} stale)"
     )
     return "\n".join(lines)
 
 
 def render_json(report: LintReport) -> Dict[str, object]:
     return {
-        "version": 1,
+        "version": 2,
         "modules": report.modules_scanned,
         "rules": list(report.rules),
         "findings": [finding.as_dict() for finding in report.findings],
+        "waivers": [waiver.as_dict() for waiver in report.waivers],
+        "cache": report.cache.as_dict(),
     }
 
 

@@ -6,28 +6,44 @@ them without any explicit wiring.  Adding a rule is: write a class with
 ``name``/``description``/``check(project)``, instantiate it here via
 ``register_rule``, add a fixture under ``tests/fixtures/lint/`` that it
 flags, and assert on the fixture in ``tests/test_analysis.py``.
+
+The cross-boundary rules (rpc-parity, exception-codec, pickle-safety,
+route-registry) additionally lean on the class/signature index in
+:mod:`repro.analysis.walker` — see the package docstring for the recipe.
 """
 
 from ..engine import register_rule
 from .api_surface import ApiSurfaceRule
+from .exception_codec import ExceptionCodecRule
 from .lock_discipline import LockDisciplineRule
 from .path_hygiene import PathHygieneRule
+from .pickle_safety import PickleSafetyRule
 from .purity import EnginePurityRule
+from .route_registry import RouteRegistryRule
+from .rpc_parity import RpcParityRule
 from .wire_errors import WireErrorsRule
 
 __all__ = [
     "ApiSurfaceRule",
     "EnginePurityRule",
+    "ExceptionCodecRule",
     "LockDisciplineRule",
     "PathHygieneRule",
+    "PickleSafetyRule",
+    "RouteRegistryRule",
+    "RpcParityRule",
     "WireErrorsRule",
 ]
 
 for _rule in (
     ApiSurfaceRule,
     EnginePurityRule,
+    ExceptionCodecRule,
     LockDisciplineRule,
     PathHygieneRule,
+    PickleSafetyRule,
+    RouteRegistryRule,
+    RpcParityRule,
     WireErrorsRule,
 ):
     register_rule(_rule)

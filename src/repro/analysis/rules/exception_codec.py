@@ -1,0 +1,282 @@
+"""``exception-codec``: the pipe error codec must cover what workers raise.
+
+Exceptions cross the replica pipe as ``{"kind": ..., "message": ...}``
+payloads encoded by walking the ``_KINDS`` table in
+:mod:`repro.serving.replica.transport` and taking the *first*
+``isinstance`` match.  That design has three silent failure modes, each
+of which demotes a typed error to a generic one so hub-side handling
+(HTTP status mapping, retry hints) quietly degrades:
+
+* an exception type raise-reachable from the worker's op handlers with
+  no ``_KINDS`` entry of its own decodes as whichever base class matches
+  first (or as the catch-all internal kind);
+* a subclass listed *after* its base class can never win the isinstance
+  scan — the entry is dead on arrival;
+* an encode kind with no decoder falls into the unknown-kind fallback.
+
+This rule parses ``_KINDS`` wherever it is defined, checks kind
+uniqueness and subclass-before-base ordering against the project class
+hierarchy, checks that ``decode_exception`` covers every encode kind,
+and walks the call graph from the worker's methods to every ``raise``
+site, flagging raised project exception types that are encodable only
+via a base class.  The fix is always an explicit ``_KINDS`` entry (or
+making the type a non-wire detail), never a waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..engine import Finding
+from ..walker import (
+    ClassIndex,
+    MethodIndex,
+    ModuleInfo,
+    Project,
+    raised_names,
+    terminal_attr,
+)
+
+KINDS_NAME = "_KINDS"
+WORKER_CLASS = "ReplicaWorker"
+ENCODE_FUNC = "encode_exception"
+DECODE_FUNC = "decode_exception"
+
+
+def _find_kinds(
+    module: ModuleInfo,
+) -> Optional[Tuple[ast.AST, List[Tuple[str, str, int]]]]:
+    """The top-level ``_KINDS`` table as ``(node, [(kind, type name, line)])``.
+
+    Handles both plain and annotated assignments; malformed entries are
+    skipped rather than crashing the rule."""
+    for node in module.tree.body:
+        value = None
+        if isinstance(node, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == KINDS_NAME for t in node.targets
+            ):
+                value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == KINDS_NAME:
+                value = node.value
+        if value is None:
+            continue
+        entries: List[Tuple[str, str, int]] = []
+        if isinstance(value, (ast.Tuple, ast.List)):
+            for element in value.elts:
+                if not isinstance(element, (ast.Tuple, ast.List)):
+                    continue
+                if len(element.elts) != 2:
+                    continue
+                kind_node, type_node = element.elts
+                type_name = terminal_attr(type_node)
+                if (
+                    isinstance(kind_node, ast.Constant)
+                    and isinstance(kind_node.value, str)
+                    and type_name is not None
+                ):
+                    entries.append((kind_node.value, type_name, element.lineno))
+        return node, entries
+    return None
+
+
+def _decode_covered_kinds(module: ModuleInfo) -> Optional[Set[str]]:
+    """The kinds ``decode_exception`` can map back to a type, or ``None``
+    when decode iterates ``_KINDS`` itself (full coverage by construction).
+
+    Full coverage is recognised when decode reads a module-level mapping
+    built by comprehension over ``_KINDS`` — the shipped idiom."""
+    derived: Set[str] = set()
+    for node in module.tree.body:
+        value = None
+        targets: List[str] = []
+        if isinstance(node, ast.Assign):
+            value = node.value
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            value = node.value
+            targets = [node.target.id]
+        if value is None or not targets:
+            continue
+        for sub in ast.walk(value):
+            if isinstance(sub, (ast.DictComp, ast.ListComp, ast.SetComp)):
+                for gen in sub.generators:
+                    if (
+                        isinstance(gen.iter, ast.Name)
+                        and gen.iter.id == KINDS_NAME
+                    ):
+                        derived.update(targets)
+
+    decode = None
+    for node in module.tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == DECODE_FUNC:
+            decode = node
+            break
+    if decode is None:
+        return set()
+    kinds: Set[str] = set()
+    for sub in ast.walk(decode):
+        if isinstance(sub, ast.Name) and sub.id in (derived | {KINDS_NAME}):
+            return None  # decode walks the table: covered by construction
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            kinds.add(sub.value)
+    return kinds
+
+
+class ExceptionCodecRule:
+    name = "exception-codec"
+    description = (
+        "every worker-raised exception type has its own _KINDS entry, "
+        "ordered subclass-before-base, and decode covers every kind"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        codec_module = None
+        found = None
+        for module in project.modules:
+            found = _find_kinds(module)
+            if found is not None:
+                codec_module = module
+                break
+        if codec_module is None or found is None:
+            return []
+        kinds_node, entries = found
+        index = ClassIndex(project)
+        findings: List[Finding] = []
+
+        seen_kinds: Dict[str, int] = {}
+        for kind, type_name, line in entries:
+            if kind in seen_kinds:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=codec_module.path,
+                        line=line,
+                        message=(
+                            f"duplicate codec kind {kind!r} (first defined on "
+                            f"line {seen_kinds[kind]}) — the second entry can "
+                            "never decode"
+                        ),
+                    )
+                )
+            else:
+                seen_kinds[kind] = line
+
+        # Subclass-before-base: entry j is dead if an earlier entry's type
+        # already matches every instance of entry j's type.
+        for j, (kind_j, type_j, line_j) in enumerate(entries):
+            for kind_i, type_i, _line_i in entries[:j]:
+                if type_i != type_j and index.is_subclass(type_j, type_i):
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            path=codec_module.path,
+                            line=line_j,
+                            message=(
+                                f"codec entry ({kind_j!r}, {type_j}) is "
+                                f"unreachable: earlier entry ({kind_i!r}, "
+                                f"{type_i}) matches first because {type_j} "
+                                f"subclasses {type_i} — move the subclass "
+                                "entry before its base"
+                            ),
+                        )
+                    )
+                    break
+
+        decode_kinds = _decode_covered_kinds(codec_module)
+        if decode_kinds is not None:
+            has_decode = any(
+                isinstance(node, ast.FunctionDef) and node.name == DECODE_FUNC
+                for node in codec_module.tree.body
+            )
+            if not has_decode:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=codec_module.path,
+                        line=getattr(kinds_node, "lineno", 1),
+                        message=(
+                            f"{KINDS_NAME} is defined but {DECODE_FUNC} is "
+                            "missing — encoded errors cannot be rebuilt"
+                        ),
+                    )
+                )
+            else:
+                for kind, _type_name, line in entries:
+                    if kind not in decode_kinds:
+                        findings.append(
+                            Finding(
+                                rule=self.name,
+                                path=codec_module.path,
+                                line=line,
+                                message=(
+                                    f"encode kind {kind!r} has no decoder in "
+                                    f"{DECODE_FUNC} — it round-trips as the "
+                                    "unknown-kind fallback"
+                                ),
+                            )
+                        )
+
+        findings.extend(
+            self._reachability_findings(project, index, codec_module, entries)
+        )
+        return findings
+
+    def _reachability_findings(
+        self,
+        project: Project,
+        index: ClassIndex,
+        codec_module: ModuleInfo,
+        entries: List[Tuple[str, str, int]],
+    ) -> List[Finding]:
+        """Raised-but-unlisted types reachable from the worker's handlers."""
+        worker = index.get(WORKER_CLASS)
+        if worker is None:
+            return []
+        entry_types = {type_name for _kind, type_name, _line in entries}
+        method_index = MethodIndex(project.modules)
+        entry_refs = list(
+            method_index.by_class.get(
+                (worker.module.name, WORKER_CLASS), {}
+            ).values()
+        )
+        by_module_name = {module.name: module for module in project.modules}
+        findings: List[Finding] = []
+        flagged: Set[str] = set()
+        for ref in method_index.reachable_from(entry_refs):
+            ref_module = by_module_name.get(ref.module)
+            if ref_module is None:
+                continue
+            for type_name, line in raised_names(ref.node):
+                if type_name in entry_types or type_name in flagged:
+                    continue
+                info = index.resolve(type_name, ref_module)
+                if info is None:
+                    continue  # not a project class (or ambiguous): skip
+                base = next(
+                    (
+                        entry
+                        for entry in entry_types
+                        if index.is_subclass(type_name, entry)
+                    ),
+                    None,
+                )
+                if base is None:
+                    continue  # not an encodable family: crosses as internal
+                flagged.add(type_name)
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=ref_module.path,
+                        line=line,
+                        message=(
+                            f"{type_name} is raised on a worker-reachable "
+                            f"path but has no {KINDS_NAME} entry — it crosses "
+                            f"the pipe demoted to its base class {base}; add "
+                            f"an entry before the {base} one"
+                        ),
+                    )
+                )
+        return findings

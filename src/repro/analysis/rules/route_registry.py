@@ -1,0 +1,324 @@
+"""``route-registry``: every HTTP route lives in a declarative table.
+
+The wire error-code registry (``wire-errors``) exists because grepping
+handler code is not an API contract.  Routes have the same problem: the
+``ServingApp._route`` dispatcher *is* the routing table, but nothing
+forces a new branch to be documented or exercised.  This rule extends
+the registry idiom to routes:
+
+* the module defining ``_route`` must declare a module-level ``ROUTES``
+  mapping of ``"<METHOD> <template>"`` keys (templates spell dynamic
+  segments ``{name}``) to non-empty human descriptions;
+* every route the dispatcher actually serves — fixed ``path == "..."``
+  branches, the bare ``{name}`` lookup, and ``action == "..."``
+  sub-resource branches, each crossed with the HTTP methods of the view
+  dict it returns — must be registered, and every registered entry must
+  be served (a dead registry entry is drift, exactly like a dead error
+  code);
+* every registered template must appear in at least one test under the
+  repo's ``tests/`` tree (f-strings count, with formatted segments
+  treated as wildcards), so the public surface cannot grow untested.
+
+The dispatcher model it parses is deliberately the one this repo uses:
+literal compares against ``path``/``action`` plus a ``prefix`` local for
+the collection root.  That narrowness is fine — the rule only fires in
+modules that define ``_route`` at all.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..engine import Finding
+from ..walker import ModuleInfo, Project
+
+ROUTES_NAME = "ROUTES"
+DISPATCHER = "_route"
+KNOWN_METHODS = frozenset({"GET", "POST", "PUT", "DELETE", "PATCH", "HEAD"})
+
+
+def _find_dispatcher(module: ModuleInfo) -> Optional[ast.AST]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.FunctionDef) and node.name == DISPATCHER:
+            return node
+    return None
+
+
+def _find_routes(module: ModuleInfo) -> Optional[Tuple[int, ast.Dict]]:
+    for node in module.tree.body:
+        value = None
+        if isinstance(node, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == ROUTES_NAME
+                for t in node.targets
+            ):
+                value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == ROUTES_NAME:
+                value = node.value
+        if isinstance(value, ast.Dict):
+            return node.lineno, value
+    return None
+
+
+def _return_methods(body: List[ast.stmt]) -> Set[str]:
+    """HTTP method keys of every ``return {"GET": view, ...}`` in ``body``."""
+    methods: Set[str] = set()
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if not isinstance(sub, ast.Return) or not isinstance(
+                sub.value, ast.Dict
+            ):
+                continue
+            for key in sub.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    methods.add(key.value)
+    return methods
+
+
+def _compare_literal(test: ast.expr, variable: str) -> Optional[str]:
+    """The string ``lit`` when ``test`` is ``<variable> == "lit"`` (either
+    side), else ``None``."""
+    if not isinstance(test, ast.Compare) or len(test.comparators) != 1:
+        return None
+    if not (len(test.ops) == 1 and isinstance(test.ops[0], ast.Eq)):
+        return None
+    exprs = [test.left, test.comparators[0]]
+    names = [e for e in exprs if isinstance(e, ast.Name) and e.id == variable]
+    consts = [
+        e for e in exprs if isinstance(e, ast.Constant) and isinstance(e.value, str)
+    ]
+    if names and consts:
+        return consts[0].value
+    return None
+
+
+def _is_single_segment_test(test: ast.expr) -> bool:
+    """``len(segments) == 1`` — the bare ``{name}`` collection-item route."""
+    if not isinstance(test, ast.Compare) or len(test.comparators) != 1:
+        return False
+    if not (len(test.ops) == 1 and isinstance(test.ops[0], ast.Eq)):
+        return False
+    call, const = test.left, test.comparators[0]
+    return (
+        isinstance(call, ast.Call)
+        and isinstance(call.func, ast.Name)
+        and call.func.id == "len"
+        and isinstance(const, ast.Constant)
+        and const.value == 1
+    )
+
+
+def _served_routes(dispatcher: ast.AST) -> Dict[str, int]:
+    """``{"METHOD template": line}`` for every route ``_route`` serves."""
+    prefix = "/v1/models/"
+    for sub in ast.walk(dispatcher):
+        if (
+            isinstance(sub, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "prefix" for t in sub.targets
+            )
+            and isinstance(sub.value, ast.Constant)
+            and isinstance(sub.value.value, str)
+        ):
+            prefix = sub.value.value
+    served: Dict[str, int] = {}
+    for stmt in ast.walk(dispatcher):
+        if not isinstance(stmt, ast.If):
+            continue
+        template = None
+        fixed = _compare_literal(stmt.test, "path")
+        action = _compare_literal(stmt.test, "action")
+        if fixed is not None:
+            template = fixed
+        elif action is not None:
+            template = f"{prefix}{{name}}/{action}"
+        elif _is_single_segment_test(stmt.test):
+            template = f"{prefix}{{name}}"
+        if template is not None:
+            for method in _return_methods(stmt.body):
+                served.setdefault(f"{method} {template}", stmt.lineno)
+    return served
+
+
+def _rendered_test_strings(root: str) -> Optional[Set[str]]:
+    """Every string literal (f-strings rendered with ``•`` wildcards)
+    in the repo's tests, or ``None`` when there is no tests tree."""
+    tests_dir = os.path.join(root, "tests")
+    if not os.path.isdir(tests_dir):
+        return None
+    strings: Set[str] = set()
+    for dirpath, dirnames, filenames in os.walk(tests_dir):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    tree = ast.parse(handle.read(), filename=path)
+            except (OSError, SyntaxError):
+                continue
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                    strings.add(node.value)
+                elif isinstance(node, ast.JoinedStr):
+                    parts: List[str] = []
+                    for value in node.values:
+                        if isinstance(value, ast.Constant) and isinstance(
+                            value.value, str
+                        ):
+                            parts.append(value.value)
+                        else:
+                            parts.append("•")
+                    strings.add("".join(parts))
+    return strings
+
+
+def _template_regex(template: str) -> "re.Pattern[str]":
+    pattern = re.escape(template).replace(re.escape("{name}"), "[^/]+")
+    return re.compile(f"^{pattern}$")
+
+
+class RouteRegistryRule:
+    name = "route-registry"
+    description = (
+        "every served HTTP route is declared in the ROUTES table, every "
+        "table entry is served, and every template appears in a test"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            dispatcher = _find_dispatcher(module)
+            if dispatcher is None:
+                continue
+            findings.extend(self._module_findings(project, module, dispatcher))
+        return findings
+
+    def _module_findings(
+        self, project: Project, module: ModuleInfo, dispatcher: ast.AST
+    ) -> List[Finding]:
+        routes = _find_routes(module)
+        if routes is None:
+            return [
+                Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=dispatcher.lineno,
+                    message=(
+                        f"module dispatches routes ({DISPATCHER}) but declares "
+                        f"no module-level {ROUTES_NAME} table — the route "
+                        "surface must be explicit to be checkable"
+                    ),
+                )
+            ]
+        decl_line, table = routes
+        findings: List[Finding] = []
+
+        registered: Dict[str, int] = {}
+        for key_node, value_node in zip(table.keys, table.values):
+            if not (
+                isinstance(key_node, ast.Constant)
+                and isinstance(key_node.value, str)
+            ):
+                continue
+            key = key_node.value
+            line = key_node.lineno
+            method, _, template = key.partition(" ")
+            if method not in KNOWN_METHODS or not template.startswith("/"):
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=module.path,
+                        line=line,
+                        message=(
+                            f"{ROUTES_NAME} key {key!r} is not of the form "
+                            "'<METHOD> /path' with a known HTTP method"
+                        ),
+                    )
+                )
+                continue
+            if key in registered:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=module.path,
+                        line=line,
+                        message=f"duplicate {ROUTES_NAME} entry {key!r}",
+                    )
+                )
+                continue
+            registered[key] = line
+            if not (
+                isinstance(value_node, ast.Constant)
+                and isinstance(value_node.value, str)
+                and value_node.value.strip()
+            ):
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=module.path,
+                        line=line,
+                        message=(
+                            f"{ROUTES_NAME} entry {key!r} needs a non-empty "
+                            "description string"
+                        ),
+                    )
+                )
+
+        served = _served_routes(dispatcher)
+        for key, line in sorted(served.items()):
+            if key not in registered:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=module.path,
+                        line=line,
+                        message=(
+                            f"route {key!r} is served by {DISPATCHER} but "
+                            f"missing from {ROUTES_NAME} — register and "
+                            "document it"
+                        ),
+                    )
+                )
+        for key, line in sorted(registered.items()):
+            if key not in served:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=module.path,
+                        line=line,
+                        message=(
+                            f"{ROUTES_NAME} entry {key!r} is not served by "
+                            f"{DISPATCHER} — dead registry entry"
+                        ),
+                    )
+                )
+
+        if project.root is not None:
+            test_strings = _rendered_test_strings(project.root)
+            if test_strings is not None:
+                candidates = test_strings | {
+                    s.partition("?")[0].rstrip("/") or "/" for s in test_strings
+                }
+                for key, line in sorted(registered.items()):
+                    _method, _, template = key.partition(" ")
+                    regex = _template_regex(template)
+                    if not any(regex.match(candidate) for candidate in candidates):
+                        findings.append(
+                            Finding(
+                                rule=self.name,
+                                path=module.path,
+                                line=line,
+                                message=(
+                                    f"{ROUTES_NAME} entry {key!r} is never "
+                                    "referenced by any test under tests/ — "
+                                    "the route surface must stay exercised"
+                                ),
+                            )
+                        )
+        return findings

@@ -18,7 +18,17 @@ The helpers here are the vocabulary the rules share:
   functions are reachable from a set of entry methods, resolving calls by
   method name across a chosen module set (conservative, no type
   inference — exactly right for "nothing reachable from ``infer()`` may
-  mutate ``self``").
+  mutate ``self``");
+* :class:`ClassIndex` — every top-level class by name, with name-based
+  base-class resolution (``ancestors``/``is_subclass``), feeding the
+  cross-boundary contract rules (exception codecs order subclasses before
+  bases, RPC payload types are audited transitively);
+* :func:`method_signature` / :func:`public_surface` — the public method
+  surface of a class as comparable :class:`MethodSignature` records, for
+  "this class must mirror that one" checks;
+* :func:`raised_names` / :func:`instance_attribute_values` /
+  :func:`field_annotations` / :func:`annotation_names` — raise-site and
+  attribute-type extraction shared by the codec and pickle rules.
 """
 
 from __future__ import annotations
@@ -171,6 +181,22 @@ def terminal_attr(node: ast.AST) -> Optional[str]:
     return None
 
 
+def imported_names(module: ModuleInfo) -> Set[str]:
+    """Every name bound by an ``import``/``from ... import`` in the module
+    (the as-name when aliased).  Lets cross-boundary rules distinguish "this
+    name exists outside the lint scope" from "this name exists nowhere" when
+    only a subset of the project is being linted (``--changed-only``)."""
+    names: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
 def walk_body(nodes: Iterable[ast.AST]) -> Iterator[ast.AST]:
     """Walk statements without descending into nested def/class/lambda —
     "lexically inside this block" for lock-region queries."""
@@ -288,3 +314,244 @@ class MethodIndex:
             elif isinstance(func, ast.Name):
                 callees.extend(self.module_level.get(func.id, []))
         return callees
+
+
+# ------------------------------------------------------- class/signature index
+
+
+@dataclass(frozen=True)
+class MethodSignature:
+    """The comparable shape of one method definition.
+
+    ``params`` excludes the ``self``/``cls`` receiver; ``defaults`` counts
+    trailing positional defaults, so two signatures are call-compatible
+    exactly when these fields agree.
+    """
+
+    name: str
+    params: Tuple[str, ...]
+    defaults: int
+    kwonly: Tuple[str, ...]
+    vararg: bool
+    kwarg: bool
+    is_property: bool
+
+    def compatible_with(self, other: "MethodSignature") -> bool:
+        return (
+            self.params == other.params
+            and self.defaults == other.defaults
+            and self.kwonly == other.kwonly
+            and self.vararg == other.vararg
+            and self.kwarg == other.kwarg
+            and self.is_property == other.is_property
+        )
+
+    def render(self) -> str:
+        if self.is_property:
+            return f"{self.name} (property)"
+        parts = list(self.params)
+        for offset in range(self.defaults):
+            index = len(parts) - self.defaults + offset
+            parts[index] = f"{parts[index]}=..."
+        if self.vararg:
+            parts.append("*args")
+        elif self.kwonly:
+            parts.append("*")
+        parts.extend(self.kwonly)
+        if self.kwarg:
+            parts.append("**kwargs")
+        return f"{self.name}({', '.join(parts)})"
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class definition, addressable across the project."""
+
+    module: ModuleInfo
+    node: ast.ClassDef
+    name: str
+    bases: Tuple[str, ...]
+
+    def methods(self) -> Dict[str, ast.AST]:
+        found: Dict[str, ast.AST] = {}
+        for item in self.node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                found.setdefault(item.name, item)
+        return found
+
+
+class ClassIndex:
+    """Top-level classes by name, with name-based hierarchy resolution.
+
+    Like :class:`MethodIndex`, resolution is deliberately conservative
+    and type-inference free: a base written ``hub.HubError`` resolves by
+    its terminal name, and ``ancestors`` chases names transitively
+    through the indexed modules (builtins simply resolve to nothing).
+    """
+
+    def __init__(self, project: Project):
+        self.by_name: Dict[str, List[ClassInfo]] = {}
+        for module in project.modules:
+            for node in module.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                bases = tuple(
+                    name
+                    for name in (terminal_attr(base) for base in node.bases)
+                    if name is not None
+                )
+                self.by_name.setdefault(node.name, []).append(
+                    ClassInfo(module=module, node=node, name=node.name, bases=bases)
+                )
+        for infos in self.by_name.values():
+            infos.sort(key=lambda info: info.module.path)
+
+    def get(self, name: str) -> Optional[ClassInfo]:
+        infos = self.by_name.get(name)
+        return infos[0] if infos else None
+
+    def resolve(self, name: str, module: Optional[ModuleInfo] = None) -> Optional[ClassInfo]:
+        """The class ``name`` refers to — same-module definitions win;
+        an ambiguous cross-module name resolves to nothing rather than
+        guessing (rules must stay false-positive free on the real tree)."""
+        infos = self.by_name.get(name)
+        if not infos:
+            return None
+        if module is not None:
+            for info in infos:
+                if info.module.path == module.path:
+                    return info
+        return infos[0] if len(infos) == 1 else None
+
+    def ancestors(self, name: str) -> Set[str]:
+        seen: Set[str] = set()
+        stack = [name]
+        while stack:
+            info = self.get(stack.pop())
+            if info is None:
+                continue
+            for base in info.bases:
+                if base not in seen:
+                    seen.add(base)
+                    stack.append(base)
+        return seen
+
+    def is_subclass(self, name: str, base: str) -> bool:
+        """``name`` is ``base`` or transitively derives from it (by name)."""
+        return name == base or base in self.ancestors(name)
+
+
+def method_signature(node: ast.AST) -> MethodSignature:
+    """The comparable :class:`MethodSignature` of one def node."""
+    args = node.args
+    params = tuple(arg.arg for arg in list(args.posonlyargs) + list(args.args))
+    if params and params[0] in ("self", "cls"):
+        params = params[1:]
+    is_property = any(
+        terminal_attr(decorator) == "property" for decorator in node.decorator_list
+    )
+    return MethodSignature(
+        name=node.name,
+        params=params,
+        defaults=len(args.defaults),
+        kwonly=tuple(arg.arg for arg in args.kwonlyargs),
+        vararg=args.vararg is not None,
+        kwarg=args.kwarg is not None,
+        is_property=is_property,
+    )
+
+
+def public_surface(info: ClassInfo) -> Dict[str, MethodSignature]:
+    """``{name: signature}`` for every public method (no leading ``_``)."""
+    return {
+        name: method_signature(node)
+        for name, node in info.methods().items()
+        if not name.startswith("_")
+    }
+
+
+def class_string_set(info: ClassInfo, attribute: str) -> Optional[Tuple[int, Set[str]]]:
+    """A class-level ``ATTRIBUTE = frozenset({...})``-style declaration:
+    ``(line, {string members})``, or ``None`` when undeclared."""
+    for item in info.node.body:
+        if not isinstance(item, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == attribute
+            for target in item.targets
+        ):
+            continue
+        members = {
+            sub.value
+            for sub in ast.walk(item.value)
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+        }
+        return item.lineno, members
+    return None
+
+
+def raised_names(node: ast.AST) -> List[Tuple[str, int]]:
+    """``(terminal name, line)`` of every ``raise X``/``raise X(...)``
+    under ``node`` (bare re-raises and dynamic targets are skipped)."""
+    out: List[Tuple[str, int]] = []
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Raise) or sub.exc is None:
+            continue
+        target = sub.exc.func if isinstance(sub.exc, ast.Call) else sub.exc
+        name = terminal_attr(target)
+        if name is not None:
+            out.append((name, sub.lineno))
+    return out
+
+
+def instance_attribute_values(info: ClassInfo) -> List[Tuple[str, ast.expr, int]]:
+    """``(attr, value, line)`` for every ``self.<attr> = <value>`` in any
+    method of the class."""
+    out: List[Tuple[str, ast.expr, int]] = []
+    for method in info.methods().values():
+        for sub in ast.walk(method):
+            if isinstance(sub, ast.Assign):
+                targets, value = sub.targets, sub.value
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                targets, value = [sub.target], sub.value
+            else:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    out.append((target.attr, value, sub.lineno))
+    return out
+
+
+def field_annotations(info: ClassInfo) -> List[Tuple[str, ast.expr, int]]:
+    """``(field, annotation, line)`` for class-body annotated fields —
+    the dataclass field inventory."""
+    return [
+        (item.target.id, item.annotation, item.lineno)
+        for item in info.node.body
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name)
+    ]
+
+
+def annotation_names(node: ast.expr) -> Set[str]:
+    """Every terminal name mentioned by a type annotation, unwrapping
+    subscripts (``Optional[List[Node]]`` → ``Optional, List, Node``) and
+    string forward references."""
+    names: Set[str] = set()
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        for sub in ast.walk(current):
+            if isinstance(sub, ast.Name):
+                names.add(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                names.add(sub.attr)
+            elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                try:
+                    stack.append(ast.parse(sub.value, mode="eval").body)
+                except SyntaxError:
+                    continue
+    return names

@@ -132,6 +132,32 @@ ERROR_CODES = {
     "unsupported-format": "an unknown serialization format was requested",
 }
 
+#: Route contract: every path the app serves, with the client-facing
+#: meaning.  Dynamic segments are spelled ``{name}``.  The
+#: ``route-registry`` lint rule keeps this table, the ``_route``
+#: dispatcher, and the test suite in lockstep (every served route
+#: registered, every entry served and exercised by a test) — add the
+#: route here *and* a test when growing the surface.
+ROUTES = {
+    "GET /healthz": "liveness probe: cheap, lock-free, always 200",
+    "GET /metrics": "service-wide metrics (JSON, or Prometheus text format)",
+    "POST /v1/predict": "predict against the default deployment",
+    "GET /v1/capacity": "admission-budget capacity report for every model",
+    "GET /v1/models": "list deployments with aliases and default marker",
+    "GET /v1/models/{name}": "health snapshot of one deployment",
+    "POST /v1/models/{name}/predict": "predict against a named deployment",
+    "GET /v1/models/{name}/metrics": "per-model serving metrics",
+    "GET /v1/models/{name}/capacity": "admission-budget report for one model",
+    "GET /v1/models/{name}/drift": "feature-drift report for one model",
+    "POST /v1/models/{name}/quarantine": (
+        "fence (or, with {\"quarantined\": false}, unfence) a deployment"
+    ),
+    "POST /v1/models/{name}/load": "load a deployment from a spec body",
+    "POST /v1/models/{name}/unload": "unload a deployment",
+    "POST /v1/models/{name}/reload": "reload a deployment from its registry spec",
+    "POST /v1/models/{name}/alias": "point an alias at a deployment",
+}
+
 
 def error_payload(status: int, code: str, message: str) -> Dict[str, object]:
     """The uniform error body every non-2xx response carries."""

@@ -45,6 +45,7 @@ from concurrent.futures import Future
 from typing import Dict, List, Optional, Set, Tuple
 
 from ...concurrency import TrackedLock, TrackedRLock
+from ..costmodel import DEFAULT_COST_MODEL_NAME
 from ..deployment import DeploymentSpec, deployment_spec_to_dict
 from ..hub import DeploymentNotFoundError, DeploymentQuarantinedError
 from ..stats import aggregate_snapshots
@@ -211,6 +212,15 @@ class ReplicaSupervisor:
     cache = None
     checkpoint = None
     journal = None
+
+    #: hub methods deliberately NOT mirrored (the rpc-parity lint rule
+    #: enforces the rest of the surface).  ``adopt`` takes a live
+    #: predictor object, and the cost-model setters take a model instance
+    #: — neither can cross a process boundary; replica deployments load
+    #: from the registry and ship cost models by artifact version.
+    MIRROR_EXEMPT = frozenset({"adopt", "set_cost_model", "cost_model"})
+    #: supervisor-only surface with no hub counterpart.
+    MIRROR_EXTRA = frozenset({"replica_status"})
 
     def __init__(self, config: ReplicaConfig):
         self._config = config
@@ -735,7 +745,9 @@ class ReplicaSupervisor:
             return dict(self._quarantined)
 
     def reload_cost_model(
-        self, name: str, version: Optional[str] = None
+        self,
+        name: str = DEFAULT_COST_MODEL_NAME,
+        version: Optional[str] = None,
     ) -> Dict[str, object]:
         results = self._admin_broadcast(
             "reload_cost_model", {"name": name, "version": version}

@@ -26,8 +26,10 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from ...graphs.graph import Edge, Node, ProgramGraph
 from ..costmodel import OverCapacityError
 from ..deployment import DeploymentSpecError
+from ..ensemble import EnsemblePredictionResult
 from ..hub import (
     DeploymentExistsError,
     DeploymentNotFoundError,
@@ -35,7 +37,8 @@ from ..hub import (
     HubError,
 )
 from ..registry import ArtifactNotFoundError
-from .config import ReplicaError
+from ..service import PredictionResult
+from .config import DrainingError, ReplicaConfig, ReplicaError, ReplicaUnavailableError
 
 #: request ops.
 OP_SUBMIT = "submit"
@@ -68,10 +71,26 @@ _KINDS: Tuple[Tuple[str, type], ...] = (
     ("deployment-quarantined", DeploymentQuarantinedError),
     ("deployment-exists", DeploymentExistsError),
     ("invalid-spec", DeploymentSpecError),
+    ("draining", DrainingError),
+    ("replica-unavailable", ReplicaUnavailableError),
     ("replica", ReplicaError),
     ("hub", HubError),
 )
 _DECODERS: Dict[str, type] = {kind: type_ for kind, type_ in _KINDS}
+
+#: every type sent through the pipe RPC as (part of) a request or reply
+#: payload.  Declarative on purpose: the ``pickle-safety`` lint rule
+#: walks each class (transitively) and rejects process-local state —
+#: locks, threads, open files — before it can blow up inside a pickle
+#: call under load.
+WIRE_TYPES: Tuple[type, ...] = (
+    ReplicaConfig,
+    ProgramGraph,
+    Node,
+    Edge,
+    PredictionResult,
+    EnsemblePredictionResult,
+)
 
 
 def encode_exception(exc: BaseException) -> Dict[str, object]:

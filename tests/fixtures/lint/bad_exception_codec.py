@@ -1,0 +1,58 @@
+"""Fixture: violates the ``exception-codec`` rule (never imported).
+
+The codec table here has every defect the rule detects: a duplicate
+kind, a subclass entry shadowed by its base (ordered after it), an
+encode kind the decoder cannot rebuild, and an exception type raised on
+a worker-reachable path that crosses the pipe demoted to its base.
+"""
+
+
+class HubError(Exception):
+    pass
+
+
+class OverCapacityError(HubError):
+    pass
+
+
+class QuarantinedError(HubError):
+    pass
+
+
+class DrainingError(HubError):
+    """Raised worker-side but missing from _KINDS: decodes as plain hub."""
+
+
+_KINDS = (
+    ("hub", HubError),
+    ("over-capacity", OverCapacityError),  # dead: HubError matches first
+    ("quarantined", QuarantinedError),  # dead, and no decoder either
+    ("hub", HubError),  # duplicate kind  # noqa: F601
+)
+
+
+def encode_exception(exc):
+    for kind, exc_type in _KINDS:
+        if isinstance(exc, exc_type):
+            return {"kind": kind, "message": str(exc)}
+    return {"kind": "internal", "message": str(exc)}
+
+
+def decode_exception(payload):
+    kind = payload.get("kind")
+    message = str(payload.get("message", ""))
+    if kind == "hub":
+        return HubError(message)
+    if kind == "over-capacity":
+        return OverCapacityError(message)
+    return Exception(message)
+
+
+class ReplicaWorker:
+    def run(self, request):
+        return self._handle(request)
+
+    def _handle(self, request):
+        if request is None:
+            raise DrainingError("shutting down")
+        return request

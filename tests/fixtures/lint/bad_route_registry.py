@@ -1,0 +1,24 @@
+"""Fixture: violates the ``route-registry`` rule (never imported).
+
+The dispatcher serves a route missing from ``ROUTES``, the table
+registers a route nobody serves, one key has a bogus method, and one
+entry has an empty description.
+"""
+
+ROUTES = {
+    "GET /healthz": "liveness probe",
+    "GET /v1/ghost": "registered but never served",
+    "BREW /v1/predict": "not an HTTP method",
+    "GET /v1/models": "",
+}
+
+
+class ServingApp:
+    def _route(self, path, query=None):
+        if path == "/healthz":
+            return {"GET": lambda body: {"ok": True}}
+        if path == "/v1/models":
+            return {"GET": lambda body: []}
+        if path == "/v1/debug/secret":  # unregistered route
+            return {"GET": lambda body: {"shh": True}}
+        return None

@@ -97,13 +97,16 @@ def test_bench_job_is_scaled_down(workflow):
 
 
 def test_lint_job_is_a_correctness_gate(workflow):
-    """The lint job must run repro-lint over src/ (failing the build on
-    any finding) and archive the JSON report as a build artifact."""
+    """The lint job must run repro-lint over src/, benchmarks/, and
+    examples/ (failing the build on any finding) and archive the JSON
+    report as a build artifact."""
     steps = workflow["jobs"]["lint"]["steps"]
     runs = [s.get("run", "") for s in steps]
     lint_runs = [run for run in runs if "repro-lint" in run]
     assert lint_runs, "lint job must invoke repro-lint"
     assert any("src/" in run for run in lint_runs)
+    assert any("benchmarks/" in run for run in lint_runs)
+    assert any("examples/" in run for run in lint_runs)
     assert any("--json-report" in run for run in lint_runs)
     uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
     assert uploads, "lint job must upload the JSON report"
@@ -112,6 +115,20 @@ def test_lint_job_is_a_correctness_gate(workflow):
     assert with_block.get("if-no-files-found") == "error"
     # The report must be archived even when findings fail the lint step.
     assert uploads[0].get("if") == "always()"
+
+
+def test_lint_job_asserts_a_warm_cache_hit(workflow):
+    """The incremental engine must be exercised in CI: after the cold
+    lint populates .repro-lint-cache/, a warm re-run must assert a
+    findings-cache hit via the JSON counters (never wall clock)."""
+    steps = workflow["jobs"]["lint"]["steps"]
+    warm = [
+        s.get("run", "")
+        for s in steps
+        if "repro-lint" in s.get("run", "") and "findings_hit" in s.get("run", "")
+    ]
+    assert warm, "lint job must re-run repro-lint and assert findings_hit"
+    assert any("--format json" in run for run in warm)
 
 
 def test_lint_job_runs_concurrency_suites_under_lock_check(workflow):

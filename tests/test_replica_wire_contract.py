@@ -1,0 +1,106 @@
+"""The replica wire contract, end to end.
+
+Two halves of the same promise:
+
+* every ``_KINDS`` entry round-trips through the exception codec as the
+  *same* type with the same message (and ``retry_after_s`` survives for
+  admission sheds) — the supervisor re-raises what the worker raised,
+  not a lookalike;
+* the HTTP layer cannot tell the difference: for every wire error kind,
+  an exception that crossed the replica pipe maps to exactly the status,
+  error code, and headers the in-process exception maps to.  This is the
+  invariant that makes replica serving a drop-in deployment change
+  rather than an API change.
+
+The ``exception-codec`` lint rule keeps ``_KINDS`` complete and ordered;
+these tests keep it *behaviorally* true.
+"""
+
+import pytest
+
+from repro.serving.costmodel import OverCapacityError
+from repro.serving.http import ServingApp
+from repro.serving.hub import ModelHub
+from repro.serving.replica.transport import (
+    _KINDS,
+    WIRE_TYPES,
+    decode_exception,
+    encode_exception,
+)
+from repro.serving.replica.config import ReplicaError
+
+KIND_IDS = [kind for kind, _ in _KINDS]
+
+
+def make_instance(exc_type):
+    if exc_type is OverCapacityError:
+        return exc_type("admission budget exhausted", retry_after_s=2.5)
+    return exc_type("boom across the pipe")
+
+
+class TestCodecRoundTrip:
+    @pytest.mark.parametrize("kind,exc_type", list(_KINDS), ids=KIND_IDS)
+    def test_every_kind_round_trips_as_the_same_type(self, kind, exc_type):
+        exc = make_instance(exc_type)
+        payload = encode_exception(exc)
+        # Subclass-before-base ordering is what makes this exact: the
+        # most specific kind must win the isinstance scan.
+        assert payload["kind"] == kind
+        decoded = decode_exception(payload)
+        assert type(decoded) is exc_type
+        assert str(decoded) == str(exc)
+
+    def test_retry_after_survives_the_pipe(self):
+        exc = OverCapacityError("shed", retry_after_s=2.5)
+        decoded = decode_exception(encode_exception(exc))
+        assert isinstance(decoded, OverCapacityError)
+        assert decoded.retry_after_s == pytest.approx(2.5)
+
+    def test_kinds_are_unique(self):
+        kinds = [kind for kind, _ in _KINDS]
+        assert len(kinds) == len(set(kinds))
+
+    def test_unknown_worker_type_decodes_as_replica_failure(self):
+        payload = encode_exception(RuntimeError("worker exploded"))
+        assert payload["kind"] == "internal"
+        decoded = decode_exception(payload)
+        assert isinstance(decoded, ReplicaError)
+        assert "worker exploded" in str(decoded)
+
+    def test_wire_types_are_declared_and_importable(self):
+        # The pickle-safety lint rule audits these classes; the tuple
+        # itself must stay non-empty and hold real types.
+        assert WIRE_TYPES
+        assert all(isinstance(entry, type) for entry in WIRE_TYPES)
+
+
+class TestHttpStatusParity:
+    def _response_for(self, exc):
+        app = ServingApp(ModelHub(enable_cache=False))
+
+        def view(body):
+            raise exc
+
+        app._route = lambda path, query=None: {"GET": view}
+        return app.handle("GET", "/healthz")
+
+    @pytest.mark.parametrize("kind,exc_type", list(_KINDS), ids=KIND_IDS)
+    def test_remote_error_maps_to_same_response_as_local(self, kind, exc_type):
+        local = make_instance(exc_type)
+        remote = decode_exception(encode_exception(local))
+        local_status, local_payload, local_headers = self._response_for(local)
+        remote_status, remote_payload, remote_headers = self._response_for(remote)
+        assert remote_status == local_status
+        assert (
+            remote_payload["error"]["code"] == local_payload["error"]["code"]
+        )
+        assert remote_headers == local_headers
+
+    def test_over_capacity_keeps_retry_after_header_across_the_pipe(self):
+        exc = decode_exception(
+            encode_exception(OverCapacityError("shed", retry_after_s=2.5))
+        )
+        status, payload, headers = self._response_for(exc)
+        assert status == 429
+        assert payload["error"]["code"] == "over-capacity"
+        assert "Retry-After" in headers
